@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment writes its regenerated table to ``benchmarks/results/``
+(one text file per experiment) besides printing it, so the artifacts that
+back EXPERIMENTS.md survive the pytest output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(name: str, text: str) -> str:
+    """Write an experiment's regenerated table to the results directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def format_table(headers, rows) -> str:
+    """Render a simple aligned text table."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@pytest.fixture()
+def record():
+    return record_result

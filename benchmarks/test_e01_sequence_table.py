@@ -1,0 +1,80 @@
+"""E1 — regenerate the paper's sequence-indexing table.
+
+The paper's table: build ($X, $Y, $Z) (and the element form
+<el>{$X}{$Y}{$Z}</el>) and ask for item 2.  Seven rows show how the answer
+slides across X, Y, Z as sequences flatten and attribute nodes fold.
+
+Shape check: every row's qualitative "Result" column must hold (Y itself /
+part of Y / Z / part of X / part of Z / nothing / error).  Note the row-5
+erratum: by the table's own flattening logic the value is "3a" (a part of
+Z), not the "3b" the paper prints; the qualitative claim still holds.
+"""
+
+import pytest
+
+from conftest import format_table, record_result
+from repro.xquery import XQueryDynamicError, XQueryEngine
+
+engine = XQueryEngine()
+
+ROWS = [
+    # (label, X, Y, Z, expected_value or "error")
+    ("Y itself", "1", "2", "3", [2]),
+    ("Some part of Y", "1", '(2, "2a")', "4", [2]),
+    ("Z", "1", "()", "3", [3]),
+    ("A part of X", '("1a","1b")', "2", "3", ["1b"]),
+    ("A part of Z", "1", "()", '("3a","3b")', ["3a"]),
+    ("Nothing", "()", "(2)", "()", []),
+    ("An error (for element rep.)", "1", 'attribute y {"why?"}', "2", "error"),
+]
+
+
+def run_row(x, y, z, expected):
+    if expected == "error":
+        source = f"let $x := {x} let $y := {y} let $z := {z} return <el>{{$x}}{{$y}}{{$z}}</el>"
+        try:
+            engine.evaluate(source)
+            return "no error (!)"
+        except XQueryDynamicError as exc:
+            return f"error {exc.code}"
+    source = f"let $x := {x} let $y := {y} let $z := {z} return ($x, $y, $z)[2]"
+    result = engine.evaluate(source)
+    if not result:
+        return "()"
+    item = result[0]
+    return f'"{item}"' if isinstance(item, str) else str(item)
+
+
+def regenerate_table():
+    rows = []
+    for label, x, y, z, expected in ROWS:
+        gives = run_row(x, y, z, expected)
+        rows.append((label, x, y, z, gives))
+    return rows
+
+
+def test_e01_sequence_indexing_table(benchmark):
+    rows = benchmark.pedantic(regenerate_table, rounds=3, iterations=1)
+
+    table = format_table(["Result", "X", "Y", "Z", "Gives"], rows)
+    record_result("e01_sequence_table.txt", table)
+
+    gives = {label: value for label, _, _, _, value in rows}
+    assert gives["Y itself"] == "2"
+    assert gives["Some part of Y"] == "2"
+    assert gives["Z"] == "3"
+    assert gives["A part of X"] == '"1b"'
+    # paper prints "3b" here; flattening actually yields "3a" — still a
+    # part of Z, which is the row's claim (erratum noted in EXPERIMENTS.md)
+    assert gives["A part of Z"] == '"3a"'
+    assert gives["Nothing"] == "()"
+    assert gives["An error (for element rep.)"] == "error XQTY0024"
+
+
+@pytest.mark.parametrize("label,x,y,z,expected", ROWS)
+def test_e01_rows_individually(benchmark, label, x, y, z, expected):
+    result = benchmark.pedantic(run_row, args=(x, y, z, expected), rounds=2, iterations=1)
+    if expected == "error":
+        assert result.startswith("error")
+    elif expected == []:
+        assert result == "()"

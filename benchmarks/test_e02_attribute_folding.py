@@ -1,0 +1,59 @@
+"""E2 — the paper's attribute-folding examples.
+
+Three programs from the "Treatment of Child Elements" section:
+
+1. a leading attribute node becomes an attribute of the parent;
+2. duplicate attribute names: "one of two results" (and the Galax bug
+   keeps both);
+3. an attribute after non-attribute content is an error.
+"""
+
+from conftest import format_table, record_result
+from repro.xmlio import serialize
+from repro.xquery import EngineConfig, XQueryDynamicError, XQueryEngine
+
+FOLD = "let $x := attribute troubles {1} return <el> {$x} </el>"
+DUPES = (
+    "let $a := attribute a {1} let $b := attribute a {2} "
+    "let $c := attribute b {3} return <el> {$a}{$b}{$c} </el>"
+)
+AFTER_CONTENT = 'let $x := attribute troubles {1} return <el> "doom" {$x} </el>'
+
+
+def run_case(engine, source):
+    try:
+        result = engine.evaluate(source)
+        return serialize(result[0])
+    except XQueryDynamicError as exc:
+        return f"error {exc.code}"
+
+
+def regenerate():
+    rows = []
+    default_engine = XQueryEngine()
+    rows.append(("fold (spec)", run_case(default_engine, FOLD)))
+    for mode in ("last", "first", "keep", "error"):
+        engine = XQueryEngine(EngineConfig(duplicate_attribute_mode=mode))
+        rows.append((f"dupes mode={mode}", run_case(engine, DUPES)))
+    rows.append(("attr after content", run_case(default_engine, AFTER_CONTENT)))
+    return rows
+
+
+def test_e02_attribute_folding(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    record_result(
+        "e02_attribute_folding.txt", format_table(["case", "result"], rows)
+    )
+    results = dict(rows)
+
+    # example 1: <el troubles="1"/>
+    assert results["fold (spec)"] == '<el troubles="1"/>'
+    # example 2: the paper's two legal outcomes...
+    assert results["dupes mode=last"] == '<el a="2" b="3"/>'
+    assert results["dupes mode=first"] == '<el a="1" b="3"/>'
+    # ...the Galax bug ("did not honor this") keeps both a= attributes...
+    assert results["dupes mode=keep"].count("a=") == 2
+    # ...and the eventual standard makes it an error.
+    assert results["dupes mode=error"] == "error XQDY0025"
+    # example 3: "it will cause an error".
+    assert results["attr after content"] == "error XQTY0024"

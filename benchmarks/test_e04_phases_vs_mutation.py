@@ -1,0 +1,76 @@
+"""E4 — multi-phase whole-document copying vs one pass plus mutation.
+
+"This approach ... was fairly inefficient, requiring multiple copies of
+the entire output (complete with internal notes that weren't going to get
+into the final output).  This wasn't horrible, though it wasn't entirely
+pleasant either."
+
+We generate ToC+omissions-heavy documents with both implementations and
+report wall-clock plus the bytes each XQuery phase re-serializes.
+"""
+
+import pytest
+
+from conftest import format_table, record_result
+from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
+from repro.workloads import make_it_model, toc_heavy_template
+
+SCALES = [(4, 4), (8, 8), (16, 12)]  # (model scale, sections)
+
+
+@pytest.mark.parametrize("scale,sections", SCALES)
+def test_e04_native_single_pass(benchmark, scale, sections):
+    model = make_it_model(scale=scale)
+    template = toc_heavy_template(sections)
+    generator = NativeDocumentGenerator(model)
+    result = benchmark(lambda: generator.generate(template))
+    assert result.metrics["phases"] == 2
+    assert len(result.toc) == sections
+
+
+@pytest.mark.parametrize("scale,sections", SCALES)
+def test_e04_xquery_five_phases(benchmark, scale, sections):
+    model = make_it_model(scale=scale)
+    template = toc_heavy_template(sections)
+    generator = XQueryDocumentGenerator(model)
+    result = benchmark.pedantic(
+        lambda: generator.generate(template), rounds=1, iterations=1
+    )
+    assert result.metrics["phases"] == 5
+    assert len(result.toc) == sections
+
+
+def test_e04_bytes_copied_table(benchmark):
+    def measure():
+        rows = []
+        for scale, sections in SCALES:
+            model = make_it_model(scale=scale)
+            template = toc_heavy_template(sections)
+            result = XQueryDocumentGenerator(model).generate(template)
+            per_phase = result.metrics["bytes_per_phase"]
+            final_size = per_phase["phase5_strip"]
+            total = result.metrics["bytes_copied_total"]
+            rows.append(
+                (
+                    f"scale={scale}",
+                    per_phase["phase1_generate"],
+                    per_phase["phase2_omissions"],
+                    per_phase["phase3_toc"],
+                    per_phase["phase4_replace"],
+                    final_size,
+                    total,
+                    f"{total / final_size:.1f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "p1", "p2 omissions", "p3 toc", "p4 replace", "final", "total", "overhead"],
+        rows,
+    )
+    record_result("e04_bytes_copied.txt", table)
+    # shape: the pipeline re-serializes several times the final document,
+    # "multiple copies of the entire output".
+    for row in rows:
+        assert float(row[-1].rstrip("x")) >= 3.0

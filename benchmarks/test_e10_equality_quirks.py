@@ -1,0 +1,67 @@
+"""E10 — the syntactic-quirk table: what the operators actually do.
+
+Regenerates the paper's quirk examples as a table: existential ``=``,
+the singleton operators, ``$n-1`` as a variable name, ``/`` as a step.
+"""
+
+import pytest
+
+from conftest import format_table, record_result
+from repro.xquery import XQueryEngine, XQueryError
+
+engine = XQueryEngine()
+
+CASES = [
+    # (expression, expected rendering)
+    ("1 = (1,2,3)", "true"),
+    ("(1,2,3) = 3", "true"),
+    ("1 = 3", "false"),
+    ("(1,2) != (1,2)", "true"),
+    ("1 eq 1", "true"),
+    ("1 eq (1,2,3)", "error XPTY0004"),
+    ("('a','b','c') = 'b'", "true"),
+    ("let $n := 5 return $n - 1", "4"),
+    ("let $n-1 := 99 return $n-1", "99"),
+    ("let $n := 5 return ($n)-1", "4"),
+    ("10 div 4", "2.5"),
+    ("<x><kid/></x>/kid instance of element(kid)", "true"),
+]
+
+
+def run_case(source):
+    try:
+        return engine.evaluate_to_string(source)
+    except XQueryError as error:
+        return f"error {error.code}"
+
+
+def regenerate():
+    return [(source, run_case(source)) for source, _ in CASES]
+
+
+def test_e10_quirks_table(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    record_result(
+        "e10_equality_quirks.txt", format_table(["expression", "gives"], rows)
+    )
+    results = dict(rows)
+    for source, expected in CASES:
+        assert results[source] == expected, source
+
+
+@pytest.mark.parametrize("source,expected", CASES)
+def test_e10_individual(benchmark, source, expected):
+    result = benchmark.pedantic(run_case, args=(source,), rounds=2, iterations=1)
+    assert result == expected
+
+
+def test_e10_missing_dollar_quirk(benchmark):
+    """Quirk 1: forgetting the $ silently means "children named x"."""
+
+    def run():
+        # with a context item, `x` quietly returns the x children — the
+        # trap the paper calls "far and away the most frequently-annoying".
+        doc = engine.evaluate("<ctx><x>gotcha</x></ctx>")[0]
+        return engine.evaluate_to_string("x", context_item=doc)
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) == "<x>gotcha</x>"

@@ -1,0 +1,123 @@
+"""E11 — the closing lessons scorecard.
+
+Regenerates the paper's "The Moral" as a table: the seven lessons scored
+against the 2004 XQuery built here and against the Java-style host, with
+each verdict cross-checked against the behaviour of this repo's actual
+implementations (the audit is not just opinion — the engine demonstrates
+each failure).
+"""
+
+from conftest import record_result
+from repro.littlelang import (
+    LESSONS,
+    profile_java_style_host,
+    profile_xquery_2004,
+    render_scorecard,
+)
+from repro.xquery import EngineConfig, TraceLog, XQueryEngine, XQueryUserError
+
+
+def test_e11_scorecard(benchmark):
+    def build():
+        return render_scorecard([profile_xquery_2004(), profile_java_style_host()])
+
+    text = benchmark.pedantic(build, rounds=3, iterations=1)
+    record_result("e11_lessons.txt", text)
+    assert "2/7" in text  # XQuery
+    assert "6/7" in text  # the host
+    assert len(LESSONS) == 7
+
+
+class TestVerdictsAreGroundTruth:
+    """Each scorecard verdict is backed by engine behaviour."""
+
+    def test_lesson1_data_structures_fail(self, benchmark):
+        # nesting washes out: no honest pairs, hence no generic containers.
+        engine = XQueryEngine()
+        result = benchmark.pedantic(
+            lambda: engine.evaluate("count(((1,2),(3,4)))"), rounds=2, iterations=1
+        )
+        assert result == [4]
+
+    def test_lesson2_mutability_fail(self, benchmark):
+        # there is no assignment form at all: ':=' exists only in let,
+        # which binds a *new* variable.
+        from repro.xquery.errors import XQueryStaticError
+
+        engine = XQueryEngine()
+
+        def attempt():
+            try:
+                engine.evaluate("let $x := 1 return ($x := 2)")
+                return "mutated"
+            except XQueryStaticError:
+                return "no assignment form"
+
+        assert benchmark.pedantic(attempt, rounds=2, iterations=1) == "no assignment form"
+
+    def test_lesson3_control_structures_pass(self, benchmark):
+        # "(XQuery got this one right.)"
+        engine = XQueryEngine()
+        source = (
+            "declare function local:fib($n) { if ($n lt 2) then $n "
+            "else local:fib($n - 1) + local:fib($n - 2) }; local:fib(12)"
+        )
+        assert benchmark.pedantic(
+            lambda: engine.evaluate(source), rounds=2, iterations=1
+        ) == [144]
+
+    def test_lesson4_exceptions_fail(self, benchmark):
+        # error() throws; nothing in the language catches.
+        engine = XQueryEngine()
+
+        def attempt():
+            try:
+                engine.evaluate("error('unrecoverable')")
+            except XQueryUserError:
+                return "only the host can catch"
+
+        assert (
+            benchmark.pedantic(attempt, rounds=2, iterations=1)
+            == "only the host can catch"
+        )
+
+    def test_lesson5_debugging_fail(self, benchmark):
+        # under the period optimizer, the debugging feature deletes itself.
+        engine = XQueryEngine(EngineConfig(optimize=True, trace_is_dead_code=True))
+
+        def attempt():
+            trace = TraceLog()
+            engine.evaluate(
+                "let $d := trace('probe', 1) return 42", trace=trace
+            )
+            return len(trace.messages)
+
+        assert benchmark.pedantic(attempt, rounds=2, iterations=1) == 0
+
+    def test_lesson6_syntax_fail(self, benchmark):
+        # '=' means nonempty intersection; $n-1 is a name.
+        engine = XQueryEngine()
+
+        def attempt():
+            weird = engine.evaluate("(1,2) != (1,2)")
+            name = engine.evaluate("let $n-1 := 'one name' return $n-1")
+            return weird + name
+
+        assert benchmark.pedantic(attempt, rounds=2, iterations=1) == [
+            True,
+            "one name",
+        ]
+
+    def test_lesson7_focus_pass(self, benchmark):
+        # the one-liner that is "several times harder in Java":
+        engine = XQueryEngine()
+        doc = engine.evaluate(
+            "<r><k year='1983'><g/><g/></k><k year='2001'><g/></k></r>"
+        )[0]
+
+        def dissect():
+            return engine.evaluate(
+                "count($r/k[@year='1983']//g)", variables={"r": doc}
+            )
+
+        assert benchmark.pedantic(dissect, rounds=2, iterations=1) == [2]

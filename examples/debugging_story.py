@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's debugging story, replayed on this engine.
+
+Act 1 — error() bisection: before trace existed, the only tool was
+"strategically-placed error calls [for] a binary search to locate the
+source of the program error".  Each probe costs a full run.
+
+Act 2 — trace() arrives... and the optimizer eats it: "Simply adding the
+trace introduces a dead variable $dummy, which the Galax compiler
+helpfully optimizes away — along with the call to trace."
+
+Act 3 — the workarounds: insinuate the trace into live code, or fix the
+optimizer (trace_is_dead_code=False, "the next version").
+
+Run:  python examples/debugging_story.py
+"""
+
+from repro.xquery import EngineConfig, XQueryEngine
+from repro.xquery.debug import ErrorBisector, make_probe_runner, run_with_trace
+
+TOTAL_STEPS = 24
+BUG_AT = 17  # step 17 divides by zero
+
+
+def program_with_probe(probe_at: int) -> str:
+    """An N-step pipeline; step BUG_AT fails; probe inserted before a step."""
+    lines = ["let $x0 := 1"]
+    for step in range(1, TOTAL_STEPS + 1):
+        if step == probe_at:
+            lines.append(f'let $probe{step} := error("probe")')
+        if step == BUG_AT:
+            lines.append(f"let $x{step} := $x{step - 1} idiv 0")
+        else:
+            lines.append(f"let $x{step} := $x{step - 1} + 1")
+    lines.append(f"return $x{TOTAL_STEPS}")
+    return "\n".join(lines)
+
+
+def act_one() -> None:
+    print("== Act 1: binary search by error() ==")
+    # the optimizer must not delete the probe's let (error is impure).
+    engine = XQueryEngine(EngineConfig(optimize=True))
+    runner = make_probe_runner(engine, program_with_probe)
+    result = ErrorBisector(TOTAL_STEPS, runner).locate()
+    print(f"program has {TOTAL_STEPS} steps; the bug is at step {BUG_AT}")
+    print(f"bisection found step {result.failing_step} in {result.runs} full runs")
+    print(f"probes tried: {result.probes_tried}")
+
+
+TRACED_PROGRAM = """
+let $x := 6 * 7
+let $dummy := trace("x=", $x)
+let $y := $x idiv 0
+return $y
+"""
+
+
+def act_two_and_three() -> None:
+    print("\n== Act 2: the optimizer eats the trace ==")
+    buggy = XQueryEngine(EngineConfig(optimize=True, trace_is_dead_code=True))
+    run = run_with_trace(buggy, TRACED_PROGRAM)
+    print(f"program crashed with: {run.error}")
+    print(f"traces seen: {run.messages!r}  <- the probe vanished!")
+
+    print("\n== Act 3a: insinuate the trace into non-dead code ==")
+    insinuated = TRACED_PROGRAM.replace(
+        'let $x := 6 * 7\nlet $dummy := trace("x=", $x)',
+        'let $x := trace("x=", 6 * 7)',
+    )
+    run = run_with_trace(buggy, insinuated)
+    print(f"traces seen: {run.messages!r}  (crash still: {run.error is not None})")
+
+    print("\n== Act 3b: 'the optimizer would be fixed in the next version' ==")
+    fixed = XQueryEngine(EngineConfig(optimize=True, trace_is_dead_code=False))
+    run = run_with_trace(fixed, TRACED_PROGRAM)
+    print(f"traces seen: {run.messages!r}")
+
+
+def main() -> None:
+    act_one()
+    act_two_and_three()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The antique-glass-dealer retarget.
+
+"AWB has retargeted to be a workbench for (1) an antique glass dealer" —
+same machinery, entirely different metamodel: glass pieces, makers,
+styles, customers; the advisory about SystemBeingDesigned simply does not
+exist here, so no warning appears.
+
+Run:  python examples/glass_catalog.py
+"""
+
+from repro.awb import all_omissions
+from repro.docgen import NativeDocumentGenerator
+from repro.querycalc import parse_query_xml, run_query
+from repro.workloads import glass_catalog_template, make_glass_catalog
+from repro.xmlio import serialize
+
+
+def main() -> None:
+    model = make_glass_catalog(pieces=12)
+    print(f"catalogue model: {model.stats()}")
+
+    print("\n== omissions (unpriced pieces, etc.) ==")
+    for omission in all_omissions(model):
+        print(" -", omission)
+
+    print("\n== which pieces are customers interested in? ==")
+    query = parse_query_xml(
+        """
+        <query>
+          <start type="Customer"/>
+          <follow relation="interestedIn"/>
+          <filter-property name="priceDollars" op="le" value="2000"/>
+          <collect sort-by="label"/>
+        </query>
+        """
+    )
+    for node in run_query(query, model):
+        price = node.get("priceDollars", "?")
+        print(f" - {node.label}: ${price}")
+
+    print("\n== the catalogue document ==")
+    result = NativeDocumentGenerator(model).generate(glass_catalog_template())
+    print(serialize(result.document, indent=False)[:1200], "...")
+    print("\nproblems:", [str(problem) for problem in result.problems] or "none")
+
+
+if __name__ == "__main__":
+    main()

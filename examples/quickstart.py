@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: the public API in five minutes.
+
+1. Run XQuery with the embedded engine (including the paper's quirks).
+2. Build an AWB model and export it as XML.
+3. Ask a calculus query both ways (native graph vs compiled-to-XQuery).
+4. Generate a document with both generator implementations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.awb import Model, export_model_text, load_metamodel
+from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
+from repro.querycalc import XQueryCalculusBackend, parse_query_xml, run_query
+from repro.xmlio import serialize
+from repro.xquery import XQueryEngine
+
+
+def demo_xquery() -> None:
+    print("== 1. XQuery engine ==")
+    engine = XQueryEngine()
+    print("squares:", engine.evaluate_to_string("for $i in 1 to 5 return $i * $i"))
+    # the existential '=' the paper warns about:
+    print("1 = (1,2,3)  ->", engine.evaluate_to_string("1 = (1,2,3)"))
+    print("(1,2) != (1,2) ->", engine.evaluate_to_string("(1,2) != (1,2)"))
+    # sequence flattening washes structure out:
+    print("flattening:", engine.evaluate_to_string("(1,(2,3),(),(4,(5)))"))
+    # attribute folding:
+    print(
+        "attribute folding:",
+        engine.evaluate_to_string(
+            "let $x := attribute troubles {1} return <el> {$x} </el>"
+        ),
+    )
+
+
+def build_model() -> Model:
+    print("\n== 2. An AWB model ==")
+    model = Model(load_metamodel("it-architecture"), name="quickstart")
+    system = model.create_node("SystemBeingDesigned", label="Payroll")
+    alice = model.create_node("User", label="Alice", firstName="Alice")
+    bob = model.create_node("Superuser", label="Bob")
+    ledger = model.create_node("Program", label="LedgerD", version="2.1")
+    model.connect(system, "has", alice)
+    model.connect(system, "has", bob)
+    model.connect(system, "runs", ledger)
+    model.connect(alice, "favors", bob)
+    model.connect(bob, "uses", ledger)  # advisory violation, allowed
+    print(export_model_text(model)[:400], "...")
+    return model
+
+
+def demo_calculus(model: Model) -> None:
+    print("\n== 3. The query calculus, twice ==")
+    query = parse_query_xml(
+        """
+        <query>
+          <start type="User"/>
+          <follow relation="uses" target-type="Program"/>
+          <collect sort-by="label"/>
+        </query>
+        """
+    )
+    print("native  :", [node.label for node in run_query(query, model)])
+    backend = XQueryCalculusBackend(model)
+    print("xquery  :", [node.label for node in backend.run(query)])
+    print("compiled to:\n", backend.compile_to_xquery(query)[:200], "...")
+
+
+def demo_docgen(model: Model) -> None:
+    print("\n== 4. Document generation, twice ==")
+    template = """<html>
+    <section><heading>Users of <for nodes="all.SystemBeingDesigned"><label/></for></heading>
+      <ul>
+        <for nodes="all.User" sort="label">
+          <li><if><test><focus-is-type type="Superuser"/></test>
+               <then><b><label/></b></then><else><label/></else></if></li>
+        </for>
+      </ul>
+    </section>
+    </html>"""
+    native = NativeDocumentGenerator(model).generate(template)
+    functional = XQueryDocumentGenerator(model).generate(template)
+    print("native   :", serialize(native.document)[:200], "...")
+    print("xquery   :", serialize(functional.document)[:200], "...")
+    print("metrics  :", functional.metrics["bytes_per_phase"])
+
+
+def main() -> None:
+    demo_xquery()
+    model = build_model()
+    demo_calculus(model)
+    demo_docgen(model)
+
+
+if __name__ == "__main__":
+    main()

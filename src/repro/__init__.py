@@ -1,0 +1,27 @@
+"""Reproduction of Bard Bloom's SIGMOD 2005 experience paper
+"Lopsided Little Languages: Experience with XQuery in a Document Generation
+Subsystem".
+
+The package contains every system the paper describes:
+
+* :mod:`repro.xdm` / :mod:`repro.xmlio` — the XQuery Data Model and a
+  from-scratch XML parser/serializer.
+* :mod:`repro.xquery` — an XQuery/XPath 2.0 subset engine with the
+  draft-era quirks the paper analyses (existential ``=``, flattening
+  sequences, attribute folding, a ``trace``-eating optimizer).
+* :mod:`repro.awb` — the Architect's Workbench substrate: metamodel,
+  annotated multigraph, XML export, suggestive validation.
+* :mod:`repro.querycalc` — the AWB query calculus with native and
+  XQuery-backed interpreters.
+* :mod:`repro.docgen` — the document generator, implemented twice: in
+  XQuery source run by our engine, and "Java-style" with exceptions and
+  mutation.
+* :mod:`repro.xslt` — the small XSLT-ish post-processor used to split
+  output streams.
+* :mod:`repro.littlelang` — the paper's seven little-language lessons as a
+  scorable audit.
+* :mod:`repro.workloads` — deterministic synthetic models and templates
+  for the benchmark harness.
+"""
+
+__version__ = "1.0.0"

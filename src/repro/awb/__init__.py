@@ -1,0 +1,57 @@
+"""The Architect's Workbench (AWB) substrate.
+
+A directed, annotated multigraph with a configurable metamodel, XML
+export/import, and suggestive (never compulsory) validation.
+"""
+
+from .metamodel import (
+    Advisory,
+    EditorDecl,
+    Metamodel,
+    MetamodelError,
+    NodeType,
+    PropertyDecl,
+    RelationType,
+)
+from .model import Model, ModelNode, ModelWarning, RelationObject
+from .validate import (
+    Omission,
+    all_omissions,
+    check_advisories,
+    render_omissions_window,
+)
+from .xml_io import (
+    ModelImportError,
+    export_metamodel,
+    export_model,
+    export_model_text,
+    import_model,
+    import_model_text,
+)
+from .metamodels import BUILTIN_METAMODELS, load as load_metamodel
+
+__all__ = [
+    "Advisory",
+    "EditorDecl",
+    "BUILTIN_METAMODELS",
+    "Metamodel",
+    "MetamodelError",
+    "Model",
+    "ModelImportError",
+    "ModelNode",
+    "ModelWarning",
+    "NodeType",
+    "Omission",
+    "PropertyDecl",
+    "RelationObject",
+    "RelationType",
+    "all_omissions",
+    "check_advisories",
+    "render_omissions_window",
+    "export_metamodel",
+    "export_model",
+    "export_model_text",
+    "import_model",
+    "import_model_text",
+    "load_metamodel",
+]

@@ -1,0 +1,298 @@
+"""The AWB metamodel: node types, properties, relations, and advisories.
+
+"Most AWB structures are defined in a pile of files: what kinds of entities
+AWB will talk about, what sorts of editors it will use to manipulate them,
+and so on."  Node types form a single-inheritance hierarchy; relations are
+hierarchically typed too, and their source/target types are *advisory* —
+"the types on relations are advisory, not compulsory: the user can make a
+Person use a Program" even when the metamodel prefers otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: scalar property types the paper mentions (string, integer, HTML, ...).
+PROPERTY_TYPES = ("string", "integer", "boolean", "float", "html")
+
+
+@dataclass
+class PropertyDecl:
+    """A scalar-typed property declaration on a node or relation type."""
+
+    name: str
+    type: str = "string"
+    required: bool = False
+    default: Optional[object] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in PROPERTY_TYPES:
+            raise ValueError(
+                f"unknown property type {self.type!r}; expected one of {PROPERTY_TYPES}"
+            )
+
+
+class TypeDef:
+    """Common behaviour of node types and relation types (a hierarchy)."""
+
+    def __init__(self, name: str, parent: Optional["TypeDef"], description: str = ""):
+        self.name = name
+        self.parent = parent
+        self.description = description
+        self.children: List["TypeDef"] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    def ancestors(self) -> Iterable["TypeDef"]:
+        current = self
+        while current is not None:
+            yield current
+            current = current.parent
+
+    def is_subtype_of(self, other_name: str) -> bool:
+        return any(ancestor.name == other_name for ancestor in self.ancestors())
+
+    def descendants(self) -> Iterable["TypeDef"]:
+        yield self
+        for child in self.children:
+            yield from child.descendants()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class NodeType(TypeDef):
+    """A node type with declared scalar properties (inherited down)."""
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["NodeType"] = None,
+        properties: Optional[List[PropertyDecl]] = None,
+        description: str = "",
+    ):
+        super().__init__(name, parent, description)
+        self.properties: List[PropertyDecl] = list(properties or [])
+
+    def all_properties(self) -> Dict[str, PropertyDecl]:
+        """Own and inherited property declarations, nearest wins."""
+        merged: Dict[str, PropertyDecl] = {}
+        for ancestor in reversed(list(self.ancestors())):
+            for declaration in ancestor.properties:
+                merged[declaration.name] = declaration
+        return merged
+
+    def property_decl(self, name: str) -> Optional[PropertyDecl]:
+        return self.all_properties().get(name)
+
+
+class RelationType(TypeDef):
+    """A relation type with *advisory* endpoint types.
+
+    ``endpoints`` lists (source_type, target_type) pairs the metamodel
+    writer intends — "A System has Servers, Subsystems, Users, and many
+    other things".  Violations are warnings, never errors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["RelationType"] = None,
+        endpoints: Optional[List[Tuple[str, str]]] = None,
+        properties: Optional[List[PropertyDecl]] = None,
+        description: str = "",
+    ):
+        super().__init__(name, parent, description)
+        self.endpoints: List[Tuple[str, str]] = list(endpoints or [])
+        self.properties: List[PropertyDecl] = list(properties or [])
+
+    def all_endpoints(self) -> List[Tuple[str, str]]:
+        merged: List[Tuple[str, str]] = []
+        for ancestor in self.ancestors():
+            merged.extend(ancestor.endpoints)
+        return merged
+
+
+@dataclass
+class EditorDecl:
+    """An editor declaration: how the workbench edits a node type.
+
+    "what sorts of editors it will use to manipulate them" — part of the
+    metamodel pile.  ``widget`` names the UI style; the diagram editors
+    the paper mentions as "the only IT-specific components" would be
+    declared here with ``widget="diagram"``.
+    """
+
+    name: str
+    node_type: str
+    widget: str = "form"
+    description: str = ""
+
+
+@dataclass
+class Advisory:
+    """A suggestion about model shape — AWB shows "a meek warning message".
+
+    ``kind`` is one of:
+
+    * ``exactly-one-node`` — there should be exactly one node of ``type``
+      (the SystemBeingDesigned rule);
+    * ``required-property`` — nodes of ``type`` should have a non-empty
+      ``property`` (the "document without version information" rule).
+    """
+
+    kind: str
+    type: str
+    property: Optional[str] = None
+    message: str = ""
+
+
+class MetamodelError(ValueError):
+    """The metamodel itself is malformed (unknown parent type, etc.)."""
+
+
+class Metamodel:
+    """A complete metamodel: type hierarchies plus advisories."""
+
+    def __init__(self, name: str, label_property: str = "label"):
+        self.name = name
+        #: every node implicitly carries this property; used for display.
+        self.label_property = label_property
+        self.node_types: Dict[str, NodeType] = {}
+        self.relation_types: Dict[str, RelationType] = {}
+        self.advisories: List[Advisory] = []
+        self.editors: List[EditorDecl] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node_type(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        properties: Optional[List[PropertyDecl]] = None,
+        description: str = "",
+    ) -> NodeType:
+        if name in self.node_types:
+            raise MetamodelError(f"duplicate node type {name!r}")
+        parent_type = None
+        if parent is not None:
+            parent_type = self.node_types.get(parent)
+            if parent_type is None:
+                raise MetamodelError(f"unknown parent node type {parent!r}")
+        node_type = NodeType(name, parent_type, properties, description)
+        self.node_types[name] = node_type
+        return node_type
+
+    def add_relation_type(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        endpoints: Optional[List[Tuple[str, str]]] = None,
+        properties: Optional[List[PropertyDecl]] = None,
+        description: str = "",
+    ) -> RelationType:
+        if name in self.relation_types:
+            raise MetamodelError(f"duplicate relation type {name!r}")
+        parent_type = None
+        if parent is not None:
+            parent_type = self.relation_types.get(parent)
+            if parent_type is None:
+                raise MetamodelError(f"unknown parent relation type {parent!r}")
+        relation_type = RelationType(name, parent_type, endpoints, properties, description)
+        self.relation_types[name] = relation_type
+        return relation_type
+
+    def advise(
+        self, kind: str, type: str, property: Optional[str] = None, message: str = ""
+    ) -> Advisory:
+        advisory = Advisory(kind=kind, type=type, property=property, message=message)
+        self.advisories.append(advisory)
+        return advisory
+
+    def add_editor(
+        self, name: str, node_type: str, widget: str = "form", description: str = ""
+    ) -> EditorDecl:
+        """Declare an editor for a node type."""
+        if node_type not in self.node_types:
+            raise MetamodelError(f"unknown node type {node_type!r} for editor")
+        editor = EditorDecl(name, node_type, widget, description)
+        self.editors.append(editor)
+        return editor
+
+    def editors_for(self, type_name: str) -> List[EditorDecl]:
+        """Editors applicable to a node type (its own and inherited).
+
+        The most specifically-typed editors come first.
+        """
+        applicable = [
+            editor
+            for editor in self.editors
+            if self.is_node_subtype(type_name, editor.node_type)
+        ]
+
+        def depth(editor: EditorDecl) -> int:
+            node_type = self.node_types.get(editor.node_type)
+            return -len(list(node_type.ancestors())) if node_type else 0
+
+        applicable.sort(key=depth)
+        return applicable
+
+    # -- queries ---------------------------------------------------------------
+
+    def node_type(self, name: str) -> Optional[NodeType]:
+        return self.node_types.get(name)
+
+    def relation_type(self, name: str) -> Optional[RelationType]:
+        return self.relation_types.get(name)
+
+    def is_node_subtype(self, name: str, ancestor: str) -> bool:
+        """True if node type *name* is *ancestor* or derives from it.
+
+        Unknown types (user inventions — allowed!) are subtypes of nothing
+        but themselves.
+        """
+        if name == ancestor:
+            return True
+        node_type = self.node_types.get(name)
+        return node_type is not None and node_type.is_subtype_of(ancestor)
+
+    def is_relation_subtype(self, name: str, ancestor: str) -> bool:
+        if name == ancestor:
+            return True
+        relation_type = self.relation_types.get(name)
+        return relation_type is not None and relation_type.is_subtype_of(ancestor)
+
+    def node_subtype_names(self, name: str) -> List[str]:
+        """The named type and all its declared descendants."""
+        node_type = self.node_types.get(name)
+        if node_type is None:
+            return [name]
+        return [descendant.name for descendant in node_type.descendants()]
+
+    def relation_subtype_names(self, name: str) -> List[str]:
+        relation_type = self.relation_types.get(name)
+        if relation_type is None:
+            return [name]
+        return [descendant.name for descendant in relation_type.descendants()]
+
+    def endpoint_allowed(
+        self, relation_name: str, source_type: str, target_type: str
+    ) -> bool:
+        """Does the metamodel *advise* this relation between these types?
+
+        Always True for relations with no declared endpoints (anything
+        goes) and for unknown relations (user inventions).
+        """
+        relation_type = self.relation_types.get(relation_name)
+        if relation_type is None:
+            return True
+        endpoints = relation_type.all_endpoints()
+        if not endpoints:
+            return True
+        return any(
+            self.is_node_subtype(source_type, allowed_source)
+            and self.is_node_subtype(target_type, allowed_target)
+            for allowed_source, allowed_target in endpoints
+        )

@@ -1,0 +1,19 @@
+"""Built-in metamodels: the three retargets the paper mentions."""
+
+from . import awb_itself, glass, it_architecture
+
+BUILTIN_METAMODELS = {
+    "it-architecture": it_architecture.build,
+    "glass-catalog": glass.build,
+    "awb-itself": awb_itself.build,
+}
+
+
+def load(name: str):
+    """Build a fresh metamodel instance by name."""
+    try:
+        return BUILTIN_METAMODELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown metamodel {name!r}; available: {sorted(BUILTIN_METAMODELS)}"
+        ) from None

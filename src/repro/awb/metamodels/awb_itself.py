@@ -1,0 +1,61 @@
+"""AWB retargeted to itself — the second retarget the paper mentions.
+
+A workbench for maintaining workbench metamodels: node types describing
+node types, relation types, editors, and the pile of metamodel files.
+"""
+
+from __future__ import annotations
+
+from ..metamodel import Metamodel, PropertyDecl
+
+
+def build() -> Metamodel:
+    """Construct the AWB-describing-AWB metamodel."""
+    mm = Metamodel("awb-itself")
+
+    mm.add_node_type(
+        "MetaElement",
+        properties=[PropertyDecl("label", "string"), PropertyDecl("doc", "html")],
+    )
+    mm.add_node_type(
+        "NodeTypeDef",
+        parent="MetaElement",
+        properties=[PropertyDecl("abstract", "boolean", default=False)],
+    )
+    mm.add_node_type(
+        "RelationTypeDef",
+        parent="MetaElement",
+        properties=[PropertyDecl("advisory", "boolean", default=True)],
+    )
+    mm.add_node_type(
+        "PropertyDef",
+        parent="MetaElement",
+        properties=[PropertyDecl("scalarType", "string", default="string")],
+    )
+    mm.add_node_type(
+        "EditorDef",
+        parent="MetaElement",
+        properties=[PropertyDecl("widget", "string", default="form")],
+    )
+    mm.add_node_type(
+        "MetamodelFile",
+        parent="MetaElement",
+        properties=[PropertyDecl("path", "string")],
+    )
+    mm.add_node_type("AdvisoryDef", parent="MetaElement")
+
+    mm.add_relation_type("extends", endpoints=[("NodeTypeDef", "NodeTypeDef"),
+                                               ("RelationTypeDef", "RelationTypeDef")])
+    mm.add_relation_type("declaresProperty", endpoints=[("NodeTypeDef", "PropertyDef")])
+    mm.add_relation_type("editedBy", endpoints=[("NodeTypeDef", "EditorDef")])
+    mm.add_relation_type("definedIn", endpoints=[("MetaElement", "MetamodelFile")])
+    mm.add_relation_type("connectsFrom", endpoints=[("RelationTypeDef", "NodeTypeDef")])
+    mm.add_relation_type("connectsTo", endpoints=[("RelationTypeDef", "NodeTypeDef")])
+
+    mm.advise(
+        "required-property",
+        "MetamodelFile",
+        property="path",
+        message="metamodel files need a path to be loadable",
+    )
+    return mm

@@ -1,0 +1,72 @@
+"""The antique-glass-dealer metamodel.
+
+"AWB has retargeted to be a workbench for (1) an antique glass dealer" —
+this is that retarget.  Note the paper's point that "the glass catalog
+doesn't have a SystemBeingDesigned node at all, nor a warning about it":
+the advisory set is entirely different.
+"""
+
+from __future__ import annotations
+
+from ..metamodel import Metamodel, PropertyDecl
+
+
+def build() -> Metamodel:
+    """Construct the antique-glass-catalog metamodel."""
+    mm = Metamodel("glass-catalog")
+
+    mm.add_node_type(
+        "CatalogEntry",
+        properties=[
+            PropertyDecl("label", "string"),
+            PropertyDecl("notes", "html"),
+        ],
+    )
+    mm.add_node_type(
+        "GlassPiece",
+        parent="CatalogEntry",
+        properties=[
+            PropertyDecl("year", "integer"),
+            PropertyDecl("priceDollars", "integer"),
+            PropertyDecl("condition", "string", default="good"),
+        ],
+    )
+    mm.add_node_type("Vase", parent="GlassPiece")
+    mm.add_node_type("Goblet", parent="GlassPiece")
+    mm.add_node_type("Paperweight", parent="GlassPiece")
+    mm.add_node_type(
+        "Maker",
+        parent="CatalogEntry",
+        properties=[PropertyDecl("country", "string"), PropertyDecl("founded", "integer")],
+    )
+    mm.add_node_type("Style", parent="CatalogEntry")
+    mm.add_node_type(
+        "Customer",
+        parent="CatalogEntry",
+        properties=[PropertyDecl("email", "string")],
+    )
+    mm.add_node_type(
+        "Appraisal",
+        parent="CatalogEntry",
+        properties=[
+            PropertyDecl("appraisedValue", "integer"),
+            PropertyDecl("date", "string"),
+        ],
+    )
+
+    mm.add_relation_type("madeBy", endpoints=[("GlassPiece", "Maker")])
+    mm.add_relation_type("inStyle", endpoints=[("GlassPiece", "Style")])
+    mm.add_relation_type("soldTo", endpoints=[("GlassPiece", "Customer")])
+    mm.add_relation_type("interestedIn", endpoints=[("Customer", "GlassPiece")])
+    mm.add_relation_type("appraised", endpoints=[("Appraisal", "GlassPiece")])
+    mm.add_relation_type(
+        "influenced", endpoints=[("Maker", "Maker"), ("Style", "Style")]
+    )
+
+    mm.advise(
+        "required-property",
+        "GlassPiece",
+        property="priceDollars",
+        message="pieces without prices cannot be catalogued for sale",
+    )
+    return mm

@@ -1,0 +1,133 @@
+"""The IT-architecture metamodel — AWB's home domain.
+
+Types and relations assembled from the paper's examples: System has
+Servers, Subsystems, Users; Person likes/favors Person; Person uses
+System; System runs Program; exactly one SystemBeingDesigned; documents
+should have version information.
+"""
+
+from __future__ import annotations
+
+from ..metamodel import Metamodel, PropertyDecl
+
+
+def build() -> Metamodel:
+    """Construct the IT-architecture metamodel."""
+    mm = Metamodel("it-architecture")
+
+    mm.add_node_type(
+        "Element",
+        properties=[
+            PropertyDecl("label", "string", description="display name"),
+            PropertyDecl("description", "html", description="free-form notes"),
+        ],
+        description="root of the node-type hierarchy",
+    )
+    mm.add_node_type(
+        "System",
+        parent="Element",
+        properties=[PropertyDecl("status", "string", default="proposed")],
+    )
+    mm.add_node_type(
+        "SystemBeingDesigned",
+        parent="System",
+        description="the one system this workbench instance is designing",
+    )
+    mm.add_node_type("Subsystem", parent="System")
+    mm.add_node_type(
+        "Server",
+        parent="Element",
+        properties=[
+            PropertyDecl("cpuCount", "integer", default=1),
+            PropertyDecl("memoryGb", "integer", default=4),
+        ],
+    )
+    mm.add_node_type("Computer", parent="Element")
+    mm.add_node_type(
+        "Program",
+        parent="Element",
+        properties=[PropertyDecl("version", "string")],
+    )
+    mm.add_node_type(
+        "Person",
+        parent="Element",
+        properties=[
+            PropertyDecl("firstName", "string"),
+            PropertyDecl("lastName", "string"),
+            PropertyDecl("birthYear", "integer"),
+            PropertyDecl("biography", "html"),
+        ],
+    )
+    mm.add_node_type("User", parent="Person")
+    mm.add_node_type(
+        "Superuser",
+        parent="User",
+        description="users whose entries get bolded in documents",
+    )
+    mm.add_node_type(
+        "Document",
+        parent="Element",
+        properties=[
+            PropertyDecl("version", "string", description="documents should carry one"),
+            PropertyDecl("author", "string"),
+        ],
+    )
+    mm.add_node_type(
+        "PerformanceRequirement",
+        parent="Element",
+        properties=[PropertyDecl("metric", "string"), PropertyDecl("target", "string")],
+    )
+    mm.add_node_type("Location", parent="Element")
+
+    # "The IT architecture system uses the relation has in dozens of ways."
+    mm.add_relation_type(
+        "has",
+        endpoints=[
+            ("System", "Server"),
+            ("System", "Subsystem"),
+            ("System", "User"),
+            ("System", "Document"),
+            ("System", "PerformanceRequirement"),
+            ("Subsystem", "Program"),
+            ("Server", "Program"),
+            ("Element", "Document"),
+        ],
+        description="generic containment/ownership, read naturally",
+    )
+    mm.add_relation_type(
+        "likes", endpoints=[("Person", "Person")], description="social preference"
+    )
+    mm.add_relation_type(
+        "favors", parent="likes", description="a stronger form of likes"
+    )
+    mm.add_relation_type(
+        "uses",
+        endpoints=[("Person", "System"), ("System", "Server")],
+        description="the metamodel prefers Person uses System",
+    )
+    mm.add_relation_type(
+        "runs", endpoints=[("System", "Program"), ("Server", "Program")]
+    )
+    mm.add_relation_type("locatedAt", endpoints=[("Server", "Location")])
+
+    # "the only IT-specific components are a few editors for kinds of
+    # diagrams that IT architects draw"
+    mm.add_editor("SystemContextDiagram", "System", widget="diagram")
+    mm.add_editor("DeploymentDiagram", "Server", widget="diagram")
+    mm.add_editor("ElementForm", "Element", widget="form")
+
+    mm.advise(
+        "exactly-one-node",
+        "SystemBeingDesigned",
+        message=(
+            "you might want to ensure that there is exactly one "
+            "SystemBeingDesigned node"
+        ),
+    )
+    mm.advise(
+        "required-property",
+        "Document",
+        property="version",
+        message="documents are supposed to have version information",
+    )
+    return mm

@@ -1,0 +1,283 @@
+"""The AWB model: a directed, annotated multigraph.
+
+"AWB sees the universe as a directed, annotated multigraph.  The nodes of
+the graph have a type and a number of properties...  The edges of the
+multigraph are called relation objects, and are categorized into
+relations."
+
+Design points straight from the paper:
+
+* users may add ad-hoc properties to individual nodes (``middleName`` on
+  one Person) — so properties live on the instance, not the type;
+* relation endpoint types are advisory; violations are recorded as
+  warnings on the model, never rejected;
+* nodes of unknown types are allowed (again with a warning).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .metamodel import Metamodel
+
+
+@dataclass
+class ModelWarning:
+    """A meek warning in the corner of the screen."""
+
+    kind: str
+    message: str
+    subject_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        subject = f" [{self.subject_id}]" if self.subject_id else ""
+        return f"{self.kind}{subject}: {self.message}"
+
+
+class ModelNode:
+    """A node: a type name, a property bag, and graph membership."""
+
+    __slots__ = ("id", "type_name", "properties", "model")
+
+    def __init__(self, node_id: str, type_name: str, model: "Model"):
+        self.id = node_id
+        self.type_name = type_name
+        self.properties: Dict[str, object] = {}
+        self.model = model
+
+    @property
+    def label(self) -> str:
+        value = self.properties.get(self.model.metamodel.label_property)
+        return str(value) if value is not None else self.id
+
+    @label.setter
+    def label(self, value: str) -> None:
+        self.properties[self.model.metamodel.label_property] = value
+
+    def get(self, name: str, default: object = None) -> object:
+        return self.properties.get(name, default)
+
+    def set(self, name: str, value: object) -> None:
+        """Set a property; ad-hoc names are allowed, per AWB philosophy."""
+        self.properties[name] = value
+
+    def is_type(self, type_name: str) -> bool:
+        """True if this node's type is *type_name* or a subtype of it."""
+        return self.model.metamodel.is_node_subtype(self.type_name, type_name)
+
+    def __repr__(self) -> str:
+        return f"<node {self.id} {self.type_name} {self.label!r}>"
+
+
+class RelationObject:
+    """An edge: a relation name, endpoints, and its own property bag."""
+
+    __slots__ = ("id", "relation_name", "source", "target", "properties")
+
+    def __init__(
+        self,
+        relation_id: str,
+        relation_name: str,
+        source: ModelNode,
+        target: ModelNode,
+    ):
+        self.id = relation_id
+        self.relation_name = relation_name
+        self.source = source
+        self.target = target
+        self.properties: Dict[str, object] = {}
+
+    def is_relation(self, relation_name: str) -> bool:
+        return self.source.model.metamodel.is_relation_subtype(
+            self.relation_name, relation_name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<relation {self.id} {self.source.id} "
+            f"-{self.relation_name}-> {self.target.id}>"
+        )
+
+
+class Model:
+    """A directed annotated multigraph governed (advisorily) by a metamodel."""
+
+    def __init__(self, metamodel: Metamodel, name: str = "model"):
+        self.metamodel = metamodel
+        self.name = name
+        self.nodes: Dict[str, ModelNode] = {}
+        self.relations: Dict[str, RelationObject] = {}
+        self.warnings: List[ModelWarning] = []
+        self._node_counter = itertools.count(1)
+        self._relation_counter = itertools.count(1)
+        self._outgoing: Dict[str, List[RelationObject]] = {}
+        self._incoming: Dict[str, List[RelationObject]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def create_node(
+        self,
+        type_name: str,
+        label: Optional[str] = None,
+        node_id: Optional[str] = None,
+        **properties,
+    ) -> ModelNode:
+        """Create a node.  Unknown types are allowed, with a warning."""
+        if node_id is None:
+            node_id = f"N{next(self._node_counter)}"
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        if self.metamodel.node_type(type_name) is None:
+            self.warnings.append(
+                ModelWarning(
+                    "unknown-node-type",
+                    f"node type {type_name!r} is not in the metamodel",
+                    node_id,
+                )
+            )
+        node = ModelNode(node_id, type_name, self)
+        declared = (
+            self.metamodel.node_type(type_name).all_properties()
+            if self.metamodel.node_type(type_name)
+            else {}
+        )
+        for declaration in declared.values():
+            if declaration.default is not None:
+                node.properties[declaration.name] = declaration.default
+        if label is not None:
+            node.label = label
+        for name, value in properties.items():
+            node.set(name, value)
+        self.nodes[node_id] = node
+        self._outgoing[node_id] = []
+        self._incoming[node_id] = []
+        return node
+
+    def connect(
+        self,
+        source: ModelNode,
+        relation_name: str,
+        target: ModelNode,
+        relation_id: Optional[str] = None,
+        **properties,
+    ) -> RelationObject:
+        """Connect two nodes.  Advisory endpoint violations only warn."""
+        if (
+            self.nodes.get(source.id) is not source
+            or self.nodes.get(target.id) is not target
+        ):
+            raise ValueError("both endpoints must belong to this model")
+        if relation_id is None:
+            relation_id = f"R{next(self._relation_counter)}"
+        if relation_id in self.relations:
+            raise ValueError(f"duplicate relation id {relation_id!r}")
+        if self.metamodel.relation_type(relation_name) is None:
+            self.warnings.append(
+                ModelWarning(
+                    "unknown-relation-type",
+                    f"relation type {relation_name!r} is not in the metamodel",
+                    relation_id,
+                )
+            )
+        elif not self.metamodel.endpoint_allowed(
+            relation_name, source.type_name, target.type_name
+        ):
+            self.warnings.append(
+                ModelWarning(
+                    "advisory-endpoint-violation",
+                    f"{relation_name!r} between {source.type_name} and "
+                    f"{target.type_name} is not what the metamodel intends",
+                    relation_id,
+                )
+            )
+        relation = RelationObject(relation_id, relation_name, source, target)
+        for name, value in properties.items():
+            relation.properties[name] = value
+        self.relations[relation_id] = relation
+        self._outgoing[source.id].append(relation)
+        self._incoming[target.id].append(relation)
+        return relation
+
+    def remove_relation(self, relation: RelationObject) -> None:
+        del self.relations[relation.id]
+        self._outgoing[relation.source.id].remove(relation)
+        self._incoming[relation.target.id].remove(relation)
+
+    def remove_node(self, node: ModelNode) -> None:
+        """Remove a node and every relation touching it."""
+        for relation in list(self._outgoing[node.id]):
+            self.remove_relation(relation)
+        for relation in list(self._incoming[node.id]):
+            self.remove_relation(relation)
+        del self._outgoing[node.id]
+        del self._incoming[node.id]
+        del self.nodes[node.id]
+
+    # -- queries --------------------------------------------------------------------
+
+    def node(self, node_id: str) -> ModelNode:
+        return self.nodes[node_id]
+
+    def nodes_of_type(
+        self, type_name: str, include_subtypes: bool = True
+    ) -> List[ModelNode]:
+        """All nodes of a type (by default including declared subtypes)."""
+        if include_subtypes:
+            return [n for n in self.nodes.values() if n.is_type(type_name)]
+        return [n for n in self.nodes.values() if n.type_name == type_name]
+
+    def all_nodes(self) -> List[ModelNode]:
+        return list(self.nodes.values())
+
+    def outgoing(
+        self,
+        node: ModelNode,
+        relation_name: Optional[str] = None,
+        include_subrelations: bool = True,
+    ) -> List[RelationObject]:
+        return self._filter_relations(
+            self._outgoing[node.id], relation_name, include_subrelations
+        )
+
+    def incoming(
+        self,
+        node: ModelNode,
+        relation_name: Optional[str] = None,
+        include_subrelations: bool = True,
+    ) -> List[RelationObject]:
+        return self._filter_relations(
+            self._incoming[node.id], relation_name, include_subrelations
+        )
+
+    def _filter_relations(
+        self,
+        relations: List[RelationObject],
+        relation_name: Optional[str],
+        include_subrelations: bool,
+    ) -> List[RelationObject]:
+        if relation_name is None:
+            return list(relations)
+        if include_subrelations:
+            return [r for r in relations if r.is_relation(relation_name)]
+        return [r for r in relations if r.relation_name == relation_name]
+
+    def targets(
+        self, node: ModelNode, relation_name: Optional[str] = None
+    ) -> List[ModelNode]:
+        """Nodes reached by following *relation_name* forward from *node*."""
+        return [r.target for r in self.outgoing(node, relation_name)]
+
+    def sources(
+        self, node: ModelNode, relation_name: Optional[str] = None
+    ) -> List[ModelNode]:
+        """Nodes reaching *node* via *relation_name*."""
+        return [r.source for r in self.incoming(node, relation_name)]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": len(self.nodes),
+            "relations": len(self.relations),
+            "warnings": len(self.warnings),
+        }

@@ -1,0 +1,124 @@
+"""Suggestive validation: the Omissions window.
+
+"One useful feature of the Workbench is 'Omissions' — a window listing
+incomplete parts of the model...  a document without any version
+information appears, with a suitable flag, in the Omissions folder."
+
+Validation never fails a model; it produces suggestions.  The rules come
+from the metamodel's advisories plus structural checks (advisory endpoint
+violations, unknown types) already recorded on the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .metamodel import Advisory, Metamodel
+from .model import Model
+
+
+@dataclass
+class Omission:
+    """One entry in the Omissions window."""
+
+    kind: str
+    message: str
+    subject_id: Optional[str] = None
+    advisory: Optional[Advisory] = None
+
+    def __str__(self) -> str:
+        subject = f" [{self.subject_id}]" if self.subject_id else ""
+        return f"{self.kind}{subject}: {self.message}"
+
+
+def check_advisories(model: Model) -> List[Omission]:
+    """Evaluate the metamodel's advisories against the model."""
+    omissions: List[Omission] = []
+    for advisory in model.metamodel.advisories:
+        if advisory.kind == "exactly-one-node":
+            omissions.extend(_check_exactly_one(model, advisory))
+        elif advisory.kind == "required-property":
+            omissions.extend(_check_required_property(model, advisory))
+        else:
+            omissions.append(
+                Omission(
+                    "unknown-advisory",
+                    f"advisory kind {advisory.kind!r} is not understood",
+                    advisory=advisory,
+                )
+            )
+    return omissions
+
+
+def _check_exactly_one(model: Model, advisory: Advisory) -> List[Omission]:
+    matches = model.nodes_of_type(advisory.type)
+    if len(matches) == 1:
+        return []
+    base = advisory.message or (
+        f"you might want to ensure that there is exactly one {advisory.type} node"
+    )
+    message = f"{base} (found {len(matches)})"
+    return [
+        Omission(
+            "exactly-one-node",
+            message,
+            subject_id=matches[0].id if matches else None,
+            advisory=advisory,
+        )
+    ]
+
+
+def _check_required_property(model: Model, advisory: Advisory) -> List[Omission]:
+    omissions: List[Omission] = []
+    for node in model.nodes_of_type(advisory.type):
+        value = node.get(advisory.property)
+        if value is None or (isinstance(value, str) and not value.strip()):
+            message = advisory.message or (
+                f"{advisory.type} {node.label!r} has no {advisory.property}"
+            )
+            omissions.append(
+                Omission(
+                    "required-property",
+                    message,
+                    subject_id=node.id,
+                    advisory=advisory,
+                )
+            )
+    return omissions
+
+
+def all_omissions(model: Model) -> List[Omission]:
+    """Advisory omissions plus the structural warnings the model recorded."""
+    omissions = check_advisories(model)
+    for warning in model.warnings:
+        omissions.append(
+            Omission(warning.kind, warning.message, subject_id=warning.subject_id)
+        )
+    return omissions
+
+
+def render_omissions_window(model: Model, width: int = 72) -> str:
+    """The Omissions window, as text: "always visible" in the UI.
+
+    A meek listing — suggestions, never errors — grouped by kind, with the
+    subject node's label where one exists.
+    """
+    omissions = all_omissions(model)
+    lines = ["Omissions".center(width, "─")]
+    if not omissions:
+        lines.append("  (nothing to suggest)")
+    by_kind = {}
+    for omission in omissions:
+        by_kind.setdefault(omission.kind, []).append(omission)
+    for kind in sorted(by_kind):
+        lines.append(f"  {kind}:")
+        for omission in by_kind[kind]:
+            subject = ""
+            if omission.subject_id and omission.subject_id in model.nodes:
+                subject = f" [{model.nodes[omission.subject_id].label}]"
+            elif omission.subject_id:
+                subject = f" [{omission.subject_id}]"
+            lines.append(f"    • {omission.message}{subject}")
+    lines.append("─" * width)
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""AWB's "nice, clean XML format" — model export and import.
+
+The document generator (both implementations) consumes this export rather
+than live models: "we decided to do an external document generator — a
+program which simply used AWB's exported data".
+
+Format::
+
+    <awb-model name="..." metamodel="...">
+      <node id="N1" type="Person">
+        <property name="label">Alice</property>
+        <property name="birthYear" type="integer">1970</property>
+        <property name="biography" type="html"><p>...</p></property>
+      </node>
+      <relation id="R1" type="has" source="N1" target="N2">
+        <property name="since" type="integer">1999</property>
+      </relation>
+    </awb-model>
+
+Scalar properties serialize as text; ``html``-typed property values are
+embedded as child elements (the paper's "embarrassing historical reasons"
+schema drift — AWB stored them as strings internally but exported XML).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..xdm import DocumentNode, ElementNode, Node, TextNode, element
+from ..xmlio import parse_document, parse_element, serialize
+from .metamodel import Metamodel
+from .model import Model, ModelNode, RelationObject
+
+
+def export_model(model: Model) -> DocumentNode:
+    """Export a model to its XML document form."""
+    root = ElementNode("awb-model")
+    root.set_attribute("name", model.name)
+    root.set_attribute("metamodel", model.metamodel.name)
+    for node in model.nodes.values():
+        root.append(_export_node(node))
+    for relation in model.relations.values():
+        root.append(_export_relation(relation))
+    return DocumentNode([root])
+
+
+def export_model_text(model: Model, indent: bool = True) -> str:
+    """Export a model to XML text."""
+    return serialize(export_model(model), indent=indent, xml_declaration=True)
+
+
+def _export_node(node: ModelNode) -> ElementNode:
+    out = ElementNode("node")
+    out.set_attribute("id", node.id)
+    out.set_attribute("type", node.type_name)
+    _export_properties(out, node.properties, node)
+    return out
+
+
+def _export_relation(relation: RelationObject) -> ElementNode:
+    out = ElementNode("relation")
+    out.set_attribute("id", relation.id)
+    out.set_attribute("type", relation.relation_name)
+    out.set_attribute("source", relation.source.id)
+    out.set_attribute("target", relation.target.id)
+    _export_properties(out, relation.properties, None)
+    return out
+
+
+def _export_properties(
+    parent: ElementNode, properties: Dict[str, object], node: Optional[ModelNode]
+) -> None:
+    for name, value in properties.items():
+        prop = ElementNode("property")
+        prop.set_attribute("name", name)
+        type_name = _value_type(value, name, node)
+        if type_name != "string":
+            prop.set_attribute("type", type_name)
+        if type_name == "html":
+            # HTML-valued properties export as child elements, not text —
+            # the schema drift the paper describes.
+            try:
+                prop.append(parse_element(f"<html-value>{value}</html-value>"))
+            except Exception:
+                prop.append(TextNode(str(value)))
+        elif isinstance(value, bool):
+            prop.append(TextNode("true" if value else "false"))
+        else:
+            prop.append(TextNode(str(value)))
+        parent.append(prop)
+
+
+def _value_type(value: object, name: str, node: Optional[ModelNode]) -> str:
+    if node is not None:
+        node_type = node.model.metamodel.node_type(node.type_name)
+        if node_type is not None:
+            declaration = node_type.property_decl(name)
+            if declaration is not None:
+                return declaration.type
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    return "string"
+
+
+def export_metamodel(metamodel: Metamodel) -> ElementNode:
+    """Export a metamodel's type hierarchies as XML.
+
+    The XQuery document generator needs this to answer subtype questions
+    (``Superuser`` is a ``User``) over the exported model, where nodes only
+    carry their concrete type name::
+
+        <metamodel name="it-architecture" label-property="label">
+          <node-type name="User" parent="Person"/>
+          <relation-type name="favors" parent="likes"/>
+        </metamodel>
+    """
+    root = ElementNode("metamodel")
+    root.set_attribute("name", metamodel.name)
+    root.set_attribute("label-property", metamodel.label_property)
+    for node_type in metamodel.node_types.values():
+        entry = ElementNode("node-type")
+        entry.set_attribute("name", node_type.name)
+        if node_type.parent is not None:
+            entry.set_attribute("parent", node_type.parent.name)
+        root.append(entry)
+    for relation_type in metamodel.relation_types.values():
+        entry = ElementNode("relation-type")
+        entry.set_attribute("name", relation_type.name)
+        if relation_type.parent is not None:
+            entry.set_attribute("parent", relation_type.parent.name)
+        root.append(entry)
+    for advisory in metamodel.advisories:
+        entry = ElementNode("advisory")
+        entry.set_attribute("kind", advisory.kind)
+        entry.set_attribute("type", advisory.type)
+        if advisory.property is not None:
+            entry.set_attribute("property", advisory.property)
+        if advisory.message:
+            entry.set_attribute("message", advisory.message)
+        root.append(entry)
+    return root
+
+
+class ModelImportError(ValueError):
+    """The XML is not a well-formed AWB model export."""
+
+
+def import_model(document: Node, metamodel: Metamodel) -> Model:
+    """Rebuild a model from its XML export."""
+    root = (
+        document.document_element()
+        if isinstance(document, DocumentNode)
+        else document
+    )
+    if root is None or root.name != "awb-model":
+        raise ModelImportError("expected an <awb-model> document")
+    model = Model(metamodel, name=root.get_attribute("name") or "model")
+    for node_element in root.child_elements("node"):
+        node_id = node_element.get_attribute("id")
+        type_name = node_element.get_attribute("type")
+        if node_id is None or type_name is None:
+            raise ModelImportError("<node> requires id and type attributes")
+        node = model.create_node(type_name, node_id=node_id)
+        for name, value in _read_properties(node_element):
+            node.set(name, value)
+    for relation_element in root.child_elements("relation"):
+        source_id = relation_element.get_attribute("source")
+        target_id = relation_element.get_attribute("target")
+        type_name = relation_element.get_attribute("type")
+        relation_id = relation_element.get_attribute("id")
+        if None in (source_id, target_id, type_name, relation_id):
+            raise ModelImportError(
+                "<relation> requires id, type, source and target attributes"
+            )
+        try:
+            source = model.node(source_id)
+            target = model.node(target_id)
+        except KeyError as exc:
+            raise ModelImportError(f"relation endpoint {exc} is not in the model") from exc
+        relation = model.connect(source, type_name, target, relation_id=relation_id)
+        for name, value in _read_properties(relation_element):
+            relation.properties[name] = value
+    return model
+
+
+def import_model_text(text: str, metamodel: Metamodel) -> Model:
+    return import_model(parse_document(text), metamodel)
+
+
+def _read_properties(parent: ElementNode):
+    for prop in parent.child_elements("property"):
+        name = prop.get_attribute("name")
+        if name is None:
+            raise ModelImportError("<property> requires a name attribute")
+        type_name = prop.get_attribute("type") or "string"
+        if type_name == "html":
+            wrapper = prop.first_child_element("html-value")
+            if wrapper is not None:
+                value = "".join(serialize(child) for child in wrapper.children)
+            else:
+                value = prop.string_value()
+        elif type_name == "integer":
+            value = int(prop.string_value().strip() or 0)
+        elif type_name == "float":
+            value = float(prop.string_value().strip() or 0.0)
+        elif type_name == "boolean":
+            value = prop.string_value().strip() == "true"
+        else:
+            value = prop.string_value()
+        yield name, value

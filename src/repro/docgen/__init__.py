@@ -1,0 +1,41 @@
+"""The document generation subsystem — implemented twice.
+
+* :class:`~repro.docgen.native.NativeDocumentGenerator` — "Java-style":
+  exceptions (:class:`GenTrouble`), mutable accumulators, skeleton-then-
+  fill tables, one generation pass plus a small mutation phase.
+* :class:`~repro.docgen.xquery_impl.XQueryDocumentGenerator` — the
+  functional original: XQuery sources run by :mod:`repro.xquery`,
+  error-as-``<error>``-value convention, five whole-document phases
+  communicating through ``<INTERNAL-DATA>`` tags, and an XSLT stream
+  split at the end.
+
+Both consume the same template language (:mod:`repro.docgen.template`)
+and produce the same :class:`GenerationResult` shape, which is what makes
+the paper's comparison measurable.
+"""
+
+from .errors import GenTrouble
+from .native import NativeDocumentGenerator
+from .template import (
+    DIRECTIVE_TAGS,
+    GenerationResult,
+    Problem,
+    TemplateError,
+    TocEntry,
+    load_template,
+    parse_node_spec,
+)
+from .xquery_impl import XQueryDocumentGenerator
+
+__all__ = [
+    "DIRECTIVE_TAGS",
+    "GenTrouble",
+    "GenerationResult",
+    "NativeDocumentGenerator",
+    "Problem",
+    "TemplateError",
+    "TocEntry",
+    "XQueryDocumentGenerator",
+    "load_template",
+    "parse_node_spec",
+]

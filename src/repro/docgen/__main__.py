@@ -1,0 +1,82 @@
+"""Command-line document generator.
+
+Usage::
+
+    python -m repro.docgen --model model.xml --metamodel it-architecture \
+        --template template.xml [--impl native|xquery] [-o out.html]
+
+Reads an AWB model export and a document template, runs one of the two
+generator implementations, writes the document, and prints the problems
+report (the second output stream) to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..awb import import_model_text, load_metamodel
+from ..xmlio import serialize
+from .native import NativeDocumentGenerator
+from .xquery_impl import XQueryDocumentGenerator
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.docgen",
+        description="Generate a document from an AWB model and a template.",
+    )
+    parser.add_argument("--model", required=True, help="AWB model XML export")
+    parser.add_argument(
+        "--metamodel",
+        default="it-architecture",
+        help="builtin metamodel name (default: it-architecture)",
+    )
+    parser.add_argument("--template", required=True, help="document template XML")
+    parser.add_argument(
+        "--impl",
+        choices=("native", "xquery"),
+        default="native",
+        help="which implementation to run (default: native)",
+    )
+    parser.add_argument("-o", "--output", help="write the document here")
+    parser.add_argument(
+        "--stats", action="store_true", help="print timing and phase metrics"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.model, "r", encoding="utf-8") as handle:
+        model = import_model_text(handle.read(), load_metamodel(args.metamodel))
+    with open(args.template, "r", encoding="utf-8") as handle:
+        template = handle.read()
+
+    if args.impl == "native":
+        generator = NativeDocumentGenerator(model)
+    else:
+        generator = XQueryDocumentGenerator(model)
+
+    started = time.perf_counter()
+    result = generator.generate(template)
+    elapsed = time.perf_counter() - started
+
+    text = serialize(result.document, indent=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+    for problem in result.problems:
+        print(str(problem), file=sys.stderr)
+    if args.stats:
+        print(
+            f"implementation={args.impl} time={elapsed * 1000:.1f}ms "
+            f"metrics={result.metrics}",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

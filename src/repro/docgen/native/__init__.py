@@ -1,0 +1,20 @@
+"""The Java-style generator: exceptions, mutation, skeleton-then-fill."""
+
+from .generator import NativeDocumentGenerator
+from .mutate import build_omissions, build_toc, fill_omissions, fill_toc, replace_phrase
+from .state import GenState, required_attribute, required_child, required_focus
+from .tables import build_relation_table
+
+__all__ = [
+    "GenState",
+    "NativeDocumentGenerator",
+    "build_omissions",
+    "build_relation_table",
+    "build_toc",
+    "fill_omissions",
+    "fill_toc",
+    "replace_phrase",
+    "required_attribute",
+    "required_child",
+    "required_focus",
+]

@@ -1,0 +1,384 @@
+"""The "Java-style" document generator: exceptions, mutation, one pass.
+
+"The heart of the document generator is a quite straightforward recursive
+walk over the XML structure of the template, inspecting each XML element
+in turn.  AWB directives like for, if, and focus-is-type are dispatched to
+special-purpose code for execution; everything else is simply copied."
+
+Error handling is the GenTrouble regime: utilities throw, the walk
+catches per directive, records a problem, and carries on.  "Java-style
+exceptions, used a bit carefully, let us pretend that the utility
+functions never have errors."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...awb.model import Model, ModelNode
+from ...querycalc import parse_query_xml, run_query
+from ...xdm import ElementNode, Node, TextNode
+from ...xmlio import parse_element
+from ..errors import GenTrouble
+from ..template import (
+    DIRECTIVE_TAGS,
+    GenerationResult,
+    Problem,
+    TemplateError,
+    TocEntry,
+    load_template,
+    parse_node_spec,
+)
+from .mutate import (
+    OMISSIONS_PLACEHOLDER,
+    TOC_PLACEHOLDER,
+    fill_omissions,
+    fill_toc,
+    replace_phrase,
+)
+from .state import GenState, required_attribute, required_child, required_focus
+from .tables import build_relation_table
+
+
+class NativeDocumentGenerator:
+    """Generates documents from templates over a live AWB model."""
+
+    def __init__(self, model: Model):
+        self.model = model
+
+    def generate(self, template_source) -> GenerationResult:
+        """Run the full pipeline: one generation pass + the mutation phase."""
+        template = load_template(template_source)
+        state = GenState(self.model)
+
+        # Pass 1: the recursive walk.  The template root is copied like any
+        # passthrough element.
+        produced = self._gen_element(template, state)
+        if len(produced) == 1 and isinstance(produced[0], ElementNode):
+            document = produced[0]
+        else:
+            document = ElementNode("document")
+            for node in produced:
+                document.append(node)
+
+        # Pass 2: a very modest mutation phase.
+        toc_filled = fill_toc(document, state.toc)
+        omissions_filled = fill_omissions(
+            document, list(state.visited), self.model
+        )
+        phrases_replaced = 0
+        for phrase, replacement in state.replacements:
+            count = replace_phrase(document, phrase, replacement)
+            if count == 0:
+                state.problem(
+                    f"phrase {phrase!r} was never found in the document",
+                    severity="warning",
+                    directive="replace-phrase",
+                )
+            phrases_replaced += count
+
+        return GenerationResult(
+            document=document,
+            problems=state.problems,
+            toc=list(state.toc),
+            visited_node_ids=list(state.visited),
+            metrics={
+                "implementation": "native",
+                "phases": 2,
+                "toc_placeholders_filled": toc_filled,
+                "omissions_placeholders_filled": omissions_filled,
+                "phrases_replaced": phrases_replaced,
+            },
+        )
+
+    # -- the recursive walk ---------------------------------------------------
+
+    def _gen_content(self, nodes: List[Node], state: GenState) -> List[Node]:
+        output: List[Node] = []
+        for node in nodes:
+            output.extend(self._gen_node(node, state))
+        return output
+
+    def _gen_node(self, node: Node, state: GenState) -> List[Node]:
+        if node.kind == "text":
+            return [node.copy()]
+        if node.kind == "comment":
+            return []  # template comments do not reach the document
+        if node.kind != "element":
+            return [node.copy()]
+        return self._gen_element(node, state)
+
+    def _gen_element(self, element: ElementNode, state: GenState) -> List[Node]:
+        if element.name in DIRECTIVE_TAGS:
+            handler = _DIRECTIVES[element.name]
+            try:
+                return handler(self, element, state)
+            except GenTrouble as trouble:
+                # the single top-ish catch: record and move on, so one bad
+                # directive does not take the whole document down.
+                state.problem(
+                    trouble.describe(),
+                    severity=trouble.severity,
+                    directive=element.name,
+                )
+                return [_problem_marker(element.name, trouble.bare_message)]
+        # passthrough HTML: copy the element, generate the children.
+        copied = ElementNode(element.name)
+        for attribute in element.attributes:
+            copied.set_attribute(attribute.name, attribute.value)
+        for child in self._gen_content(list(element.children), state):
+            copied.append(child)
+        return [copied]
+
+    # -- directive handlers ------------------------------------------------------
+
+    def _gen_for(self, element: ElementNode, state: GenState) -> List[Node]:
+        query_child = element.first_child_element("query")
+        if query_child is not None:
+            nodes = run_query(parse_query_xml(query_child), self.model)
+            body = [
+                child for child in element.children if child is not query_child
+            ]
+        else:
+            spec = required_attribute(element, "nodes", state)
+            nodes = self._resolve_node_spec(spec, element, state)
+            body = list(element.children)
+        sort_property = element.get_attribute("sort")
+        if sort_property is not None:
+            nodes = sorted(
+                nodes, key=lambda n: (str(n.get(sort_property, n.label)), n.id)
+            )
+        output: List[Node] = []
+        previous_focus = state.focus
+        try:
+            for node in nodes:
+                state.focus = node
+                state.visit(node)
+                output.extend(self._gen_content(body, state))
+        finally:
+            state.focus = previous_focus
+        return output
+
+    def _resolve_node_spec(
+        self, spec: str, element: ElementNode, state: GenState
+    ) -> List[ModelNode]:
+        try:
+            kind, argument = parse_node_spec(spec)
+        except TemplateError as exc:
+            raise GenTrouble(str(exc), template_element=element, focus=state.focus)
+        if kind == "all":
+            return sorted(
+                self.model.nodes_of_type(argument),
+                key=lambda n: (n.label, n.id),
+            )
+        focus = required_focus(element, state)
+        if kind == "follow":
+            return self.model.targets(focus, argument)
+        return self.model.sources(focus, argument)
+
+    def _gen_if(self, element: ElementNode, state: GenState) -> List[Node]:
+        test = required_child(element, "test", state)
+        then_branch = required_child(element, "then", state)
+        else_branch = element.first_child_element("else")
+        condition = self._eval_test_container(test, state)
+        if condition:
+            return self._gen_content(list(then_branch.children), state)
+        if else_branch is not None:
+            return self._gen_content(list(else_branch.children), state)
+        return []
+
+    def _eval_test_container(self, container: ElementNode, state: GenState) -> bool:
+        tests = container.child_elements()
+        if len(tests) != 1:
+            raise GenTrouble(
+                f"<{container.name}> must contain exactly one test element",
+                template_element=container,
+                focus=state.focus,
+            )
+        return self._eval_test(tests[0], state)
+
+    def _eval_test(self, test: ElementNode, state: GenState) -> bool:
+        name = test.name
+        if name == "focus-is-type":
+            focus = required_focus(test, state)
+            return focus.is_type(required_attribute(test, "type", state))
+        if name == "has-property":
+            focus = required_focus(test, state)
+            return focus.get(required_attribute(test, "name", state)) is not None
+        if name == "property-equals":
+            focus = required_focus(test, state)
+            value = focus.get(required_attribute(test, "name", state))
+            return value is not None and str(value) == required_attribute(
+                test, "value", state
+            )
+        if name == "has-relation":
+            focus = required_focus(test, state)
+            relation = required_attribute(test, "relation", state)
+            if test.get_attribute("direction") == "backward":
+                return bool(self.model.incoming(focus, relation))
+            return bool(self.model.outgoing(focus, relation))
+        if name == "not":
+            return not self._eval_test_container(test, state)
+        if name == "and":
+            return all(self._eval_test(t, state) for t in test.child_elements())
+        if name == "or":
+            return any(self._eval_test(t, state) for t in test.child_elements())
+        raise GenTrouble(
+            f"unknown test element <{name}>",
+            template_element=test,
+            focus=state.focus,
+        )
+
+    def _gen_label(self, element: ElementNode, state: GenState) -> List[Node]:
+        focus = required_focus(element, state)
+        state.visit(focus)
+        return [TextNode(focus.label)]
+
+    def _gen_focus_id(self, element: ElementNode, state: GenState) -> List[Node]:
+        focus = required_focus(element, state)
+        return [TextNode(focus.id)]
+
+    def _gen_property_value(
+        self, element: ElementNode, state: GenState
+    ) -> List[Node]:
+        focus = required_focus(element, state)
+        name = required_attribute(element, "name", state)
+        value = focus.get(name)
+        if value is None:
+            default = element.get_attribute("default")
+            if default is not None:
+                return [TextNode(default)]
+            state.problem(
+                f"node {focus.label!r} has no property {name!r}",
+                severity="warning",
+                directive=element.name,
+            )
+            return []
+        state.visit(focus)
+        declaration = None
+        node_type = self.model.metamodel.node_type(focus.type_name)
+        if node_type is not None:
+            declaration = node_type.property_decl(name)
+        if declaration is not None and declaration.type == "html":
+            return self._parse_html_value(str(value), element, state)
+        return [TextNode(str(value))]
+
+    def _parse_html_value(
+        self, value: str, element: ElementNode, state: GenState
+    ) -> List[Node]:
+        try:
+            wrapper = parse_element(f"<span class=\"html-value\">{value}</span>")
+        except Exception as exc:
+            raise GenTrouble(
+                f"HTML property value does not parse: {exc}",
+                template_element=element,
+                focus=state.focus,
+            ) from exc
+        return [child.copy() for child in wrapper.children] or [TextNode(value)]
+
+    def _gen_section(self, element: ElementNode, state: GenState) -> List[Node]:
+        heading = required_child(element, "heading", state)
+        state.section_depth += 1
+        try:
+            level = min(state.section_depth, 6)
+            anchor = state.next_anchor()
+            heading_content = self._gen_content(list(heading.children), state)
+            heading_text = "".join(n.string_value() for n in heading_content)
+            state.toc.append(TocEntry(level=level, text=heading_text, anchor=anchor))
+            heading_element = ElementNode(f"h{level}")
+            heading_element.set_attribute("class", "awb-heading")
+            heading_element.set_attribute("id", anchor)
+            for node in heading_content:
+                heading_element.append(node)
+            body = [
+                child for child in element.children if child is not heading
+            ]
+            section = ElementNode("div")
+            section.set_attribute("class", "section")
+            for node in self._gen_content(body, state):
+                section.append(node)
+            return [heading_element, section]
+        finally:
+            state.section_depth -= 1
+
+    def _gen_toc(self, element: ElementNode, state: GenState) -> List[Node]:
+        return [ElementNode(TOC_PLACEHOLDER)]
+
+    def _gen_omissions(self, element: ElementNode, state: GenState) -> List[Node]:
+        placeholder = ElementNode(OMISSIONS_PLACEHOLDER)
+        types = element.get_attribute("types")
+        if types is not None:
+            placeholder.set_attribute("types", types)
+        return [placeholder]
+
+    def _gen_table(self, element: ElementNode, state: GenState) -> List[Node]:
+        rows = self._resolve_node_spec(
+            required_attribute(element, "rows", state), element, state
+        )
+        cols = self._resolve_node_spec(
+            required_attribute(element, "cols", state), element, state
+        )
+        relation = required_attribute(element, "relation", state)
+        mark = element.get_attribute("mark") or "✓"
+        for node in rows:
+            state.visit(node)
+        for node in cols:
+            state.visit(node)
+        return [build_relation_table(rows, cols, relation, self.model, mark=mark)]
+
+    def _gen_replace_phrase(
+        self, element: ElementNode, state: GenState
+    ) -> List[Node]:
+        phrase = required_attribute(element, "phrase", state)
+        replacement = self._gen_content(list(element.children), state)
+        state.replacements.append((phrase, replacement))
+        return []
+
+    def _gen_model_check(self, element: ElementNode, state: GenState) -> List[Node]:
+        from ...awb.validate import check_advisories
+
+        for omission in check_advisories(self.model):
+            state.problems.append(
+                Problem(
+                    message=omission.message,
+                    severity="warning",
+                    node_id=omission.subject_id,
+                    directive="model-check",
+                )
+            )
+        return []
+
+    def _gen_query(self, element: ElementNode, state: GenState) -> List[Node]:
+        nodes = run_query(parse_query_xml(element), self.model)
+        listing = ElementNode("ul")
+        listing.set_attribute("class", "query-result")
+        for node in nodes:
+            state.visit(node)
+            item = ElementNode("li")
+            item.append(TextNode(node.label))
+            listing.append(item)
+        return [listing]
+
+
+def _problem_marker(directive: str, message: str) -> Node:
+    marker = ElementNode("span")
+    marker.set_attribute("class", "generation-problem")
+    marker.set_attribute("data-directive", directive)
+    marker.append(TextNode(f"[problem in <{directive}>: {message}]"))
+    return marker
+
+
+_DIRECTIVES = {
+    "for": NativeDocumentGenerator._gen_for,
+    "if": NativeDocumentGenerator._gen_if,
+    "label": NativeDocumentGenerator._gen_label,
+    "focus-id": NativeDocumentGenerator._gen_focus_id,
+    "property-value": NativeDocumentGenerator._gen_property_value,
+    "section": NativeDocumentGenerator._gen_section,
+    "table-of-contents": NativeDocumentGenerator._gen_toc,
+    "table-of-omissions": NativeDocumentGenerator._gen_omissions,
+    "table": NativeDocumentGenerator._gen_table,
+    "replace-phrase": NativeDocumentGenerator._gen_replace_phrase,
+    "query": NativeDocumentGenerator._gen_query,
+    "model-check": NativeDocumentGenerator._gen_model_check,
+}

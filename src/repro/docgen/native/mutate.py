@@ -1,0 +1,130 @@
+"""The mutation phase: ToC, omissions, and phrase replacement, in place.
+
+"A very modest second phase of computation lets us modify the produced
+document, cramming in the tables at the appropriate places by modifying
+the in-memory XML data structures."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...awb.model import Model
+from ...xdm import ElementNode, Node, TextNode
+from ..template import TocEntry
+
+TOC_PLACEHOLDER = "toc-placeholder"
+OMISSIONS_PLACEHOLDER = "omissions-placeholder"
+
+
+def fill_toc(root: ElementNode, toc: List[TocEntry]) -> int:
+    """Replace every ToC placeholder with the assembled list.  In place."""
+    placeholders = _find_elements(root, TOC_PLACEHOLDER)
+    for placeholder in placeholders:
+        placeholder.parent.replace_child(placeholder, [build_toc(toc)])
+    return len(placeholders)
+
+
+def build_toc(toc: List[TocEntry]) -> ElementNode:
+    container = ElementNode("div")
+    container.set_attribute("class", "table-of-contents")
+    listing = ElementNode("ul")
+    container.append(listing)
+    for entry in toc:
+        item = ElementNode("li")
+        item.set_attribute("class", f"toc-level-{entry.level}")
+        link = ElementNode("a")
+        link.set_attribute("href", f"#{entry.anchor}")
+        link.append(TextNode(entry.text))
+        item.append(link)
+        listing.append(item)
+    return container
+
+
+def fill_omissions(
+    root: ElementNode, visited_ids: List[str], model: Model
+) -> int:
+    """Replace omissions placeholders with the not-visited-nodes table."""
+    placeholders = _find_elements(root, OMISSIONS_PLACEHOLDER)
+    visited = set(visited_ids)
+    for placeholder in placeholders:
+        types_attr = placeholder.get_attribute("types") or ""
+        type_names = [name.strip() for name in types_attr.split(",") if name.strip()]
+        placeholder.parent.replace_child(
+            placeholder, [build_omissions(visited, model, type_names)]
+        )
+    return len(placeholders)
+
+
+def build_omissions(
+    visited: set, model: Model, type_names: List[str]
+) -> ElementNode:
+    """The table of omissions: nodes "likely left out by mistake"."""
+    container = ElementNode("div")
+    container.set_attribute("class", "table-of-omissions")
+    listing = ElementNode("ul")
+    candidates = []
+    if type_names:
+        for type_name in type_names:
+            candidates.extend(model.nodes_of_type(type_name))
+    else:
+        candidates = model.all_nodes()
+    omitted = [node for node in candidates if node.id not in visited]
+    omitted.sort(key=lambda node: (node.label, node.id))
+    seen = set()
+    for node in omitted:
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        item = ElementNode("li")
+        item.set_attribute("data-node-id", node.id)
+        item.append(TextNode(f"{node.label} ({node.type_name})"))
+        listing.append(item)
+    if listing.children:
+        container.append(listing)
+    else:
+        empty = ElementNode("p")
+        empty.append(TextNode("No omissions."))
+        container.append(empty)
+    return container
+
+
+def replace_phrase(root: ElementNode, phrase: str, replacement: List[Node]) -> int:
+    """Splice *replacement* where *phrase* occurs inside text nodes.
+
+    "It will probably be in the middle of a XML Text node, so rip that
+    node apart and shove Table 1's HTML bodily into the gap."  Exactly
+    that: the text node is split in two and the replacement nodes are
+    spliced between the halves, by mutation.
+    """
+    replaced = 0
+    for text_node in _find_text_with(root, phrase):
+        parent = text_node.parent
+        if not isinstance(parent, ElementNode):
+            continue
+        before, _, after = text_node.text.partition(phrase)
+        splice: List[Node] = []
+        if before:
+            splice.append(TextNode(before))
+        splice.extend(node.copy() for node in replacement)
+        if after:
+            splice.append(TextNode(after))
+        parent.replace_child(text_node, splice)
+        replaced += 1
+    return replaced
+
+
+def _find_elements(root: ElementNode, name: str) -> List[ElementNode]:
+    return [
+        node
+        for node in root.descendants_or_self()
+        if isinstance(node, ElementNode) and node.name == name
+    ]
+
+
+def _find_text_with(root: ElementNode, phrase: str) -> List[TextNode]:
+    return [
+        node
+        for node in root.descendants()
+        if isinstance(node, TextNode) and phrase in node.text
+    ]

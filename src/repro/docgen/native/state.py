@@ -1,0 +1,99 @@
+"""Mutable generation state — the thing XQuery would not let the paper have.
+
+"Our first thoughts...: whenever a heading that goes in the table of
+contents is produced, toss it into a list...  whenever a node is observed
+in the document, cram it into a set."  In the Java-style implementation we
+simply do that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ...awb.model import Model, ModelNode
+from ...xdm import ElementNode, Node
+from ..errors import GenTrouble
+from ..template import Problem, TocEntry
+
+
+class GenState:
+    """Everything a generation run accumulates, mutably."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        self.focus: Optional[ModelNode] = None
+        self.section_depth = 0
+        #: table-of-contents entries, appended as headings are produced.
+        self.toc: List[TocEntry] = []
+        #: ids of nodes observed in the document, in first-visit order.
+        self.visited: Dict[str, None] = {}
+        self.problems: List[Problem] = []
+        #: (phrase, replacement nodes) pairs applied in the mutation phase.
+        self.replacements: List[Tuple[str, List[Node]]] = []
+        self._anchor_counter = itertools.count(1)
+
+    def visit(self, node: ModelNode) -> None:
+        self.visited.setdefault(node.id, None)
+
+    def next_anchor(self) -> str:
+        return f"sec-{next(self._anchor_counter)}"
+
+    def problem(
+        self,
+        message: str,
+        severity: str = "warning",
+        directive: Optional[str] = None,
+    ) -> None:
+        self.problems.append(
+            Problem(
+                message=message,
+                severity=severity,
+                node_id=self.focus.id if self.focus is not None else None,
+                directive=directive,
+            )
+        )
+
+
+def required_attribute(
+    element: ElementNode, name: str, state: GenState
+) -> str:
+    """Fetch an attribute or throw GenTrouble with full context.
+
+    Like the paper's ``requiredChild``, the utility takes the focus (via
+    *state*) purely "so that it can throw a more comprehensive error
+    message" — the extra argument that turned out to be cheap and useful.
+    """
+    value = element.get_attribute(name)
+    if value is None:
+        raise GenTrouble(
+            f"<{element.name}> requires a {name!r} attribute",
+            template_element=element,
+            focus=state.focus,
+        )
+    return value
+
+
+def required_child(
+    element: ElementNode, name: str, state: GenState
+) -> ElementNode:
+    """Fetch a named child element or throw GenTrouble with full context."""
+    child = element.first_child_element(name)
+    if child is None:
+        raise GenTrouble(
+            f"<{element.name}> requires a <{name}> child",
+            template_element=element,
+            focus=state.focus,
+        )
+    return child
+
+
+def required_focus(element: ElementNode, state: GenState) -> ModelNode:
+    """The current focus, or GenTrouble if the directive has none."""
+    if state.focus is None:
+        raise GenTrouble(
+            f"<{element.name}> needs a focus node (is it inside a <for>?)",
+            template_element=element,
+            focus=None,
+        )
+    return state.focus

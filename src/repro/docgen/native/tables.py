@@ -1,0 +1,70 @@
+"""Row/column tables, built the way the Java rewrite built them.
+
+"We constructed the skeleton of the table, the <tr> and <td> elements
+(with nothing inside them), in a straightforward loop, and stored
+references to the <td>s in a two-dimensional array.  Then we filled in the
+corner, the row titles, the column titles, and the values, each in a
+separate loop.  There was no need to mingle the computations of row titles
+and cell values."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...awb.model import Model, ModelNode
+from ...xdm import ElementNode, TextNode
+
+
+def build_relation_table(
+    rows: List[ModelNode],
+    cols: List[ModelNode],
+    relation: str,
+    model: Model,
+    mark: str = "✓",
+    corner: str = "row\\col",
+) -> ElementNode:
+    """Build the paper's table: row/col titles and relation marks.
+
+    The construction is deliberately mutation-first: skeleton, then four
+    independent fill loops over a 2-D array of ``<td>`` references.
+    """
+    height = len(rows) + 1
+    width = len(cols) + 1
+
+    # skeleton: every <tr> and <td>, with nothing inside them.
+    table = ElementNode("table")
+    cells: List[List[ElementNode]] = []
+    for _ in range(height):
+        row_element = ElementNode("tr")
+        table.append(row_element)
+        row_cells: List[ElementNode] = []
+        for _ in range(width):
+            cell = ElementNode("td")
+            row_element.append(cell)
+            row_cells.append(cell)
+        cells.append(row_cells)
+
+    # fill the corner.
+    cells[0][0].append(TextNode(corner))
+
+    # fill the column titles.
+    for column_index, column_node in enumerate(cols, start=1):
+        cells[0][column_index].append(TextNode(column_node.label))
+
+    # fill the row titles.
+    for row_index, row_node in enumerate(rows, start=1):
+        cells[row_index][0].append(TextNode(row_node.label))
+
+    # fill the values.
+    connected = {
+        (relation_object.source.id, relation_object.target.id)
+        for relation_object in model.relations.values()
+        if relation_object.is_relation(relation)
+    }
+    for row_index, row_node in enumerate(rows, start=1):
+        for column_index, column_node in enumerate(cols, start=1):
+            if (row_node.id, column_node.id) in connected:
+                cells[row_index][column_index].append(TextNode(mark))
+
+    return table

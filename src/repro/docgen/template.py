@@ -1,0 +1,175 @@
+"""The document-template language shared by both generator implementations.
+
+"Its main input is a template, in XML.  A template is a mix of HTML
+directives and text, which are simply copied to the output document, and
+idiosyncratic AWB directives, which cause various more or less obvious
+sorts of behavior for their children."
+
+Directives (everything else is passthrough HTML):
+
+``<for nodes="SPEC" sort="property">body</for>``
+    Iterate, setting the implicit *focus* to each node.  SPEC is
+    ``all.Type`` (all nodes of a type), ``follow.relation`` (targets of the
+    relation from the current focus), or ``followback.relation``.
+    A ``<for>`` may instead contain a ``<query>`` child (the AWB query
+    calculus) ahead of its body.
+
+``<if> <test>TEST</test> <then>...</then> <else>...</else> </if>``
+    TEST is one of the test elements below; ``<else>`` is optional.
+
+Test elements (usable inside ``<test>``, ``<not>``, ``<and>``, ``<or>``):
+    ``<focus-is-type type="T"/>``, ``<has-property name="p"/>``,
+    ``<property-equals name="p" value="v"/>``, ``<has-relation
+    relation="r" [direction="forward|backward"]/>``, ``<not>``, ``<and>``,
+    ``<or>``.
+
+``<label/>``
+    The focus node's label.
+
+``<property-value name="p" [default="..."]/>``
+    A property of the focus; HTML-typed properties embed as markup.
+
+``<section><heading>...</heading> body </section>``
+    Emits ``<hN>`` per nesting depth and records a table-of-contents entry.
+
+``<table-of-contents/>``
+    Filled in after generation (mutation in the native impl, an extra
+    whole-document phase in the XQuery impl).
+
+``<table-of-omissions types="T1,T2"/>``
+    Nodes of the listed types that the document never visited.
+
+``<table rows="SPEC" cols="SPEC" relation="r" [mark="✓"]/>``
+    The row/column table from the paper: a corner cell, row titles, column
+    titles, and a mark wherever the relation connects row node to column
+    node.
+
+``<replace-phrase phrase="TABLE-1-GOES-HERE">replacement</replace-phrase>``
+    After generation, finds the phrase inside text (even "in the middle of
+    a big messy blob of formatted text") and splices the generated
+    replacement into the gap.
+
+``<query>...</query>``
+    An embedded calculus query rendered as an ``<ul>`` of labels.
+
+``<focus-id/>``
+    The focus node's id (mostly for debugging templates).
+
+``<model-check/>``
+    Evaluates the metamodel's advisories against the model and reports
+    each violation on the problems stream (severity "warning") — the
+    "gadgetry to produce a System Context document must make sure that
+    there is one [SystemBeingDesigned], and do something sensible if
+    not".  Produces no document output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..xdm import ElementNode, Node
+from ..xmlio import parse_element
+
+#: Directive tag names (everything else is copied through).
+DIRECTIVE_TAGS = frozenset(
+    {
+        "for",
+        "if",
+        "label",
+        "property-value",
+        "section",
+        "table-of-contents",
+        "table-of-omissions",
+        "table",
+        "replace-phrase",
+        "query",
+        "focus-id",
+        "model-check",
+    }
+)
+
+#: Test tag names usable under <test>.
+TEST_TAGS = frozenset(
+    {
+        "focus-is-type",
+        "has-property",
+        "property-equals",
+        "has-relation",
+        "not",
+        "and",
+        "or",
+    }
+)
+
+
+class TemplateError(ValueError):
+    """The template itself is malformed (not a generation-time problem)."""
+
+
+def load_template(source: Union[str, ElementNode]) -> ElementNode:
+    """Parse a template from XML text (or pass an element through)."""
+    if isinstance(source, ElementNode):
+        return source
+    return parse_element(source, keep_whitespace_text=True)
+
+
+@dataclass
+class TocEntry:
+    """One table-of-contents entry recorded while generating."""
+
+    level: int
+    text: str
+    anchor: str
+
+
+@dataclass
+class Problem:
+    """One entry in the problems report (the second output stream)."""
+
+    message: str
+    severity: str = "error"
+    node_id: Optional[str] = None
+    directive: Optional[str] = None
+
+    def __str__(self) -> str:
+        subject = f" at node {self.node_id}" if self.node_id else ""
+        where = f" in <{self.directive}>" if self.directive else ""
+        return f"[{self.severity}]{where}{subject}: {self.message}"
+
+
+@dataclass
+class GenerationResult:
+    """What a generator produces: the document plus its side streams."""
+
+    document: ElementNode
+    problems: List[Problem] = field(default_factory=list)
+    toc: List[TocEntry] = field(default_factory=list)
+    visited_node_ids: List[str] = field(default_factory=list)
+    #: implementation-specific measurements (phases, bytes copied, ...).
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(p.severity == "error" for p in self.problems)
+
+
+def parse_node_spec(spec: str) -> tuple:
+    """Parse a ``nodes=`` spec into (kind, argument).
+
+    ``all.Type`` → ("all", "Type"); ``follow.rel`` → ("follow", "rel");
+    ``followback.rel`` → ("followback", "rel").
+    """
+    kind, separator, argument = spec.partition(".")
+    if not separator or not argument:
+        raise TemplateError(
+            f"bad nodes spec {spec!r}: expected all.Type, follow.relation, "
+            f"or followback.relation"
+        )
+    if kind not in ("all", "follow", "followback"):
+        raise TemplateError(f"bad nodes spec kind {kind!r} in {spec!r}")
+    return kind, argument
+
+
+def is_directive(node: Node) -> bool:
+    return node.kind == "element" and node.name in DIRECTIVE_TAGS

@@ -1,0 +1,21 @@
+"""The XQuery implementation: .xq sources run by the repro engine."""
+
+from .runner import (
+    LIBRARY_MODULES,
+    LIBRARY_MODULES_TC,
+    MODULES_DIR,
+    MODULES_TC_DIR,
+    XQueryDocumentGenerator,
+    assemble_main_program,
+    read_module,
+)
+
+__all__ = [
+    "LIBRARY_MODULES",
+    "LIBRARY_MODULES_TC",
+    "MODULES_DIR",
+    "MODULES_TC_DIR",
+    "XQueryDocumentGenerator",
+    "assemble_main_program",
+    "read_module",
+]

@@ -1,0 +1,117 @@
+(: ======================================================================
+   calc.xq — the AWB query calculus, interpreted in XQuery.
+
+   "This was essentially writing an interpreter in XQuery, which is not
+   a hard exercise."  The calculus query arrives as XML (the <query>
+   element); the interpreter folds its steps left to right over the
+   node set.
+   ====================================================================== :)
+
+declare function local:run-calc($q) {
+  let $start := local:calc-start(local:child-element-named($q, "start"))
+  return
+    if (local:is-error($start)) then $start
+    else
+      let $steps := $q/*[name(.) = ("follow", "filter-type", "filter-property")]
+      let $result := local:calc-steps($steps, $start)
+      return
+        if (local:is-error($result)) then $result
+        else local:calc-collect(local:child-element-named($q, "collect"), $result)
+};
+
+declare function local:calc-start($start) {
+  if (empty($start))
+  then local:mk-error("<query> requires a <start> element", "(query)")
+  else
+    let $type := $start/attribute::node()[name(.) eq "type"]
+    let $id := $start/attribute::node()[name(.) eq "id"]
+    let $all := $start/attribute::node()[name(.) eq "all"]
+    return
+      if (not(empty($type))) then local:nodes-of-type(string($type))
+      else if (not(empty($id))) then $model/node[@id eq string($id)]
+      else if (string($all) eq "true") then $model/node
+      else local:mk-error("<start> requires type=, id= or all='true'", "(query)")
+};
+
+declare function local:calc-steps($steps, $nodes) {
+  if (empty($steps)) then $nodes
+  else
+    let $next := local:calc-step($steps[1], $nodes)
+    return
+      if (local:is-error($next)) then $next
+      else local:calc-steps($steps[position() gt 1], $next)
+};
+
+declare function local:calc-step($step, $nodes) {
+  let $tag := name($step)
+  return
+  if ($tag eq "follow") then
+    let $rel := local:required-attr($step, "relation", ())
+    return
+    if (local:is-error($rel)) then $rel
+    else
+      let $dir := string($step/attribute::node()[name(.) eq "direction"])
+      let $target-type := $step/attribute::node()[name(.) eq "target-type"]
+      let $landed :=
+        for $n in $nodes
+        return
+          if ($dir eq "backward")
+          then local:follow-backward($n, $rel)
+          else local:follow-forward($n, $rel)
+      return
+        if (empty($target-type)) then $landed
+        else $landed[local:is-subtype(string(@type), string($target-type))]
+  else if ($tag eq "filter-type") then
+    let $type := local:required-attr($step, "type", ())
+    return
+      if (local:is-error($type)) then $type
+      else $nodes[local:is-subtype(string(@type), $type)]
+  else if ($tag eq "filter-property") then
+    let $name := local:required-attr($step, "name", ())
+    return
+    if (local:is-error($name)) then $name
+    else
+      let $op0 := string($step/attribute::node()[name(.) eq "op"])
+      let $op := if ($op0 eq "") then "eq" else $op0
+      let $value := string($step/attribute::node()[name(.) eq "value"])
+      return $nodes[local:calc-property-test(., $name, $op, $value)]
+  else local:mk-error(concat("unknown calculus step <", $tag, ">"), "(query)")
+};
+
+declare function local:calc-property-test($n, $name, $op, $value) {
+  let $p := local:property-of($n, $name)
+  return
+    if (empty($p)) then false()
+    else
+      let $actual := string($p)
+      return
+        if ($op eq "eq") then $actual eq $value
+        else if ($op eq "ne") then $actual ne $value
+        else if ($op eq "contains") then contains($actual, $value)
+        else if ($op eq "lt") then number($actual) lt number($value)
+        else if ($op eq "le") then number($actual) le number($value)
+        else if ($op eq "gt") then number($actual) gt number($value)
+        else if ($op eq "ge") then number($actual) ge number($value)
+        else false()
+};
+
+declare function local:calc-collect($collect, $nodes) {
+  let $distinct-nodes := ($nodes | ())
+  let $sort0 := if (empty($collect)) then ()
+                else $collect/attribute::node()[name(.) eq "sort-by"]
+  let $sort := if (empty($sort0)) then string($metamodel/@label-property)
+               else string($sort0)
+  let $descending := not(empty($collect)) and
+                     string($collect/attribute::node()[name(.) eq "order"])
+                       eq "descending"
+  return
+    if ($descending)
+    then
+      for $n in $distinct-nodes
+      order by string(local:property-of($n, $sort)) descending, string($n/@id) descending
+      return $n
+    else
+      for $n in $distinct-nodes
+      order by string(local:property-of($n, $sort)), string($n/@id)
+      return $n
+};

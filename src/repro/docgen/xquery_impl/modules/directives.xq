@@ -1,0 +1,392 @@
+(: ======================================================================
+   directives.xq — special-purpose generators for the AWB directives.
+
+   "Each special-purpose generator was a few dozen lines of code with a
+   nicely stylized interface, largely independent of other generators or
+   the recursive walk."
+
+   Note the error-handling texture: nearly every helper can return an
+   <error>, so nearly every call is wrapped in the
+   let/if-is-error/then/else pattern.  "The actual behavior of most code
+   was very badly obscured, with one small piece of computation every
+   few lines, hidden behind billows of error messages."
+   ====================================================================== :)
+
+(: -- <for nodes="..."> ---------------------------------------------------- :)
+
+declare function local:resolve-node-spec($spec, $elem, $focus) {
+  if (starts-with($spec, "all."))
+  then
+    for $n in local:nodes-of-type(substring-after($spec, "all."))
+    order by local:node-label($n), string($n/@id)
+    return $n
+  else if (starts-with($spec, "follow."))
+  then
+    if (empty($focus))
+    then local:mk-error(
+           concat("<", name($elem), "> needs a focus to follow a relation"),
+           "(no focus)")
+    else local:follow-forward($focus, substring-after($spec, "follow."))
+  else if (starts-with($spec, "followback."))
+  then
+    if (empty($focus))
+    then local:mk-error(
+           concat("<", name($elem), "> needs a focus to follow a relation"),
+           "(no focus)")
+    else local:follow-backward($focus, substring-after($spec, "followback."))
+  else local:mk-error(
+         concat("bad nodes spec '", $spec, "'"),
+         local:focus-label($focus))
+};
+
+declare function local:sorted-by-property($nodes, $prop) {
+  for $n in $nodes
+  order by string(local:property-of($n, $prop)), string($n/@id)
+  return $n
+};
+
+declare function local:gen-for($t, $focus, $depth) {
+  let $query-child := local:child-element-named($t, "query")
+  return
+  if (empty($query-child)) then
+    let $spec := local:required-attr($t, "nodes", $focus)
+    return
+    if (local:is-error($spec))
+    then local:error-to-problem($spec, "for")
+    else
+      let $nodes0 := local:resolve-node-spec($spec, $t, $focus)
+      return
+      if (local:is-error($nodes0))
+      then local:error-to-problem($nodes0, "for")
+      else
+        let $sort := $t/attribute::node()[name(.) eq "sort"]
+        let $nodes := if (empty($sort)) then $nodes0
+                      else local:sorted-by-property($nodes0, string($sort))
+        return
+          for $n in $nodes
+          return (local:visited-marker($n),
+                  local:gen-content($t/child::node(), $n, $depth))
+  else
+    let $nodes := local:run-calc($query-child)
+    return
+    if (local:is-error($nodes))
+    then local:error-to-problem($nodes, "for")
+    else
+      for $n in $nodes
+      return (local:visited-marker($n),
+              local:gen-content($t/child::node()[not(. is $query-child)],
+                                $n, $depth))
+};
+
+(: -- <if><test/><then/><else/></if> ------------------------------------------ :)
+
+declare function local:gen-if($t, $focus, $depth) {
+  let $test := local:required-child($t, "test", $focus)
+  return
+  if (local:is-error($test))
+  then local:error-to-problem($test, "if")
+  else
+    let $then := local:required-child($t, "then", $focus)
+    return
+    if (local:is-error($then))
+    then local:error-to-problem($then, "if")
+    else
+      let $cond := local:eval-test-container($test, $focus)
+      return
+      if (local:is-error($cond))
+      then local:error-to-problem($cond, "if")
+      else if ($cond)
+      then local:gen-content($then/child::node(), $focus, $depth)
+      else
+        let $else := local:child-element-named($t, "else")
+        return
+          if (empty($else)) then ()
+          else local:gen-content($else/child::node(), $focus, $depth)
+};
+
+declare function local:eval-test-container($container, $focus) {
+  let $tests := $container/child::element()
+  return
+    if (count($tests) ne 1)
+    then local:mk-error(
+           concat("<", name($container), "> must contain exactly one test"),
+           local:focus-label($focus))
+    else local:eval-test($tests[1], $focus)
+};
+
+declare function local:eval-test($test, $focus) {
+  let $tag := name($test)
+  return
+  if ($tag eq "focus-is-type") then
+    if (empty($focus))
+    then local:mk-error("focus-is-type with no focus", "(no focus)")
+    else
+      let $type := local:required-attr($test, "type", $focus)
+      return if (local:is-error($type)) then $type
+             else local:is-subtype(string($focus/@type), $type)
+  else if ($tag eq "has-property") then
+    if (empty($focus))
+    then local:mk-error("has-property with no focus", "(no focus)")
+    else
+      let $name := local:required-attr($test, "name", $focus)
+      return if (local:is-error($name)) then $name
+             else exists(local:property-of($focus, $name))
+  else if ($tag eq "property-equals") then
+    if (empty($focus))
+    then local:mk-error("property-equals with no focus", "(no focus)")
+    else
+      let $name := local:required-attr($test, "name", $focus)
+      return
+      if (local:is-error($name)) then $name
+      else
+        let $value := local:required-attr($test, "value", $focus)
+        return
+        if (local:is-error($value)) then $value
+        else
+          let $p := local:property-of($focus, $name)
+          return (not(empty($p)) and string($p) eq $value)
+  else if ($tag eq "has-relation") then
+    if (empty($focus))
+    then local:mk-error("has-relation with no focus", "(no focus)")
+    else
+      let $rel := local:required-attr($test, "relation", $focus)
+      return
+      if (local:is-error($rel)) then $rel
+      else
+        let $dir := $test/attribute::node()[name(.) eq "direction"]
+        return
+          if (string($dir) eq "backward")
+          then exists(local:follow-backward($focus, $rel))
+          else exists(local:follow-forward($focus, $rel))
+  else if ($tag eq "not") then
+    let $inner := local:eval-test-container($test, $focus)
+    return if (local:is-error($inner)) then $inner else not($inner)
+  else if ($tag eq "and") then
+    local:eval-test-all($test/child::element(), $focus)
+  else if ($tag eq "or") then
+    local:eval-test-any($test/child::element(), $focus)
+  else local:mk-error(concat("unknown test element <", $tag, ">"),
+                      local:focus-label($focus))
+};
+
+declare function local:eval-test-all($tests, $focus) {
+  if (empty($tests)) then true()
+  else
+    let $head := local:eval-test($tests[1], $focus)
+    return
+      if (local:is-error($head)) then $head
+      else if (not($head)) then false()
+      else local:eval-test-all($tests[position() gt 1], $focus)
+};
+
+declare function local:eval-test-any($tests, $focus) {
+  if (empty($tests)) then false()
+  else
+    let $head := local:eval-test($tests[1], $focus)
+    return
+      if (local:is-error($head)) then $head
+      else if ($head) then true()
+      else local:eval-test-any($tests[position() gt 1], $focus)
+};
+
+(: -- leaf directives -------------------------------------------------------------- :)
+
+declare function local:gen-label($t, $focus) {
+  if (empty($focus))
+  then local:problem-marker("error", "label",
+         "<label> needs a focus node (is it inside a <for>?)")
+  else (local:visited-marker($focus), text { local:focus-label($focus) })
+};
+
+declare function local:gen-focus-id($t, $focus) {
+  if (empty($focus))
+  then local:problem-marker("error", "focus-id", "<focus-id> needs a focus node")
+  else text { string($focus/@id) }
+};
+
+declare function local:gen-property-value($t, $focus) {
+  if (empty($focus))
+  then local:problem-marker("error", "property-value",
+         "<property-value> needs a focus node")
+  else
+    let $name := local:required-attr($t, "name", $focus)
+    return
+    if (local:is-error($name))
+    then local:error-to-problem($name, "property-value")
+    else
+      let $p := local:property-of($focus, $name)
+      return
+      if (empty($p)) then
+        let $default := $t/attribute::node()[name(.) eq "default"]
+        return
+          if (empty($default))
+          then local:problem-marker("warning", "property-value",
+                 concat("node '", local:focus-label($focus),
+                        "' has no property '", $name, "'"))
+          else text { string($default) }
+      else (
+        local:visited-marker($focus),
+        if (string($p/@type) eq "html")
+        then
+          let $wrapper := local:child-element-named($p, "html-value")
+          return if (empty($wrapper)) then text { string($p) }
+                 else $wrapper/child::node()
+        else text { string($p) }
+      )
+};
+
+(: -- <section> ----------------------------------------------------------------------- :)
+
+declare function local:gen-section($t, $focus, $depth) {
+  let $heading := local:required-child($t, "heading", $focus)
+  return
+  if (local:is-error($heading))
+  then local:error-to-problem($heading, "section")
+  else
+    let $level := if ($depth + 1 gt 6) then 6 else $depth + 1
+    let $heading-content := local:gen-content($heading/child::node(), $focus, $depth + 1)
+    let $heading-text := normalize-space(string-join(
+          for $h in $heading-content return
+            if ($h instance of text()) then string($h)
+            else if ($h instance of element()) then string($h)
+            else "", ""))
+    return (
+      element { concat("h", $level) } {
+        attribute class { "awb-heading" },
+        $heading-content,
+        <INTERNAL-DATA>
+          <TOC-ENTRY level="{$level}" text="{$heading-text}"/>
+        </INTERNAL-DATA>
+      },
+      <div class="section">{
+        local:gen-content($t/child::node()[not(. is $heading)], $focus, $depth + 1)
+      }</div>
+    )
+};
+
+(: -- placeholders filled by later phases ------------------------------------------------ :)
+
+declare function local:gen-omissions-placeholder($t) {
+  let $types := $t/attribute::node()[name(.) eq "types"]
+  return
+    if (empty($types)) then <omissions-placeholder/>
+    else <omissions-placeholder types="{string($types)}"/>
+};
+
+(: -- <table rows=... cols=... relation=...> --------------------------------------------- :)
+
+declare function local:gen-table($t, $focus) {
+  let $rows-spec := local:required-attr($t, "rows", $focus)
+  return
+  if (local:is-error($rows-spec)) then local:error-to-problem($rows-spec, "table")
+  else
+    let $cols-spec := local:required-attr($t, "cols", $focus)
+    return
+    if (local:is-error($cols-spec)) then local:error-to-problem($cols-spec, "table")
+    else
+      let $rel := local:required-attr($t, "relation", $focus)
+      return
+      if (local:is-error($rel)) then local:error-to-problem($rel, "table")
+      else
+        let $rows := local:resolve-node-spec($rows-spec, $t, $focus)
+        return
+        if (local:is-error($rows)) then local:error-to-problem($rows, "table")
+        else
+          let $cols := local:resolve-node-spec($cols-spec, $t, $focus)
+          return
+          if (local:is-error($cols)) then local:error-to-problem($cols, "table")
+          else
+            let $mark0 := $t/attribute::node()[name(.) eq "mark"]
+            let $mark := if (empty($mark0)) then "✓" else string($mark0)
+            return (
+              for $n in ($rows, $cols) return local:visited-marker($n),
+              (: "each row and then the table itself must be produced in
+                 its entirety, all at once" — the all-at-once construction
+                 the paper found "large and somewhat intricate". :)
+              <table>{
+                <tr>{
+                  <td>row\col</td>,
+                  for $c in $cols return <td>{local:node-label($c)}</td>
+                }</tr>,
+                for $r in $rows return
+                  <tr>{
+                    <td>{local:node-label($r)}</td>,
+                    for $c in $cols return
+                      <td>{
+                        if (local:connected($r, $c, $rel)) then $mark else ()
+                      }</td>
+                  }</tr>
+              }</table>
+            )
+};
+
+(: -- <replace-phrase> --------------------------------------------------------------------- :)
+
+declare function local:gen-replace-phrase($t, $focus, $depth) {
+  let $phrase := local:required-attr($t, "phrase", $focus)
+  return
+  if (local:is-error($phrase))
+  then local:error-to-problem($phrase, "replace-phrase")
+  else
+    <INTERNAL-DATA>
+      <REPLACEMENT phrase="{$phrase}">{
+        local:gen-content($t/child::node(), $focus, $depth)
+      }</REPLACEMENT>
+    </INTERNAL-DATA>
+};
+
+(: -- <query> (the calculus interpreter-in-XQuery) ------------------------------------------- :)
+
+declare function local:gen-query($t, $focus) {
+  let $nodes := local:run-calc($t)
+  return
+  if (local:is-error($nodes))
+  then local:error-to-problem($nodes, "query")
+  else
+    <ul class="query-result">{
+      for $n in $nodes
+      return (local:visited-marker($n), <li>{local:node-label($n)}</li>)
+    }</ul>
+};
+
+
+(: -- <model-check/> : evaluate the metamodel's advisories ------------------- :)
+
+declare function local:model-problem($message) {
+  <INTERNAL-DATA>
+    <PROBLEM severity="warning" directive="model-check">{$message}</PROBLEM>
+  </INTERNAL-DATA>
+};
+
+declare function local:advisory-message($a, $fallback) {
+  let $m := $a/attribute::node()[name(.) eq "message"]
+  return if (empty($m)) then $fallback else string($m)
+};
+
+declare function local:check-advisory($a) {
+  let $kind := string($a/@kind)
+  return
+  if ($kind eq "exactly-one-node") then
+    let $matches := local:nodes-of-type(string($a/@type))
+    return
+      if (count($matches) eq 1) then ()
+      else local:model-problem(concat(
+        local:advisory-message($a,
+          concat("you might want to ensure that there is exactly one ",
+                 string($a/@type), " node")),
+        " (found ", count($matches), ")"))
+  else if ($kind eq "required-property") then
+    for $n in local:nodes-of-type(string($a/@type))
+    let $p := local:property-of($n, string($a/@property))
+    where empty($p) or normalize-space(string($p)) eq ""
+    return local:model-problem(local:advisory-message($a,
+      concat(string($a/@type), " '", local:node-label($n), "' has no ",
+             string($a/@property))))
+  else
+    local:model-problem(concat("advisory kind '", $kind,
+                               "' is not understood"))
+};
+
+declare function local:gen-model-check($t) {
+  for $a in $metamodel/advisory return local:check-advisory($a)
+};

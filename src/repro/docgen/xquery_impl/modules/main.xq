@@ -1,0 +1,18 @@
+(: ======================================================================
+   main.xq — phase 1: generate the whole document.
+
+   External variables (bound by the Python runner):
+     $model      — the <awb-model> element of the exported model
+     $metamodel  — the <metamodel> element (type hierarchies)
+     $template   — the document template's root element
+
+   "Phase 1 would generate the whole document.  It would include
+   information for use by later phases in the document, inside
+   <INTERNAL-DATA> tags."
+   ====================================================================== :)
+
+declare variable $model external;
+declare variable $metamodel external;
+declare variable $template external;
+
+<phase1-output>{ local:gen($template, (), 0) }</phase1-output>

@@ -1,0 +1,76 @@
+(: ======================================================================
+   phase_omissions.xq — phase 2: construct the table of omissions.
+
+   "Phase 2 constructs the table of omissions.  It looks at all the
+   <VISITED> tags in the document — which can be nicely phrased in
+   XQuery as $doc//VISITED — and constructs the table of omissions out
+   of that.  It then copies the entire document, sticking the table of
+   omissions in the right place."
+   ====================================================================== :)
+
+declare variable $doc external;
+declare variable $model external;
+declare variable $metamodel external;
+
+declare function local:is-subtype($type, $ancestor) {
+  if ($type eq $ancestor) then true()
+  else
+    let $def := ($metamodel/node-type[@name eq $type])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/attribute::node()[name(.) eq "parent"])) then false()
+      else local:is-subtype(string($def/@parent), $ancestor)
+};
+
+declare function local:node-label($n) {
+  let $p := $n/property[@name eq string($metamodel/@label-property)]
+  return if (empty($p)) then string($n/@id) else string($p[1])
+};
+
+declare function local:candidates($types-attr) {
+  if ($types-attr eq "")
+  then $model/node
+  else
+    let $types := for $t in tokenize($types-attr, ",")
+                  return normalize-space($t)
+    return $model/node[some $t in $types
+                       satisfies local:is-subtype(string(@type), $t)]
+};
+
+declare function local:build-omissions($placeholder, $visited) {
+  let $candidates := local:candidates(
+        string($placeholder/attribute::node()[name(.) eq "types"]))
+  let $omitted := $candidates[not($visited = string(@id))]
+  return
+    <div class="table-of-omissions">{
+      if (empty($omitted))
+      then <p>No omissions.</p>
+      else
+        <ul>{
+          for $n in $omitted
+          order by local:node-label($n), string($n/@id)
+          return
+            <li data-node-id="{string($n/@id)}">{
+              concat(local:node-label($n), " (", string($n/@type), ")")
+            }</li>
+        }</ul>
+    }</div>
+};
+
+declare function local:copy($n, $visited) {
+  if ($n instance of element())
+  then
+    if (name($n) eq "omissions-placeholder")
+    then local:build-omissions($n, $visited)
+    else
+      element { name($n) } {
+        $n/attribute::node(),
+        for $c in $n/child::node() return local:copy($c, $visited)
+      }
+  else if ($n instance of text())
+  then text { string($n) }
+  else ()
+};
+
+let $visited := distinct-values($doc//VISITED/@node-id)
+return local:copy($doc, $visited)

@@ -1,0 +1,50 @@
+(: ======================================================================
+   phase_replace.xq — phase 4: phrase replacement.
+
+   "To replace a phrase, search for the phrase in the HTML structure.
+   It will probably be in the middle of a XML Text node, so rip that
+   node apart and shove Table 1's HTML bodily into the gap."  Functional
+   version: text nodes containing a registered phrase are split and the
+   replacement's children spliced in during yet another whole-document
+   copy.
+   ====================================================================== :)
+
+declare variable $doc external;
+
+declare function local:replacement-for($text) {
+  ($doc//REPLACEMENT[contains($text, string(@phrase))])[1]
+};
+
+declare function local:splice($text) {
+  let $r := local:replacement-for($text)
+  return
+    if (empty($r))
+    then text { $text }
+    else
+      let $phrase := string($r/@phrase)
+      return (
+        if (substring-before($text, $phrase) ne "")
+        then text { substring-before($text, $phrase) } else (),
+        local:copy-children($r),
+        if (substring-after($text, $phrase) ne "")
+        then text { substring-after($text, $phrase) } else ()
+      )
+};
+
+declare function local:copy-children($n) {
+  for $c in $n/child::node() return local:copy($c)
+};
+
+declare function local:copy($n) {
+  if ($n instance of element())
+  then
+    element { name($n) } {
+      $n/attribute::node(),
+      local:copy-children($n)
+    }
+  else if ($n instance of text())
+  then local:splice(string($n))
+  else ()
+};
+
+local:copy($doc)

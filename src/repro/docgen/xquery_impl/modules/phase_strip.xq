@@ -1,0 +1,41 @@
+(: ======================================================================
+   phase_strip.xq — final phase: erase the scaffolding, split streams.
+
+   "The final phase walks over the document and destroys all
+   <INTERNAL-DATA> tags and their children, thus erasing all the data
+   used for communicating between phases.  (Or, strictly, it copies
+   everything but the <INTERNAL-DATA> elements, since no mutation
+   happens anywhere.)"
+
+   It also assembles the two output streams — the document and the
+   problems report — as children of one root element, because "XQuery,
+   as is reasonable enough for a query language, produces only a single
+   output stream".  A little XSLT program splits them apart afterwards.
+   ====================================================================== :)
+
+declare variable $doc external;
+
+declare function local:copy($n) {
+  if ($n instance of element())
+  then
+    if (name($n) eq "INTERNAL-DATA")
+    then ()
+    else
+      element { name($n) } {
+        $n/attribute::node(),
+        for $c in $n/child::node() return local:copy($c)
+      }
+  else if ($n instance of text())
+  then text { string($n) }
+  else ()
+};
+
+<output-streams>{
+  <document>{ local:copy($doc) }</document>,
+  <problems>{
+    for $p in $doc//PROBLEM
+    return
+      <problem severity="{string($p/@severity)}"
+               directive="{string($p/@directive)}">{string($p)}</problem>
+  }</problems>
+}</output-streams>

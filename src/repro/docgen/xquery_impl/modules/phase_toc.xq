@@ -1,0 +1,61 @@
+(: ======================================================================
+   phase_toc.xq — phase 3: construct the table of contents.
+
+   "Phase 3 constructs the table of contents, similarly."  Headings were
+   generated carrying <INTERNAL-DATA><TOC-ENTRY .../></INTERNAL-DATA>;
+   this phase numbers them in document order, assigns matching anchors
+   to the headings, and replaces the <toc-placeholder/>.
+
+   The entry index is computed with the "<<" document-order comparison —
+   an O(n²) idiom, one of the reasons the multi-phase approach "wasn't
+   horrible, though it wasn't entirely pleasant either".
+   ====================================================================== :)
+
+declare variable $doc external;
+
+declare function local:entry-index($e) {
+  count($doc//TOC-ENTRY[. << $e]) + 1
+};
+
+declare function local:build-toc() {
+  <div class="table-of-contents">{
+    <ul>{
+      for $e in $doc//TOC-ENTRY
+      return
+        <li class="{concat('toc-level-', string($e/@level))}">{
+          <a href="{concat('#sec-', local:entry-index($e))}">{string($e/@text)}</a>
+        }</li>
+    }</ul>
+  }</div>
+};
+
+declare function local:heading-entry($n) {
+  ($n/INTERNAL-DATA/TOC-ENTRY)[1]
+};
+
+declare function local:copy($n) {
+  if ($n instance of element())
+  then
+    if (name($n) eq "toc-placeholder")
+    then local:build-toc()
+    else
+      let $entry := local:heading-entry($n)
+      return
+        if (empty($entry))
+        then
+          element { name($n) } {
+            $n/attribute::node(),
+            for $c in $n/child::node() return local:copy($c)
+          }
+        else
+          element { name($n) } {
+            $n/attribute::node(),
+            attribute id { concat("sec-", local:entry-index($entry)) },
+            for $c in $n/child::node() return local:copy($c)
+          }
+  else if ($n instance of text())
+  then text { string($n) }
+  else ()
+};
+
+local:copy($doc)

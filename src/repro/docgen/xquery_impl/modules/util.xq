@@ -1,0 +1,160 @@
+(: ======================================================================
+   util.xq — utility routines for the XQuery document generator.
+
+   "Following standard software engineering practice, we wrote our own
+   utility functions: set manipulation routines, some string- and
+   element-handling function like without-leading-or-trailing-spaces
+   and child-element-named that XQuery chose not to provide."
+
+   The error convention: a function that can fail returns either its
+   answer or an <error> element.  Callers MUST test local:is-error on
+   every such return value — the half-dozen-line pattern the paper
+   measures.  (And note footnote 1: this convention is unsound when the
+   legitimate answer could itself be an <error> element.)
+   ====================================================================== :)
+
+declare function local:is-error($v) {
+  count($v) eq 1 and $v instance of element(error)
+};
+
+declare function local:mk-error($message, $where) {
+  <error>
+    <message>{$message}</message>
+    <location>{$where}</location>
+  </error>
+};
+
+(: -- element access ---------------------------------------------------- :)
+
+declare function local:child-element-named($parent, $name) {
+  ($parent/*[name(.) eq $name])[1]
+};
+
+declare function local:required-child($parent, $name, $focus) {
+  let $c := local:child-element-named($parent, $name)
+  return
+    if (empty($c))
+    then local:mk-error(
+           concat("<", name($parent), "> requires a <", $name, "> child"),
+           local:focus-label($focus))
+    else $c
+};
+
+declare function local:required-attr($elem, $name, $focus) {
+  let $a := $elem/attribute::node()[name(.) eq $name]
+  return
+    if (empty($a))
+    then local:mk-error(
+           concat("<", name($elem), "> requires a ", $name, " attribute"),
+           local:focus-label($focus))
+    else string($a)
+};
+
+(: -- strings ------------------------------------------------------------ :)
+
+declare function local:without-leading-or-trailing-spaces($s) {
+  (: XQuery chose not to provide trim; normalize-space also collapses
+     interior runs, which is close enough for labels. :)
+  normalize-space($s)
+};
+
+(: -- the focus ----------------------------------------------------------- :)
+
+declare function local:focus-label($focus) {
+  if (empty($focus)) then "(no focus)"
+  else
+    let $p := $focus/property[@name eq string($metamodel/@label-property)]
+    return if (empty($p)) then string($focus/@id) else string($p[1])
+};
+
+declare function local:node-label($n) {
+  local:focus-label($n)
+};
+
+(: -- metamodel subtype tests ------------------------------------------------ :)
+
+declare function local:is-subtype($type, $ancestor) {
+  if ($type eq $ancestor) then true()
+  else
+    let $def := ($metamodel/node-type[@name eq $type])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/attribute::node()[name(.) eq "parent"])) then false()
+      else local:is-subtype(string($def/@parent), $ancestor)
+};
+
+declare function local:is-rel-subtype($type, $ancestor) {
+  if ($type eq $ancestor) then true()
+  else
+    let $def := ($metamodel/relation-type[@name eq $type])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/attribute::node()[name(.) eq "parent"])) then false()
+      else local:is-rel-subtype(string($def/@parent), $ancestor)
+};
+
+(: -- model navigation ---------------------------------------------------------- :)
+
+declare function local:nodes-of-type($type) {
+  $model/node[local:is-subtype(string(@type), $type)]
+};
+
+declare function local:follow-forward($n, $rel) {
+  for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                           [@source eq $n/@id]
+  return $model/node[@id eq $r/@target]
+};
+
+declare function local:follow-backward($n, $rel) {
+  for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                           [@target eq $n/@id]
+  return $model/node[@id eq $r/@source]
+};
+
+declare function local:connected($a, $b, $rel) {
+  some $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+  satisfies ($r/@source eq $a/@id and $r/@target eq $b/@id)
+};
+
+declare function local:property-of($n, $name) {
+  ($n/property[@name eq $name])[1]
+};
+
+(: -- set-of-strings (the only general set the paper could build) ------------------ :)
+
+declare function local:set-empty() { () };
+
+declare function local:set-add($set, $value) {
+  if ($set = $value) then $set else ($set, $value)
+  (: "=" used deliberately as membership test, as the paper notes
+     doing "once in a while ... and noted in a comment". :)
+};
+
+declare function local:set-member($set, $value) {
+  $set = $value
+};
+
+declare function local:set-union($a, $b) {
+  ($a, for $v in $b return if ($a = $v) then () else $v)
+};
+
+(: -- internal-data helpers ------------------------------------------------------- :)
+
+declare function local:visited-marker($n) {
+  <INTERNAL-DATA><VISITED node-id="{string($n/@id)}"/></INTERNAL-DATA>
+};
+
+declare function local:problem-marker($severity, $directive, $message) {
+  (
+    <INTERNAL-DATA>
+      <PROBLEM severity="{$severity}" directive="{$directive}">{$message}</PROBLEM>
+    </INTERNAL-DATA>,
+    <span class="generation-problem" data-directive="{$directive}">{
+      concat("[problem in <", $directive, ">: ", $message, "]")
+    }</span>
+  )
+};
+
+declare function local:error-to-problem($err, $directive) {
+  local:problem-marker("error", $directive, string($err/message))
+};

@@ -1,0 +1,48 @@
+(: ======================================================================
+   walk.xq — the recursive walk over the template.
+
+   "The heart of the document generator is a quite straightforward
+   recursive walk over the XML structure of the template, inspecting
+   each XML element in turn...  a hundred lines of code, mostly lines
+   of the form if ($tag-name = "for") then generate_for(...)."
+
+   local:gen($t, $focus, $depth) returns the generated output nodes for
+   one template node.  $depth is the current section nesting depth —
+   threaded explicitly because there is no mutable state to keep it in.
+   ====================================================================== :)
+
+declare function local:gen($t, $focus, $depth) {
+  if ($t instance of text())
+  then text { string($t) }
+  else if ($t instance of comment())
+  then ()
+  else if ($t instance of element())
+  then
+    let $tag := name($t)
+    return
+      if      ($tag eq "for")                then local:gen-for($t, $focus, $depth)
+      else if ($tag eq "if")                 then local:gen-if($t, $focus, $depth)
+      else if ($tag eq "label")              then local:gen-label($t, $focus)
+      else if ($tag eq "focus-id")           then local:gen-focus-id($t, $focus)
+      else if ($tag eq "property-value")     then local:gen-property-value($t, $focus)
+      else if ($tag eq "section")            then local:gen-section($t, $focus, $depth)
+      else if ($tag eq "table-of-contents")  then <toc-placeholder/>
+      else if ($tag eq "table-of-omissions") then local:gen-omissions-placeholder($t)
+      else if ($tag eq "table")              then local:gen-table($t, $focus)
+      else if ($tag eq "replace-phrase")     then local:gen-replace-phrase($t, $focus, $depth)
+      else if ($tag eq "query")              then local:gen-query($t, $focus)
+      else if ($tag eq "model-check")        then local:gen-model-check($t)
+      else local:copy-through($t, $focus, $depth)
+  else ()
+};
+
+declare function local:gen-content($children, $focus, $depth) {
+  for $c in $children return local:gen($c, $focus, $depth)
+};
+
+declare function local:copy-through($t, $focus, $depth) {
+  element { name($t) } {
+    $t/attribute::node(),
+    local:gen-content($t/child::node(), $focus, $depth)
+  }
+};

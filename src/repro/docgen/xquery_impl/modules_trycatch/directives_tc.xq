@@ -1,0 +1,274 @@
+(: ======================================================================
+   directives_tc.xq — the directives in the EXCEPTIONS regime.
+
+   Same behaviour as modules/directives.xq, but the utilities throw, so
+   each generator is the straight-line code the paper could only write in
+   Java: "Element c1 = requiredChild(...); Element c2 = requiredChild(...);
+   continue to compute."  The single catch lives in walk_tc.xq.
+   ====================================================================== :)
+
+(: -- <for nodes="..."> ---------------------------------------------------- :)
+
+declare function local:resolve-node-spec($spec, $elem, $focus) {
+  if (starts-with($spec, "all."))
+  then
+    for $n in local:nodes-of-type(substring-after($spec, "all."))
+    order by local:node-label($n), string($n/@id)
+    return $n
+  else if (starts-with($spec, "follow."))
+  then local:follow-forward(local:required-focus($elem, $focus),
+                            substring-after($spec, "follow."))
+  else if (starts-with($spec, "followback."))
+  then local:follow-backward(local:required-focus($elem, $focus),
+                             substring-after($spec, "followback."))
+  else error(concat("bad nodes spec '", $spec, "'"))
+};
+
+declare function local:sorted-by-property($nodes, $prop) {
+  for $n in $nodes
+  order by string(local:property-of($n, $prop)), string($n/@id)
+  return $n
+};
+
+declare function local:gen-for($t, $focus, $depth) {
+  let $query-child := local:child-element-named($t, "query")
+  return
+  if (empty($query-child)) then
+    let $spec := local:required-attr($t, "nodes", $focus)
+    let $nodes0 := local:resolve-node-spec($spec, $t, $focus)
+    let $sort := $t/attribute::node()[name(.) eq "sort"]
+    let $nodes := if (empty($sort)) then $nodes0
+                  else local:sorted-by-property($nodes0, string($sort))
+    return
+      for $n in $nodes
+      return (local:visited-marker($n),
+              local:gen-content($t/child::node(), $n, $depth))
+  else
+    let $nodes := local:run-calc($query-child)
+    return
+      for $n in $nodes
+      return (local:visited-marker($n),
+              local:gen-content($t/child::node()[not(. is $query-child)],
+                                $n, $depth))
+};
+
+(: -- <if><test/><then/><else/></if> ------------------------------------------ :)
+
+declare function local:gen-if($t, $focus, $depth) {
+  let $test := local:required-child($t, "test", $focus)
+  let $then := local:required-child($t, "then", $focus)
+  let $cond := local:eval-test-container($test, $focus)
+  return
+    if ($cond)
+    then local:gen-content($then/child::node(), $focus, $depth)
+    else
+      let $else := local:child-element-named($t, "else")
+      return
+        if (empty($else)) then ()
+        else local:gen-content($else/child::node(), $focus, $depth)
+};
+
+declare function local:eval-test-container($container, $focus) {
+  let $tests := $container/child::element()
+  return
+    if (count($tests) ne 1)
+    then error(concat("<", name($container), "> must contain exactly one test"))
+    else local:eval-test($tests[1], $focus)
+};
+
+declare function local:eval-test($test, $focus) {
+  let $tag := name($test)
+  return
+  if ($tag eq "focus-is-type")
+  then local:is-subtype(
+         string(local:required-focus($test, $focus)/@type),
+         local:required-attr($test, "type", $focus))
+  else if ($tag eq "has-property")
+  then exists(local:property-of(local:required-focus($test, $focus),
+                                local:required-attr($test, "name", $focus)))
+  else if ($tag eq "property-equals")
+  then
+    let $f := local:required-focus($test, $focus)
+    let $p := local:property-of($f, local:required-attr($test, "name", $focus))
+    let $value := local:required-attr($test, "value", $focus)
+    return (not(empty($p)) and string($p) eq $value)
+  else if ($tag eq "has-relation")
+  then
+    let $f := local:required-focus($test, $focus)
+    let $rel := local:required-attr($test, "relation", $focus)
+    let $dir := $test/attribute::node()[name(.) eq "direction"]
+    return
+      if (string($dir) eq "backward")
+      then exists(local:follow-backward($f, $rel))
+      else exists(local:follow-forward($f, $rel))
+  else if ($tag eq "not")
+  then not(local:eval-test-container($test, $focus))
+  else if ($tag eq "and")
+  then every $t in $test/child::element() satisfies local:eval-test($t, $focus)
+  else if ($tag eq "or")
+  then some $t in $test/child::element() satisfies local:eval-test($t, $focus)
+  else error(concat("unknown test element <", $tag, ">"))
+};
+
+(: -- leaf directives -------------------------------------------------------------- :)
+
+declare function local:gen-label($t, $focus) {
+  let $f := local:required-focus($t, $focus)
+  return (local:visited-marker($f), text { local:focus-label($f) })
+};
+
+declare function local:gen-focus-id($t, $focus) {
+  text { string(local:required-focus($t, $focus)/@id) }
+};
+
+declare function local:gen-property-value($t, $focus) {
+  let $f := local:required-focus($t, $focus)
+  let $name := local:required-attr($t, "name", $focus)
+  let $p := local:property-of($f, $name)
+  return
+    if (empty($p)) then
+      let $default := $t/attribute::node()[name(.) eq "default"]
+      return
+        if (empty($default))
+        then local:problem-marker("warning", "property-value",
+               concat("node '", local:focus-label($f),
+                      "' has no property '", $name, "'"))
+        else text { string($default) }
+    else (
+      local:visited-marker($f),
+      if (string($p/@type) eq "html")
+      then
+        let $wrapper := local:child-element-named($p, "html-value")
+        return if (empty($wrapper)) then text { string($p) }
+               else $wrapper/child::node()
+      else text { string($p) }
+    )
+};
+
+(: -- <section> ----------------------------------------------------------------------- :)
+
+declare function local:gen-section($t, $focus, $depth) {
+  let $heading := local:required-child($t, "heading", $focus)
+  let $level := if ($depth + 1 gt 6) then 6 else $depth + 1
+  let $heading-content := local:gen-content($heading/child::node(), $focus, $depth + 1)
+  let $heading-text := normalize-space(string-join(
+        for $h in $heading-content return
+          if ($h instance of text()) then string($h)
+          else if ($h instance of element()) then string($h)
+          else "", ""))
+  return (
+    element { concat("h", $level) } {
+      attribute class { "awb-heading" },
+      $heading-content,
+      <INTERNAL-DATA>
+        <TOC-ENTRY level="{$level}" text="{$heading-text}"/>
+      </INTERNAL-DATA>
+    },
+    <div class="section">{
+      local:gen-content($t/child::node()[not(. is $heading)], $focus, $depth + 1)
+    }</div>
+  )
+};
+
+(: -- placeholders ------------------------------------------------------------------------ :)
+
+declare function local:gen-omissions-placeholder($t) {
+  let $types := $t/attribute::node()[name(.) eq "types"]
+  return
+    if (empty($types)) then <omissions-placeholder/>
+    else <omissions-placeholder types="{string($types)}"/>
+};
+
+(: -- <table rows=... cols=... relation=...> --------------------------------------------- :)
+
+declare function local:gen-table($t, $focus) {
+  let $rows := local:resolve-node-spec(
+                 local:required-attr($t, "rows", $focus), $t, $focus)
+  let $cols := local:resolve-node-spec(
+                 local:required-attr($t, "cols", $focus), $t, $focus)
+  let $rel := local:required-attr($t, "relation", $focus)
+  let $mark0 := $t/attribute::node()[name(.) eq "mark"]
+  let $mark := if (empty($mark0)) then "✓" else string($mark0)
+  return (
+    for $n in ($rows, $cols) return local:visited-marker($n),
+    <table>{
+      <tr>{
+        <td>row\col</td>,
+        for $c in $cols return <td>{local:node-label($c)}</td>
+      }</tr>,
+      for $r in $rows return
+        <tr>{
+          <td>{local:node-label($r)}</td>,
+          for $c in $cols return
+            <td>{
+              if (local:connected($r, $c, $rel)) then $mark else ()
+            }</td>
+        }</tr>
+    }</table>
+  )
+};
+
+(: -- <replace-phrase> --------------------------------------------------------------------- :)
+
+declare function local:gen-replace-phrase($t, $focus, $depth) {
+  let $phrase := local:required-attr($t, "phrase", $focus)
+  return
+    <INTERNAL-DATA>
+      <REPLACEMENT phrase="{$phrase}">{
+        local:gen-content($t/child::node(), $focus, $depth)
+      }</REPLACEMENT>
+    </INTERNAL-DATA>
+};
+
+(: -- <query> -------------------------------------------------------------------------------- :)
+
+declare function local:gen-query($t, $focus) {
+  let $nodes := local:run-calc($t)
+  return
+    <ul class="query-result">{
+      for $n in $nodes
+      return (local:visited-marker($n), <li>{local:node-label($n)}</li>)
+    }</ul>
+};
+
+
+(: -- <model-check/> : evaluate the metamodel's advisories ------------------- :)
+
+declare function local:model-problem($message) {
+  <INTERNAL-DATA>
+    <PROBLEM severity="warning" directive="model-check">{$message}</PROBLEM>
+  </INTERNAL-DATA>
+};
+
+declare function local:advisory-message($a, $fallback) {
+  let $m := $a/attribute::node()[name(.) eq "message"]
+  return if (empty($m)) then $fallback else string($m)
+};
+
+declare function local:check-advisory($a) {
+  let $kind := string($a/@kind)
+  return
+  if ($kind eq "exactly-one-node") then
+    let $matches := local:nodes-of-type(string($a/@type))
+    return
+      if (count($matches) eq 1) then ()
+      else local:model-problem(concat(
+        local:advisory-message($a,
+          concat("you might want to ensure that there is exactly one ",
+                 string($a/@type), " node")),
+        " (found ", count($matches), ")"))
+  else if ($kind eq "required-property") then
+    for $n in local:nodes-of-type(string($a/@type))
+    let $p := local:property-of($n, string($a/@property))
+    where empty($p) or normalize-space(string($p)) eq ""
+    return local:model-problem(local:advisory-message($a,
+      concat(string($a/@type), " '", local:node-label($n), "' has no ",
+             string($a/@property))))
+  else
+    local:model-problem(concat("advisory kind '", $kind,
+                               "' is not understood"))
+};
+
+declare function local:gen-model-check($t) {
+  for $a in $metamodel/advisory return local:check-advisory($a)
+};

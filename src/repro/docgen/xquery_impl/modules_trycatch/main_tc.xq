@@ -1,0 +1,12 @@
+(: ======================================================================
+   main_tc.xq — phase 1 entry point, exceptions regime.
+
+   Identical to modules/main.xq; only the library it is assembled with
+   differs.
+   ====================================================================== :)
+
+declare variable $model external;
+declare variable $metamodel external;
+declare variable $template external;
+
+<phase1-output>{ local:gen($template, (), 0) }</phase1-output>

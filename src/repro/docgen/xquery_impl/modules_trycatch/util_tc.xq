@@ -1,0 +1,119 @@
+(: ======================================================================
+   util_tc.xq — utilities for the EXCEPTIONS-regime generator.
+
+   The alternative universe where XQuery had lesson 4 from the start:
+   required-child and required-attr THROW (fn:error) instead of returning
+   <error> values, so callers are straight-line code.  Compare with
+   modules/util.xq (the 2004 error-value regime).
+   ====================================================================== :)
+
+(: -- element access: throwing versions ---------------------------------- :)
+
+declare function local:required-child($parent, $name, $focus) {
+  let $c := ($parent/*[name(.) eq $name])[1]
+  return
+    if (empty($c))
+    then error(concat("<", name($parent), "> requires a <", $name, "> child"))
+    else $c
+};
+
+declare function local:required-attr($elem, $name, $focus) {
+  let $a := $elem/attribute::node()[name(.) eq $name]
+  return
+    if (empty($a))
+    then error(concat("<", name($elem), "> requires a ", $name, " attribute"))
+    else string($a)
+};
+
+declare function local:child-element-named($parent, $name) {
+  ($parent/*[name(.) eq $name])[1]
+};
+
+declare function local:without-leading-or-trailing-spaces($s) {
+  normalize-space($s)
+};
+
+(: -- the focus ------------------------------------------------------------ :)
+
+declare function local:focus-label($focus) {
+  if (empty($focus)) then "(no focus)"
+  else
+    let $p := $focus/property[@name eq string($metamodel/@label-property)]
+    return if (empty($p)) then string($focus/@id) else string($p[1])
+};
+
+declare function local:node-label($n) {
+  local:focus-label($n)
+};
+
+declare function local:required-focus($t, $focus) {
+  if (empty($focus))
+  then error(concat("<", name($t), "> needs a focus node (is it inside a <for>?)"))
+  else $focus
+};
+
+(: -- metamodel subtype tests ------------------------------------------------ :)
+
+declare function local:is-subtype($type, $ancestor) {
+  if ($type eq $ancestor) then true()
+  else
+    let $def := ($metamodel/node-type[@name eq $type])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/attribute::node()[name(.) eq "parent"])) then false()
+      else local:is-subtype(string($def/@parent), $ancestor)
+};
+
+declare function local:is-rel-subtype($type, $ancestor) {
+  if ($type eq $ancestor) then true()
+  else
+    let $def := ($metamodel/relation-type[@name eq $type])[1]
+    return
+      if (empty($def)) then false()
+      else if (empty($def/attribute::node()[name(.) eq "parent"])) then false()
+      else local:is-rel-subtype(string($def/@parent), $ancestor)
+};
+
+(: -- model navigation ---------------------------------------------------------- :)
+
+declare function local:nodes-of-type($type) {
+  $model/node[local:is-subtype(string(@type), $type)]
+};
+
+declare function local:follow-forward($n, $rel) {
+  for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                           [@source eq $n/@id]
+  return $model/node[@id eq $r/@target]
+};
+
+declare function local:follow-backward($n, $rel) {
+  for $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+                           [@target eq $n/@id]
+  return $model/node[@id eq $r/@source]
+};
+
+declare function local:connected($a, $b, $rel) {
+  some $r in $model/relation[local:is-rel-subtype(string(@type), $rel)]
+  satisfies ($r/@source eq $a/@id and $r/@target eq $b/@id)
+};
+
+declare function local:property-of($n, $name) {
+  ($n/property[@name eq $name])[1]
+};
+
+(: -- internal-data helpers ------------------------------------------------------- :)
+
+declare function local:visited-marker($n) {
+  <INTERNAL-DATA><VISITED node-id="{string($n/@id)}"/></INTERNAL-DATA>
+};
+
+declare function local:problem-marker($severity, $directive, $message) {
+  (
+    <INTERNAL-DATA>
+      <PROBLEM severity="{$severity}" directive="{$directive}">{$message}</PROBLEM>
+    </INTERNAL-DATA>,
+    <span class="generation-problem" data-directive="{$directive}">{
+      concat("[problem in <", $directive, ">: ", $message, "]")
+    }</span>
+  )
+};

@@ -1,0 +1,47 @@
+(: ======================================================================
+   walk_tc.xq — the recursive walk, exceptions regime.
+
+   One try/catch around the directive dispatch replaces every error
+   ladder: "we could get away with not checking for errors except at the
+   highest level."
+   ====================================================================== :)
+
+declare function local:gen($t, $focus, $depth) {
+  if ($t instance of text())
+  then text { string($t) }
+  else if ($t instance of comment())
+  then ()
+  else if ($t instance of element())
+  then
+    let $tag := name($t)
+    return
+      try {
+        if      ($tag eq "for")                then local:gen-for($t, $focus, $depth)
+        else if ($tag eq "if")                 then local:gen-if($t, $focus, $depth)
+        else if ($tag eq "label")              then local:gen-label($t, $focus)
+        else if ($tag eq "focus-id")           then local:gen-focus-id($t, $focus)
+        else if ($tag eq "property-value")     then local:gen-property-value($t, $focus)
+        else if ($tag eq "section")            then local:gen-section($t, $focus, $depth)
+        else if ($tag eq "table-of-contents")  then <toc-placeholder/>
+        else if ($tag eq "table-of-omissions") then local:gen-omissions-placeholder($t)
+        else if ($tag eq "table")              then local:gen-table($t, $focus)
+        else if ($tag eq "replace-phrase")     then local:gen-replace-phrase($t, $focus, $depth)
+        else if ($tag eq "query")              then local:gen-query($t, $focus)
+      else if ($tag eq "model-check")        then local:gen-model-check($t)
+        else local:copy-through($t, $focus, $depth)
+      } catch $err {
+        local:problem-marker("error", $tag, string($err/message))
+      }
+  else ()
+};
+
+declare function local:gen-content($children, $focus, $depth) {
+  for $c in $children return local:gen($c, $focus, $depth)
+};
+
+declare function local:copy-through($t, $focus, $depth) {
+  element { name($t) } {
+    $t/attribute::node(),
+    local:gen-content($t/child::node(), $focus, $depth)
+  }
+};

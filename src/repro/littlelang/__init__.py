@@ -1,0 +1,23 @@
+"""The paper's moral, operationalized: lessons and language audits."""
+
+from .audit import (
+    LanguageProfile,
+    LessonVerdict,
+    profile_java_style_host,
+    profile_xquery_2004,
+    render_scorecard,
+    scorecard_rows,
+)
+from .lessons import LESSONS, Lesson, lesson_by_slug
+
+__all__ = [
+    "LESSONS",
+    "LanguageProfile",
+    "Lesson",
+    "LessonVerdict",
+    "lesson_by_slug",
+    "profile_java_style_host",
+    "profile_xquery_2004",
+    "render_scorecard",
+    "scorecard_rows",
+]

@@ -1,0 +1,82 @@
+"""The paper's seven lessons for little-language designers, as data.
+
+"Here are the most intense lessons from the XQuery experience, which are
+likely to apply to other high-end little languages as well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Lesson:
+    """One of the paper's closing lessons."""
+
+    number: int
+    slug: str
+    title: str
+    summary: str
+
+
+LESSONS: List[Lesson] = [
+    Lesson(
+        1,
+        "data-structures",
+        "Provide basic data structures",
+        "A full library is probably not worth implementing, but lists and "
+        "maps may well be enough.",
+    ),
+    Lesson(
+        2,
+        "mutability",
+        "Provide mutable data structures, unless there is a good reason not to",
+        "Many computations are easier to phrase with mutation than without; "
+        "in a little language, working around its absence is harder than in "
+        "a big one.",
+    ),
+    Lesson(
+        3,
+        "control-structures",
+        "Provide basic control structures",
+        "Iteration, function definition and call (including recursion), "
+        "if-then-else, and variable binding are probably enough.  (XQuery "
+        "got this one right.)",
+    ),
+    Lesson(
+        4,
+        "exceptions",
+        "Provide exception handling",
+        "A very rudimentary form will do — e.g. a single Exception type "
+        "capable of holding a map with arbitrary data in it.",
+    ),
+    Lesson(
+        5,
+        "debugging",
+        "Have some debugging or tracing features",
+        "User code will inevitably have errors.  A print command and, if "
+        "you feel fancy, a simple tracing command.",
+    ),
+    Lesson(
+        6,
+        "syntax",
+        "Have a sensible and traditional syntax where possible",
+        'Using "=" to mean "nonempty intersection" is unnecessarily '
+        "confusing.  XQuery had no choice; your little language may.",
+    ),
+    Lesson(
+        7,
+        "focus",
+        "Aside from the above, focus on the main purpose",
+        "The main point of a little language is to be very good at some "
+        "topic, in a way which would be out of place in a big language.",
+    ),
+]
+
+
+def lesson_by_slug(slug: str) -> Lesson:
+    for lesson in LESSONS:
+        if lesson.slug == slug:
+            return lesson
+    raise KeyError(slug)

@@ -1,0 +1,20 @@
+"""The AWB query calculus: one little language, two interpreters."""
+
+from .ast import Collect, FilterProperty, FilterType, Follow, Query, Start
+from .native import QueryRuntimeError, run_query
+from .parser import QueryParseError, parse_query_xml
+from .via_xquery import XQueryCalculusBackend
+
+__all__ = [
+    "Collect",
+    "FilterProperty",
+    "FilterType",
+    "Follow",
+    "Query",
+    "QueryParseError",
+    "QueryRuntimeError",
+    "Start",
+    "XQueryCalculusBackend",
+    "parse_query_xml",
+    "run_query",
+]

@@ -1,0 +1,91 @@
+"""AST of the AWB query calculus.
+
+"A significant part of this was the AWB query language — a little calculus
+in which one could say, for example, 'Start at this user; follow the
+relation likes forwards; follow the relation uses but only to computer
+programs from there; collect the results, sorted by label.'"
+
+The calculus is deliberately small: a start set, a pipeline of steps, and
+a collect clause.  It exists twice in this repo — interpreted natively
+over the live graph (:mod:`repro.querycalc.native`) and compiled to XQuery
+over the XML export (:mod:`repro.querycalc.via_xquery`) — because having
+"two implementations of the same query language" is exactly the situation
+the paper's team refused to live with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Start:
+    """The starting node set: by type, by id, or everything."""
+
+    type: Optional[str] = None
+    node_id: Optional[str] = None
+    all_nodes: bool = False
+
+
+@dataclass
+class Follow:
+    """Follow a relation one hop.
+
+    ``direction`` is ``forward`` (source → target) or ``backward``;
+    ``target_type`` optionally filters the landing nodes ("follow the
+    relation uses but only to computer programs").
+    """
+
+    relation: str
+    direction: str = "forward"
+    target_type: Optional[str] = None
+    include_subrelations: bool = True
+
+
+@dataclass
+class FilterType:
+    """Keep only nodes of the given type (including subtypes)."""
+
+    type: str
+
+
+@dataclass
+class FilterProperty:
+    """Keep nodes whose property satisfies a comparison.
+
+    ``op`` ∈ {eq, ne, lt, le, gt, ge, contains}.  Missing properties never
+    satisfy anything (suggestive, not punitive).
+    """
+
+    name: str
+    op: str = "eq"
+    value: str = ""
+
+
+@dataclass
+class Collect:
+    """Terminal clause: dedupe and sort.
+
+    ``sort_by`` names a property (default the metamodel's label property);
+    ``descending`` flips the order; ``distinct`` controls dedup (default
+    on — "collect all the objects reached from that into a set without
+    duplicates").
+    """
+
+    sort_by: Optional[str] = None
+    descending: bool = False
+    distinct: bool = True
+
+
+#: a pipeline step.
+Step = object
+
+
+@dataclass
+class Query:
+    """A complete calculus query."""
+
+    start: Start = field(default_factory=Start)
+    steps: List[Step] = field(default_factory=list)
+    collect: Collect = field(default_factory=Collect)

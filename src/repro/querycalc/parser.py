@@ -1,0 +1,108 @@
+"""XML surface syntax of the query calculus.
+
+"Later on, they got their own XML-based calculus" — queries are written as
+XML, matching how the rest of AWB's configuration lives in files::
+
+    <query>
+      <start type="User"/>
+      <follow relation="likes"/>
+      <follow relation="uses" target-type="Program"/>
+      <collect sort-by="label"/>
+    </query>
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..xdm import ElementNode
+from ..xmlio import parse_element
+from .ast import Collect, FilterProperty, FilterType, Follow, Query, Start
+
+
+class QueryParseError(ValueError):
+    """The XML is not a well-formed calculus query."""
+
+
+_VALID_OPS = ("eq", "ne", "lt", "le", "gt", "ge", "contains")
+
+
+def parse_query_xml(source: Union[str, ElementNode]) -> Query:
+    """Parse a calculus query from XML text or an already-parsed element."""
+    root = parse_element(source) if isinstance(source, str) else source
+    if root.name != "query":
+        raise QueryParseError(f"expected <query>, found <{root.name}>")
+    query = Query()
+    saw_start = False
+    saw_collect = False
+    for child in root.child_elements():
+        if child.name == "start":
+            if saw_start:
+                raise QueryParseError("<query> may contain only one <start>")
+            query.start = _parse_start(child)
+            saw_start = True
+        elif child.name == "follow":
+            query.steps.append(_parse_follow(child))
+        elif child.name == "filter-type":
+            type_name = child.get_attribute("type")
+            if not type_name:
+                raise QueryParseError("<filter-type> requires a type attribute")
+            query.steps.append(FilterType(type=type_name))
+        elif child.name == "filter-property":
+            query.steps.append(_parse_filter_property(child))
+        elif child.name == "collect":
+            if saw_collect:
+                raise QueryParseError("<query> may contain only one <collect>")
+            query.collect = _parse_collect(child)
+            saw_collect = True
+        else:
+            raise QueryParseError(f"unknown calculus element <{child.name}>")
+    if not saw_start:
+        raise QueryParseError("<query> requires a <start> element")
+    return query
+
+
+def _parse_start(element: ElementNode) -> Start:
+    type_name = element.get_attribute("type")
+    node_id = element.get_attribute("id")
+    all_flag = element.get_attribute("all") == "true"
+    provided = sum(1 for value in (type_name, node_id) if value) + (1 if all_flag else 0)
+    if provided != 1:
+        raise QueryParseError(
+            "<start> requires exactly one of: type=..., id=..., all=\"true\""
+        )
+    return Start(type=type_name, node_id=node_id, all_nodes=all_flag)
+
+
+def _parse_follow(element: ElementNode) -> Follow:
+    relation = element.get_attribute("relation")
+    if not relation:
+        raise QueryParseError("<follow> requires a relation attribute")
+    direction = element.get_attribute("direction") or "forward"
+    if direction not in ("forward", "backward"):
+        raise QueryParseError(f"bad direction {direction!r}")
+    include = element.get_attribute("subrelations") != "false"
+    return Follow(
+        relation=relation,
+        direction=direction,
+        target_type=element.get_attribute("target-type"),
+        include_subrelations=include,
+    )
+
+
+def _parse_filter_property(element: ElementNode) -> FilterProperty:
+    name = element.get_attribute("name")
+    if not name:
+        raise QueryParseError("<filter-property> requires a name attribute")
+    op = element.get_attribute("op") or "eq"
+    if op not in _VALID_OPS:
+        raise QueryParseError(f"bad filter op {op!r}; expected one of {_VALID_OPS}")
+    return FilterProperty(name=name, op=op, value=element.get_attribute("value") or "")
+
+
+def _parse_collect(element: ElementNode) -> Collect:
+    return Collect(
+        sort_by=element.get_attribute("sort-by"),
+        descending=element.get_attribute("order") == "descending",
+        distinct=element.get_attribute("distinct") != "false",
+    )

@@ -1,0 +1,156 @@
+"""The XQuery backend for the query calculus.
+
+Compiles a calculus query to XQuery source evaluated over the model's XML
+export by :mod:`repro.xquery`.  This is the document-generation-era
+implementation the paper's team abandoned: "Calling XQuery from Java to
+evaluate queries was preposterously inefficient, and would have made the
+workbench unusably slow."  Experiment E6 measures exactly how much slower
+it is than :mod:`repro.querycalc.native`.
+
+The generated program joins ``<relation>`` elements against ``<node>``
+elements by id — an O(nodes × relations) scan per hop, which is honest to
+how a 2004 XQuery engine without join indexes evaluated it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..awb.metamodel import Metamodel
+from ..awb.model import Model, ModelNode
+from ..awb.xml_io import export_model
+from ..xdm import DocumentNode, ElementNode
+from ..xquery import XQueryEngine
+from .ast import Collect, FilterProperty, FilterType, Follow, Query
+
+
+def _string_sequence(names: List[str]) -> str:
+    quoted = ", ".join(f'"{name}"' for name in names)
+    return f"({quoted})"
+
+
+class XQueryCalculusBackend:
+    """Compiles and runs calculus queries via the XQuery engine.
+
+    The XML export can be supplied once and reused across queries (the
+    realistic usage: the workbench would re-export only when the model
+    changed).
+    """
+
+    def __init__(self, model: Model, engine: Optional[XQueryEngine] = None):
+        self.model = model
+        self.metamodel: Metamodel = model.metamodel
+        self.engine = engine or XQueryEngine()
+        self._export: Optional[DocumentNode] = None
+
+    def invalidate_export(self) -> None:
+        """Drop the cached XML export (call after mutating the model)."""
+        self._export = None
+
+    @property
+    def export(self) -> DocumentNode:
+        if self._export is None:
+            self._export = export_model(self.model)
+        return self._export
+
+    def compile_to_xquery(self, query: Query) -> str:
+        """Translate a calculus query into XQuery source text."""
+        lines: List[str] = ['declare variable $model external;']
+        start = self._compile_start(query)
+        pipeline = start
+        for index, step in enumerate(query.steps, start=1):
+            function_name = f"local:step{index}"
+            lines.append(self._compile_step(step, function_name))
+            pipeline = f"{function_name}({pipeline})"
+        lines.append(self._compile_collect(query.collect, pipeline))
+        return "\n".join(lines)
+
+    def run(self, query: Query) -> List[ModelNode]:
+        """Compile, evaluate, and map results back to live model nodes."""
+        source = self.compile_to_xquery(query)
+        root = self.export.document_element()
+        result = self.engine.evaluate(source, variables={"model": root})
+        nodes: List[ModelNode] = []
+        for item in result:
+            if not isinstance(item, ElementNode):
+                continue
+            node_id = item.get_attribute("id")
+            if node_id is not None and node_id in self.model.nodes:
+                nodes.append(self.model.nodes[node_id])
+        return nodes
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile_start(self, query: Query) -> str:
+        start = query.start
+        if start.all_nodes:
+            return "$model/node"
+        if start.node_id is not None:
+            return f'$model/node[@id eq "{start.node_id}"]'
+        type_names = self.metamodel.node_subtype_names(start.type)
+        return f"$model/node[@type = {_string_sequence(type_names)}]"
+
+    def _compile_step(self, step, function_name: str) -> str:
+        if isinstance(step, Follow):
+            return self._compile_follow(step, function_name)
+        if isinstance(step, FilterType):
+            type_names = self.metamodel.node_subtype_names(step.type)
+            return (
+                f"declare function {function_name}($nodes) {{\n"
+                f"  $nodes[@type = {_string_sequence(type_names)}]\n"
+                f"}};"
+            )
+        if isinstance(step, FilterProperty):
+            return self._compile_filter_property(step, function_name)
+        raise TypeError(f"unknown step {type(step).__name__}")
+
+    def _compile_follow(self, step: Follow, function_name: str) -> str:
+        if step.include_subrelations:
+            relation_names = self.metamodel.relation_subtype_names(step.relation)
+        else:
+            relation_names = [step.relation]
+        relation_test = f"@type = {_string_sequence(relation_names)}"
+        if step.direction == "forward":
+            here, there = "@source", "@target"
+        else:
+            here, there = "@target", "@source"
+        target_filter = ""
+        if step.target_type is not None:
+            target_names = self.metamodel.node_subtype_names(step.target_type)
+            target_filter = f"[@type = {_string_sequence(target_names)}]"
+        return (
+            f"declare function {function_name}($nodes) {{\n"
+            f"  for $n in $nodes\n"
+            f"  for $r in root($n)/awb-model/relation[{relation_test}]"
+            f"[{here} eq $n/@id]\n"
+            f"  return root($n)/awb-model/node[@id eq $r/{there}]{target_filter}\n"
+            f"}};"
+        )
+
+    def _compile_filter_property(self, step: FilterProperty, function_name: str) -> str:
+        value = step.value.replace('"', "&quot;")
+        if step.op == "contains":
+            condition = f'contains(string(property[@name eq "{step.name}"]), "{value}")'
+        else:
+            condition = (
+                f'property[@name eq "{step.name}"] and '
+                f'string(property[@name eq "{step.name}"]) {step.op} "{value}"'
+            )
+        return (
+            f"declare function {function_name}($nodes) {{\n"
+            f"  $nodes[{condition}]\n"
+            f"}};"
+        )
+
+    def _compile_collect(self, collect: Collect, pipeline: str) -> str:
+        sort_property = collect.sort_by or self.metamodel.label_property
+        # "$x | ()" deduplicates by node identity and restores document
+        # order — the idiomatic XQuery way to build a set of nodes.
+        dedup = f"({pipeline} | ())" if collect.distinct else f"({pipeline})"
+        direction = "descending" if collect.descending else "ascending"
+        return (
+            f"for $result in {dedup}\n"
+            f'order by string($result/property[@name eq "{sort_property}"]) '
+            f"{direction}, string($result/@id)\n"
+            f"return $result"
+        )

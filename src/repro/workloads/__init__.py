@@ -1,0 +1,49 @@
+"""Deterministic synthetic workloads for examples and benchmarks."""
+
+from .errorchains import (
+    count_ladder_lines,
+    native_chain,
+    native_required_child,
+    nested_input,
+    trycatch_chain_program,
+    xquery_chain_program,
+)
+from .loc import count_file_loc, inventory, total_loc
+from .mathlib import BINARY_SEARCH_XQ, TRIG_XQ, count_divisions
+from .models import make_awb_self_model, make_glass_catalog, make_it_model
+from .setprograms import STRING_SET_PROGRAM, XML_SET_PROGRAM, make_values
+from .templates import (
+    error_prone_template,
+    glass_catalog_template,
+    simple_list_template,
+    system_context_template,
+    table_template,
+    toc_heavy_template,
+)
+
+__all__ = [
+    "BINARY_SEARCH_XQ",
+    "STRING_SET_PROGRAM",
+    "TRIG_XQ",
+    "XML_SET_PROGRAM",
+    "count_file_loc",
+    "count_divisions",
+    "count_ladder_lines",
+    "error_prone_template",
+    "glass_catalog_template",
+    "inventory",
+    "make_awb_self_model",
+    "make_glass_catalog",
+    "make_it_model",
+    "make_values",
+    "native_chain",
+    "native_required_child",
+    "nested_input",
+    "simple_list_template",
+    "system_context_template",
+    "table_template",
+    "toc_heavy_template",
+    "total_loc",
+    "trycatch_chain_program",
+    "xquery_chain_program",
+]

@@ -1,0 +1,141 @@
+"""Error-handling workloads for experiment E3.
+
+Builds matched pairs of computations: a chain of ``required-child`` fetches
+of depth *d*, written
+
+* the XQuery way — every call wrapped in the
+  ``let/if-is-error/then/else`` ladder (the paper: "this turned nearly
+  every function call into a half-dozen lines of code"); and
+* the Java way — plain sequential calls, one ``try`` at the top
+  ("grabbing two required children in Java was simply... continue to
+  compute").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..docgen.errors import GenTrouble
+from ..xdm import ElementNode
+
+
+def nested_input(depth: int, break_at: int = 0) -> ElementNode:
+    """A chain ``<c1><c2>...<cN/>...</c2></c1>``.
+
+    ``break_at`` (1-based) omits that level, so the chain fails there;
+    0 builds the complete, healthy chain.
+    """
+    root = ElementNode("input")
+    current = root
+    for level in range(1, depth + 1):
+        if level == break_at:
+            break
+        child = ElementNode(f"c{level}")
+        current.append(child)
+        current = child
+    return root
+
+
+def xquery_chain_program(depth: int) -> str:
+    """The error-as-value XQuery program fetching ``c1 … cN`` in a ladder."""
+    lines: List[str] = [
+        "declare variable $input external;",
+        "",
+        "declare function local:is-error($v) {",
+        "  count($v) eq 1 and $v instance of element(error)",
+        "};",
+        "",
+        "declare function local:required-child($parent, $name) {",
+        "  let $c := ($parent/*[name(.) eq $name])[1]",
+        "  return",
+        "    if (empty($c))",
+        '    then <error><message>{concat("no <", $name, "> child")}</message></error>',
+        "    else $c",
+        "};",
+        "",
+    ]
+    previous = "$input"
+    indent = ""
+    for level in range(1, depth + 1):
+        variable = f"$c{level}"
+        lines.append(
+            f'{indent}let {variable} := local:required-child({previous}, "c{level}")'
+        )
+        lines.append(f"{indent}return")
+        lines.append(f"{indent}  if (local:is-error({variable}))")
+        lines.append(f"{indent}  then <failed>{{{variable}/message}}</failed>")
+        lines.append(f"{indent}  else")
+        indent += "  "
+        previous = variable
+    lines.append(f"{indent}<done>{{name({previous})}}</done>")
+    return "\n".join(lines)
+
+
+def count_ladder_lines(depth: int) -> Tuple[int, int]:
+    """(ladder lines, useful lines) in the XQuery chain of given depth.
+
+    The "useful" computation is one line per fetch plus the final
+    construction; everything else is the error ladder.
+    """
+    program = xquery_chain_program(depth)
+    body_lines = [
+        line
+        for line in program.splitlines()
+        if line.strip() and not line.strip().startswith("declare")
+        and "element(error)" not in line
+    ]
+    useful = depth + 1  # one let per fetch + the final <done>
+    return len(body_lines), useful
+
+
+def trycatch_chain_program(depth: int) -> str:
+    """The same chain written with the try/catch extension (XQuery 3.0).
+
+    The utility *throws* with ``fn:error`` instead of returning an
+    ``<error>`` value, so the main line collapses to one call per fetch —
+    exactly the shape the paper got from Java, a decade early.
+    """
+    lines: List[str] = [
+        "declare variable $input external;",
+        "",
+        "declare function local:required-child($parent, $name) {",
+        "  let $c := ($parent/*[name(.) eq $name])[1]",
+        "  return",
+        "    if (empty($c))",
+        '    then error(concat("no <", $name, "> child"))',
+        "    else $c",
+        "};",
+        "",
+        "try {",
+    ]
+    previous = "$input"
+    for level in range(1, depth + 1):
+        lines.append(
+            f'  let $c{level} := local:required-child({previous}, "c{level}")'
+        )
+        previous = f"$c{level}"
+    lines.append(f"  return <done>{{name({previous})}}</done>")
+    lines.append("} catch $err {")
+    lines.append("  <failed>{$err/message}</failed>")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def native_required_child(parent: ElementNode, name: str) -> ElementNode:
+    """The Java-style utility: returns the child or throws GenTrouble."""
+    child = parent.first_child_element(name)
+    if child is None:
+        raise GenTrouble(f"no <{name}> child", template_element=parent)
+    return child
+
+
+def native_chain(root: ElementNode, depth: int) -> str:
+    """The Java-style chain: straight-line calls, caller catches at top.
+
+    Returns the final element's name, or raises GenTrouble from whatever
+    level broke — with context, for free.
+    """
+    current = root
+    for level in range(1, depth + 1):
+        current = native_required_child(current, f"c{level}")
+    return current.name

@@ -1,0 +1,121 @@
+"""Lines-of-code accounting for experiment E9.
+
+Counts non-blank, non-comment lines, with comment syntax per language
+(``#`` for Python, nesting ``(: ... :)`` for XQuery, ``<!-- -->`` for
+XML/XSLT).  Used to compare the two shipped generator implementations the
+way the paper compares its XQuery and Java versions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List
+
+
+def count_python_loc(text: str) -> int:
+    count = 0
+    in_docstring = False
+    delimiter = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_docstring:
+            if delimiter in stripped:
+                in_docstring = False
+            continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith('"""') or stripped.startswith("'''"):
+            delimiter = stripped[:3]
+            rest = stripped[3:]
+            if delimiter not in rest:
+                in_docstring = True
+            continue
+        count += 1
+    return count
+
+
+def count_xquery_loc(text: str) -> int:
+    count = 0
+    depth = 0
+    for line in text.splitlines():
+        remaining = line
+        code_chars: List[str] = []
+        while remaining:
+            if depth > 0:
+                close = remaining.find(":)")
+                open_ = remaining.find("(:")
+                if open_ != -1 and (close == -1 or open_ < close):
+                    depth += 1
+                    remaining = remaining[open_ + 2 :]
+                elif close != -1:
+                    depth -= 1
+                    remaining = remaining[close + 2 :]
+                else:
+                    remaining = ""
+            else:
+                open_ = remaining.find("(:")
+                if open_ == -1:
+                    code_chars.append(remaining)
+                    remaining = ""
+                else:
+                    code_chars.append(remaining[:open_])
+                    depth += 1
+                    remaining = remaining[open_ + 2 :]
+        if "".join(code_chars).strip():
+            count += 1
+    return count
+
+
+def count_xml_loc(text: str) -> int:
+    count = 0
+    in_comment = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_comment:
+            if "-->" in stripped:
+                in_comment = False
+            continue
+        if not stripped:
+            continue
+        if stripped.startswith("<!--"):
+            if "-->" not in stripped:
+                in_comment = True
+            continue
+        count += 1
+    return count
+
+
+_COUNTERS = {
+    ".py": count_python_loc,
+    ".xq": count_xquery_loc,
+    ".xml": count_xml_loc,
+    ".xslt": count_xml_loc,
+}
+
+
+def count_file_loc(path: str) -> int:
+    _, extension = os.path.splitext(path)
+    counter = _COUNTERS.get(extension)
+    if counter is None:
+        raise ValueError(f"no LoC counter for {extension!r} files")
+    with open(path, "r", encoding="utf-8") as handle:
+        return counter(handle.read())
+
+
+def inventory(paths: Iterable[str]) -> Dict[str, int]:
+    """Per-file LoC for the given files/directories (recursing into dirs)."""
+    result: Dict[str, int] = {}
+    for path in paths:
+        if os.path.isdir(path):
+            for directory, _, files in os.walk(path):
+                for name in sorted(files):
+                    full = os.path.join(directory, name)
+                    if os.path.splitext(name)[1] in _COUNTERS:
+                        result[full] = count_file_loc(full)
+        else:
+            result[path] = count_file_loc(path)
+    return result
+
+
+def total_loc(paths: Iterable[str]) -> int:
+    return sum(inventory(paths).values())

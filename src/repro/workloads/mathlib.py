@@ -1,0 +1,80 @@
+"""The paper's numeric footnote, made runnable.
+
+"We only used division 15 times in the document generator, once for
+binary search and the rest for trigonometry."  This module ships that
+code: a binary search and a small Taylor-series trigonometry library,
+written in XQuery ("Following standard software engineering practice, we
+wrote our own utility functions ... a bit of trigonometry, and other
+routine things").
+
+It doubles as a stress test of general-purpose numeric programming in a
+query language: recursion for iteration, `div` for the series terms, and
+no mutable accumulators anywhere.
+"""
+
+from __future__ import annotations
+
+#: Binary search over a sorted sequence of numbers.  Returns the 1-based
+#: position of $target, or 0 when absent.  The one use of division.
+BINARY_SEARCH_XQ = """
+declare function local:bsearch($sorted, $target, $low, $high) {
+  if ($low gt $high) then 0
+  else
+    let $mid := ($low + $high) idiv 2
+    let $value := $sorted[$mid]
+    return
+      if ($value eq $target) then $mid
+      else if ($value lt $target) then local:bsearch($sorted, $target, $mid + 1, $high)
+      else local:bsearch($sorted, $target, $low, $mid - 1)
+};
+
+declare function local:binary-search($sorted, $target) {
+  local:bsearch($sorted, $target, 1, count($sorted))
+};
+"""
+
+#: Taylor-series sine/cosine, plus degree conversion — "the rest" of the
+#: divisions.  Doubles are used throughout (xs:double arithmetic).
+TRIG_XQ = """
+declare variable $pi := 3.14159265358979e0;
+
+declare function local:to-radians($degrees) {
+  $degrees * $pi div 180e0
+};
+
+(: sin(x) = x - x^3/3! + x^5/5! - ...; $term is x^(2k+1)/(2k+1)!,
+   threaded through the recursion because nothing can be accumulated. :)
+declare function local:sin-series($x, $term, $k, $acc) {
+  if ($k gt 10) then $acc
+  else
+    let $next-term := $term * $x * $x
+                      div ((2e0 * $k) * (2e0 * $k + 1e0)) * -1e0
+    return local:sin-series($x, $next-term, $k + 1, $acc + $next-term)
+};
+
+declare function local:sin($x) {
+  local:sin-series($x, $x, 1, $x)
+};
+
+declare function local:cos-series($x, $term, $k, $acc) {
+  if ($k gt 10) then $acc
+  else
+    let $next-term := $term * $x * $x
+                      div ((2e0 * $k - 1e0) * (2e0 * $k)) * -1e0
+    return local:cos-series($x, $next-term, $k + 1, $acc + $next-term)
+};
+
+declare function local:cos($x) {
+  local:cos-series($x, 1e0, 1, 1e0)
+};
+
+declare function local:tan($x) {
+  local:sin($x) div local:cos($x)
+};
+"""
+
+
+def count_divisions() -> int:
+    """How many ``div``/``idiv`` uses the two libraries contain."""
+    source = BINARY_SEARCH_XQ + TRIG_XQ
+    return source.count(" div ") + source.count(" idiv ")

@@ -1,0 +1,156 @@
+"""Deterministic synthetic AWB models for examples and benchmarks.
+
+The paper's models were real IT-architecture engagements; these generators
+produce structurally similar graphs at controllable sizes, seeded so every
+benchmark run sees the same model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..awb import Model, load_metamodel
+
+FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+    "Trent", "Victor", "Walter", "Yolanda",
+]
+
+PROGRAM_WORDS = [
+    "Ledger", "Audit", "Billing", "Routing", "Cache", "Index", "Report",
+    "Gateway", "Queue", "Batch", "Archive", "Metric", "Quota", "Token",
+]
+
+GLASS_STYLES = ["Art Nouveau", "Art Deco", "Venetian", "Bohemian", "Depression"]
+GLASS_MAKERS = ["Tiffany", "Lalique", "Gallé", "Loetz", "Steuben", "Daum"]
+GLASS_KINDS = ["Vase", "Goblet", "Paperweight"]
+
+
+def make_it_model(scale: int = 10, seed: int = 42, omit_some_versions: bool = True) -> Model:
+    """An IT-architecture model with roughly ``6 * scale`` nodes.
+
+    Contains one SystemBeingDesigned, ``scale`` users (every fourth a
+    Superuser), programs, servers, documents (some missing their version,
+    feeding the omissions machinery), and a web of has/uses/runs/likes
+    relations.
+    """
+    rng = random.Random(seed)
+    model = Model(load_metamodel("it-architecture"), name=f"it-model-{scale}")
+    sbd = model.create_node("SystemBeingDesigned", label="SystemUnderDesign")
+
+    users = []
+    for index in range(scale):
+        type_name = "Superuser" if index % 4 == 3 else "User"
+        name = FIRST_NAMES[index % len(FIRST_NAMES)]
+        user = model.create_node(
+            type_name,
+            label=f"{name}-{index}",
+            firstName=name,
+            birthYear=1950 + (index * 7) % 50,
+        )
+        users.append(user)
+        model.connect(sbd, "has", user)
+
+    programs = []
+    for index in range(max(2, scale // 2)):
+        word = PROGRAM_WORDS[index % len(PROGRAM_WORDS)]
+        program = model.create_node(
+            "Program", label=f"{word}D-{index}", version=f"{1 + index % 3}.{index % 10}"
+        )
+        programs.append(program)
+        model.connect(sbd, "runs", program)
+
+    servers = []
+    for index in range(max(1, scale // 3)):
+        server = model.create_node(
+            "Server",
+            label=f"srv-{index:03d}",
+            cpuCount=2 ** (index % 5),
+            memoryGb=4 * (1 + index % 8),
+        )
+        servers.append(server)
+        model.connect(sbd, "has", server)
+        model.connect(server, "runs", rng.choice(programs))
+
+    documents = []
+    for index in range(max(1, scale // 4)):
+        document = model.create_node("Document", label=f"doc-{index:03d}")
+        if not omit_some_versions or index % 3 != 0:
+            document.set("version", f"0.{index}")
+        documents.append(document)
+        model.connect(sbd, "has", document)
+
+    for index, user in enumerate(users):
+        # users like a couple of other users; every third "favors" one.
+        others = [u for u in users if u is not user]
+        if others:
+            model.connect(user, "likes", rng.choice(others))
+            if index % 3 == 0:
+                model.connect(user, "favors", rng.choice(others))
+        model.connect(user, "uses", sbd)
+        if programs and index % 2 == 0:
+            # the advisory violation the paper highlights: Person uses
+            # Program directly, bypassing the preferred phrasing.
+            model.connect(user, "uses", rng.choice(programs))
+    return model
+
+
+def make_glass_catalog(pieces: int = 12, seed: int = 7) -> Model:
+    """An antique-glass-catalog model with ``pieces`` glass pieces."""
+    rng = random.Random(seed)
+    model = Model(load_metamodel("glass-catalog"), name=f"glass-{pieces}")
+    makers = [
+        model.create_node("Maker", label=name, country="France" if i % 2 else "USA",
+                          founded=1837 + i * 11)
+        for i, name in enumerate(GLASS_MAKERS)
+    ]
+    styles = [model.create_node("Style", label=name) for name in GLASS_STYLES]
+    customers = [
+        model.create_node("Customer", label=f"{name} Q.", email=f"{name.lower()}@example.com")
+        for name in FIRST_NAMES[:4]
+    ]
+    for index in range(pieces):
+        kind = GLASS_KINDS[index % len(GLASS_KINDS)]
+        piece = model.create_node(
+            kind,
+            label=f"{kind} #{index + 1}",
+            year=1880 + (index * 13) % 80,
+        )
+        if index % 5 != 4:  # some pieces lack a price: an omission
+            piece.set("priceDollars", 250 + (index * 97) % 4000)
+        model.connect(piece, "madeBy", rng.choice(makers))
+        model.connect(piece, "inStyle", rng.choice(styles))
+        if index % 3 == 0:
+            model.connect(piece, "soldTo", rng.choice(customers))
+        if index % 2 == 0:
+            model.connect(rng.choice(customers), "interestedIn", piece)
+    return model
+
+
+def make_awb_self_model(seed: int = 3) -> Model:
+    """AWB describing itself: a small meta-level model."""
+    model = Model(load_metamodel("awb-itself"), name="awb-itself")
+    files = [
+        model.create_node("MetamodelFile", label=name, path=f"metamodels/{name}.xml")
+        for name in ("core", "it", "glass")
+    ]
+    node_defs = {}
+    for name, parent in [
+        ("Element", None), ("System", "Element"), ("Person", "Element"),
+        ("User", "Person"), ("Document", "Element"),
+    ]:
+        node_def = model.create_node("NodeTypeDef", label=name)
+        node_defs[name] = node_def
+        model.connect(node_def, "definedIn", files[0])
+        if parent is not None:
+            model.connect(node_def, "extends", node_defs[parent])
+    editor = model.create_node("EditorDef", label="FormEditor", widget="form")
+    model.connect(node_defs["Person"], "editedBy", editor)
+    for name in ("has", "uses", "likes"):
+        relation_def = model.create_node("RelationTypeDef", label=name)
+        model.connect(relation_def, "definedIn", files[1])
+        model.connect(relation_def, "connectsFrom", node_defs["System"])
+        model.connect(relation_def, "connectsTo", node_defs["Element"])
+    return model

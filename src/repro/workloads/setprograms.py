@@ -1,0 +1,78 @@
+"""Set-encoding workloads for experiment E7.
+
+"We decided to limit ourselves to a 'set of string' data structure, for
+which sequences do work...  If we represent the two sets as XML structures
+(which makes the basic operations several times as expensive)..."
+
+Two XQuery set implementations over the same values:
+
+* ``string`` — a flat sequence of strings, membership via the existential
+  ``=`` (the representation the paper settled on);
+* ``xml`` — each member wrapped in an ``<item value="..."/>`` element
+  (the encoding needed once members stop being single atomics).
+
+Each program folds ``$values`` into a set, then probes membership of every
+value again, returning the final size.
+"""
+
+from __future__ import annotations
+
+STRING_SET_PROGRAM = """
+declare variable $values external;
+
+declare function local:set-add($set, $value) {
+  if ($set = $value) then $set else ($set, $value)
+};
+
+declare function local:add-all($set, $rest) {
+  if (empty($rest)) then $set
+  else local:add-all(local:set-add($set, $rest[1]), $rest[position() gt 1])
+};
+
+declare function local:count-members($set, $rest) {
+  if (empty($rest)) then 0
+  else (if ($set = $rest[1]) then 1 else 0)
+       + local:count-members($set, $rest[position() gt 1])
+};
+
+let $set := local:add-all((), $values)
+return (count($set), local:count-members($set, $values))
+"""
+
+XML_SET_PROGRAM = """
+declare variable $values external;
+
+declare function local:xset-member($set, $value) {
+  some $i in $set satisfies string($i/@value) eq $value
+};
+
+declare function local:xset-add($set, $value) {
+  if (local:xset-member($set, $value)) then $set
+  else ($set, <item value="{$value}"/>)
+};
+
+declare function local:add-all($set, $rest) {
+  if (empty($rest)) then $set
+  else local:add-all(local:xset-add($set, $rest[1]), $rest[position() gt 1])
+};
+
+declare function local:count-members($set, $rest) {
+  if (empty($rest)) then 0
+  else (if (local:xset-member($set, $rest[1])) then 1 else 0)
+       + local:count-members($set, $rest[position() gt 1])
+};
+
+let $set := local:add-all((), $values)
+return (count($set), local:count-members($set, $values))
+"""
+
+
+def make_values(count: int, duplicate_every: int = 5):
+    """``count`` strings with a duplicate every ``duplicate_every`` values."""
+    values = []
+    for index in range(count):
+        if duplicate_every and index % duplicate_every == duplicate_every - 1:
+            values.append(f"value-{max(0, index - 2):05d}")
+        else:
+            values.append(f"value-{index:05d}")
+    return values

@@ -1,0 +1,133 @@
+"""Document templates for examples and benchmarks."""
+
+from __future__ import annotations
+
+
+def system_context_template() -> str:
+    """A realistic System Context document: the paper's flagship workload."""
+    return """<html>
+<h1>System Context</h1>
+<model-check/>
+<table-of-contents/>
+<section><heading>The System</heading>
+  <for nodes="all.SystemBeingDesigned">
+    <p>This document describes <b><label/></b> (<focus-id/>).</p>
+  </for>
+</section>
+<section><heading>Users</heading>
+  <ol>
+    <for nodes="all.User" sort="label">
+      <li>
+        <if>
+          <test><focus-is-type type="Superuser"/></test>
+          <then><b><label/></b> (superuser)</then>
+          <else><label/></else>
+        </if>
+      </li>
+    </for>
+  </ol>
+</section>
+<section><heading>Programs in Use</heading>
+  <p>Who uses what: TABLE-1-GOES-HERE (generated).</p>
+  <replace-phrase phrase="TABLE-1-GOES-HERE">
+    <table rows="all.User" cols="all.Program" relation="uses"/>
+  </replace-phrase>
+</section>
+<section><heading>Documents</heading>
+  <ul>
+    <for nodes="all.Document" sort="label">
+      <li><label/> — version <property-value name="version" default="(none)"/></li>
+    </for>
+  </ul>
+</section>
+<section><heading>Favored colleagues</heading>
+  <query>
+    <start type="User"/>
+    <follow relation="favors"/>
+    <collect sort-by="label"/>
+  </query>
+</section>
+<section><heading>Omissions</heading>
+  <table-of-omissions types="User,Program,Document"/>
+</section>
+</html>"""
+
+
+def simple_list_template(type_name: str) -> str:
+    """A minimal template: a sorted list of labels of one type."""
+    return f"""<html>
+<ul>
+  <for nodes="all.{type_name}" sort="label"><li><label/></li></for>
+</ul>
+</html>"""
+
+
+def toc_heavy_template(sections: int) -> str:
+    """Many sections; stresses the ToC machinery (experiment E4)."""
+    parts = ["<html>", "<table-of-contents/>"]
+    for index in range(sections):
+        parts.append(
+            f"<section><heading>Section {index:04d}</heading>"
+            f"<p>Body of section {index}.</p>"
+            "<for nodes=\"all.User\" sort=\"label\"><span><label/> </span></for>"
+            "</section>"
+        )
+    parts.append("<table-of-omissions types=\"User\"/>")
+    parts.append("</html>")
+    return "\n".join(parts)
+
+
+def table_template(rows_type: str, cols_type: str, relation: str) -> str:
+    """Just the row/col table (experiment E5)."""
+    return (
+        f'<html><table rows="all.{rows_type}" cols="all.{cols_type}" '
+        f'relation="{relation}"/></html>'
+    )
+
+
+def glass_catalog_template() -> str:
+    """A catalogue document for the antique glass dealer retarget."""
+    return """<html>
+<h1>Catalogue of Antique Glass</h1>
+<table-of-contents/>
+<section><heading>Pieces for Sale</heading>
+  <ul>
+    <for nodes="all.GlassPiece" sort="label">
+      <li>
+        <b><label/></b>,
+        <property-value name="year" default="year unknown"/> —
+        $<property-value name="priceDollars" default="(price on request)"/>
+        <if>
+          <test><has-relation relation="soldTo"/></test>
+          <then> <i>(SOLD)</i></then>
+        </if>
+      </li>
+    </for>
+  </ul>
+</section>
+<section><heading>Makers</heading>
+  <ul>
+    <for nodes="all.Maker" sort="label">
+      <li><label/> (<property-value name="country" default="?"/>)</li>
+    </for>
+  </ul>
+</section>
+<section><heading>Unpriced Pieces</heading>
+  <table-of-omissions types="GlassPiece"/>
+</section>
+</html>"""
+
+
+def error_prone_template() -> str:
+    """A template full of mistakes, exercising both error regimes."""
+    return """<html>
+<label/>
+<for nodes="all.NoSuchType"><li><label/></li></for>
+<for><li>missing the nodes attribute</li></for>
+<if><then>no test element</then></if>
+<for nodes="all.User">
+  <property-value/>
+  <property-value name="noSuchProperty"/>
+</for>
+<table rows="all.User" relation="uses"/>
+</html>"""

@@ -1,0 +1,89 @@
+"""The XQuery Data Model (XDM): items, nodes, and flattening sequences.
+
+This package is the substrate shared by the XML parser, the XQuery engine,
+the mini-XSLT processor, and both document-generator implementations.
+"""
+
+from .items import (
+    ATOMIC_TYPES,
+    UntypedAtomic,
+    atomic_type_name,
+    format_decimal,
+    format_double,
+    is_atomic,
+    parse_number,
+    string_value_of_atomic,
+)
+from .nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+    element,
+    is_node,
+    sort_document_order,
+)
+from .sequence import (
+    Sequence,
+    atomize,
+    effective_boolean_value,
+    is_item,
+    number_value,
+    sequence,
+    singleton,
+    string_value,
+)
+from .types import (
+    CastError,
+    ItemType,
+    SequenceType,
+    atomic_type_derives_from,
+    cast_atomic,
+)
+from .compare import (
+    ComparisonTypeError,
+    deep_equal,
+    general_compare,
+    value_compare,
+)
+
+__all__ = [
+    "ATOMIC_TYPES",
+    "AttributeNode",
+    "CastError",
+    "CommentNode",
+    "ComparisonTypeError",
+    "DocumentNode",
+    "ElementNode",
+    "ItemType",
+    "Node",
+    "ProcessingInstructionNode",
+    "Sequence",
+    "SequenceType",
+    "TextNode",
+    "UntypedAtomic",
+    "atomic_type_derives_from",
+    "atomic_type_name",
+    "atomize",
+    "cast_atomic",
+    "deep_equal",
+    "effective_boolean_value",
+    "element",
+    "format_decimal",
+    "format_double",
+    "general_compare",
+    "is_atomic",
+    "is_item",
+    "is_node",
+    "number_value",
+    "parse_number",
+    "sequence",
+    "singleton",
+    "sort_document_order",
+    "string_value",
+    "string_value_of_atomic",
+    "value_compare",
+]

@@ -1,0 +1,155 @@
+"""Atomic items of the XQuery Data Model (XDM).
+
+The paper's engine (Galax, working from the 2004 draft) distinguishes three
+kinds of values: scalars, XML nodes, and sequences.  This module defines the
+scalar ("atomic") side.  Atomic values are represented directly as Python
+values wherever a Python type matches the XML Schema type:
+
+========================  =========================
+XML Schema type           Python representation
+========================  =========================
+``xs:boolean``            ``bool``
+``xs:integer``            ``int``
+``xs:decimal``            ``decimal.Decimal``
+``xs:double``             ``float``
+``xs:string``             ``str``
+``xs:untypedAtomic``      :class:`UntypedAtomic`
+========================  =========================
+
+``xs:untypedAtomic`` is the type of data extracted from schemaless XML (the
+paper used XQuery "in the untyped mode").  It behaves like a string until an
+operation forces a numeric or boolean reading.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+
+
+class UntypedAtomic:
+    """A value of type ``xs:untypedAtomic``: schemaless XML text.
+
+    Wraps the lexical string.  Comparisons and arithmetic on untyped values
+    promote to the other operand's type (or to ``xs:double`` for arithmetic),
+    per the XQuery draft the paper's project tracked.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = str(value)
+
+    def __repr__(self) -> str:
+        return f"UntypedAtomic({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UntypedAtomic) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("UntypedAtomic", self.value))
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Python types that count as XDM atomic items.
+ATOMIC_TYPES = (bool, int, float, Decimal, str, UntypedAtomic)
+
+
+def is_atomic(value: object) -> bool:
+    """True if *value* is an XDM atomic item."""
+    return isinstance(value, ATOMIC_TYPES)
+
+
+def atomic_type_name(value: object) -> str:
+    """The ``xs:`` type name of an atomic item.
+
+    ``bool`` must be tested before ``int`` because Python's bool is an int
+    subclass, a classic trap in database value mapping.
+    """
+    if isinstance(value, bool):
+        return "xs:boolean"
+    if isinstance(value, int):
+        return "xs:integer"
+    if isinstance(value, Decimal):
+        return "xs:decimal"
+    if isinstance(value, float):
+        return "xs:double"
+    if isinstance(value, UntypedAtomic):
+        return "xs:untypedAtomic"
+    if isinstance(value, str):
+        return "xs:string"
+    raise TypeError(f"not an atomic item: {value!r}")
+
+
+def string_value_of_atomic(value: object) -> str:
+    """The canonical lexical form of an atomic item (fn:string semantics)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_double(value)
+    if isinstance(value, Decimal):
+        return format_decimal(value)
+    if isinstance(value, (int, str)):
+        return str(value)
+    if isinstance(value, UntypedAtomic):
+        return value.value
+    raise TypeError(f"not an atomic item: {value!r}")
+
+
+def format_double(value: float) -> str:
+    """Serialize an ``xs:double`` roughly as the XQuery spec prescribes.
+
+    Integral doubles print without a trailing ``.0`` (``3`` not ``3.0``);
+    NaN and infinities use the XML Schema lexical forms.
+    """
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "INF"
+    if value == float("-inf"):
+        return "-INF"
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def format_decimal(value: Decimal) -> str:
+    """Serialize an ``xs:decimal`` without exponent notation."""
+    text = format(value, "f")
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def parse_number(text: str) -> object:
+    """Parse a numeric literal to the narrowest fitting XDM numeric type.
+
+    Follows the XQuery literal rules: no dot and no exponent gives an
+    ``xs:integer``; a dot gives ``xs:decimal``; an exponent gives
+    ``xs:double``.  Raises ``ValueError`` for non-numeric text.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty numeric literal")
+    lowered = stripped.lower()
+    if "e" in lowered or lowered in ("inf", "-inf", "nan"):
+        return float(stripped.replace("INF", "inf"))
+    if "." in stripped:
+        try:
+            return Decimal(stripped)
+        except InvalidOperation as exc:
+            raise ValueError(f"bad decimal literal: {text!r}") from exc
+    return int(stripped)
+
+
+def untyped_to_double(value: UntypedAtomic) -> float:
+    """Promote an untyped atomic to ``xs:double`` (arithmetic promotion)."""
+    text = value.value.strip()
+    if text == "INF":
+        return float("inf")
+    if text == "-INF":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)

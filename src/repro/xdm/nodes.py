@@ -1,0 +1,449 @@
+"""XML node kinds of the XQuery Data Model.
+
+Nodes have *identity* (two elements with equal content are distinct nodes),
+a parent pointer, and a position in *document order*.  Attribute nodes are
+first class here — the paper's troubles with attribute folding and with
+putting attribute nodes into data structures are behaviours of real
+attribute-node objects, not test fixtures.
+
+Nodes are mutable (the "Java-style" document generator mutates trees in
+place); the XQuery element constructor copies its content, giving fresh
+identities, as the spec requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional
+
+from .items import UntypedAtomic
+
+_node_counter = itertools.count(1)
+
+
+class Node:
+    """Base class for all XDM node kinds."""
+
+    kind = "node"
+
+    __slots__ = ("parent", "_nid")
+
+    def __init__(self) -> None:
+        self.parent: Optional[Node] = None
+        #: Monotonically increasing creation id; used to give a stable total
+        #: order to nodes from different trees.
+        self._nid = next(_node_counter)
+
+    # -- naming ----------------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        """The node's name, or None for unnamed kinds (text, document)."""
+        return None
+
+    # -- values ----------------------------------------------------------
+
+    def string_value(self) -> str:
+        """The node's string value (fn:string semantics)."""
+        raise NotImplementedError
+
+    def typed_value(self) -> object:
+        """The node's typed value; untyped XML data yields untypedAtomic."""
+        return UntypedAtomic(self.string_value())
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def children(self) -> List["Node"]:
+        return []
+
+    @property
+    def attributes(self) -> List["AttributeNode"]:
+        return []
+
+    def root(self) -> "Node":
+        """The root of the tree containing this node."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["Node"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["Node"]:
+        """All descendants in document order (not including attributes)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def descendants_or_self(self) -> Iterator["Node"]:
+        yield self
+        yield from self.descendants()
+
+    def following_siblings(self) -> Iterator["Node"]:
+        if self.parent is None or isinstance(self, AttributeNode):
+            return
+        siblings = self.parent.children
+        try:
+            index = _identity_index(siblings, self)
+        except ValueError:
+            return
+        yield from siblings[index + 1 :]
+
+    def preceding_siblings(self) -> Iterator["Node"]:
+        """Preceding siblings in reverse document order, as the axis does."""
+        if self.parent is None or isinstance(self, AttributeNode):
+            return
+        siblings = self.parent.children
+        try:
+            index = _identity_index(siblings, self)
+        except ValueError:
+            return
+        yield from reversed(siblings[:index])
+
+    def copy(self) -> "Node":
+        """A deep copy with fresh identity and no parent."""
+        raise NotImplementedError
+
+    # -- document order ---------------------------------------------------
+
+    def order_key(self) -> tuple:
+        """A tuple that sorts nodes in document order.
+
+        Nodes in different trees order by their root's creation id, matching
+        the spec's "implementation-defined but stable" requirement.  Within a
+        tree the key is the path of child indexes from the root; attributes
+        sort directly after their owner element, before its children.
+        """
+        path: List[tuple] = []
+        node: Node = self
+        while node.parent is not None:
+            parent = node.parent
+            if isinstance(node, AttributeNode):
+                position = (0, _identity_index(parent.attributes, node))
+            else:
+                position = (1, _identity_index(parent.children, node))
+            path.append(position)
+            node = parent
+        path.reverse()
+        return (node._nid, tuple(path))
+
+
+def _identity_index(nodes: List[Node], target: Node) -> int:
+    """Index of *target* in *nodes* by identity, not equality."""
+    for index, node in enumerate(nodes):
+        if node is target:
+            return index
+    raise ValueError("node is not among its parent's children")
+
+
+class DocumentNode(Node):
+    """A document node: the invisible root above the document element."""
+
+    kind = "document"
+
+    __slots__ = ("_children",)
+
+    def __init__(self, children: Optional[List[Node]] = None):
+        super().__init__()
+        self._children: List[Node] = []
+        for child in children or []:
+            self.append(child)
+
+    @property
+    def children(self) -> List[Node]:
+        return self._children
+
+    def append(self, child: Node) -> None:
+        child.parent = self
+        self._children.append(child)
+
+    def document_element(self) -> Optional["ElementNode"]:
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                return child
+        return None
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self._children)
+
+    def copy(self) -> "DocumentNode":
+        return DocumentNode([child.copy() for child in self._children])
+
+    def __repr__(self) -> str:
+        return f"<document #{self._nid}>"
+
+
+class ElementNode(Node):
+    """An element node with attributes and ordered children."""
+
+    kind = "element"
+
+    __slots__ = ("_name", "_attributes", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[List["AttributeNode"]] = None,
+        children: Optional[List[Node]] = None,
+    ):
+        super().__init__()
+        self._name = name
+        self._attributes: List[AttributeNode] = []
+        self._children: List[Node] = []
+        for attribute in attributes or []:
+            self.set_attribute_node(attribute)
+        for child in children or []:
+            self.append(child)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    @property
+    def attributes(self) -> List["AttributeNode"]:
+        return self._attributes
+
+    @property
+    def children(self) -> List[Node]:
+        return self._children
+
+    # -- mutation (used by the Java-style generator) ----------------------
+
+    def append(self, child: Node) -> None:
+        """Append a child node, reparenting it to this element."""
+        if isinstance(child, AttributeNode):
+            raise TypeError("attribute nodes are not children; use set_attribute_node")
+        child.parent = self
+        self._children.append(child)
+
+    def insert(self, index: int, child: Node) -> None:
+        child.parent = self
+        self._children.insert(index, child)
+
+    def remove(self, child: Node) -> None:
+        self._children.remove(child)
+        child.parent = None
+
+    def replace_child(self, old: Node, replacements: List[Node]) -> None:
+        """Replace *old* with *replacements*, splicing them in place."""
+        index = _identity_index(self._children, old)
+        old.parent = None
+        for replacement in replacements:
+            replacement.parent = self
+        self._children[index : index + 1] = replacements
+
+    def set_attribute_node(self, attribute: "AttributeNode") -> None:
+        """Attach an attribute node; a same-named existing one is replaced."""
+        for index, existing in enumerate(self._attributes):
+            if existing.name == attribute.name:
+                existing.parent = None
+                attribute.parent = self
+                self._attributes[index] = attribute
+                return
+        attribute.parent = self
+        self._attributes.append(attribute)
+
+    def set_attribute(self, name: str, value: str) -> None:
+        self.set_attribute_node(AttributeNode(name, value))
+
+    def get_attribute(self, name: str) -> Optional[str]:
+        for attribute in self._attributes:
+            if attribute.name == name:
+                return attribute.value
+        return None
+
+    # -- convenience -------------------------------------------------------
+
+    def child_elements(self, name: Optional[str] = None) -> List["ElementNode"]:
+        """Child elements, optionally filtered by name."""
+        return [
+            child
+            for child in self._children
+            if isinstance(child, ElementNode) and (name is None or child.name == name)
+        ]
+
+    def first_child_element(self, name: str) -> Optional["ElementNode"]:
+        for child in self._children:
+            if isinstance(child, ElementNode) and child.name == name:
+                return child
+        return None
+
+    def string_value(self) -> str:
+        return "".join(
+            child.string_value()
+            for child in self._children
+            if not isinstance(child, (CommentNode, ProcessingInstructionNode))
+        )
+
+    def copy(self) -> "ElementNode":
+        return ElementNode(
+            self._name,
+            [attribute.copy() for attribute in self._attributes],
+            [child.copy() for child in self._children],
+        )
+
+    def __repr__(self) -> str:
+        return f"<element {self._name} #{self._nid}>"
+
+
+class AttributeNode(Node):
+    """An attribute node: a name bound to a string value.
+
+    "Logically, it is nothing more than a mapping of a single string name to
+    a single string value.  Illogically, it caused us a great deal of
+    trouble." — the paper.  The trouble (folding into constructors, refusal
+    to sit in sequences usefully) is reproduced in the evaluator.
+    """
+
+    kind = "attribute"
+
+    __slots__ = ("_name", "value")
+
+    def __init__(self, name: str, value: str):
+        super().__init__()
+        self._name = name
+        self.value = str(value)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def string_value(self) -> str:
+        return self.value
+
+    def copy(self) -> "AttributeNode":
+        return AttributeNode(self._name, self.value)
+
+    def __repr__(self) -> str:
+        return f"<attribute {self._name}={self.value!r} #{self._nid}>"
+
+
+class TextNode(Node):
+    """A text node."""
+
+    kind = "text"
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = str(text)
+
+    def string_value(self) -> str:
+        return self.text
+
+    def copy(self) -> "TextNode":
+        return TextNode(self.text)
+
+    def __repr__(self) -> str:
+        return f"<text {self.text!r} #{self._nid}>"
+
+
+class CommentNode(Node):
+    """A comment node."""
+
+    kind = "comment"
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = str(text)
+
+    def string_value(self) -> str:
+        return self.text
+
+    def typed_value(self) -> object:
+        return self.text
+
+    def copy(self) -> "CommentNode":
+        return CommentNode(self.text)
+
+    def __repr__(self) -> str:
+        return f"<!--{self.text!r}-->"
+
+
+class ProcessingInstructionNode(Node):
+    """A processing-instruction node."""
+
+    kind = "processing-instruction"
+
+    __slots__ = ("target", "text")
+
+    def __init__(self, target: str, text: str):
+        super().__init__()
+        self.target = target
+        self.text = str(text)
+
+    @property
+    def name(self) -> str:
+        return self.target
+
+    def string_value(self) -> str:
+        return self.text
+
+    def typed_value(self) -> object:
+        return self.text
+
+    def copy(self) -> "ProcessingInstructionNode":
+        return ProcessingInstructionNode(self.target, self.text)
+
+    def __repr__(self) -> str:
+        return f"<?{self.target} {self.text!r}?>"
+
+
+def is_node(value: object) -> bool:
+    """True if *value* is an XDM node."""
+    return isinstance(value, Node)
+
+
+def sort_document_order(nodes: List[Node]) -> List[Node]:
+    """Sort nodes into document order and remove duplicates by identity.
+
+    This is the normalization every XPath path step applies to its result.
+    """
+    seen = set()
+    unique: List[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    return sorted(unique, key=Node.order_key)
+
+
+def element(name: str, *content, **attributes) -> ElementNode:
+    """Terse element construction for tests and Python-side tree building.
+
+    Positional arguments may be nodes (attached as children), strings
+    (wrapped in text nodes), or lists of either.  Keyword arguments become
+    attributes; trailing underscores are stripped so reserved words work
+    (``class_="x"``).
+    """
+    node = ElementNode(name)
+    for key, value in attributes.items():
+        node.set_attribute(key.rstrip("_").replace("_", "-"), str(value))
+    _attach_content(node, content)
+    return node
+
+
+def _attach_content(node: ElementNode, content) -> None:
+    for part in content:
+        if part is None:
+            continue
+        if isinstance(part, (list, tuple)):
+            _attach_content(node, part)
+        elif isinstance(part, AttributeNode):
+            node.set_attribute_node(part)
+        elif isinstance(part, Node):
+            node.append(part)
+        else:
+            node.append(TextNode(str(part)))

@@ -1,0 +1,150 @@
+"""Sequences: the universal value shape of XQuery.
+
+"Actually, everything in XQuery is a sequence — there is no distinction
+between a single value and a length-one sequence containing that value."
+Sequences are *flat*: nesting one sequence in another washes the structure
+out — ``(1,(2,3,4),(),(5,((6,7)))) = (1,2,3,4,5,6,7)``.
+
+Internally the engine represents a sequence as a plain Python list of items
+(atomics or nodes).  This module is the one place that knows the flattening
+rule; every constructor of sequence values goes through :func:`sequence`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .items import (
+    UntypedAtomic,
+    is_atomic,
+    string_value_of_atomic,
+    untyped_to_double,
+)
+from .nodes import Node, is_node
+
+#: A sequence value: a flat list of items.
+Sequence = List[object]
+
+
+def is_item(value: object) -> bool:
+    """True if *value* is a single XDM item (atomic or node)."""
+    return is_atomic(value) or is_node(value)
+
+
+def sequence(*parts) -> Sequence:
+    """Build a flat sequence from items and/or nested iterables.
+
+    Nested lists and tuples are flattened away, reproducing the paper's
+    central data-structure complaint: ``sequence([1, 2], [3, 4])`` is
+    ``[1, 2, 3, 4]`` — the pair structure is unrecoverable.
+    """
+    result: Sequence = []
+    _flatten_into(result, parts)
+    return result
+
+
+def _flatten_into(result: Sequence, parts: Iterable) -> None:
+    for part in parts:
+        if part is None:
+            continue
+        if is_item(part):
+            result.append(part)
+        elif isinstance(part, (list, tuple)):
+            _flatten_into(result, part)
+        else:
+            raise TypeError(f"not an XDM item or sequence: {part!r}")
+
+
+def singleton(value: Sequence, context: str = "value") -> object:
+    """The single item of a length-one sequence.
+
+    Raises ``ValueError`` otherwise; callers in the engine convert this to
+    the proper XQuery error code.
+    """
+    if len(value) != 1:
+        raise ValueError(f"{context}: expected a singleton, got {len(value)} items")
+    return value[0]
+
+
+def atomize(value: Sequence) -> Sequence:
+    """fn:data — replace every node by its typed value."""
+    result: Sequence = []
+    for item in value:
+        if is_node(item):
+            typed = item.typed_value()
+            if isinstance(typed, (list, tuple)):
+                result.extend(typed)
+            else:
+                result.append(typed)
+        else:
+            result.append(item)
+    return result
+
+
+def effective_boolean_value(value: Sequence) -> bool:
+    """The effective boolean value (EBV) of a sequence.
+
+    Empty is false; a sequence whose first item is a node is true; a
+    singleton boolean/number/string follows the usual truthiness; anything
+    else is a type error (``FORG0006`` at the engine level).
+    """
+    if not value:
+        return False
+    first = value[0]
+    if is_node(first):
+        return True
+    if len(value) > 1:
+        raise ValueError("effective boolean value of a multi-item atomic sequence")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0 and first == first  # NaN is false
+    if isinstance(first, str):
+        return len(first) > 0
+    if isinstance(first, UntypedAtomic):
+        return len(first.value) > 0
+    from decimal import Decimal
+
+    if isinstance(first, Decimal):
+        return first != 0
+    raise ValueError(f"no effective boolean value for {first!r}")
+
+
+def string_value(value: Sequence) -> str:
+    """fn:string of a sequence: empty gives "", a singleton its lexical form."""
+    if not value:
+        return ""
+    item = singleton(value, "fn:string")
+    if is_node(item):
+        return item.string_value()
+    return string_value_of_atomic(item)
+
+
+def number_value(value: Sequence) -> float:
+    """fn:number — convert to xs:double, NaN on failure or empty."""
+    if not value:
+        return float("nan")
+    try:
+        item = singleton(value, "fn:number")
+    except ValueError:
+        return float("nan")
+    atoms = atomize([item])
+    if not atoms:
+        return float("nan")
+    atom = atoms[0]
+    try:
+        if isinstance(atom, bool):
+            return 1.0 if atom else 0.0
+        if isinstance(atom, (int, float)):
+            return float(atom)
+        from decimal import Decimal
+
+        if isinstance(atom, Decimal):
+            return float(atom)
+        if isinstance(atom, UntypedAtomic):
+            return untyped_to_double(atom)
+        if isinstance(atom, str):
+            return untyped_to_double(UntypedAtomic(atom))
+    except (ValueError, ArithmeticError):
+        return float("nan")
+    return float("nan")

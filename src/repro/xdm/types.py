@@ -1,0 +1,249 @@
+"""A subset of the XQuery / XML Schema type system.
+
+The paper calls the full system "extensive, almost baroque" — twenty-three
+primitive types, forty-nine predefined ones, two notions of inheritance.  We
+implement the fragment the project actually touched ("we never used anything
+but strings, numbers, and booleans") plus enough of the derivation hierarchy
+to make sequence-type matching and casting meaningful, so that the "untyped
+mode" the paper retreated to is a choice rather than the only possibility.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Dict, List, Optional
+
+from .items import UntypedAtomic, is_atomic, string_value_of_atomic
+from .nodes import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+#: parent links of the atomic-type hierarchy (child -> base type).
+ATOMIC_HIERARCHY: Dict[str, Optional[str]] = {
+    "xs:anyAtomicType": None,
+    "xs:untypedAtomic": "xs:anyAtomicType",
+    "xs:string": "xs:anyAtomicType",
+    "xs:boolean": "xs:anyAtomicType",
+    "xs:double": "xs:anyAtomicType",
+    "xs:decimal": "xs:anyAtomicType",
+    "xs:integer": "xs:decimal",
+    "xs:nonNegativeInteger": "xs:integer",
+    "xs:positiveInteger": "xs:nonNegativeInteger",
+}
+
+
+def atomic_type_derives_from(name: str, base: str) -> bool:
+    """True if atomic type *name* is *base* or derives from it."""
+    current: Optional[str] = name
+    while current is not None:
+        if current == base:
+            return True
+        current = ATOMIC_HIERARCHY.get(current)
+    return False
+
+
+class ItemType:
+    """An item type: ``item()``, a node kind test, or an atomic type name."""
+
+    ITEM = "item"
+    NODE = "node"
+    ATOMIC = "atomic"
+
+    def __init__(self, category: str, name: Optional[str] = None, node_kind: Optional[str] = None):
+        self.category = category
+        self.name = name
+        self.node_kind = node_kind
+
+    @classmethod
+    def item(cls) -> "ItemType":
+        return cls(cls.ITEM)
+
+    @classmethod
+    def atomic(cls, name: str) -> "ItemType":
+        return cls(cls.ATOMIC, name=name)
+
+    @classmethod
+    def node(cls, kind: Optional[str] = None, name: Optional[str] = None) -> "ItemType":
+        return cls(cls.NODE, name=name, node_kind=kind)
+
+    def matches(self, item: object) -> bool:
+        """True if *item* is an instance of this item type."""
+        if self.category == self.ITEM:
+            return True
+        if self.category == self.NODE:
+            if not isinstance(item, Node):
+                return False
+            if self.node_kind is not None and item.kind != self.node_kind:
+                return False
+            if self.name is not None and item.name != self.name:
+                return False
+            return True
+        # atomic
+        if not is_atomic(item):
+            return False
+        from .items import atomic_type_name
+
+        return atomic_type_derives_from(atomic_type_name(item), self.name or "")
+
+    def __repr__(self) -> str:
+        if self.category == self.ITEM:
+            return "item()"
+        if self.category == self.NODE:
+            kind = self.node_kind or "node"
+            return f"{kind}({self.name or ''})"
+        return self.name or "xs:anyAtomicType"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ItemType)
+            and (self.category, self.name, self.node_kind)
+            == (other.category, other.name, other.node_kind)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.category, self.name, self.node_kind))
+
+
+class SequenceType:
+    """An item type plus an occurrence indicator: ``?``, ``*``, ``+`` or one.
+
+    ``empty-sequence()`` is represented with ``item_type=None``.
+    """
+
+    EXACTLY_ONE = ""
+    ZERO_OR_ONE = "?"
+    ZERO_OR_MORE = "*"
+    ONE_OR_MORE = "+"
+
+    def __init__(self, item_type: Optional[ItemType], occurrence: str = EXACTLY_ONE):
+        self.item_type = item_type
+        self.occurrence = occurrence
+
+    @classmethod
+    def empty(cls) -> "SequenceType":
+        return cls(None)
+
+    def matches(self, value: List[object]) -> bool:
+        """True if the sequence *value* is an instance of this type."""
+        if self.item_type is None:
+            return len(value) == 0
+        if self.occurrence == self.EXACTLY_ONE and len(value) != 1:
+            return False
+        if self.occurrence == self.ZERO_OR_ONE and len(value) > 1:
+            return False
+        if self.occurrence == self.ONE_OR_MORE and len(value) == 0:
+            return False
+        return all(self.item_type.matches(item) for item in value)
+
+    def __repr__(self) -> str:
+        if self.item_type is None:
+            return "empty-sequence()"
+        return f"{self.item_type!r}{self.occurrence}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SequenceType)
+            and self.item_type == other.item_type
+            and self.occurrence == other.occurrence
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.item_type, self.occurrence))
+
+
+class CastError(ValueError):
+    """A cast between atomic types failed (engine maps this to FORG0001)."""
+
+
+def cast_atomic(value: object, target: str) -> object:
+    """Cast an atomic item to the named atomic type.
+
+    Implements the casting table for the types we support; unsupported
+    targets or unparsable lexical forms raise :class:`CastError`.
+    """
+    lexical = string_value_of_atomic(value)
+    try:
+        if target == "xs:string":
+            return lexical
+        if target == "xs:untypedAtomic":
+            return UntypedAtomic(lexical)
+        if target == "xs:boolean":
+            return _cast_boolean(value, lexical)
+        if target == "xs:double":
+            return _cast_double(value, lexical)
+        if target == "xs:decimal":
+            if isinstance(value, bool):
+                return Decimal(1 if value else 0)
+            return Decimal(lexical)
+        if target in ("xs:integer", "xs:nonNegativeInteger", "xs:positiveInteger"):
+            result = _cast_integer(value, lexical)
+            if target == "xs:nonNegativeInteger" and result < 0:
+                raise CastError(f"{result} is negative")
+            if target == "xs:positiveInteger" and result <= 0:
+                raise CastError(f"{result} is not positive")
+            return result
+    except (ValueError, InvalidOperation, OverflowError) as exc:
+        raise CastError(f"cannot cast {lexical!r} to {target}") from exc
+    raise CastError(f"unsupported cast target: {target}")
+
+
+def _cast_boolean(value: object, lexical: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float, Decimal)):
+        return value != 0
+    text = lexical.strip()
+    if text in ("true", "1"):
+        return True
+    if text in ("false", "0"):
+        return False
+    raise CastError(f"cannot cast {lexical!r} to xs:boolean")
+
+
+def _cast_double(value: object, lexical: str) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Decimal):
+        return float(value)
+    text = lexical.strip()
+    if text == "INF":
+        return float("inf")
+    if text == "-INF":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _cast_integer(value: object, lexical: str) -> int:
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise CastError(f"cannot cast {value!r} to xs:integer")
+        return int(value)
+    if isinstance(value, Decimal):
+        return int(value)
+    return int(lexical.strip())
+
+
+#: node-kind test names usable in sequence types, mapped to node classes.
+NODE_KIND_CLASSES = {
+    "node": Node,
+    "element": ElementNode,
+    "attribute": AttributeNode,
+    "text": TextNode,
+    "document-node": DocumentNode,
+    "comment": CommentNode,
+    "processing-instruction": ProcessingInstructionNode,
+}

@@ -1,0 +1,218 @@
+"""A from-scratch XML 1.0 tokenizer.
+
+The reproduction builds its own XML layer rather than leaning on a library:
+the paper's engine works on first-class attribute nodes, document order, and
+node identity, which we control end to end.  The lexer produces a flat token
+stream; :mod:`repro.xmlio.parser` assembles XDM trees from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class XmlSyntaxError(ValueError):
+    """Malformed XML input."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    """One XML token.
+
+    ``kind`` is one of: ``start_open`` (``<name``), ``start_close`` (``>``),
+    ``empty_close`` (``/>``), ``end_tag`` (``</name>``), ``attribute``
+    (name/value pair), ``text``, ``comment``, ``pi``, ``cdata``, ``eof``.
+    """
+
+    kind: str
+    value: str
+    extra: str = ""
+    position: int = 0
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+CHAR_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def decode_entities(text: str, where: "Lexer" = None, position: int = 0) -> str:
+    """Replace XML character/entity references in *text*."""
+    if "&" not in text:
+        return text
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        end = text.find(";", index + 1)
+        if end < 0:
+            _raise(where, "unterminated entity reference", position + index)
+        name = text[index + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in CHAR_ENTITIES:
+            out.append(CHAR_ENTITIES[name])
+        else:
+            _raise(where, f"unknown entity &{name};", position + index)
+        index = end + 1
+    return "".join(out)
+
+
+def _raise(lexer: "Lexer", message: str, position: int) -> None:
+    if lexer is None:
+        raise XmlSyntaxError(message, position, 0, 0)
+    lexer.error(message, position)
+
+
+class Lexer:
+    """Tokenizes an XML document string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str, position: int = None) -> None:
+        position = self.pos if position is None else position
+        line = self.text.count("\n", 0, position) + 1
+        column = position - (self.text.rfind("\n", 0, position) + 1) + 1
+        raise XmlSyntaxError(message, position, line, column)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield the token stream, ending with an ``eof`` token."""
+        text = self.text
+        while self.pos < len(text):
+            start = self.pos
+            if text[self.pos] == "<":
+                yield from self._markup(start)
+            else:
+                end = text.find("<", self.pos)
+                if end < 0:
+                    end = len(text)
+                raw = text[self.pos : end]
+                self.pos = end
+                yield Token("text", decode_entities(raw, self, start), position=start)
+        yield Token("eof", "", position=self.pos)
+
+    # -- markup ------------------------------------------------------------
+
+    def _markup(self, start: int) -> Iterator[Token]:
+        text = self.text
+        if text.startswith("<!--", self.pos):
+            end = text.find("-->", self.pos + 4)
+            if end < 0:
+                self.error("unterminated comment", start)
+            yield Token("comment", text[self.pos + 4 : end], position=start)
+            self.pos = end + 3
+        elif text.startswith("<![CDATA[", self.pos):
+            end = text.find("]]>", self.pos + 9)
+            if end < 0:
+                self.error("unterminated CDATA section", start)
+            yield Token("cdata", text[self.pos + 9 : end], position=start)
+            self.pos = end + 3
+        elif text.startswith("<?", self.pos):
+            end = text.find("?>", self.pos + 2)
+            if end < 0:
+                self.error("unterminated processing instruction", start)
+            body = text[self.pos + 2 : end]
+            target, _, rest = body.partition(" ")
+            yield Token("pi", target, rest.strip(), position=start)
+            self.pos = end + 2
+        elif text.startswith("<!DOCTYPE", self.pos):
+            self._skip_doctype(start)
+        elif text.startswith("</", self.pos):
+            self.pos += 2
+            name = self._name()
+            self._skip_space()
+            self._expect(">")
+            yield Token("end_tag", name, position=start)
+        else:
+            self.pos += 1
+            name = self._name()
+            yield Token("start_open", name, position=start)
+            yield from self._attributes()
+
+    def _attributes(self) -> Iterator[Token]:
+        text = self.text
+        while True:
+            self._skip_space()
+            if self.pos >= len(text):
+                self.error("unterminated start tag")
+            if text.startswith("/>", self.pos):
+                self.pos += 2
+                yield Token("empty_close", "", position=self.pos)
+                return
+            if text[self.pos] == ">":
+                self.pos += 1
+                yield Token("start_close", "", position=self.pos)
+                return
+            attr_start = self.pos
+            name = self._name()
+            self._skip_space()
+            self._expect("=")
+            self._skip_space()
+            value = self._quoted_value(attr_start)
+            yield Token("attribute", name, value, position=attr_start)
+
+    def _quoted_value(self, start: int) -> str:
+        text = self.text
+        if self.pos >= len(text) or text[self.pos] not in "\"'":
+            self.error("expected quoted attribute value", start)
+        quote = text[self.pos]
+        end = text.find(quote, self.pos + 1)
+        if end < 0:
+            self.error("unterminated attribute value", start)
+        raw = text[self.pos + 1 : end]
+        self.pos = end + 1
+        return decode_entities(raw, self, start)
+
+    def _name(self) -> str:
+        text = self.text
+        start = self.pos
+        if self.pos >= len(text) or text[self.pos] not in _NAME_START:
+            self.error("expected a name")
+        while self.pos < len(text) and text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return text[start : self.pos]
+
+    def _skip_space(self) -> None:
+        text = self.text
+        while self.pos < len(text) and text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _skip_doctype(self, start: int) -> None:
+        # A DOCTYPE may contain a bracketed internal subset; skip it whole.
+        depth = 0
+        text = self.text
+        while self.pos < len(text):
+            char = text[self.pos]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self.pos += 1
+                return
+            self.pos += 1
+        self.error("unterminated DOCTYPE", start)
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            self.error(f"expected {literal!r}")
+        self.pos += len(literal)

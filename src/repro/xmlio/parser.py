@@ -1,0 +1,113 @@
+"""XML parser: token stream → XDM node trees."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..xdm import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+from .lexer import Lexer, Token, XmlSyntaxError
+
+
+def parse_document(text: str, keep_whitespace_text: bool = False) -> DocumentNode:
+    """Parse an XML document string into a :class:`DocumentNode`.
+
+    Whitespace-only text between elements is dropped by default (it is
+    formatting, not data, for the AWB export and template formats); pass
+    ``keep_whitespace_text=True`` to preserve it.
+    """
+    parser = _Parser(text, keep_whitespace_text)
+    return parser.parse()
+
+
+def parse_element(text: str, keep_whitespace_text: bool = False) -> ElementNode:
+    """Parse an XML fragment with a single root element."""
+    document = parse_document(text, keep_whitespace_text)
+    root = document.document_element()
+    if root is None:
+        raise XmlSyntaxError("document has no element", 0, 1, 1)
+    return root
+
+
+class _Parser:
+    def __init__(self, text: str, keep_whitespace_text: bool):
+        self._lexer = Lexer(text)
+        self._tokens = self._lexer.tokens()
+        self._keep_ws = keep_whitespace_text
+        self._pushed: Optional[Token] = None
+
+    def parse(self) -> DocumentNode:
+        document = DocumentNode()
+        stack: List[ElementNode] = []
+
+        def attach(node: Node) -> None:
+            if stack:
+                stack[-1].append(node)
+            else:
+                document.append(node)
+
+        while True:
+            token = self._next()
+            if token.kind == "eof":
+                break
+            if token.kind == "start_open":
+                element = ElementNode(token.value)
+                self._read_attributes(element)
+                closer = self._next()
+                attach(element)
+                if closer.kind == "start_close":
+                    stack.append(element)
+                elif closer.kind != "empty_close":
+                    self._lexer.error("malformed start tag", closer.position)
+            elif token.kind == "end_tag":
+                if not stack:
+                    self._lexer.error(
+                        f"closing tag </{token.value}> with no open element",
+                        token.position,
+                    )
+                open_element = stack.pop()
+                if open_element.name != token.value:
+                    self._lexer.error(
+                        f"mismatched tag: <{open_element.name}> closed by </{token.value}>",
+                        token.position,
+                    )
+            elif token.kind == "text":
+                if self._keep_ws or token.value.strip():
+                    attach(TextNode(token.value))
+            elif token.kind == "cdata":
+                attach(TextNode(token.value))
+            elif token.kind == "comment":
+                attach(CommentNode(token.value))
+            elif token.kind == "pi":
+                if token.value.lower() != "xml":  # drop the XML declaration
+                    attach(ProcessingInstructionNode(token.value, token.extra))
+        if stack:
+            self._lexer.error(f"unclosed element <{stack[-1].name}>", len(self._lexer.text))
+        if document.document_element() is None:
+            self._lexer.error("document has no element", 0)
+        return document
+
+    def _read_attributes(self, element: ElementNode) -> None:
+        while True:
+            token = self._next()
+            if token.kind != "attribute":
+                self._pushed = token
+                return
+            if element.get_attribute(token.value) is not None:
+                self._lexer.error(
+                    f"duplicate attribute {token.value!r}", token.position
+                )
+            element.set_attribute_node(AttributeNode(token.value, token.extra))
+
+    def _next(self) -> Token:
+        if self._pushed is not None:
+            token, self._pushed = self._pushed, None
+            return token
+        return next(self._tokens)

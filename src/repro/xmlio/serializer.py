@@ -1,0 +1,88 @@
+"""XML serializer: XDM node trees → text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..xdm import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    ProcessingInstructionNode,
+    TextNode,
+)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def serialize(node: Node, indent: bool = False, xml_declaration: bool = False) -> str:
+    """Serialize a node (or document) to XML text.
+
+    With ``indent=True``, element-only content is pretty-printed; mixed
+    content is left alone so text round-trips byte for byte.
+    """
+    parts: List[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if not indent:
+            parts.append("\n")
+    if isinstance(node, DocumentNode):
+        for child in node.children:
+            _serialize_into(parts, child, indent, 0)
+    else:
+        _serialize_into(parts, node, indent, 0)
+    text = "".join(parts)
+    return text.lstrip("\n") if indent else text
+
+
+def _serialize_into(parts: List[str], node: Node, indent: bool, depth: int) -> None:
+    pad = "\n" + "  " * depth if indent else ""
+    if isinstance(node, ElementNode):
+        parts.append(pad)
+        parts.append(f"<{node.name}")
+        for attribute in node.attributes:
+            parts.append(f' {attribute.name}="{escape_attribute(attribute.value)}"')
+        if not node.children:
+            parts.append("/>")
+            return
+        parts.append(">")
+        children_all_elements = indent and all(
+            not isinstance(child, TextNode) for child in node.children
+        )
+        for child in node.children:
+            _serialize_into(
+                parts, child, children_all_elements, depth + 1
+            )
+        if children_all_elements:
+            parts.append("\n" + "  " * depth)
+        parts.append(f"</{node.name}>")
+    elif isinstance(node, TextNode):
+        parts.append(escape_text(node.text))
+    elif isinstance(node, CommentNode):
+        parts.append(pad)
+        parts.append(f"<!--{node.text}-->")
+    elif isinstance(node, ProcessingInstructionNode):
+        parts.append(pad)
+        parts.append(f"<?{node.target} {node.text}?>")
+    elif isinstance(node, AttributeNode):
+        # A bare attribute node outside an element has no XML serialization;
+        # mirror common engine behaviour with a name="value" rendering.
+        parts.append(f'{node.name}="{escape_attribute(node.value)}"')
+    else:
+        parts.append(escape_text(node.string_value()))

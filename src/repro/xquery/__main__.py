@@ -1,0 +1,122 @@
+"""Command-line XQuery runner.
+
+Usage::
+
+    python -m repro.xquery 'for $i in 1 to 3 return $i * $i'
+    python -m repro.xquery -f query.xq --doc model=model.xml
+    python -m repro.xquery --galax '$oops'        # 2004-style diagnostics
+    python -m repro.xquery --no-optimize --trace 'trace("x", 42)'
+
+Documents passed with ``--doc name=path`` become available to ``doc("name")``;
+``--var name=value`` binds external string variables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..xmlio import parse_document
+from .api import XQueryEngine, serialize_result
+from .context import EngineConfig, TraceLog
+from .errors import XQueryError
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.xquery", description="Run an XQuery program."
+    )
+    parser.add_argument("query", nargs="?", help="query text (or use -f)")
+    parser.add_argument("-f", "--file", help="read the query from a file")
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load an XML document for doc('NAME')",
+    )
+    parser.add_argument(
+        "--var",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind an external string variable",
+    )
+    parser.add_argument(
+        "--context", metavar="PATH", help="XML file to use as the context item"
+    )
+    parser.add_argument(
+        "--no-optimize", action="store_true", help="disable the optimizer"
+    )
+    parser.add_argument(
+        "--buggy-dce",
+        action="store_true",
+        help="2004 Galax mode: the optimizer treats trace() as dead code",
+    )
+    parser.add_argument(
+        "--galax",
+        action="store_true",
+        help="Galax diagnostics: errors lose locations; missing variables "
+        "report as $glx:dot",
+    )
+    parser.add_argument(
+        "--trace", action="store_true", help="print fn:trace output to stderr"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    elif args.query is not None:
+        source = args.query
+    else:
+        build_argument_parser().print_usage(sys.stderr)
+        return 2
+
+    config = EngineConfig(
+        optimize=not args.no_optimize,
+        trace_is_dead_code=args.buggy_dce,
+        galax_diagnostics=args.galax,
+    )
+    engine = XQueryEngine(config)
+
+    documents = {}
+    for spec in args.doc:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--doc expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        with open(path, "r", encoding="utf-8") as handle:
+            documents[name] = parse_document(handle.read())
+
+    variables = {}
+    for spec in args.var:
+        name, _, value = spec.partition("=")
+        variables[name] = value
+
+    context_item = None
+    if args.context:
+        with open(args.context, "r", encoding="utf-8") as handle:
+            context_item = parse_document(handle.read())
+
+    trace = TraceLog(echo=(lambda msg: print(f"trace: {msg}", file=sys.stderr)))
+    try:
+        result = engine.evaluate(
+            source,
+            context_item=context_item,
+            variables=variables,
+            documents=documents,
+            trace=trace if args.trace else None,
+        )
+    except XQueryError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(serialize_result(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

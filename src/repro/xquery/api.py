@@ -1,0 +1,198 @@
+"""Public engine facade: compile and run XQuery programs.
+
+Typical use::
+
+    from repro.xquery import XQueryEngine
+
+    engine = XQueryEngine()
+    result = engine.evaluate("for $i in 1 to 3 return $i * $i")
+    # result == [1, 4, 9]
+
+    query = engine.compile(source)           # parse + optimize once
+    value = query.run(context_item=doc, variables={"mode": ["draft"]})
+
+The engine's :class:`EngineConfig` flags select between spec behaviour and
+the 2004 Galax behaviours the paper describes (see
+:mod:`repro.xquery.context`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..xdm import DocumentNode, Node, Sequence, is_node, sequence
+from ..xmlio import serialize
+from .ast import FunctionDecl, Module
+from .context import DynamicContext, EngineConfig, TraceLog
+from .errors import XQueryStaticError, extended_stack
+from .evaluator import evaluate
+from .optimizer import OptimizerStats, optimize_module
+from .parser import parse_query
+
+
+class CompiledQuery:
+    """A parsed (and optionally optimized) query, ready to run."""
+
+    def __init__(self, module: Module, config: EngineConfig):
+        self.module = module
+        self.config = config
+        self.functions: Dict[Tuple[str, int], FunctionDecl] = {}
+        for declaration in module.functions:
+            name = declaration.name
+            if name.startswith("local:"):
+                name = name[len("local:") :]
+            key = (name, declaration.arity)
+            if key in self.functions:
+                raise XQueryStaticError(
+                    f"duplicate declaration of function {declaration.name}()"
+                    f" with arity {declaration.arity}",
+                    code="XQST0034",
+                    line=declaration.line,
+                    column=declaration.column,
+                )
+            self.functions[key] = declaration
+        seen_variables = set()
+        for variable in module.variables:
+            if variable.name in seen_variables:
+                raise XQueryStaticError(
+                    f"duplicate declaration of variable ${variable.name}",
+                    code="XQST0049",
+                    line=variable.line,
+                    column=variable.column,
+                )
+            seen_variables.add(variable.name)
+        self.optimizer_stats: Optional[OptimizerStats] = None
+        if config.optimize:
+            self.optimizer_stats = optimize_module(
+                module, trace_is_dead_code=config.trace_is_dead_code
+            )
+
+    @property
+    def external_variable_names(self) -> List[str]:
+        return [v.name for v in self.module.variables if v.value is None]
+
+    def run(
+        self,
+        context_item: Optional[Node] = None,
+        variables: Optional[Dict[str, object]] = None,
+        documents: Optional[Dict[str, DocumentNode]] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> Sequence:
+        """Evaluate the query body; returns a flat sequence of items.
+
+        ``variables`` supplies external variables; plain Python values are
+        coerced into sequences (a list is a sequence, a scalar a singleton).
+        """
+        ctx = DynamicContext(
+            functions=self.functions,
+            documents=documents or {},
+            config=self.config,
+            trace=trace,
+        )
+        provided = {
+            name: _coerce_sequence(value) for name, value in (variables or {}).items()
+        }
+        with extended_stack():
+            self._bind_globals(ctx, provided)
+            if context_item is not None:
+                ctx = ctx.with_focus(context_item, 1, 1)
+            return evaluate(self.module.body, ctx)
+
+    def _bind_globals(
+        self, ctx: DynamicContext, provided: Dict[str, Sequence]
+    ) -> None:
+        for declaration in self.module.variables:
+            if declaration.value is None:
+                if declaration.name not in provided:
+                    raise XQueryStaticError(
+                        f"external variable ${declaration.name} was not provided",
+                        code="XPDY0002",
+                        line=declaration.line,
+                        column=declaration.column,
+                    )
+                value = provided[declaration.name]
+            else:
+                value = evaluate(declaration.value, ctx)
+            if (
+                declaration.declared_type is not None
+                and not declaration.declared_type.matches(value)
+            ):
+                raise XQueryStaticError(
+                    f"variable ${declaration.name} does not match its declared "
+                    f"type {declaration.declared_type!r}",
+                    code="XPTY0004",
+                    line=declaration.line,
+                    column=declaration.column,
+                )
+            ctx.globals[declaration.name] = value
+            ctx.variables[declaration.name] = value
+        # extra provided variables become implicit externals, a convenience
+        # the Python host uses heavily.
+        for name, value in provided.items():
+            if name not in ctx.globals:
+                ctx.globals[name] = value
+                ctx.variables[name] = value
+
+
+def _coerce_sequence(value: object) -> Sequence:
+    if isinstance(value, list):
+        return sequence(value)
+    if isinstance(value, tuple):
+        return sequence(*value)
+    return sequence(value)
+
+
+class XQueryEngine:
+    """Compiles and evaluates XQuery programs under one configuration."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, **flags):
+        if config is None:
+            config = EngineConfig(**flags)
+        elif flags:
+            raise TypeError("pass either a config object or keyword flags, not both")
+        self.config = config
+
+    def compile(self, source: str) -> CompiledQuery:
+        """Parse, validate, and (per config) optimize a query."""
+        module = parse_query(source)
+        return CompiledQuery(module, self.config)
+
+    def evaluate(
+        self,
+        source: str,
+        context_item: Optional[Node] = None,
+        variables: Optional[Dict[str, object]] = None,
+        documents: Optional[Dict[str, DocumentNode]] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> Sequence:
+        """One-shot compile-and-run."""
+        return self.compile(source).run(
+            context_item=context_item,
+            variables=variables,
+            documents=documents,
+            trace=trace,
+        )
+
+    def evaluate_to_string(self, source: str, **kwargs) -> str:
+        """Evaluate and serialize the result the way a CLI would print it."""
+        return serialize_result(self.evaluate(source, **kwargs))
+
+
+def serialize_result(result: Sequence) -> str:
+    """Serialize a result sequence: nodes as XML, atomics space separated."""
+    parts: List[str] = []
+    previous_was_atomic = False
+    for item in result:
+        if is_node(item):
+            parts.append(serialize(item))
+            previous_was_atomic = False
+        else:
+            from ..xdm import string_value_of_atomic
+
+            text = string_value_of_atomic(item)
+            if previous_was_atomic:
+                parts.append(" " + text)
+            else:
+                parts.append(text)
+            previous_was_atomic = True
+    return "".join(parts)

@@ -1,0 +1,151 @@
+"""Static and dynamic evaluation contexts, and engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..xdm import DocumentNode, Sequence
+from .ast import FunctionDecl
+
+
+@dataclass
+class EngineConfig:
+    """Tunable behaviours, several of which reproduce 2004-era Galax.
+
+    ``duplicate_attribute_mode``
+        What a constructor does when two attribute nodes share a name:
+        ``"last"`` or ``"first"`` keep one (the two legal outcomes the paper
+        shows), ``"keep"`` keeps both (the Galax bug the paper observed),
+        ``"error"`` raises XQDY0025 (the eventual standard).
+    ``galax_diagnostics``
+        When True, dynamic errors lose their location information and a
+        missing variable is reported as the infamous
+        ``Internal_Error: Variable '$glx:dot' not found.`` — the message the
+        paper quotes.  Used by the debugging experiments.
+    ``optimize`` / ``trace_is_dead_code``
+        Run the optimizer; and, if so, whether its dead-code pass considers
+        ``fn:trace`` removable (the transient Galax optimizer bug that made
+        the paper's tracing vanish).
+    ``max_recursion_depth``
+        Guard for runaway recursive user functions.
+    """
+
+    duplicate_attribute_mode: str = "last"
+    galax_diagnostics: bool = False
+    optimize: bool = True
+    trace_is_dead_code: bool = False
+    max_recursion_depth: int = 2000
+    type_check_calls: bool = True
+
+
+class TraceLog:
+    """Collects ``fn:trace`` output; optionally tees to a print function."""
+
+    def __init__(self, echo: Optional[Callable[[str], None]] = None):
+        self.messages: List[str] = []
+        self._echo = echo
+
+    def emit(self, message: str) -> None:
+        self.messages.append(message)
+        if self._echo is not None:
+            self._echo(message)
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+
+@dataclass
+class StaticContext:
+    """Compile-time knowledge: declared functions and global variables."""
+
+    functions: Dict[Tuple[str, int], FunctionDecl] = field(default_factory=dict)
+    variable_names: List[str] = field(default_factory=list)
+    namespaces: Dict[str, str] = field(default_factory=dict)
+
+
+class DynamicContext:
+    """The dynamic context: focus, variable bindings, documents, config.
+
+    Variable scopes are handled by *copying* the bindings dict on scope
+    entry — bindings are small in practice and copying keeps semantics
+    obviously correct (no accidental capture, which matters for a purely
+    functional language's evaluator).
+    """
+
+    __slots__ = (
+        "variables",
+        "globals",
+        "item",
+        "position",
+        "size",
+        "functions",
+        "documents",
+        "config",
+        "trace",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        variables: Optional[Dict[str, Sequence]] = None,
+        functions: Optional[Dict[Tuple[str, int], FunctionDecl]] = None,
+        documents: Optional[Dict[str, DocumentNode]] = None,
+        config: Optional[EngineConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ):
+        self.variables: Dict[str, Sequence] = variables if variables is not None else {}
+        #: module-level (prolog-declared and external) variables; visible in
+        #: every scope including user-function bodies.
+        self.globals: Dict[str, Sequence] = {}
+        self.item = None  # context item, or None if absent
+        self.position = 0
+        self.size = 0
+        self.functions = functions if functions is not None else {}
+        self.documents = documents if documents is not None else {}
+        self.config = config if config is not None else EngineConfig()
+        self.trace = trace if trace is not None else TraceLog()
+        self.depth = 0
+
+    def with_variables(self, new_bindings: Dict[str, Sequence]) -> "DynamicContext":
+        """A child context with additional variable bindings."""
+        child = self._clone()
+        child.variables = dict(self.variables)
+        child.variables.update(new_bindings)
+        return child
+
+    def with_focus(self, item, position: int, size: int) -> "DynamicContext":
+        """A child context with a new focus (context item / position / size)."""
+        child = self._clone()
+        child.item = item
+        child.position = position
+        child.size = size
+        return child
+
+    def function_scope(self, bindings: Dict[str, Sequence]) -> "DynamicContext":
+        """A context for a user-function body: parameters + globals only.
+
+        XQuery functions do not close over the caller's local variables.
+        """
+        child = self._clone()
+        child.variables = dict(self.globals)
+        child.variables.update(bindings)
+        child.item = None
+        child.position = 0
+        child.size = 0
+        child.depth = self.depth + 1
+        return child
+
+    def _clone(self) -> "DynamicContext":
+        child = DynamicContext.__new__(DynamicContext)
+        child.variables = self.variables
+        child.globals = self.globals
+        child.item = self.item
+        child.position = self.position
+        child.size = self.size
+        child.functions = self.functions
+        child.documents = self.documents
+        child.config = self.config
+        child.trace = self.trace
+        child.depth = self.depth
+        return child

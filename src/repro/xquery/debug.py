@@ -1,0 +1,126 @@
+"""Debugging the way the paper had to: ``error()`` bisection and tracing.
+
+"Quite often, XQuery would die with a message amounting to 'Index out of
+bounds', without any information of where in the program that had
+happened...  our best tool turned out to be the error($msg) function...
+Strategically-placed error calls let us do a binary search to locate the
+source of the program error."
+
+:class:`ErrorBisector` mechanizes exactly that workflow so experiment E8
+can count how many full program runs it costs, and compare it with the
+(eventually available) ``trace``-based workflow — including the run where
+the optimizer silently deletes the traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .api import XQueryEngine
+from .context import TraceLog
+from .errors import XQueryUserError
+
+
+@dataclass
+class BisectionResult:
+    """Outcome of an error()-probe binary search."""
+
+    failing_step: int
+    runs: int
+    probes_tried: List[int] = field(default_factory=list)
+
+
+class ErrorBisector:
+    """Locates the first failing step of an N-step program by bisection.
+
+    The caller supplies ``run_with_probe(k)``, which inserts
+    ``error("probe")`` *before* step ``k`` (1-based) and runs the program.
+    It must return True if the probe fired (the program reached step ``k``
+    alive) and False if the program crashed before the probe.
+
+    This is the paper's workflow: each iteration is a full edit-and-rerun
+    cycle, which is why debugging "was generally easier and faster to
+    rewrite a function from scratch rather than try to debug it".
+    """
+
+    def __init__(self, total_steps: int, run_with_probe: Callable[[int], bool]):
+        if total_steps < 1:
+            raise ValueError("total_steps must be at least 1")
+        self.total_steps = total_steps
+        self.run_with_probe = run_with_probe
+
+    def locate(self) -> BisectionResult:
+        """Find the failing step.
+
+        A probe placed *before* step ``k`` fires exactly when steps
+        ``1..k-1`` all succeed, i.e. when ``k <= B`` for failing step
+        ``B`` — so ``B`` is the largest ``k`` whose probe fires.
+        """
+        low, high = 1, self.total_steps  # invariant: B in [low, high]
+        runs = 0
+        probes: List[int] = []
+        while low < high:
+            middle = (low + high + 1) // 2
+            runs += 1
+            probes.append(middle)
+            if self.run_with_probe(middle):
+                low = middle
+            else:
+                high = middle - 1
+        return BisectionResult(failing_step=low, runs=runs, probes_tried=probes)
+
+
+def make_probe_runner(
+    engine: XQueryEngine,
+    source_for_probe: Callable[[int], str],
+    **run_kwargs,
+) -> Callable[[int], bool]:
+    """Build a ``run_with_probe`` from a source-generating function.
+
+    ``source_for_probe(k)`` returns the program text with an
+    ``error("probe")`` call inserted before step ``k``.  The runner reports
+    True when the *probe's* error surfaced (program reached the probe) and
+    False when any other error got there first.
+    """
+
+    def run(step: int) -> bool:
+        source = source_for_probe(step)
+        try:
+            engine.evaluate(source, **run_kwargs)
+        except XQueryUserError as exc:
+            return exc.bare_message == "probe"
+        except Exception:
+            return False
+        # no error at all: the program survives past the probe point, which
+        # in this workflow means the probe was optimized away or mis-placed.
+        return True
+
+    return run
+
+
+def run_with_trace(
+    engine: XQueryEngine, source: str, **run_kwargs
+) -> "TraceRun":
+    """Run a query collecting its ``fn:trace`` output."""
+    trace = TraceLog()
+    error: Optional[Exception] = None
+    value = None
+    try:
+        value = engine.evaluate(source, trace=trace, **run_kwargs)
+    except Exception as exc:  # the paper's point: you still want the traces
+        error = exc
+    return TraceRun(value=value, messages=list(trace.messages), error=error)
+
+
+@dataclass
+class TraceRun:
+    """Result of a traced run: the value, the traces, and any error."""
+
+    value: object
+    messages: List[str]
+    error: Optional[Exception]
+
+    @property
+    def trace_count(self) -> int:
+        return len(self.messages)

@@ -1,0 +1,148 @@
+"""Arithmetic and set operators with XQuery type promotion."""
+
+from __future__ import annotations
+
+from decimal import Decimal, DivisionByZero, InvalidOperation
+from typing import List
+
+from ..xdm import (
+    Node,
+    Sequence,
+    UntypedAtomic,
+    atomize,
+    sort_document_order,
+)
+from ..xdm.items import untyped_to_double
+from .errors import XQueryDynamicError, XQueryTypeError
+
+_NUMERIC = (int, float, Decimal)
+
+
+def _to_number(item: object, op: str) -> object:
+    """Coerce one atomized operand to a number (untyped promotes to double)."""
+    if isinstance(item, bool):
+        raise XQueryTypeError(f"operator '{op}' does not apply to xs:boolean")
+    if isinstance(item, _NUMERIC):
+        return item
+    if isinstance(item, UntypedAtomic):
+        try:
+            return untyped_to_double(item)
+        except ValueError as exc:
+            raise XQueryTypeError(
+                f"cannot promote untyped value {item.value!r} to a number"
+            ) from exc
+    raise XQueryTypeError(
+        f"operator '{op}' does not apply to {type(item).__name__} values"
+    )
+
+
+def _promote_pair(left: object, right: object) -> tuple:
+    """Numeric type promotion: integer → decimal → double."""
+    if isinstance(left, float) or isinstance(right, float):
+        return float(left), float(right)
+    if isinstance(left, Decimal) or isinstance(right, Decimal):
+        return Decimal(left) if not isinstance(left, Decimal) else left, (
+            Decimal(right) if not isinstance(right, Decimal) else right
+        )
+    return left, right
+
+
+def arithmetic(op: str, left_seq: Sequence, right_seq: Sequence) -> Sequence:
+    """Evaluate ``left op right`` with XQuery's empty-propagation rule."""
+    left_atoms = atomize(left_seq)
+    right_atoms = atomize(right_seq)
+    if not left_atoms or not right_atoms:
+        return []
+    if len(left_atoms) > 1 or len(right_atoms) > 1:
+        raise XQueryTypeError(f"operator '{op}' requires singleton operands")
+    left = _to_number(left_atoms[0], op)
+    right = _to_number(right_atoms[0], op)
+    left, right = _promote_pair(left, right)
+    try:
+        if op == "+":
+            return [left + right]
+        if op == "-":
+            return [left - right]
+        if op == "*":
+            return [left * right]
+        if op == "div":
+            return [_divide(left, right)]
+        if op == "idiv":
+            return [_integer_divide(left, right)]
+        if op == "mod":
+            return [_modulo(left, right)]
+    except (ZeroDivisionError, DivisionByZero, InvalidOperation) as exc:
+        raise XQueryDynamicError(f"division by zero in '{op}'", code="FOAR0001") from exc
+    raise XQueryDynamicError(f"unknown arithmetic operator {op!r}")
+
+
+def _divide(left, right):
+    if isinstance(left, float):
+        if right == 0.0:
+            if left == 0.0 or left != left:
+                return float("nan")
+            return float("inf") if left > 0 else float("-inf")
+        return left / right
+    # integer or decimal division produces a decimal, per the spec.
+    if right == 0:
+        raise ZeroDivisionError
+    return Decimal(left) / Decimal(right)
+
+
+def _integer_divide(left, right) -> int:
+    if right == 0:
+        raise ZeroDivisionError
+    quotient = (
+        float(left) / float(right)
+        if isinstance(left, float) or isinstance(right, float)
+        else Decimal(left) / Decimal(right)
+    )
+    return int(quotient)
+
+
+def _modulo(left, right):
+    if right == 0:
+        if isinstance(left, float) or isinstance(right, float):
+            return float("nan")
+        raise ZeroDivisionError
+    # XQuery mod takes the sign of the dividend (unlike Python's %).
+    result = left - right * _trunc_div(left, right)
+    return result
+
+
+def _trunc_div(left, right):
+    if isinstance(left, int) and isinstance(right, int):
+        sign = -1 if (left < 0) != (right < 0) else 1
+        return sign * (abs(left) // abs(right))
+    return int(left / right)
+
+
+def negate(value: Sequence) -> Sequence:
+    atoms = atomize(value)
+    if not atoms:
+        return []
+    if len(atoms) > 1:
+        raise XQueryTypeError("unary '-' requires a singleton operand")
+    number = _to_number(atoms[0], "-")
+    return [-number]
+
+
+def _require_nodes(value: Sequence, op: str) -> List[Node]:
+    for item in value:
+        if not isinstance(item, Node):
+            raise XQueryTypeError(f"operator '{op}' requires node sequences")
+    return list(value)
+
+
+def set_operation(op: str, left_seq: Sequence, right_seq: Sequence) -> Sequence:
+    """union / intersect / except over node sequences, in document order."""
+    left = _require_nodes(left_seq, op)
+    right = _require_nodes(right_seq, op)
+    if op == "union":
+        return sort_document_order(left + right)
+    right_ids = {id(node) for node in right}
+    if op == "intersect":
+        return sort_document_order([n for n in left if id(n) in right_ids])
+    if op == "except":
+        return sort_document_order([n for n in left if id(n) not in right_ids])
+    raise XQueryDynamicError(f"unknown set operator {op!r}")

@@ -1,0 +1,1048 @@
+"""Recursive-descent parser for the XQuery subset.
+
+Covers the fragment the paper's document generator exercised: the full
+XPath 2.0 expression core (paths with axes, predicates, operators), FLWOR
+with ``order by``, quantifiers, conditionals, direct and computed
+constructors, and a prolog with ``declare function`` / ``declare
+variable`` / ``declare namespace``.
+
+The grammar is context sensitive where direct element constructors appear;
+the parser switches the lexer into raw character scanning at ``<`` in
+expression position (see :meth:`_direct_element`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..xdm import ItemType, SequenceType, parse_number
+from . import ast
+from .errors import XQueryStaticError, extended_stack
+from .lexer import Lexer
+from .tokens import Token
+
+#: node-kind-test names: in a step, ``text()`` is a kind test, never a call.
+KIND_TESTS = {
+    "node",
+    "text",
+    "comment",
+    "element",
+    "attribute",
+    "document-node",
+    "processing-instruction",
+}
+
+AXES = {
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "self",
+    "attribute",
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+}
+
+GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+NODE_COMPARISONS = {"is", "<<", ">>"}
+
+#: function names that may not be called as ordinary functions.
+RESERVED_FUNCTION_NAMES = KIND_TESTS | {"if", "item", "typeswitch", "empty-sequence"}
+
+
+def parse_query(source: str) -> ast.Module:
+    """Parse a complete query (prolog + body) into a :class:`Module`."""
+    return Parser(source).parse_module()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (no prolog)."""
+    module = Parser(source).parse_module()
+    if module.functions or module.variables:
+        raise XQueryStaticError("expected a bare expression, found a prolog")
+    return module.body
+
+
+class Parser:
+    #: maximum expression nesting depth (each level costs several
+    #: Python stack frames; extended_stack sizes the real stack to match).
+    MAX_NESTING = 500
+
+    def __init__(self, source: str):
+        self.lexer = Lexer(source)
+        self.source = source
+        self.token: Token = self.lexer.next_token()
+        self._nesting = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def advance(self) -> Token:
+        previous = self.token
+        self.token = self.lexer.next_token()
+        return previous
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.token.is_symbol(symbol):
+            raise self.error(f"expected {symbol!r}, found {self._describe()}")
+        return self.advance()
+
+    def expect_name(self, name: str) -> Token:
+        if not self.token.is_name(name):
+            raise self.error(f"expected keyword {name!r}, found {self._describe()}")
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        if self.token.kind != kind:
+            raise self.error(f"expected {kind}, found {self._describe()}")
+        return self.advance()
+
+    def _describe(self) -> str:
+        token = self.token
+        if token.kind == "eof":
+            return "end of query"
+        return f"{token.kind} {token.value!r}"
+
+    def error(self, message: str) -> XQueryStaticError:
+        return XQueryStaticError(
+            message, line=self.token.line, column=self.token.column
+        )
+
+    def _peek_next(self) -> Token:
+        """Look one token past the current one without consuming."""
+        saved_pos = self.lexer.pos
+        token = self.lexer.next_token()
+        self.lexer.pos = saved_pos
+        return token
+
+    def _peek_two(self) -> Tuple[Token, Token]:
+        """Look two tokens past the current one without consuming."""
+        saved_pos = self.lexer.pos
+        first = self.lexer.next_token()
+        second = self.lexer.next_token()
+        self.lexer.pos = saved_pos
+        return first, second
+
+    def _at_computed_constructor(self) -> bool:
+        """True if the current token begins a computed constructor.
+
+        ``element``/``attribute`` may be followed by a static name and then
+        ``{``; the others take ``{`` directly.  Anything else starting with
+        these keywords is a NameTest (an element really named "text"...).
+        """
+        token = self.token
+        if token.kind != "name":
+            return False
+        if token.value in ("element", "attribute"):
+            first, second = self._peek_two()
+            if first.is_symbol("{"):
+                return True
+            return first.kind == "name" and second.is_symbol("{")
+        if token.value in ("text", "comment", "document"):
+            return self._peek_next().is_symbol("{")
+        return False
+
+    # -- module / prolog ------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        with extended_stack():
+            module = ast.Module(source=self.source)
+            self._parse_prolog(module)
+            module.body = self.parse_expr()
+            if self.token.kind != "eof":
+                raise self.error(
+                    f"unexpected {self._describe()} after end of query"
+                )
+            return module
+
+    def _parse_prolog(self, module: ast.Module) -> None:
+        while True:
+            if self.token.is_name("xquery"):
+                self.advance()
+                self.expect_name("version")
+                self.expect_kind("string")
+                self.expect_symbol(";")
+            elif self.token.is_name("declare"):
+                self.advance()
+                self._parse_declaration(module)
+            else:
+                return
+
+    def _parse_declaration(self, module: ast.Module) -> None:
+        if self.token.is_name("namespace"):
+            self.advance()
+            prefix = self.expect_kind("name").value
+            self.expect_symbol("=")
+            uri = self.expect_kind("string").value
+            self.expect_symbol(";")
+            module.namespaces.append((prefix, uri))
+        elif self.token.is_name("variable"):
+            self.advance()
+            decl_token = self.expect_kind("var")
+            declared_type = None
+            if self.token.is_name("as"):
+                self.advance()
+                declared_type = self._parse_sequence_type()
+            value: Optional[ast.Expr]
+            if self.token.is_name("external"):
+                self.advance()
+                value = None
+            else:
+                self.expect_symbol(":=")
+                value = self.parse_expr_single()
+            self.expect_symbol(";")
+            module.variables.append(
+                ast.VariableDecl(
+                    name=decl_token.value,
+                    declared_type=declared_type,
+                    value=value,
+                    line=decl_token.line,
+                    column=decl_token.column,
+                )
+            )
+        elif self.token.is_name("function"):
+            self.advance()
+            module.functions.append(self._parse_function_decl())
+        elif self.token.is_name("boundary-space") or self.token.is_name("option"):
+            # accepted and ignored: scan to the terminating semicolon.
+            while not self.token.is_symbol(";"):
+                if self.token.kind == "eof":
+                    raise self.error("unterminated declaration")
+                self.advance()
+            self.advance()
+        elif self.token.is_name("default"):
+            while not self.token.is_symbol(";"):
+                if self.token.kind == "eof":
+                    raise self.error("unterminated declaration")
+                self.advance()
+            self.advance()
+        else:
+            raise self.error(f"unknown declaration {self._describe()}")
+
+    def _parse_function_decl(self) -> ast.FunctionDecl:
+        name_token = self.expect_kind("name")
+        if name_token.value in RESERVED_FUNCTION_NAMES:
+            raise self.error(f"{name_token.value!r} is a reserved function name")
+        self.expect_symbol("(")
+        params: List[ast.Param] = []
+        if not self.token.is_symbol(")"):
+            while True:
+                param_token = self.expect_kind("var")
+                declared_type = None
+                if self.token.is_name("as"):
+                    self.advance()
+                    declared_type = self._parse_sequence_type()
+                params.append(ast.Param(param_token.value, declared_type))
+                if self.token.is_symbol(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_symbol(")")
+        return_type = None
+        if self.token.is_name("as"):
+            self.advance()
+            return_type = self._parse_sequence_type()
+        self.expect_symbol("{")
+        body = self.parse_expr()
+        self.expect_symbol("}")
+        self.expect_symbol(";")
+        return ast.FunctionDecl(
+            name=name_token.value,
+            params=params,
+            return_type=return_type,
+            body=body,
+            line=name_token.line,
+            column=name_token.column,
+        )
+
+    # -- sequence types ---------------------------------------------------------
+
+    def _parse_sequence_type(self) -> SequenceType:
+        if self.token.is_name("empty-sequence"):
+            self.advance()
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            return SequenceType.empty()
+        item_type = self._parse_item_type()
+        occurrence = SequenceType.EXACTLY_ONE
+        if self.token.is_symbol("?", "*", "+"):
+            occurrence = self.advance().value
+        return SequenceType(item_type, occurrence)
+
+    def _parse_item_type(self) -> ItemType:
+        if self.token.kind != "name":
+            raise self.error(f"expected a type name, found {self._describe()}")
+        name = self.token.value
+        if name == "item":
+            self.advance()
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            return ItemType.item()
+        if name in KIND_TESTS:
+            self.advance()
+            self.expect_symbol("(")
+            inner_name = None
+            if self.token.kind == "name":
+                inner_name = self.advance().value
+            elif self.token.is_symbol("*"):
+                self.advance()
+            self.expect_symbol(")")
+            kind = None if name == "node" else name.replace("document-node", "document")
+            return ItemType.node(kind=kind, name=inner_name)
+        self.advance()
+        if ":" not in name:
+            name = f"xs:{name}"
+        return ItemType.atomic(name)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        first_token = self.token
+        items = [self.parse_expr_single()]
+        while self.token.is_symbol(","):
+            self.advance()
+            items.append(self.parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return ast.at(ast.SequenceExpr(items=items), first_token)
+
+    def parse_expr_single(self) -> ast.Expr:
+        self._nesting += 1
+        try:
+            if self._nesting > self.MAX_NESTING:
+                raise self.error(
+                    f"expression nesting exceeds {self.MAX_NESTING} levels"
+                )
+            return self._parse_expr_single_inner()
+        finally:
+            self._nesting -= 1
+
+    def _parse_expr_single_inner(self) -> ast.Expr:
+        token = self.token
+        if token.kind == "name":
+            if token.value in ("for", "let") and self._peek_next().kind == "var":
+                return self._parse_flwor()
+            if token.value in ("some", "every") and self._peek_next().kind == "var":
+                return self._parse_quantified()
+            if token.value == "if" and self._peek_next().is_symbol("("):
+                return self._parse_if()
+            if token.value == "typeswitch" and self._peek_next().is_symbol("("):
+                return self._parse_typeswitch()
+            if token.value == "try" and self._peek_next().is_symbol("{"):
+                return self._parse_try_catch()
+        return self._parse_or()
+
+    def _parse_flwor(self) -> ast.Expr:
+        start = self.token
+        clauses: List[object] = []
+        while self.token.is_name("for", "let") and self._peek_next().kind == "var":
+            keyword = self.advance().value
+            while True:
+                var_token = self.expect_kind("var")
+                if keyword == "for":
+                    position_var = None
+                    if self.token.is_name("at"):
+                        self.advance()
+                        position_var = self.expect_kind("var").value
+                    self.expect_name("in")
+                    source = self.parse_expr_single()
+                    clauses.append(
+                        ast.ForClause(var_token.value, position_var, source)
+                    )
+                else:
+                    declared_type = None
+                    if self.token.is_name("as"):
+                        self.advance()
+                        declared_type = self._parse_sequence_type()
+                    self.expect_symbol(":=")
+                    value = self.parse_expr_single()
+                    clauses.append(
+                        ast.LetClause(var_token.value, value, declared_type)
+                    )
+                if self.token.is_symbol(","):
+                    self.advance()
+                    continue
+                break
+        if self.token.is_name("where"):
+            self.advance()
+            clauses.append(ast.WhereClause(self.parse_expr_single()))
+        if self.token.is_name("stable") or self.token.is_name("order"):
+            stable = False
+            if self.token.is_name("stable"):
+                stable = True
+                self.advance()
+            self.expect_name("order")
+            self.expect_name("by")
+            specs = [self._parse_order_spec()]
+            while self.token.is_symbol(","):
+                self.advance()
+                specs.append(self._parse_order_spec())
+            clauses.append(ast.OrderByClause(specs, stable))
+        self.expect_name("return")
+        result = self.parse_expr_single()
+        return ast.at(ast.FLWOR(clauses=clauses, result=result), start)
+
+    def _parse_order_spec(self) -> ast.OrderSpec:
+        key = self.parse_expr_single()
+        descending = False
+        if self.token.is_name("ascending"):
+            self.advance()
+        elif self.token.is_name("descending"):
+            descending = True
+            self.advance()
+        empty_least = True
+        if self.token.is_name("empty"):
+            self.advance()
+            if self.token.is_name("greatest"):
+                empty_least = False
+                self.advance()
+            else:
+                self.expect_name("least")
+        return ast.OrderSpec(key, descending, empty_least)
+
+    def _parse_quantified(self) -> ast.Expr:
+        start = self.advance()  # some | every
+        bindings: List[Tuple[str, ast.Expr]] = []
+        while True:
+            var_token = self.expect_kind("var")
+            self.expect_name("in")
+            source = self.parse_expr_single()
+            bindings.append((var_token.value, source))
+            if self.token.is_symbol(","):
+                self.advance()
+                continue
+            break
+        self.expect_name("satisfies")
+        satisfies = self.parse_expr_single()
+        return ast.at(
+            ast.Quantified(
+                quantifier=start.value, bindings=bindings, satisfies=satisfies
+            ),
+            start,
+        )
+
+    def _parse_try_catch(self) -> ast.Expr:
+        start = self.expect_name("try")
+        self.expect_symbol("{")
+        body = self.parse_expr()
+        self.expect_symbol("}")
+        self.expect_name("catch")
+        catch_var = None
+        if self.token.kind == "var":
+            catch_var = self.advance().value
+        self.expect_symbol("{")
+        handler = self.parse_expr()
+        self.expect_symbol("}")
+        return ast.at(
+            ast.TryCatch(body=body, catch_var=catch_var, handler=handler), start
+        )
+
+    def _parse_typeswitch(self) -> ast.Expr:
+        start = self.expect_name("typeswitch")
+        self.expect_symbol("(")
+        operand = self.parse_expr()
+        self.expect_symbol(")")
+        cases: List[ast.CaseClause] = []
+        while self.token.is_name("case"):
+            self.advance()
+            var = None
+            if self.token.kind == "var":
+                var = self.advance().value
+                self.expect_name("as")
+            sequence_type = self._parse_sequence_type()
+            self.expect_name("return")
+            result = self.parse_expr_single()
+            cases.append(ast.CaseClause(sequence_type, var, result))
+        if not cases:
+            raise self.error("typeswitch requires at least one case clause")
+        self.expect_name("default")
+        default_var = None
+        if self.token.kind == "var":
+            default_var = self.advance().value
+        self.expect_name("return")
+        default = self.parse_expr_single()
+        return ast.at(
+            ast.Typeswitch(
+                operand=operand,
+                cases=cases,
+                default_var=default_var,
+                default=default,
+            ),
+            start,
+        )
+
+    def _parse_if(self) -> ast.Expr:
+        start = self.expect_name("if")
+        self.expect_symbol("(")
+        condition = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_name("then")
+        then_branch = self.parse_expr_single()
+        self.expect_name("else")
+        else_branch = self.parse_expr_single()
+        return ast.at(
+            ast.IfExpr(
+                condition=condition,
+                then_branch=then_branch,
+                else_branch=else_branch,
+            ),
+            start,
+        )
+
+    # -- operator precedence chain ---------------------------------------------
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.token.is_name("or"):
+            token = self.advance()
+            right = self._parse_and()
+            left = ast.at(ast.BooleanOp(op="or", left=left, right=right), token)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self.token.is_name("and"):
+            token = self.advance()
+            right = self._parse_comparison()
+            left = ast.at(ast.BooleanOp(op="and", left=left, right=right), token)
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_range()
+        token = self.token
+        style = None
+        if token.kind == "symbol" and token.value in GENERAL_COMPARISONS:
+            style = "general"
+        elif token.kind == "name" and token.value in VALUE_COMPARISONS:
+            style = "value"
+        elif token.kind == "name" and token.value == "is":
+            style = "node"
+        elif token.kind == "symbol" and token.value in ("<<", ">>"):
+            style = "node"
+        if style is None:
+            return left
+        op_token = self.advance()
+        right = self._parse_range()
+        return ast.at(
+            ast.Comparison(op=op_token.value, style=style, left=left, right=right),
+            op_token,
+        )
+
+    def _parse_range(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self.token.is_name("to"):
+            token = self.advance()
+            right = self._parse_additive()
+            return ast.at(ast.RangeExpr(start=left, end=right), token)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.token.is_symbol("+", "-"):
+            token = self.advance()
+            right = self._parse_multiplicative()
+            left = ast.at(
+                ast.Arithmetic(op=token.value, left=left, right=right), token
+            )
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_union()
+        while self.token.is_symbol("*") or self.token.is_name("div", "idiv", "mod"):
+            token = self.advance()
+            right = self._parse_union()
+            left = ast.at(
+                ast.Arithmetic(op=token.value, left=left, right=right), token
+            )
+        return left
+
+    def _parse_union(self) -> ast.Expr:
+        left = self._parse_intersect()
+        while self.token.is_name("union") or self.token.is_symbol("|"):
+            token = self.advance()
+            right = self._parse_intersect()
+            left = ast.at(ast.SetOp(op="union", left=left, right=right), token)
+        return left
+
+    def _parse_intersect(self) -> ast.Expr:
+        left = self._parse_instance_of()
+        while self.token.is_name("intersect", "except"):
+            token = self.advance()
+            right = self._parse_instance_of()
+            left = ast.at(
+                ast.SetOp(op=token.value, left=left, right=right), token
+            )
+        return left
+
+    def _parse_instance_of(self) -> ast.Expr:
+        left = self._parse_treat()
+        if self.token.is_name("instance"):
+            token = self.advance()
+            self.expect_name("of")
+            sequence_type = self._parse_sequence_type()
+            return ast.at(
+                ast.InstanceOf(operand=left, sequence_type=sequence_type), token
+            )
+        return left
+
+    def _parse_treat(self) -> ast.Expr:
+        left = self._parse_castable()
+        if self.token.is_name("treat"):
+            token = self.advance()
+            self.expect_name("as")
+            sequence_type = self._parse_sequence_type()
+            return ast.at(
+                ast.TreatAs(operand=left, sequence_type=sequence_type), token
+            )
+        return left
+
+    def _parse_castable(self) -> ast.Expr:
+        left = self._parse_cast()
+        if self.token.is_name("castable"):
+            token = self.advance()
+            self.expect_name("as")
+            type_name, allow_empty = self._parse_single_type()
+            return ast.at(
+                ast.CastableAs(
+                    operand=left, type_name=type_name, allow_empty=allow_empty
+                ),
+                token,
+            )
+        return left
+
+    def _parse_cast(self) -> ast.Expr:
+        left = self._parse_unary()
+        if self.token.is_name("cast"):
+            token = self.advance()
+            self.expect_name("as")
+            type_name, allow_empty = self._parse_single_type()
+            return ast.at(
+                ast.CastAs(operand=left, type_name=type_name, allow_empty=allow_empty),
+                token,
+            )
+        return left
+
+    def _parse_single_type(self) -> Tuple[str, bool]:
+        name = self.expect_kind("name").value
+        if ":" not in name:
+            name = f"xs:{name}"
+        allow_empty = False
+        if self.token.is_symbol("?"):
+            allow_empty = True
+            self.advance()
+        return name, allow_empty
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.token.is_symbol("-", "+"):
+            token = self.advance()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            return ast.at(ast.Unary(op="-", operand=operand), token)
+        return self._parse_path()
+
+    # -- paths ---------------------------------------------------------------------
+
+    def _parse_path(self) -> ast.Expr:
+        token = self.token
+        if token.is_symbol("/"):
+            self.advance()
+            if self._starts_step():
+                first, steps = self._parse_relative_path()
+                return ast.at(
+                    ast.PathExpr(anchor="/", first=first, steps=steps), token
+                )
+            return ast.at(ast.PathExpr(anchor="/", first=None, steps=[]), token)
+        if token.is_symbol("//"):
+            self.advance()
+            first, steps = self._parse_relative_path()
+            return ast.at(ast.PathExpr(anchor="//", first=first, steps=steps), token)
+        if not self._starts_step():
+            raise self.error(f"expected an expression, found {self._describe()}")
+        first, steps = self._parse_relative_path()
+        if not steps and not isinstance(first, ast.AxisStep):
+            return first
+        return ast.at(ast.PathExpr(anchor=None, first=first, steps=steps), token)
+
+    def _parse_relative_path(self) -> Tuple[ast.Expr, List[Tuple[str, ast.Expr]]]:
+        first = self._parse_step_expr()
+        steps: List[Tuple[str, ast.Expr]] = []
+        while self.token.is_symbol("/", "//"):
+            separator = self.advance().value
+            steps.append((separator, self._parse_step_expr()))
+        return first, steps
+
+    def _starts_step(self) -> bool:
+        token = self.token
+        if token.kind in ("var", "integer", "decimal", "double", "string", "name"):
+            return True
+        return token.is_symbol("(", ".", "..", "@", "*", "<", "$")
+
+    def _parse_step_expr(self) -> ast.Expr:
+        token = self.token
+        # reverse step: ".."
+        if token.is_symbol(".."):
+            self.advance()
+            step = ast.at(
+                ast.AxisStep(axis="parent", test=ast.NodeTest("node")), token
+            )
+            step.predicates = self._parse_predicates()
+            return step
+        # attribute abbreviation: @name
+        if token.is_symbol("@"):
+            self.advance()
+            test = self._parse_node_test()
+            step = ast.at(ast.AxisStep(axis="attribute", test=test), token)
+            step.predicates = self._parse_predicates()
+            return step
+        # explicit axis: axisname::test
+        if token.kind == "name" and token.value in AXES and self._peek_next().is_symbol("::"):
+            axis = self.advance().value
+            self.expect_symbol("::")
+            test = self._parse_node_test()
+            step = ast.at(ast.AxisStep(axis=axis, test=test), token)
+            step.predicates = self._parse_predicates()
+            return step
+        # kind test as a child step: text(), node(), element(name)...
+        if (
+            token.kind == "name"
+            and token.value in KIND_TESTS
+            and self._peek_next().is_symbol("(")
+        ):
+            test = self._parse_node_test()
+            axis = "attribute" if token.value == "attribute" else "child"
+            step = ast.at(ast.AxisStep(axis=axis, test=test), token)
+            step.predicates = self._parse_predicates()
+            return step
+        # computed constructors are primaries, not name tests
+        if self._at_computed_constructor():
+            base = self._computed_constructor()
+            predicates = self._parse_predicates()
+            if predicates:
+                return ast.at(ast.FilterExpr(base=base, predicates=predicates), token)
+            return base
+        # name test (child axis), unless it is a function call
+        if token.kind == "name" and not self._peek_next().is_symbol("("):
+            name = self.advance().value
+            if name.endswith(":") and self.token.is_symbol("*"):
+                self.advance()
+                test = ast.NodeTest("wildcard", name + "*")
+            else:
+                test = ast.NodeTest("name", name)
+            step = ast.at(ast.AxisStep(axis="child", test=test), token)
+            step.predicates = self._parse_predicates()
+            return step
+        if token.is_symbol("*"):
+            self.advance()
+            step = ast.at(
+                ast.AxisStep(axis="child", test=ast.NodeTest("wildcard", "*")), token
+            )
+            step.predicates = self._parse_predicates()
+            return step
+        # otherwise: a filter expression (primary + predicates)
+        base = self._parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return ast.at(ast.FilterExpr(base=base, predicates=predicates), token)
+        return base
+
+    def _parse_node_test(self) -> ast.NodeTest:
+        token = self.token
+        if token.is_symbol("*"):
+            self.advance()
+            return ast.NodeTest("wildcard", "*")
+        name_token = self.expect_kind("name")
+        name = name_token.value
+        if name in KIND_TESTS and self.token.is_symbol("("):
+            self.advance()
+            inner = None
+            if self.token.kind == "name":
+                inner = self.advance().value
+            elif self.token.kind == "string":
+                inner = self.advance().value
+            elif self.token.is_symbol("*"):
+                self.advance()
+            self.expect_symbol(")")
+            return ast.NodeTest(name, inner)
+        return ast.NodeTest("name", name)
+
+    def _parse_predicates(self) -> List[ast.Expr]:
+        predicates: List[ast.Expr] = []
+        while self.token.is_symbol("["):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect_symbol("]")
+        return predicates
+
+    # -- primaries --------------------------------------------------------------------
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.token
+        if token.kind == "var":
+            self.advance()
+            return ast.at(ast.VarRef(name=token.value), token)
+        if token.kind == "string":
+            self.advance()
+            return ast.at(ast.Literal(value=token.value), token)
+        if token.kind in ("integer", "decimal", "double"):
+            self.advance()
+            return ast.at(ast.Literal(value=parse_number(token.value)), token)
+        if token.is_symbol("("):
+            self.advance()
+            if self.token.is_symbol(")"):
+                self.advance()
+                return ast.at(ast.EmptySequence(), token)
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if token.is_symbol("."):
+            self.advance()
+            return ast.at(ast.ContextItem(), token)
+        if token.is_symbol("<"):
+            return self._direct_constructor()
+        if token.kind == "name":
+            return self._parse_named_primary()
+        raise self.error(f"expected an expression, found {self._describe()}")
+
+    def _parse_named_primary(self) -> ast.Expr:
+        token = self.token
+        name = token.value
+        next_token = self._peek_next()
+        # computed constructors: element foo {...}, attribute {$n} {...}, etc.
+        if name in ("element", "attribute", "text", "comment", "document") and (
+            next_token.is_symbol("{")
+            or (name in ("element", "attribute") and next_token.kind == "name")
+        ):
+            return self._computed_constructor()
+        if next_token.is_symbol("(") and name not in RESERVED_FUNCTION_NAMES:
+            self.advance()
+            self.expect_symbol("(")
+            args: List[ast.Expr] = []
+            if not self.token.is_symbol(")"):
+                while True:
+                    args.append(self.parse_expr_single())
+                    if self.token.is_symbol(","):
+                        self.advance()
+                        continue
+                    break
+            self.expect_symbol(")")
+            return ast.at(ast.FunctionCall(name=name, args=args), token)
+        raise self.error(f"unexpected name {name!r} in expression position")
+
+    def _computed_constructor(self) -> ast.Expr:
+        token = self.advance()  # element | attribute | text | comment | document
+        kind = token.value
+        name = None
+        name_expr = None
+        if kind in ("element", "attribute"):
+            if self.token.kind == "name":
+                name = self.advance().value
+            else:
+                self.expect_symbol("{")
+                name_expr = self.parse_expr()
+                self.expect_symbol("}")
+        self.expect_symbol("{")
+        content = None
+        if not self.token.is_symbol("}"):
+            content = self.parse_expr()
+        self.expect_symbol("}")
+        if kind == "element":
+            return ast.at(
+                ast.ComputedElement(name_expr=name_expr, name=name, content=content),
+                token,
+            )
+        if kind == "attribute":
+            return ast.at(
+                ast.ComputedAttribute(name_expr=name_expr, name=name, content=content),
+                token,
+            )
+        if kind == "text":
+            return ast.at(ast.ComputedText(content=content), token)
+        if kind == "comment":
+            return ast.at(ast.ComputedComment(content=content), token)
+        return ast.at(ast.ComputedDocument(content=content), token)
+
+    # -- direct constructors (raw XML-mode scanning) -------------------------------
+
+    def _direct_constructor(self) -> ast.Expr:
+        token = self.token  # the "<" symbol token
+        lexer = self.lexer
+        lexer.pos = token.pos  # rewind to the "<" and scan as XML
+        if lexer.at("<!--"):
+            lexer.take("<!--")
+            end = lexer.text.find("-->", lexer.pos)
+            if end < 0:
+                raise lexer.error("unterminated XML comment in constructor")
+            text = lexer.text[lexer.pos : end]
+            lexer.pos = end + 3
+            self.token = lexer.next_token()
+            return ast.at(ast.DirectComment(text=text), token)
+        element = self._direct_element()
+        self.token = lexer.next_token()
+        return ast.at(element, token)
+
+    def _direct_element(self) -> ast.DirectElement:
+        """Scan one direct element; the lexer cursor sits at its ``<``."""
+        lexer = self.lexer
+        lexer.take("<")
+        name = lexer.scan_xml_name()
+        element = ast.DirectElement(name=name)
+        while True:
+            lexer.skip_xml_space()
+            if lexer.at("/>"):
+                lexer.take("/>")
+                return element
+            if lexer.at(">"):
+                lexer.take(">")
+                break
+            attr_name = lexer.scan_xml_name()
+            lexer.skip_xml_space()
+            lexer.take("=")
+            lexer.skip_xml_space()
+            element.attributes.append((attr_name, self._attribute_value()))
+        element.content = self._element_content(name)
+        return element
+
+    def _attribute_value(self) -> List[object]:
+        """Scan a quoted attribute value template: text and ``{expr}`` parts."""
+        lexer = self.lexer
+        quote = lexer.take_char()
+        if quote not in "\"'":
+            raise lexer.error("expected a quoted attribute value")
+        parts: List[object] = []
+        buffer: List[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append("".join(buffer))
+                buffer.clear()
+
+        while True:
+            char = lexer.peek_char()
+            if char == "":
+                raise lexer.error("unterminated attribute value")
+            if char == quote:
+                lexer.take_char()
+                if lexer.peek_char() == quote:  # doubled quote escape
+                    buffer.append(lexer.take_char())
+                    continue
+                flush()
+                return parts
+            if lexer.at("{{"):
+                lexer.take("{{")
+                buffer.append("{")
+                continue
+            if lexer.at("}}"):
+                lexer.take("}}")
+                buffer.append("}")
+                continue
+            if char == "{":
+                flush()
+                parts.append(self._enclosed_expr())
+                continue
+            if char == "&":
+                buffer.append(lexer.scan_entity())
+                continue
+            buffer.append(lexer.take_char())
+
+    def _element_content(self, element_name: str) -> List[object]:
+        """Scan element content until the matching end tag."""
+        lexer = self.lexer
+        parts: List[object] = []
+        buffer: List[str] = []
+        buffer_has_entity = False
+
+        def flush() -> None:
+            nonlocal buffer_has_entity
+            if buffer:
+                text = "".join(buffer)
+                # boundary-space strip: drop whitespace-only literal runs
+                # unless they contain character references.
+                if text.strip() or buffer_has_entity:
+                    parts.append(ast.DirectText(text=text))
+                buffer.clear()
+            buffer_has_entity = False
+
+        while True:
+            if lexer.at("</"):
+                flush()
+                lexer.take("</")
+                end_name = lexer.scan_xml_name()
+                lexer.skip_xml_space()
+                lexer.take(">")
+                if end_name != element_name:
+                    raise lexer.error(
+                        f"mismatched tags: <{element_name}> closed by </{end_name}>"
+                    )
+                return parts
+            char = lexer.peek_char()
+            if char == "":
+                raise lexer.error(f"unclosed element <{element_name}>")
+            if lexer.at("<!--"):
+                flush()
+                lexer.take("<!--")
+                end = lexer.text.find("-->", lexer.pos)
+                if end < 0:
+                    raise lexer.error("unterminated XML comment")
+                parts.append(ast.DirectComment(text=lexer.text[lexer.pos : end]))
+                lexer.pos = end + 3
+                continue
+            if lexer.at("<?"):
+                flush()
+                lexer.take("<?")
+                target = lexer.scan_xml_name()
+                end = lexer.text.find("?>", lexer.pos)
+                if end < 0:
+                    raise lexer.error("unterminated processing instruction")
+                parts.append(
+                    ast.DirectPI(
+                        target=target, text=lexer.text[lexer.pos : end].strip()
+                    )
+                )
+                lexer.pos = end + 2
+                continue
+            if lexer.at("<![CDATA["):
+                lexer.take("<![CDATA[")
+                end = lexer.text.find("]]>", lexer.pos)
+                if end < 0:
+                    raise lexer.error("unterminated CDATA section")
+                buffer.append(lexer.text[lexer.pos : end])
+                buffer_has_entity = True  # CDATA whitespace is significant
+                lexer.pos = end + 3
+                continue
+            if char == "<":
+                flush()
+                parts.append(self._direct_element())
+                continue
+            if lexer.at("{{"):
+                lexer.take("{{")
+                buffer.append("{")
+                continue
+            if lexer.at("}}"):
+                lexer.take("}}")
+                buffer.append("}")
+                continue
+            if char == "{":
+                flush()
+                parts.append(self._enclosed_expr())
+                continue
+            if char == "&":
+                buffer.append(lexer.scan_entity())
+                buffer_has_entity = True
+                continue
+            buffer.append(lexer.take_char())
+
+    def _enclosed_expr(self) -> ast.Expr:
+        """Parse ``{ Expr }`` from raw mode, returning to raw mode after."""
+        lexer = self.lexer
+        lexer.take("{")
+        self.token = lexer.next_token()
+        expr = self.parse_expr()
+        if not self.token.is_symbol("}"):
+            raise self.error(
+                f"expected '}}' to close enclosed expression, found {self._describe()}"
+            )
+        # The lexer cursor now sits just past the '}'; raw scanning resumes.
+        return expr

@@ -1,0 +1,70 @@
+"""Token definitions for the XQuery lexer."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    ``kind`` ∈ {``name``, ``var``, ``integer``, ``decimal``, ``double``,
+    ``string``, ``symbol``, ``eof``}.  ``value`` holds the name text, the
+    variable name (without ``$``), the literal value as text, or the symbol.
+    ``pos`` is the character offset of the token start; ``line``/``column``
+    are 1-based for error messages.
+    """
+
+    kind: str
+    value: str
+    pos: int
+    line: int
+    column: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+    def is_name(self, *names: str) -> bool:
+        return self.kind == "name" and self.value in names
+
+
+#: Multi-character symbols, longest first so the lexer scans greedily.
+MULTI_SYMBOLS = [
+    "<=",
+    ">=",
+    "!=",
+    "<<",
+    ">>",
+    "//",
+    ":=",
+    "..",
+    "::",
+    "{{",
+    "}}",
+]
+
+SINGLE_SYMBOLS = set("()[]{},;/@.*+-=<>|?$")
+
+#: Names that act as binary operators when found in operator position.
+OPERATOR_NAMES = {
+    "and",
+    "or",
+    "div",
+    "idiv",
+    "mod",
+    "to",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "is",
+    "union",
+    "intersect",
+    "except",
+    "instance",
+    "cast",
+    "castable",
+    "treat",
+}

@@ -1,0 +1,21 @@
+"""A minimal XSLT-ish processor — "a bit of XSLT sprinkled in at the end"."""
+
+from .engine import transform
+from .stylesheet import (
+    MatchPattern,
+    Stylesheet,
+    StylesheetError,
+    Template,
+    parse_match_pattern,
+    parse_stylesheet,
+)
+
+__all__ = [
+    "MatchPattern",
+    "Stylesheet",
+    "StylesheetError",
+    "Template",
+    "parse_match_pattern",
+    "parse_stylesheet",
+    "transform",
+]

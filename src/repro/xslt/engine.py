@@ -1,0 +1,202 @@
+"""The mini-XSLT transformation engine."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..xdm import (
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    TextNode,
+    effective_boolean_value,
+    is_node,
+    string_value_of_atomic,
+)
+from ..xquery.context import DynamicContext, EngineConfig
+from ..xquery.evaluator import evaluate
+from .stylesheet import (
+    XSL_PREFIX,
+    Stylesheet,
+    StylesheetError,
+    compile_select,
+    parse_stylesheet,
+)
+
+
+def transform(
+    stylesheet: Union[str, Stylesheet], document: Node
+) -> List[Node]:
+    """Apply a stylesheet to a document (or element), returning result nodes."""
+    if not isinstance(stylesheet, Stylesheet):
+        stylesheet = parse_stylesheet(stylesheet)
+    engine = _Transformer(stylesheet)
+    return engine.apply_templates([document])
+
+
+class _Transformer:
+    def __init__(self, stylesheet: Stylesheet):
+        self.stylesheet = stylesheet
+        self._select_cache = {}
+
+    # -- template application ------------------------------------------------
+
+    def apply_templates(self, nodes: List[Node]) -> List[Node]:
+        output: List[Node] = []
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            template = self.stylesheet.best_match(node)
+            if template is not None:
+                output.extend(self.instantiate(template.body, node, position, size))
+            else:
+                output.extend(self._builtin_rule(node))
+        return output
+
+    def _builtin_rule(self, node: Node) -> List[Node]:
+        """XSLT's built-in rules: recurse into elements, copy text."""
+        if node.kind in ("document", "element"):
+            return self.apply_templates(list(node.children))
+        if node.kind == "text":
+            return [node.copy()]
+        return []
+
+    # -- body instantiation -----------------------------------------------------
+
+    def instantiate(
+        self, body: List[Node], context: Node, position: int, size: int
+    ) -> List[Node]:
+        output: List[Node] = []
+        for instruction in body:
+            output.extend(self._one(instruction, context, position, size))
+        return output
+
+    def _one(
+        self, instruction: Node, context: Node, position: int, size: int
+    ) -> List[Node]:
+        if instruction.kind == "text":
+            if instruction.string_value().strip():
+                return [instruction.copy()]
+            return []
+        if instruction.kind != "element":
+            return [instruction.copy()]
+        name = instruction.name
+        if not name.startswith(XSL_PREFIX):
+            literal = ElementNode(name)
+            for attribute in instruction.attributes:
+                literal.set_attribute(attribute.name, attribute.value)
+            for child in self.instantiate(
+                list(instruction.children), context, position, size
+            ):
+                if isinstance(child, AttributeNode):
+                    literal.set_attribute_node(child)
+                else:
+                    literal.append(child)
+            return [literal]
+        verb = name[len(XSL_PREFIX) :]
+        if verb == "apply-templates":
+            select = instruction.get_attribute("select")
+            if select is None:
+                return self.apply_templates(list(context.children))
+            selected = self._select(select, context, position, size)
+            return self.apply_templates([n for n in selected if is_node(n)])
+        if verb == "value-of":
+            select = self._required(instruction, "select")
+            value = self._select(select, context, position, size)
+            if not value:
+                return []
+            first = value[0]
+            text = first.string_value() if is_node(first) else string_value_of_atomic(first)
+            return [TextNode(text)]
+        if verb == "copy-of":
+            select = self._required(instruction, "select")
+            value = self._select(select, context, position, size)
+            return [
+                item.copy() if is_node(item) else TextNode(string_value_of_atomic(item))
+                for item in value
+            ]
+        if verb == "copy":
+            shallow: Node
+            if context.kind == "element":
+                shallow = ElementNode(context.name)
+                for attribute in context.attributes:
+                    shallow.set_attribute(attribute.name, attribute.value)
+            elif context.kind == "text":
+                return [context.copy()]
+            else:
+                shallow = DocumentNode()
+            for child in self.instantiate(
+                list(instruction.children), context, position, size
+            ):
+                shallow.append(child)
+            return [shallow]
+        if verb == "for-each":
+            select = self._required(instruction, "select")
+            selected = [
+                n for n in self._select(select, context, position, size) if is_node(n)
+            ]
+            output: List[Node] = []
+            inner_size = len(selected)
+            for inner_position, node in enumerate(selected, start=1):
+                output.extend(
+                    self.instantiate(
+                        list(instruction.children), node, inner_position, inner_size
+                    )
+                )
+            return output
+        if verb == "choose":
+            for branch in instruction.child_elements():
+                if branch.name == XSL_PREFIX + "when":
+                    test = self._required(branch, "test")
+                    value = self._select(test, context, position, size)
+                    if effective_boolean_value(value):
+                        return self.instantiate(
+                            list(branch.children), context, position, size
+                        )
+                elif branch.name == XSL_PREFIX + "otherwise":
+                    return self.instantiate(
+                        list(branch.children), context, position, size
+                    )
+                else:
+                    raise StylesheetError(
+                        f"<xsl:choose> allows only when/otherwise, "
+                        f"found <{branch.name}>"
+                    )
+            return []
+        if verb == "attribute":
+            name_attr = self._required(instruction, "name")
+            content = self.instantiate(
+                list(instruction.children), context, position, size
+            )
+            value = "".join(node.string_value() for node in content)
+            return [AttributeNode(name_attr, value)]
+        if verb == "text":
+            return [TextNode(instruction.string_value())]
+        if verb == "if":
+            test = self._required(instruction, "test")
+            value = self._select(test, context, position, size)
+            if effective_boolean_value(value):
+                return self.instantiate(
+                    list(instruction.children), context, position, size
+                )
+            return []
+        raise StylesheetError(f"unsupported instruction <xsl:{verb}>")
+
+    def _required(self, instruction: ElementNode, attribute: str) -> str:
+        value = instruction.get_attribute(attribute)
+        if value is None:
+            raise StylesheetError(
+                f"<{instruction.name}> requires a {attribute} attribute"
+            )
+        return value
+
+    # -- select evaluation -------------------------------------------------------
+
+    def _select(self, source: str, context: Node, position: int, size: int):
+        compiled = self._select_cache.get(source)
+        if compiled is None:
+            compiled = compile_select(source)
+            self._select_cache[source] = compiled
+        ctx = DynamicContext(config=EngineConfig(optimize=False))
+        ctx = ctx.with_focus(context, position, size)
+        return evaluate(compiled, ctx)

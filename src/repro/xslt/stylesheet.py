@@ -1,0 +1,143 @@
+"""Parsing of the mini-XSLT stylesheet language.
+
+The paper used "a bit of XSLT sprinkled in at the end" — specifically "a
+little XSLT program could split them apart" (the output streams).  This
+processor supports the fragment such a program needs:
+
+* ``<xsl:template match="...">`` with simplified match patterns
+  (name, ``parent/child``, ``*``, ``/``, ``text()``);
+* ``<xsl:apply-templates/>`` and ``<xsl:apply-templates select="..."/>``;
+* ``<xsl:value-of select="..."/>``;
+* ``<xsl:copy-of select="..."/>``;
+* ``<xsl:copy>`` (shallow copy with attributes);
+* ``<xsl:for-each select="...">``;
+* ``<xsl:if test="...">``;
+* literal result elements and text.
+
+``select``/``test`` expressions are compiled with the repo's own XQuery
+parser — XPath 1.0 select expressions are a subset of what it accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..xdm import ElementNode, Node
+from ..xmlio import parse_element
+from ..xquery.ast import Expr
+from ..xquery.parser import parse_expression
+
+XSL_PREFIX = "xsl:"
+
+
+class StylesheetError(ValueError):
+    """The stylesheet is malformed or uses unsupported features."""
+
+
+@dataclass
+class MatchPattern:
+    """A simplified match pattern.
+
+    ``steps`` holds the name path (last element is the node itself);
+    ``kind`` distinguishes ``element`` / ``text`` / ``root`` patterns.
+    Specificity: root > longer paths > name > wildcard.
+    """
+
+    source: str
+    kind: str = "element"  # element | text | root
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def specificity(self) -> float:
+        if self.kind == "root":
+            return 100.0
+        if self.kind == "text":
+            return 1.0
+        score = float(len(self.steps))
+        if self.steps and self.steps[-1] == "*":
+            score -= 0.5
+        return score
+
+    def matches(self, node: Node) -> bool:
+        if self.kind == "root":
+            return node.kind == "document"
+        if self.kind == "text":
+            return node.kind == "text"
+        if node.kind != "element":
+            return False
+        current: Optional[Node] = node
+        for name in reversed(self.steps):
+            if current is None or current.kind != "element":
+                return False
+            if name != "*" and current.name != name:
+                return False
+            current = current.parent
+        return True
+
+
+def parse_match_pattern(source: str) -> MatchPattern:
+    text = source.strip()
+    if text == "/":
+        return MatchPattern(source, kind="root")
+    if text == "text()":
+        return MatchPattern(source, kind="text")
+    steps = [step for step in text.split("/") if step]
+    if not steps:
+        raise StylesheetError(f"unsupported match pattern {source!r}")
+    for step in steps:
+        if step != "*" and not step.replace("-", "").replace("_", "").isalnum():
+            raise StylesheetError(f"unsupported match step {step!r} in {source!r}")
+    return MatchPattern(source, kind="element", steps=steps)
+
+
+@dataclass
+class Template:
+    """One ``<xsl:template>``: a match pattern and a body."""
+
+    pattern: MatchPattern
+    body: List[Node]
+
+
+class Stylesheet:
+    """A parsed stylesheet: an ordered, specificity-ranked template list."""
+
+    def __init__(self, templates: List[Template]):
+        self.templates = templates
+
+    def best_match(self, node: Node) -> Optional[Template]:
+        best: Optional[Template] = None
+        best_rank = (-1.0, -1)
+        for position, template in enumerate(self.templates):
+            if template.pattern.matches(node):
+                # later templates win ties, as in XSLT's import precedence.
+                rank = (template.pattern.specificity, position)
+                if rank > best_rank:
+                    best, best_rank = template, rank
+        return best
+
+
+def parse_stylesheet(source: Union[str, ElementNode]) -> Stylesheet:
+    """Parse a stylesheet from XML text or a parsed element."""
+    root = parse_element(source) if isinstance(source, str) else source
+    if root.name not in (XSL_PREFIX + "stylesheet", XSL_PREFIX + "transform"):
+        raise StylesheetError(f"expected <xsl:stylesheet>, found <{root.name}>")
+    templates: List[Template] = []
+    for child in root.child_elements():
+        if child.name != XSL_PREFIX + "template":
+            raise StylesheetError(f"unsupported top-level element <{child.name}>")
+        match = child.get_attribute("match")
+        if not match:
+            raise StylesheetError("<xsl:template> requires a match attribute")
+        templates.append(
+            Template(pattern=parse_match_pattern(match), body=list(child.children))
+        )
+    return Stylesheet(templates)
+
+
+def compile_select(source: str) -> Expr:
+    """Compile a select/test expression using the XQuery parser."""
+    try:
+        return parse_expression(source)
+    except Exception as exc:
+        raise StylesheetError(f"bad select expression {source!r}: {exc}") from exc

@@ -1,0 +1,71 @@
+"""Tests for editor declarations and the rendered Omissions window."""
+
+import pytest
+
+from repro.awb import (
+    Metamodel,
+    MetamodelError,
+    Model,
+    load_metamodel,
+    render_omissions_window,
+)
+
+
+class TestEditors:
+    @pytest.fixture()
+    def metamodel(self):
+        mm = Metamodel("t")
+        mm.add_node_type("Element")
+        mm.add_node_type("Person", parent="Element")
+        mm.add_node_type("User", parent="Person")
+        mm.add_editor("AnyForm", "Element", widget="form")
+        mm.add_editor("PersonForm", "Person", widget="form")
+        return mm
+
+    def test_editors_inherited_down_the_hierarchy(self, metamodel):
+        names = [e.name for e in metamodel.editors_for("User")]
+        assert names == ["PersonForm", "AnyForm"]  # most specific first
+
+    def test_editor_scope(self, metamodel):
+        metamodel.add_node_type("System", parent="Element")
+        names = [e.name for e in metamodel.editors_for("System")]
+        assert names == ["AnyForm"]
+
+    def test_unknown_node_type_rejected(self, metamodel):
+        with pytest.raises(MetamodelError):
+            metamodel.add_editor("X", "Martian")
+
+    def test_unknown_instance_type_gets_no_editors(self, metamodel):
+        assert metamodel.editors_for("Martian") == []
+
+    def test_builtin_it_metamodel_has_diagram_editors(self):
+        mm = load_metamodel("it-architecture")
+        widgets = {e.widget for e in mm.editors_for("SystemBeingDesigned")}
+        assert "diagram" in widgets
+
+
+class TestOmissionsWindow:
+    def test_empty_model_suggests_system(self):
+        model = Model(load_metamodel("it-architecture"))
+        window = render_omissions_window(model)
+        assert "Omissions" in window
+        assert "SystemBeingDesigned" in window
+
+    def test_clean_model_is_quiet(self):
+        model = Model(load_metamodel("it-architecture"))
+        model.create_node("SystemBeingDesigned", label="S")
+        window = render_omissions_window(model)
+        assert "nothing to suggest" in window
+
+    def test_subject_shown_by_label(self):
+        model = Model(load_metamodel("it-architecture"))
+        model.create_node("SystemBeingDesigned", label="S")
+        model.create_node("Document", label="The SCD")
+        assert "[The SCD]" in render_omissions_window(model)
+
+    def test_glass_catalog_never_mentions_system(self):
+        model = Model(load_metamodel("glass-catalog"))
+        model.create_node("Vase", label="V")
+        window = render_omissions_window(model)
+        assert "SystemBeingDesigned" not in window
+        assert "price" in window

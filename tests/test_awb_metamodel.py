@@ -1,0 +1,114 @@
+"""Tests for the AWB metamodel: hierarchies, properties, advisories."""
+
+import pytest
+
+from repro.awb import Metamodel, MetamodelError, PropertyDecl, load_metamodel
+
+
+@pytest.fixture()
+def metamodel():
+    mm = Metamodel("test")
+    mm.add_node_type("Element", properties=[PropertyDecl("label")])
+    mm.add_node_type("Person", parent="Element", properties=[
+        PropertyDecl("firstName"), PropertyDecl("birthYear", "integer"),
+    ])
+    mm.add_node_type("User", parent="Person")
+    mm.add_node_type("System", parent="Element")
+    mm.add_relation_type("likes", endpoints=[("Person", "Person")])
+    mm.add_relation_type("favors", parent="likes")
+    mm.add_relation_type("uses", endpoints=[("Person", "System")])
+    return mm
+
+
+class TestNodeTypes:
+    def test_subtype_chain(self, metamodel):
+        assert metamodel.is_node_subtype("User", "Person")
+        assert metamodel.is_node_subtype("User", "Element")
+        assert metamodel.is_node_subtype("User", "User")
+        assert not metamodel.is_node_subtype("Person", "User")
+
+    def test_unknown_type_is_only_itself(self, metamodel):
+        assert metamodel.is_node_subtype("Martian", "Martian")
+        assert not metamodel.is_node_subtype("Martian", "Element")
+
+    def test_property_inheritance(self, metamodel):
+        properties = metamodel.node_type("User").all_properties()
+        assert set(properties) == {"label", "firstName", "birthYear"}
+
+    def test_nearest_declaration_wins(self, metamodel):
+        metamodel.add_node_type(
+            "Admin", parent="User", properties=[PropertyDecl("firstName", "html")]
+        )
+        assert metamodel.node_type("Admin").property_decl("firstName").type == "html"
+
+    def test_subtype_names(self, metamodel):
+        assert set(metamodel.node_subtype_names("Person")) == {"Person", "User"}
+
+    def test_duplicate_type_rejected(self, metamodel):
+        with pytest.raises(MetamodelError):
+            metamodel.add_node_type("Person")
+
+    def test_unknown_parent_rejected(self, metamodel):
+        with pytest.raises(MetamodelError):
+            metamodel.add_node_type("X", parent="NoSuch")
+
+    def test_bad_property_type_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyDecl("x", "varchar")
+
+
+class TestRelationTypes:
+    def test_relation_subtyping(self, metamodel):
+        assert metamodel.is_relation_subtype("favors", "likes")
+        assert not metamodel.is_relation_subtype("likes", "favors")
+
+    def test_relation_subtype_names(self, metamodel):
+        assert set(metamodel.relation_subtype_names("likes")) == {"likes", "favors"}
+
+    def test_endpoints_inherited(self, metamodel):
+        assert metamodel.relation_type("favors").all_endpoints() == [
+            ("Person", "Person")
+        ]
+
+    def test_endpoint_allowed_with_subtypes(self, metamodel):
+        assert metamodel.endpoint_allowed("likes", "User", "User")
+        assert not metamodel.endpoint_allowed("uses", "System", "Person")
+
+    def test_unknown_relation_allows_everything(self, metamodel):
+        assert metamodel.endpoint_allowed("invented", "User", "System")
+
+    def test_relation_without_endpoints_allows_everything(self, metamodel):
+        metamodel.add_relation_type("related")
+        assert metamodel.endpoint_allowed("related", "User", "Martian")
+
+
+class TestAdvisories:
+    def test_advise_collects(self, metamodel):
+        metamodel.advise("exactly-one-node", "System")
+        assert len(metamodel.advisories) == 1
+
+
+class TestBuiltins:
+    def test_it_architecture_builds(self):
+        mm = load_metamodel("it-architecture")
+        assert mm.is_node_subtype("Superuser", "Person")
+        assert mm.is_relation_subtype("favors", "likes")
+        assert any(a.kind == "exactly-one-node" for a in mm.advisories)
+
+    def test_glass_catalog_has_no_system_advisory(self):
+        # "the glass catalog doesn't have a SystemBeingDesigned node at
+        # all, nor a warning about it".
+        mm = load_metamodel("glass-catalog")
+        assert not any(a.type == "SystemBeingDesigned" for a in mm.advisories)
+        assert mm.is_node_subtype("Vase", "GlassPiece")
+
+    def test_awb_itself_builds(self):
+        mm = load_metamodel("awb-itself")
+        assert mm.node_type("NodeTypeDef") is not None
+
+    def test_unknown_metamodel(self):
+        with pytest.raises(KeyError):
+            load_metamodel("no-such")
+
+    def test_fresh_instances(self):
+        assert load_metamodel("glass-catalog") is not load_metamodel("glass-catalog")

@@ -1,0 +1,130 @@
+"""Tests for the AWB model graph: nodes, relations, advisory philosophy."""
+
+import pytest
+
+from repro.awb import Model, load_metamodel
+
+
+@pytest.fixture()
+def model():
+    return Model(load_metamodel("it-architecture"), name="t")
+
+
+class TestNodes:
+    def test_create_with_properties(self, model):
+        node = model.create_node("User", label="Alice", birthYear=1970)
+        assert node.label == "Alice"
+        assert node.get("birthYear") == 1970
+
+    def test_ids_are_sequential(self, model):
+        first = model.create_node("User")
+        second = model.create_node("User")
+        assert (first.id, second.id) == ("N1", "N2")
+
+    def test_label_falls_back_to_id(self, model):
+        assert model.create_node("User").label == "N1"
+
+    def test_defaults_applied(self, model):
+        server = model.create_node("Server")
+        assert server.get("cpuCount") == 1
+
+    def test_ad_hoc_property_allowed(self, model):
+        # "A user can add a new property to a particular node"
+        node = model.create_node("Person", label="P")
+        node.set("middleName", "Q")
+        assert node.get("middleName") == "Q"
+
+    def test_unknown_type_allowed_with_warning(self, model):
+        node = model.create_node("Martian", label="Zork")
+        assert node in model.all_nodes()
+        assert any(w.kind == "unknown-node-type" for w in model.warnings)
+
+    def test_nodes_of_type_includes_subtypes(self, model):
+        model.create_node("User", label="u")
+        model.create_node("Superuser", label="s")
+        assert len(model.nodes_of_type("User")) == 2
+        assert len(model.nodes_of_type("User", include_subtypes=False)) == 1
+
+    def test_duplicate_id_rejected(self, model):
+        model.create_node("User", node_id="N9")
+        with pytest.raises(ValueError):
+            model.create_node("User", node_id="N9")
+
+    def test_is_type(self, model):
+        superuser = model.create_node("Superuser")
+        assert superuser.is_type("Person") and not superuser.is_type("System")
+
+
+class TestRelations:
+    def test_connect_and_navigate(self, model):
+        alice = model.create_node("User", label="Alice")
+        bob = model.create_node("User", label="Bob")
+        model.connect(alice, "likes", bob)
+        assert model.targets(alice, "likes") == [bob]
+        assert model.sources(bob, "likes") == [alice]
+
+    def test_multigraph_allows_parallel_edges(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        model.connect(a, "likes", b)
+        model.connect(a, "likes", b)
+        assert len(model.outgoing(a, "likes")) == 2
+
+    def test_subrelations_included_by_default(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        model.connect(a, "favors", b)
+        assert len(model.outgoing(a, "likes")) == 1
+        assert model.outgoing(a, "likes", include_subrelations=False) == []
+
+    def test_relation_properties(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        relation = model.connect(a, "likes", b, since=1999)
+        assert relation.properties["since"] == 1999
+
+    def test_advisory_violation_warns_but_connects(self, model):
+        # "the user can make a Person use a Program"
+        person = model.create_node("Person")
+        program = model.create_node("Program")
+        relation = model.connect(person, "uses", program)
+        assert relation.id in model.relations
+        assert any(
+            w.kind == "advisory-endpoint-violation" for w in model.warnings
+        )
+
+    def test_unknown_relation_warns_but_connects(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        model.connect(a, "telepathicallyLinks", b)
+        assert any(w.kind == "unknown-relation-type" for w in model.warnings)
+
+    def test_foreign_node_rejected(self, model):
+        other = Model(load_metamodel("it-architecture"))
+        foreign = other.create_node("User")
+        local = model.create_node("User")
+        with pytest.raises(ValueError):
+            model.connect(local, "likes", foreign)
+
+
+class TestRemoval:
+    def test_remove_relation(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        relation = model.connect(a, "likes", b)
+        model.remove_relation(relation)
+        assert model.outgoing(a) == [] and model.incoming(b) == []
+
+    def test_remove_node_cascades(self, model):
+        a = model.create_node("User")
+        b = model.create_node("User")
+        model.connect(a, "likes", b)
+        model.connect(b, "likes", a)
+        model.remove_node(b)
+        assert b.id not in model.nodes
+        assert model.relations == {}
+        assert model.outgoing(a) == []
+
+    def test_stats(self, model):
+        model.create_node("User")
+        assert model.stats()["nodes"] == 1

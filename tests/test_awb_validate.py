@@ -1,0 +1,75 @@
+"""Tests for suggestive validation: the Omissions window."""
+
+import pytest
+
+from repro.awb import Model, all_omissions, check_advisories, load_metamodel
+
+
+@pytest.fixture()
+def model():
+    return Model(load_metamodel("it-architecture"))
+
+
+class TestExactlyOne:
+    def test_zero_nodes_warns(self, model):
+        omissions = check_advisories(model)
+        assert any(o.kind == "exactly-one-node" for o in omissions)
+
+    def test_one_node_is_quiet(self, model):
+        model.create_node("SystemBeingDesigned", label="S")
+        assert not any(
+            o.kind == "exactly-one-node" for o in check_advisories(model)
+        )
+
+    def test_two_nodes_warn(self, model):
+        model.create_node("SystemBeingDesigned")
+        model.create_node("SystemBeingDesigned")
+        omissions = [o for o in check_advisories(model) if o.kind == "exactly-one-node"]
+        assert len(omissions) == 1 and "found 2" in omissions[0].message
+
+    def test_never_an_error(self, model):
+        # suggestive, not prescriptive: nothing raises, ever.
+        model.create_node("SystemBeingDesigned")
+        model.create_node("SystemBeingDesigned")
+        assert isinstance(check_advisories(model), list)
+
+
+class TestRequiredProperty:
+    def test_missing_version_flagged(self, model):
+        model.create_node("SystemBeingDesigned")
+        document = model.create_node("Document", label="SCD")
+        omissions = [
+            o for o in check_advisories(model) if o.kind == "required-property"
+        ]
+        assert len(omissions) == 1
+        assert omissions[0].subject_id == document.id
+
+    def test_blank_version_flagged(self, model):
+        model.create_node("SystemBeingDesigned")
+        model.create_node("Document", label="SCD", version="   ")
+        assert any(
+            o.kind == "required-property" for o in check_advisories(model)
+        )
+
+    def test_present_version_quiet(self, model):
+        model.create_node("SystemBeingDesigned")
+        model.create_node("Document", label="SCD", version="1.0")
+        assert not any(
+            o.kind == "required-property" for o in check_advisories(model)
+        )
+
+
+class TestAllOmissions:
+    def test_includes_model_warnings(self, model):
+        model.create_node("SystemBeingDesigned")
+        model.create_node("Weirdo")  # unknown type
+        omissions = all_omissions(model)
+        assert any(o.kind == "unknown-node-type" for o in omissions)
+
+    def test_glass_catalog_rules(self):
+        glass = Model(load_metamodel("glass-catalog"))
+        glass.create_node("Vase", label="V")  # no price
+        omissions = check_advisories(glass)
+        assert any("price" in o.message for o in omissions)
+        # and no SystemBeingDesigned complaint, ever
+        assert not any("SystemBeingDesigned" in o.message for o in omissions)

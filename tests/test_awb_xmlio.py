@@ -1,0 +1,125 @@
+"""Tests for AWB model XML export/import and metamodel export."""
+
+import pytest
+
+from repro.awb import (
+    Model,
+    ModelImportError,
+    export_metamodel,
+    export_model,
+    export_model_text,
+    import_model_text,
+    load_metamodel,
+)
+from repro.xmlio import serialize
+
+
+@pytest.fixture()
+def model():
+    mm = load_metamodel("it-architecture")
+    m = Model(mm, name="exported")
+    system = m.create_node("SystemBeingDesigned", label="Core")
+    alice = m.create_node(
+        "User", label="Alice", birthYear=1970,
+        biography="<p>Architect &amp; <b>builder</b></p>",
+    )
+    m.connect(system, "has", alice, since=2001)
+    return m
+
+
+class TestExport:
+    def test_root_shape(self, model):
+        root = export_model(model).document_element()
+        assert root.name == "awb-model"
+        assert root.get_attribute("metamodel") == "it-architecture"
+        assert len(root.child_elements("node")) == 2
+        assert len(root.child_elements("relation")) == 1
+
+    def test_scalar_property_types_annotated(self, model):
+        text = export_model_text(model)
+        assert '<property name="birthYear" type="integer">1970</property>' in text
+
+    def test_html_property_exports_as_markup(self, model):
+        # the schema-drift behaviour: html properties become child elements.
+        text = export_model_text(model)
+        assert "<html-value>" in text and "<b>builder</b>" in text
+
+    def test_relation_attributes(self, model):
+        root = export_model(model).document_element()
+        relation = root.child_elements("relation")[0]
+        assert relation.get_attribute("source") == "N1"
+        assert relation.get_attribute("target") == "N2"
+        assert relation.get_attribute("type") == "has"
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, model):
+        text = export_model_text(model)
+        rebuilt = import_model_text(text, model.metamodel)
+        assert rebuilt.stats()["nodes"] == 2
+        assert rebuilt.stats()["relations"] == 1
+        alice = rebuilt.node("N2")
+        assert alice.get("birthYear") == 1970
+        assert "<b>builder</b>" in alice.get("biography")
+
+    def test_relation_properties_roundtrip(self, model):
+        rebuilt = import_model_text(export_model_text(model), model.metamodel)
+        relation = next(iter(rebuilt.relations.values()))
+        assert relation.properties["since"] == 2001
+
+    def test_booleans_roundtrip(self):
+        mm = load_metamodel("awb-itself")
+        m = Model(mm)
+        m.create_node("NodeTypeDef", label="X", abstract=True)
+        rebuilt = import_model_text(export_model_text(m), mm)
+        assert rebuilt.node("N1").get("abstract") is True
+
+
+class TestImportErrors:
+    def test_wrong_root(self):
+        with pytest.raises(ModelImportError):
+            import_model_text("<nope/>", load_metamodel("it-architecture"))
+
+    def test_node_missing_id(self):
+        xml = '<awb-model><node type="User"/></awb-model>'
+        with pytest.raises(ModelImportError):
+            import_model_text(xml, load_metamodel("it-architecture"))
+
+    def test_dangling_relation_endpoint(self):
+        xml = (
+            '<awb-model><node id="N1" type="User"/>'
+            '<relation id="R1" type="has" source="N1" target="N99"/></awb-model>'
+        )
+        with pytest.raises(ModelImportError):
+            import_model_text(xml, load_metamodel("it-architecture"))
+
+
+class TestMetamodelExport:
+    def test_shape(self):
+        root = export_metamodel(load_metamodel("it-architecture"))
+        assert root.name == "metamodel"
+        assert root.get_attribute("label-property") == "label"
+        names = {e.get_attribute("name") for e in root.child_elements("node-type")}
+        assert {"User", "Superuser", "System"} <= names
+
+    def test_parent_links(self):
+        root = export_metamodel(load_metamodel("it-architecture"))
+        superuser = [
+            e
+            for e in root.child_elements("node-type")
+            if e.get_attribute("name") == "Superuser"
+        ][0]
+        assert superuser.get_attribute("parent") == "User"
+
+    def test_relation_hierarchy(self):
+        root = export_metamodel(load_metamodel("it-architecture"))
+        favors = [
+            e
+            for e in root.child_elements("relation-type")
+            if e.get_attribute("name") == "favors"
+        ][0]
+        assert favors.get_attribute("parent") == "likes"
+
+    def test_serializes(self):
+        text = serialize(export_metamodel(load_metamodel("glass-catalog")))
+        assert "node-type" in text

@@ -1,0 +1,160 @@
+"""Tests for the command-line entry points."""
+
+import os
+
+import pytest
+
+from repro.awb import export_model_text
+from repro.docgen.__main__ import main as docgen_main
+from repro.workloads import make_it_model, simple_list_template
+from repro.xquery.__main__ import main as xquery_main
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "model.xml"
+    path.write_text(export_model_text(make_it_model(scale=3)), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def template_file(tmp_path):
+    path = tmp_path / "template.xml"
+    path.write_text(simple_list_template("User"), encoding="utf-8")
+    return str(path)
+
+
+class TestXQueryCli:
+    def test_inline_query(self, capsys):
+        assert xquery_main(["1 + 1"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_query_from_file(self, tmp_path, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text("count((1,2,3))", encoding="utf-8")
+        assert xquery_main(["-f", str(query)]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_doc_binding(self, tmp_path, capsys):
+        doc = tmp_path / "d.xml"
+        doc.write_text("<r><v>7</v></r>", encoding="utf-8")
+        assert xquery_main(["--doc", f"data={doc}", 'doc("data")/r/v/text()']) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_var_binding(self, capsys):
+        assert xquery_main(["--var", "name=world", "concat('hi ', $name)"]) == 0
+        assert capsys.readouterr().out.strip() == "hi world"
+
+    def test_context_item(self, tmp_path, capsys):
+        doc = tmp_path / "c.xml"
+        doc.write_text("<r><x>ok</x></r>", encoding="utf-8")
+        assert xquery_main(["--context", str(doc), "string(/r/x)"]) == 0
+        assert capsys.readouterr().out.strip() == "ok"
+
+    def test_error_exit_code(self, capsys):
+        assert xquery_main(["$missing"]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_galax_mode(self, capsys):
+        assert xquery_main(["--galax", "$missing"]) == 1
+        assert "glx:dot" in capsys.readouterr().err
+
+    def test_trace_flag(self, capsys):
+        assert xquery_main(["--trace", "--no-optimize", "trace('v', 9)"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "9"
+        assert "trace: v 9" in captured.err
+
+    def test_buggy_dce_flag(self, capsys):
+        code = xquery_main(
+            ["--trace", "--buggy-dce", "let $d := trace('v', 9) return 1"]
+        )
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().err
+
+    def test_no_query_is_usage_error(self, capsys):
+        assert xquery_main([]) == 2
+
+
+class TestDocgenCli:
+    def test_native_generation(self, model_file, template_file, capsys):
+        code = docgen_main(
+            ["--model", model_file, "--template", template_file, "--impl", "native"]
+        )
+        assert code == 0
+        assert "<ul>" in capsys.readouterr().out
+
+    def test_xquery_generation(self, model_file, template_file, capsys):
+        code = docgen_main(
+            ["--model", model_file, "--template", template_file, "--impl", "xquery"]
+        )
+        assert code == 0
+        assert "<ul>" in capsys.readouterr().out
+
+    def test_output_file(self, model_file, template_file, tmp_path, capsys):
+        out = tmp_path / "doc.html"
+        code = docgen_main(
+            [
+                "--model", model_file,
+                "--template", template_file,
+                "-o", str(out),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(out)
+        assert "time=" in capsys.readouterr().err
+
+    def test_problem_exit_code(self, model_file, tmp_path, capsys):
+        bad_template = tmp_path / "bad.xml"
+        bad_template.write_text("<html><label/></html>", encoding="utf-8")
+        code = docgen_main(
+            ["--model", model_file, "--template", str(bad_template)]
+        )
+        assert code == 1
+        assert "label" in capsys.readouterr().err
+
+
+class TestQueryCalcCli:
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "query.xml"
+        path.write_text(
+            '<query><start type="User"/><collect sort-by="label"/></query>',
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_native_backend(self, model_file, query_file, capsys):
+        from repro.querycalc.__main__ import main as calc_main
+
+        assert calc_main(["--model", model_file, "--query", query_file]) == 0
+        out = capsys.readouterr().out
+        assert "User" in out and "\t" in out
+
+    def test_xquery_backend_agrees(self, model_file, query_file, capsys):
+        from repro.querycalc.__main__ import main as calc_main
+
+        calc_main(["--model", model_file, "--query", query_file])
+        native_out = capsys.readouterr().out
+        calc_main(
+            ["--model", model_file, "--query", query_file, "--backend", "xquery"]
+        )
+        xquery_out = capsys.readouterr().out
+        assert native_out == xquery_out
+
+    def test_show_compiled_and_time(self, model_file, query_file, capsys):
+        from repro.querycalc.__main__ import main as calc_main
+
+        calc_main(
+            [
+                "--model", model_file,
+                "--query", query_file,
+                "--backend", "xquery",
+                "--show-compiled",
+                "--time",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert "declare variable $model external" in err
+        assert "xquery backend" in err

@@ -1,0 +1,89 @@
+"""Integration: both generator implementations must agree.
+
+"In a few weeks we had pretty much reproduced the power of the XQuery
+code" — the rewrite was behaviourally equivalent.  Here we hold both
+implementations to that bar across the template corpus.
+"""
+
+import pytest
+
+from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
+from repro.workloads import (
+    error_prone_template,
+    glass_catalog_template,
+    make_glass_catalog,
+    make_it_model,
+    simple_list_template,
+    system_context_template,
+    table_template,
+    toc_heavy_template,
+)
+from repro.xmlio import serialize
+
+
+@pytest.fixture(scope="module")
+def it_model():
+    return make_it_model(scale=6)
+
+
+@pytest.fixture(scope="module")
+def glass_model():
+    return make_glass_catalog(pieces=8)
+
+
+def generate_both(model, template):
+    native = NativeDocumentGenerator(model).generate(template)
+    functional = XQueryDocumentGenerator(model).generate(template)
+    return native, functional
+
+
+def normalized(document):
+    return " ".join(serialize(document).split())
+
+
+CASES = [
+    ("simple_list", lambda: simple_list_template("User")),
+    ("table", lambda: table_template("User", "Program", "uses")),
+    ("toc_heavy", lambda: toc_heavy_template(4)),
+    ("system_context", system_context_template),
+]
+
+
+@pytest.mark.parametrize("name,template_factory", CASES)
+def test_documents_equivalent(it_model, name, template_factory):
+    native, functional = generate_both(it_model, template_factory())
+    assert normalized(native.document) == normalized(functional.document)
+
+
+@pytest.mark.parametrize("name,template_factory", CASES)
+def test_side_streams_equivalent(it_model, name, template_factory):
+    native, functional = generate_both(it_model, template_factory())
+    assert [(e.level, e.text) for e in native.toc] == [
+        (e.level, e.text) for e in functional.toc
+    ]
+    assert sorted(native.visited_node_ids) == sorted(functional.visited_node_ids)
+    assert len(native.problems) == len(functional.problems)
+
+
+def test_glass_catalog_equivalent(glass_model):
+    native, functional = generate_both(glass_model, glass_catalog_template())
+    assert normalized(native.document) == normalized(functional.document)
+
+
+def test_error_prone_template_same_problem_count(it_model):
+    native, functional = generate_both(it_model, error_prone_template())
+    native_errors = [p for p in native.problems if p.severity == "error"]
+    functional_errors = [p for p in functional.problems if p.severity == "error"]
+    assert len(native_errors) == len(functional_errors)
+    assert len(native_errors) >= 3
+
+    native_warnings = [p for p in native.problems if p.severity == "warning"]
+    functional_warnings = [p for p in functional.problems if p.severity == "warning"]
+    assert len(native_warnings) == len(functional_warnings)
+
+
+def test_error_directives_flagged_identically(it_model):
+    native, functional = generate_both(it_model, error_prone_template())
+    assert sorted(p.directive for p in native.problems) == sorted(
+        p.directive for p in functional.problems
+    )

@@ -1,0 +1,310 @@
+"""Tests for the Java-style document generator."""
+
+import pytest
+
+from repro.awb import Model, load_metamodel
+from repro.docgen import GenTrouble, NativeDocumentGenerator
+from repro.docgen.native import (
+    GenState,
+    build_relation_table,
+    replace_phrase,
+    required_attribute,
+    required_child,
+)
+from repro.xdm import ElementNode, TextNode
+from repro.xmlio import parse_element, serialize
+
+
+@pytest.fixture()
+def model():
+    m = Model(load_metamodel("it-architecture"))
+    m.create_node("SystemBeingDesigned", label="Sys")
+    alice = m.create_node("User", label="Alice", birthYear=1970)
+    bob = m.create_node("Superuser", label="Bob")
+    ledger = m.create_node("Program", label="LedgerD")
+    m.connect(alice, "uses", ledger)
+    m.connect(alice, "likes", bob)
+    return m
+
+
+def generate(model, template):
+    return NativeDocumentGenerator(model).generate(template)
+
+
+class TestPassthrough:
+    def test_html_copied(self, model):
+        result = generate(model, "<html><p class='x'>text</p></html>")
+        assert serialize(result.document) == '<html><p class="x">text</p></html>'
+
+    def test_template_comments_dropped(self, model):
+        result = generate(model, "<html><!-- note --></html>")
+        assert serialize(result.document) == "<html/>"
+
+
+class TestFor:
+    def test_iterates_sorted(self, model):
+        result = generate(
+            model, '<html><for nodes="all.User" sort="label"><i><label/></i></for></html>'
+        )
+        assert serialize(result.document) == "<html><i>Alice</i><i>Bob</i></html>"
+
+    def test_superuser_is_a_user(self, model):
+        result = generate(model, '<html><for nodes="all.User"><label/> </for></html>')
+        assert "Bob" in result.document.string_value()
+
+    def test_follow_spec(self, model):
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            '<for nodes="follow.uses"><label/></for></for></html>'
+        )
+        result = generate(model, template)
+        assert result.document.string_value() == "LedgerD"
+
+    def test_followback_spec(self, model):
+        template = (
+            '<html><for nodes="all.Program">'
+            '<for nodes="followback.uses"><label/></for></for></html>'
+        )
+        result = generate(model, template)
+        assert result.document.string_value() == "Alice"
+
+    def test_visits_recorded(self, model):
+        result = generate(model, '<html><for nodes="all.User"><label/></for></html>')
+        assert len(result.visited_node_ids) == 2
+
+    def test_embedded_query(self, model):
+        template = (
+            "<html><for>"
+            '<query><start type="User"/><collect sort-by="label"/></query>'
+            "<b><label/></b></for></html>"
+        )
+        result = generate(model, template)
+        assert serialize(result.document) == "<html><b>Alice</b><b>Bob</b></html>"
+
+    def test_bad_spec_reports_problem(self, model):
+        result = generate(model, '<html><for nodes="bogus"><label/></for></html>')
+        assert any(p.severity == "error" for p in result.problems)
+        assert "generation-problem" in serialize(result.document)
+
+
+class TestIf:
+    TEMPLATE = (
+        '<html><for nodes="all.User" sort="label">'
+        "<if><test><focus-is-type type=\"Superuser\"/></test>"
+        "<then><b><label/></b></then><else><label/></else></if>"
+        "</for></html>"
+    )
+
+    def test_then_else(self, model):
+        result = generate(model, self.TEMPLATE)
+        assert serialize(result.document) == "<html>Alice<b>Bob</b></html>"
+
+    def test_missing_else_is_fine(self, model):
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            '<if><test><focus-is-type type="Superuser"/></test>'
+            "<then><label/></then></if></for></html>"
+        )
+        assert generate(model, template).document.string_value() == "Bob"
+
+    def test_not_and_or(self, model):
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            "<if><test><and>"
+            '<has-property name="birthYear"/>'
+            '<not><focus-is-type type="Superuser"/></not>'
+            "</and></test><then><label/></then></if></for></html>"
+        )
+        assert generate(model, template).document.string_value() == "Alice"
+
+    def test_property_equals(self, model):
+        template = (
+            '<html><for nodes="all.User">'
+            '<if><test><property-equals name="label" value="Alice"/></test>'
+            "<then>yes</then><else>no</else></if></for></html>"
+        )
+        assert "yes" in generate(model, template).document.string_value()
+
+    def test_has_relation(self, model):
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            '<if><test><has-relation relation="uses"/></test>'
+            "<then><label/></then></if></for></html>"
+        )
+        assert generate(model, template).document.string_value() == "Alice"
+
+    def test_missing_test_is_gentrouble(self, model):
+        result = generate(model, "<html><if><then>x</then></if></html>")
+        assert any("test" in p.message for p in result.problems)
+
+
+class TestLeafDirectives:
+    def test_label_without_focus_problem(self, model):
+        result = generate(model, "<html><label/></html>")
+        assert any(p.severity == "error" for p in result.problems)
+
+    def test_property_value(self, model):
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            '<property-value name="birthYear" default="?"/> </for></html>'
+        )
+        assert generate(model, template).document.string_value() == "1970 ? "
+
+    def test_property_value_missing_warns(self, model):
+        template = (
+            '<html><for nodes="all.Program">'
+            '<property-value name="nope"/></for></html>'
+        )
+        result = generate(model, template)
+        assert any(p.severity == "warning" for p in result.problems)
+
+    def test_html_property_embeds_markup(self, model):
+        node = model.nodes_of_type("User")[0]
+        node.set("biography", "plain <b>bold</b>")
+        template = (
+            f'<html><for nodes="all.User"><if><test>'
+            f'<has-property name="biography"/></test><then>'
+            f'<property-value name="biography"/></then></if></for></html>'
+        )
+        assert "<b>bold</b>" in serialize(generate(model, template).document)
+
+    def test_focus_id(self, model):
+        template = '<html><for nodes="all.SystemBeingDesigned"><focus-id/></for></html>'
+        assert generate(model, template).document.string_value() == "N1"
+
+
+class TestSectionsAndToc:
+    TEMPLATE = (
+        "<html><table-of-contents/>"
+        "<section><heading>One</heading>"
+        "<section><heading>Two</heading><p>deep</p></section>"
+        "</section></html>"
+    )
+
+    def test_heading_levels_nest(self, model):
+        text = serialize(generate(model, self.TEMPLATE).document)
+        assert "<h1" in text and "<h2" in text
+
+    def test_toc_entries(self, model):
+        result = generate(model, self.TEMPLATE)
+        assert [(e.level, e.text) for e in result.toc] == [(1, "One"), (2, "Two")]
+
+    def test_toc_rendered_with_anchors(self, model):
+        text = serialize(generate(model, self.TEMPLATE).document)
+        assert 'href="#sec-1"' in text and 'id="sec-1"' in text
+
+    def test_missing_heading_reports(self, model):
+        result = generate(model, "<html><section><p/></section></html>")
+        assert any("heading" in p.message for p in result.problems)
+
+
+class TestOmissions:
+    def test_unvisited_nodes_listed(self, model):
+        template = (
+            '<html><for nodes="all.Superuser"><label/></for>'
+            '<table-of-omissions types="User"/></html>'
+        )
+        text = serialize(generate(model, template).document)
+        assert "Alice" in text.split("table-of-omissions")[1]
+
+    def test_all_visited_says_none(self, model):
+        template = (
+            '<html><for nodes="all.User"><label/></for>'
+            '<table-of-omissions types="User"/></html>'
+        )
+        assert "No omissions." in serialize(generate(model, template).document)
+
+
+class TestTables:
+    def test_relation_table(self, model):
+        template = '<html><table rows="all.User" cols="all.Program" relation="uses"/></html>'
+        text = serialize(generate(model, template).document)
+        assert "row\\col" in text and "✓" in text
+
+    def test_skeleton_shape(self, model):
+        users = sorted(model.nodes_of_type("User"), key=lambda n: n.label)
+        programs = model.nodes_of_type("Program")
+        table = build_relation_table(users, programs, "uses", model)
+        rows = table.child_elements("tr")
+        assert len(rows) == 3  # header + 2 users
+        assert all(len(r.child_elements("td")) == 2 for r in rows)
+
+    def test_mark_cell_positions(self, model):
+        users = sorted(model.nodes_of_type("User"), key=lambda n: n.label)
+        programs = model.nodes_of_type("Program")
+        table = build_relation_table(users, programs, "uses", model, mark="X")
+        alice_row = table.child_elements("tr")[1]
+        assert alice_row.child_elements("td")[1].string_value() == "X"
+        bob_row = table.child_elements("tr")[2]
+        assert bob_row.child_elements("td")[1].string_value() == ""
+
+    def test_missing_attr_reports(self, model):
+        result = generate(model, '<html><table rows="all.User" relation="r"/></html>')
+        assert any("cols" in p.message for p in result.problems)
+
+
+class TestReplacePhrase:
+    def test_phrase_in_text_spliced(self, model):
+        template = (
+            "<html><p>before MARKER after</p>"
+            '<replace-phrase phrase="MARKER"><b>table</b></replace-phrase></html>'
+        )
+        text = serialize(generate(model, template).document)
+        assert "<p>before <b>table</b> after</p>" in text
+
+    def test_unfound_phrase_warns(self, model):
+        template = '<html><replace-phrase phrase="GHOST"><b/></replace-phrase></html>'
+        result = generate(model, template)
+        assert any("never found" in p.message for p in result.problems)
+
+    def test_replace_phrase_unit(self):
+        root = parse_element("<d><p>x MARK y</p></d>")
+        count = replace_phrase(root, "MARK", [ElementNode("hr")])
+        assert count == 1
+        assert serialize(root) == "<d><p>x <hr/> y</p></d>"
+
+    def test_phrase_at_edges(self):
+        root = parse_element("<d><p>MARK</p></d>")
+        replace_phrase(root, "MARK", [TextNode("gone")])
+        assert root.string_value() == "gone"
+
+
+class TestUtilities:
+    def test_required_attribute_throws_with_context(self, model):
+        state = GenState(model)
+        state.focus = model.nodes_of_type("User")[0]
+        element = ElementNode("for")
+        with pytest.raises(GenTrouble) as info:
+            required_attribute(element, "nodes", state)
+        assert "nodes" in str(info.value) and "Alice" in str(info.value)
+
+    def test_required_child_ok(self, model):
+        state = GenState(model)
+        parent = parse_element("<if><test/></if>")
+        assert required_child(parent, "test", state).name == "test"
+
+    def test_gentrouble_describe(self):
+        trouble = GenTrouble("boom", template_element=ElementNode("for"))
+        assert "boom" in str(trouble) and "<for>" in str(trouble)
+
+
+class TestModelCheck:
+    def test_reports_advisory_violations(self, model):
+        # remove the SystemBeingDesigned to trip the exactly-one advisory.
+        sbd = model.nodes_of_type("SystemBeingDesigned")[0]
+        model.remove_node(sbd)
+        model.create_node("Document", label="unversioned")
+        result = generate(model, "<html><model-check/></html>")
+        kinds = [p.message for p in result.problems]
+        assert any("exactly one SystemBeingDesigned" in m for m in kinds)
+        assert any("version information" in m for m in kinds)
+        assert all(p.severity == "warning" for p in result.problems)
+        assert all(p.directive == "model-check" for p in result.problems)
+
+    def test_produces_no_document_output(self, model):
+        result = generate(model, "<html><model-check/></html>")
+        assert serialize(result.document) == "<html/>"
+
+    def test_clean_model_is_quiet(self, model):
+        result = generate(model, "<html><model-check/></html>")
+        assert result.problems == []

@@ -1,0 +1,145 @@
+"""The two XQuery error regimes must behave identically.
+
+The exceptions-regime sources (modules_trycatch/) are the counterfactual:
+the same generator written as if lesson 4 had been heeded.  Everything
+observable must match the 2004 error-value sources.
+"""
+
+import pytest
+
+from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
+from repro.docgen.xquery_impl import (
+    LIBRARY_MODULES,
+    LIBRARY_MODULES_TC,
+    assemble_main_program,
+    read_module,
+)
+from repro.workloads import (
+    error_prone_template,
+    make_it_model,
+    system_context_template,
+    toc_heavy_template,
+)
+from repro.xmlio import serialize
+from repro.xquery import parse_query
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_it_model(scale=5)
+
+
+class TestAssembly:
+    def test_both_programs_parse(self):
+        for regime in ("values", "exceptions"):
+            module = parse_query(assemble_main_program(regime))
+            assert module.body is not None
+
+    def test_unknown_regime_rejected(self, model):
+        with pytest.raises(ValueError):
+            XQueryDocumentGenerator(model, error_regime="hope")
+        with pytest.raises(ValueError):
+            assemble_main_program("hope")
+
+    def test_tc_modules_use_no_error_values(self):
+        for name in LIBRARY_MODULES_TC:
+            source = read_module(name)
+            assert "is-error" not in source
+            assert "mk-error" not in source
+
+    def test_values_modules_use_no_trycatch(self):
+        for name in LIBRARY_MODULES:
+            source = read_module(name)
+            assert "try {" not in source and "catch" not in source
+
+
+class TestBehaviouralEquivalence:
+    TEMPLATES = [
+        system_context_template,
+        lambda: toc_heavy_template(3),
+        error_prone_template,
+    ]
+
+    @pytest.mark.parametrize("template_factory", TEMPLATES)
+    def test_documents_identical(self, model, template_factory):
+        template = template_factory()
+        values = XQueryDocumentGenerator(model).generate(template)
+        exceptions = XQueryDocumentGenerator(
+            model, error_regime="exceptions"
+        ).generate(template)
+        assert serialize(values.document) == serialize(exceptions.document)
+
+    @pytest.mark.parametrize("template_factory", TEMPLATES)
+    def test_side_streams_identical(self, model, template_factory):
+        template = template_factory()
+        values = XQueryDocumentGenerator(model).generate(template)
+        exceptions = XQueryDocumentGenerator(
+            model, error_regime="exceptions"
+        ).generate(template)
+        assert [(e.level, e.text) for e in values.toc] == [
+            (e.level, e.text) for e in exceptions.toc
+        ]
+        assert values.visited_node_ids == exceptions.visited_node_ids
+        assert sorted(p.directive for p in values.problems) == sorted(
+            p.directive for p in exceptions.problems
+        )
+        assert sorted(p.severity for p in values.problems) == sorted(
+            p.severity for p in exceptions.problems
+        )
+
+    def test_exceptions_regime_matches_native_too(self, model):
+        template = error_prone_template()
+        exceptions = XQueryDocumentGenerator(
+            model, error_regime="exceptions"
+        ).generate(template)
+        native = NativeDocumentGenerator(model).generate(template)
+        assert sorted(p.directive for p in exceptions.problems) == sorted(
+            p.directive for p in native.problems
+        )
+
+    def test_metrics_report_regime(self, model):
+        result = XQueryDocumentGenerator(
+            model, error_regime="exceptions"
+        ).generate("<html><p/></html>")
+        assert result.metrics["error_regime"] == "exceptions"
+
+
+class TestCodeShape:
+    def test_exceptions_sources_are_smaller(self):
+        from repro.workloads.loc import count_xquery_loc
+
+        values_loc = sum(
+            count_xquery_loc(read_module(name)) for name in LIBRARY_MODULES
+        )
+        exceptions_loc = sum(
+            count_xquery_loc(read_module(name)) for name in LIBRARY_MODULES_TC
+        )
+        # the ladders were real code: the rewrite sheds a decent share.
+        assert exceptions_loc < values_loc * 0.9
+
+
+class TestGalaxDiagnosticsMode:
+    def test_docgen_behaves_identically_under_galax_diagnostics(self, model):
+        """The 2004 diagnostics mode changes messages, never behaviour."""
+        from repro.workloads import system_context_template
+        from repro.xquery import EngineConfig
+
+        template = system_context_template()
+        normal = XQueryDocumentGenerator(model).generate(template)
+        galax = XQueryDocumentGenerator(
+            model, config=EngineConfig(galax_diagnostics=True)
+        ).generate(template)
+        assert serialize(normal.document) == serialize(galax.document)
+        assert len(normal.problems) == len(galax.problems)
+
+    def test_buggy_optimizer_does_not_change_documents(self, model):
+        """The trace-eating optimizer only eats traces, not results."""
+        from repro.workloads import system_context_template
+        from repro.xquery import EngineConfig
+
+        template = system_context_template()
+        normal = XQueryDocumentGenerator(model).generate(template)
+        buggy = XQueryDocumentGenerator(
+            model, config=EngineConfig(optimize=True, trace_is_dead_code=True)
+        ).generate(template)
+        assert serialize(normal.document) == serialize(buggy.document)

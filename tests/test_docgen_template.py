@@ -1,0 +1,95 @@
+"""Unit tests for the shared template-language module."""
+
+import pytest
+
+from repro.docgen.template import (
+    DIRECTIVE_TAGS,
+    GenerationResult,
+    Problem,
+    TemplateError,
+    TocEntry,
+    is_directive,
+    load_template,
+    parse_node_spec,
+)
+from repro.xdm import ElementNode, TextNode
+
+
+class TestNodeSpecs:
+    def test_all_spec(self):
+        assert parse_node_spec("all.User") == ("all", "User")
+
+    def test_follow_spec(self):
+        assert parse_node_spec("follow.uses") == ("follow", "uses")
+
+    def test_followback_spec(self):
+        assert parse_node_spec("followback.has") == ("followback", "has")
+
+    def test_dotted_type_names_keep_tail(self):
+        # only the first dot splits: types may not contain dots, but the
+        # relation part is taken verbatim.
+        assert parse_node_spec("follow.ns.rel") == ("follow", "ns.rel")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_node_spec("allUsers")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_node_spec("sideways.uses")
+
+    def test_empty_argument_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_node_spec("all.")
+
+
+class TestLoadTemplate:
+    def test_parses_text(self):
+        root = load_template("<html><p>x</p></html>")
+        assert root.name == "html"
+
+    def test_passes_elements_through(self):
+        node = ElementNode("html")
+        assert load_template(node) is node
+
+    def test_whitespace_preserved(self):
+        root = load_template("<html>\n  <p/>\n</html>")
+        assert any(isinstance(child, TextNode) for child in root.children)
+
+
+class TestDirectiveRecognition:
+    def test_known_directives(self):
+        for tag in ("for", "if", "label", "table-of-contents", "replace-phrase"):
+            assert tag in DIRECTIVE_TAGS
+            assert is_directive(ElementNode(tag))
+
+    def test_html_is_not_a_directive(self):
+        for tag in ("p", "div", "table-x", "ol"):
+            assert not is_directive(ElementNode(tag))
+
+    def test_text_is_not_a_directive(self):
+        assert not is_directive(TextNode("for"))
+
+
+class TestResultTypes:
+    def test_problem_rendering(self):
+        problem = Problem("boom", severity="error", node_id="N1", directive="for")
+        text = str(problem)
+        assert "boom" in text and "N1" in text and "for" in text
+
+    def test_result_ok_flag(self):
+        document = ElementNode("html")
+        good = GenerationResult(document=document)
+        assert good.ok
+        warned = GenerationResult(
+            document=document, problems=[Problem("m", severity="warning")]
+        )
+        assert warned.ok
+        failed = GenerationResult(
+            document=document, problems=[Problem("m", severity="error")]
+        )
+        assert not failed.ok
+
+    def test_toc_entry_fields(self):
+        entry = TocEntry(level=2, text="Heading", anchor="sec-3")
+        assert (entry.level, entry.text, entry.anchor) == (2, "Heading", "sec-3")

@@ -1,0 +1,83 @@
+"""The paper's footnote 1: the error-value convention is unsound.
+
+"For one thing (of general applicability), a function might legitimately
+return an <error> tag as a value — e.g., a function computing the first
+element of a list."  And: "if the function were saying what went wrong,
+and including the error-causing information as data, and the
+error-causing information were attributes with the same name, then they'd
+be attributes of the <data> tag ... and one of them would get lost."
+
+Both failure modes, demonstrated on the engine.
+"""
+
+from repro.xquery import XQueryEngine
+
+engine = XQueryEngine()
+
+FIRST_OF_LIST = """
+declare function local:is-error($v) {
+  count($v) eq 1 and $v instance of element(error)
+};
+declare function local:first($list) {
+  if (empty($list))
+  then <error><message>the list was empty</message></error>
+  else $list[1]
+};
+"""
+
+
+class TestFootnoteOne:
+    def test_convention_works_for_innocent_values(self):
+        result = engine.evaluate(
+            FIRST_OF_LIST + "local:is-error(local:first((<a/>, <b/>)))"
+        )
+        assert result == [False]
+
+    def test_convention_detects_real_failure(self):
+        result = engine.evaluate(
+            FIRST_OF_LIST + "local:is-error(local:first(()))"
+        )
+        assert result == [True]
+
+    def test_legitimate_error_element_is_misclassified(self):
+        # the unsoundness: the list's first element *is* an <error> tag,
+        # and the caller cannot tell it from a failure.
+        source = FIRST_OF_LIST + (
+            "local:is-error(local:first((<error><message>I am data, "
+            "not a failure</message></error>, <b/>)))"
+        )
+        assert engine.evaluate(source) == [True]  # false positive!
+
+    def test_trycatch_regime_has_no_false_positive(self):
+        # with throwing errors the same value passes through untouched.
+        source = """
+        declare function local:first($list) {
+          if (empty($list)) then error("the list was empty") else $list[1]
+        };
+        try {
+          name(local:first((<error><message>data</message></error>, <b/>)))
+        } catch { "failure" }
+        """
+        assert engine.evaluate(source) == ["error"]  # the element, intact
+
+
+class TestFootnoteOneAttributeLoss:
+    def test_error_causing_attributes_collide_in_data(self):
+        # two same-named attribute nodes packed as <data>'s children fold
+        # into the data element, and one is lost.
+        source = """
+        let $a1 := attribute name {"first"}
+        let $a2 := attribute name {"second"}
+        let $report := <error><data>{$a1}{$a2}</data></error>
+        return count($report/data/@name)
+        """
+        assert engine.evaluate(source) == [1]  # one of them got lost
+
+    def test_what_was_lost(self):
+        source = """
+        let $a1 := attribute name {"first"}
+        let $a2 := attribute name {"second"}
+        return string(<error><data>{$a1}{$a2}</data></error>/data/@name)
+        """
+        # under the default last-wins policy, "first" is the one lost.
+        assert engine.evaluate(source) == ["second"]

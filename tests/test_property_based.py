@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awb import Model, export_model_text, import_model_text, load_metamodel
+from repro.xdm import (
+    ElementNode,
+    TextNode,
+    general_compare,
+    sequence,
+    sort_document_order,
+)
+from repro.xmlio import parse_element, serialize
+from repro.xquery import XQueryEngine
+
+# -- strategies ---------------------------------------------------------------
+
+atoms = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=string.ascii_letters, max_size=6),
+    st.booleans(),
+)
+
+nested_values = st.recursive(
+    atoms, lambda children: st.lists(children, max_size=4), max_leaves=20
+)
+
+xml_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+xml_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'.,!-", max_size=20
+)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    name = draw(xml_names)
+    node = ElementNode(name)
+    for attr_name in draw(st.lists(xml_names, max_size=3, unique=True)):
+        node.set_attribute(attr_name, draw(xml_text))
+    if depth > 0:
+        for child in draw(st.lists(st.just(None), max_size=3)):
+            del child
+    count = draw(st.integers(min_value=0, max_value=3)) if depth > 0 else 0
+    for _ in range(count):
+        if draw(st.booleans()):
+            node.append(draw(xml_trees(depth=depth - 1)))
+        else:
+            text = draw(xml_text)
+            if text:
+                node.append(TextNode(text))
+    return node
+
+
+# -- sequence flattening laws ------------------------------------------------------
+
+
+class TestFlatteningLaws:
+    @given(nested_values)
+    def test_flattening_is_idempotent(self, value):
+        flat = sequence(value)
+        assert sequence(flat) == flat
+
+    @given(nested_values, nested_values)
+    def test_concatenation_associates(self, left, right):
+        assert sequence(left, right) == sequence(left) + sequence(right)
+
+    @given(st.lists(atoms, max_size=8))
+    def test_atoms_preserved_in_order(self, values):
+        assert sequence(values) == list(values)
+
+    @given(nested_values)
+    def test_no_nested_lists_survive(self, value):
+        assert all(not isinstance(item, list) for item in sequence(value))
+
+
+# -- general comparison laws -----------------------------------------------------------
+
+
+class TestGeneralCompareLaws:
+    @given(st.lists(st.integers(), max_size=6), st.lists(st.integers(), max_size=6))
+    def test_equals_is_symmetric(self, left, right):
+        assert general_compare("=", left, right) == general_compare("=", right, left)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=6))
+    def test_nonempty_equals_itself(self, values):
+        assert general_compare("=", values, values)
+
+    @given(st.lists(st.integers(), max_size=6))
+    def test_empty_never_compares(self, values):
+        assert not general_compare("=", [], values)
+
+    @given(st.lists(st.integers(), max_size=5), st.integers())
+    def test_membership_semantics(self, haystack, needle):
+        assert general_compare("=", haystack, [needle]) == (needle in haystack)
+
+
+# -- XML roundtrip ------------------------------------------------------------------------
+
+
+class TestXmlRoundtrip:
+    @settings(max_examples=60)
+    @given(xml_trees())
+    def test_parse_serialize_roundtrip(self, tree):
+        text = serialize(tree)
+        reparsed = parse_element(text, keep_whitespace_text=True)
+        assert serialize(reparsed) == text
+
+    @settings(max_examples=40)
+    @given(xml_trees())
+    def test_string_value_survives_roundtrip(self, tree):
+        reparsed = parse_element(serialize(tree), keep_whitespace_text=True)
+        assert reparsed.string_value() == tree.string_value()
+
+
+# -- document order is a total order per tree -----------------------------------------------
+
+
+class TestDocumentOrderLaws:
+    @settings(max_examples=40)
+    @given(xml_trees())
+    def test_sort_is_deterministic_permutation(self, tree):
+        nodes = list(tree.descendants_or_self())
+        ordered = sort_document_order(list(reversed(nodes)))
+        assert ordered == nodes
+
+    @settings(max_examples=40)
+    @given(xml_trees())
+    def test_sorting_twice_is_stable(self, tree):
+        nodes = list(tree.descendants_or_self())
+        once = sort_document_order(nodes)
+        assert sort_document_order(once) == once
+
+
+# -- engine-level properties -------------------------------------------------------------------
+
+
+engine = XQueryEngine()
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=8))
+    def test_count_matches_python(self, values):
+        assert engine.evaluate("count($v)", variables={"v": values}) == [len(values)]
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=8))
+    def test_reverse_matches_python(self, values):
+        assert engine.evaluate("reverse($v)", variables={"v": values}) == list(
+            reversed(values)
+        )
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=8))
+    def test_sum_matches_python(self, values):
+        assert engine.evaluate("sum($v)", variables={"v": values}) == [sum(values)]
+
+    @given(
+        st.lists(
+            st.text(alphabet=string.ascii_lowercase, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_order_by_sorts(self, words):
+        result = engine.evaluate(
+            "for $w in $v order by $w return $w", variables={"v": words}
+        )
+        assert result == sorted(words)
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_range_length(self, start, end):
+        result = engine.evaluate(f"count({start} to {end})")
+        assert result == [max(0, end - start + 1)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=10))
+    def test_distinct_values_like_ordered_set(self, values):
+        result = engine.evaluate("distinct-values($v)", variables={"v": values})
+        assert result == list(dict.fromkeys(values))
+
+
+# -- AWB export/import is lossless --------------------------------------------------------------
+
+
+class TestModelRoundtripLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["User", "Superuser", "Program", "Server"]),
+                st.text(alphabet=string.ascii_letters, min_size=1, max_size=8),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.data(),
+    )
+    def test_roundtrip_preserves_everything(self, node_specs, data):
+        metamodel = load_metamodel("it-architecture")
+        model = Model(metamodel)
+        nodes = [
+            model.create_node(type_name, label=label)
+            for type_name, label in node_specs
+        ]
+        edge_count = data.draw(st.integers(min_value=0, max_value=6))
+        for _ in range(edge_count):
+            source = data.draw(st.sampled_from(nodes))
+            target = data.draw(st.sampled_from(nodes))
+            model.connect(source, "likes", target)
+        rebuilt = import_model_text(export_model_text(model), metamodel)
+        assert rebuilt.stats()["nodes"] == model.stats()["nodes"]
+        assert rebuilt.stats()["relations"] == model.stats()["relations"]
+        for node in nodes:
+            assert rebuilt.node(node.id).label == node.label
+            assert rebuilt.node(node.id).type_name == node.type_name

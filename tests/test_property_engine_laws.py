@@ -1,0 +1,158 @@
+"""More property-based tests: sequence-function laws and backend agreement."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awb import Model, load_metamodel
+from repro.querycalc import XQueryCalculusBackend, parse_query_xml, run_query
+from repro.xquery import XQueryEngine
+
+engine = XQueryEngine()
+
+ints = st.lists(st.integers(min_value=-50, max_value=50), max_size=8)
+
+
+class TestSequenceFunctionLaws:
+    @given(ints, st.integers(min_value=-2, max_value=12))
+    def test_remove_insert_roundtrip(self, values, position):
+        """insert-before(remove(s,p), p, s[p]) == s for valid positions."""
+        if 1 <= position <= len(values):
+            result = engine.evaluate(
+                "insert-before(remove($s, $p), $p, $s[$p])",
+                variables={"s": values, "p": position},
+            )
+            assert result == values
+
+    @given(ints, st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=10))
+    def test_subsequence_matches_python_slicing(self, values, start, length):
+        result = engine.evaluate(
+            "subsequence($s, $start, $len)",
+            variables={"s": values, "start": start, "len": length},
+        )
+        begin = max(1, start) - 1
+        end = max(begin, start + length - 1)
+        assert result == values[begin:end]
+
+    @given(ints)
+    def test_reverse_is_involution(self, values):
+        assert engine.evaluate(
+            "reverse(reverse($s))", variables={"s": values}
+        ) == values
+
+    @given(ints, st.integers(min_value=-50, max_value=50))
+    def test_index_of_finds_all_occurrences(self, values, needle):
+        result = engine.evaluate(
+            "index-of($s, $n)", variables={"s": values, "n": needle}
+        )
+        assert result == [i + 1 for i, v in enumerate(values) if v == needle]
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, max_size=4), max_size=6),
+           st.text(alphabet="-/, ", min_size=1, max_size=2))
+    def test_string_join_tokenize_inverse(self, words, separator):
+        """tokenize(string-join(w, sep), sep) == w when words lack sep.
+
+        Excluded edge: a joined result of "" tokenizes to the empty
+        sequence by spec, so an all-empty word list cannot round-trip.
+        """
+        if any(separator in word for word in words) or not words:
+            return
+        if separator.join(words) == "":
+            return
+        import re
+
+        result = engine.evaluate(
+            "tokenize(string-join($w, $sep), $pattern)",
+            variables={"w": words, "sep": separator, "pattern": re.escape(separator)},
+        )
+        assert result == words
+
+    @given(ints)
+    def test_count_after_distinct_leq_count(self, values):
+        distinct = engine.evaluate(
+            "count(distinct-values($s))", variables={"s": values}
+        )[0]
+        assert distinct <= len(values)
+
+    @given(ints, ints)
+    def test_union_of_comma_is_concat_length(self, left, right):
+        result = engine.evaluate(
+            "count(($a, $b))", variables={"a": left, "b": right}
+        )
+        assert result == [len(left) + len(right)]
+
+
+class TestFlworLaws:
+    @given(ints)
+    def test_for_identity(self, values):
+        assert engine.evaluate(
+            "for $x in $s return $x", variables={"s": values}
+        ) == values
+
+    @given(ints)
+    def test_where_true_is_identity(self, values):
+        assert engine.evaluate(
+            "for $x in $s where true() return $x", variables={"s": values}
+        ) == values
+
+    @given(ints)
+    def test_order_by_is_sorted_and_permutation(self, values):
+        result = engine.evaluate(
+            "for $x in $s order by $x return $x", variables={"s": values}
+        )
+        assert result == sorted(values)
+
+    @given(ints, ints)
+    def test_nested_for_is_product(self, left, right):
+        result = engine.evaluate(
+            "count(for $a in $l for $b in $r return 1)",
+            variables={"l": left, "r": right},
+        )
+        assert result == [len(left) * len(right)]
+
+
+@st.composite
+def random_models(draw):
+    """Small random AWB graphs over the IT metamodel."""
+    model = Model(load_metamodel("it-architecture"))
+    type_names = ["User", "Superuser", "Program", "Server", "Document"]
+    count = draw(st.integers(min_value=2, max_value=7))
+    nodes = []
+    for index in range(count):
+        type_name = draw(st.sampled_from(type_names))
+        nodes.append(
+            model.create_node(type_name, label=f"n{index:02d}")
+        )
+    relation_names = ["likes", "favors", "uses", "has", "runs"]
+    edge_count = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(edge_count):
+        source = draw(st.sampled_from(nodes))
+        target = draw(st.sampled_from(nodes))
+        model.connect(source, draw(st.sampled_from(relation_names)), target)
+    return model
+
+
+CALC_QUERIES = [
+    '<query><start type="User"/><follow relation="likes"/>'
+    '<collect sort-by="label"/></query>',
+    '<query><start all="true"/><filter-type type="Person"/>'
+    '<collect sort-by="label" order="descending"/></query>',
+    '<query><start type="Person"/><follow relation="uses"/>'
+    '<follow relation="runs" direction="backward"/><collect/></query>',
+]
+
+
+class TestBackendAgreementProperty:
+    """The two calculus interpreters agree on arbitrary graphs —
+    the invariant whose violation would have justified keeping two
+    implementations."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_models(), st.sampled_from(CALC_QUERIES))
+    def test_backends_agree_on_random_graphs(self, model, query_source):
+        query = parse_query_xml(query_source)
+        native_ids = [node.id for node in run_query(query, model)]
+        backend = XQueryCalculusBackend(model)
+        xquery_ids = [node.id for node in backend.run(query)]
+        assert native_ids == xquery_ids

@@ -1,0 +1,214 @@
+"""Tests for the query calculus: parser, native interpreter, XQuery backend."""
+
+import pytest
+
+from repro.awb import Model, load_metamodel
+from repro.querycalc import (
+    Collect,
+    FilterProperty,
+    FilterType,
+    Follow,
+    QueryParseError,
+    Start,
+    XQueryCalculusBackend,
+    parse_query_xml,
+    run_query,
+)
+
+
+@pytest.fixture()
+def model():
+    m = Model(load_metamodel("it-architecture"))
+    alice = m.create_node("User", label="Alice", birthYear=1960)
+    bob = m.create_node("User", label="Bob", birthYear=1980)
+    carol = m.create_node("Superuser", label="Carol", birthYear=1975)
+    ledger = m.create_node("Program", label="LedgerD")
+    audit = m.create_node("Program", label="AuditD")
+    system = m.create_node("SystemBeingDesigned", label="Sys")
+    m.connect(alice, "likes", bob)
+    m.connect(alice, "favors", carol)
+    m.connect(bob, "uses", ledger)
+    m.connect(carol, "uses", audit)
+    m.connect(carol, "uses", ledger)
+    m.connect(carol, "uses", system)
+    return m
+
+
+class TestParser:
+    def test_full_query(self):
+        query = parse_query_xml(
+            """
+            <query>
+              <start type="User"/>
+              <follow relation="likes" direction="backward"/>
+              <filter-type type="Superuser"/>
+              <filter-property name="birthYear" op="lt" value="1970"/>
+              <collect sort-by="label" order="descending" distinct="false"/>
+            </query>
+            """
+        )
+        assert query.start == Start(type="User")
+        assert isinstance(query.steps[0], Follow)
+        assert query.steps[0].direction == "backward"
+        assert isinstance(query.steps[1], FilterType)
+        assert isinstance(query.steps[2], FilterProperty)
+        assert query.collect == Collect(
+            sort_by="label", descending=True, distinct=False
+        )
+
+    def test_start_by_id(self):
+        query = parse_query_xml('<query><start id="N7"/></query>')
+        assert query.start.node_id == "N7"
+
+    def test_start_all(self):
+        query = parse_query_xml('<query><start all="true"/></query>')
+        assert query.start.all_nodes
+
+    def test_start_required(self):
+        with pytest.raises(QueryParseError):
+            parse_query_xml("<query><collect/></query>")
+
+    def test_start_exactly_one_selector(self):
+        with pytest.raises(QueryParseError):
+            parse_query_xml('<query><start type="A" id="N1"/></query>')
+
+    def test_unknown_element(self):
+        with pytest.raises(QueryParseError):
+            parse_query_xml('<query><start all="true"/><frobnicate/></query>')
+
+    def test_bad_op(self):
+        with pytest.raises(QueryParseError):
+            parse_query_xml(
+                '<query><start all="true"/>'
+                '<filter-property name="x" op="~="/></query>'
+            )
+
+
+class TestNative:
+    def test_paper_query(self, model):
+        # start at Alice; follow likes; follow uses to programs; collect.
+        query = parse_query_xml(
+            """
+            <query>
+              <start id="N1"/>
+              <follow relation="likes"/>
+              <follow relation="uses" target-type="Program"/>
+              <collect sort-by="label"/>
+            </query>
+            """
+        )
+        assert [n.label for n in run_query(query, model)] == ["AuditD", "LedgerD"]
+
+    def test_subrelations_followed(self, model):
+        # favors is a subtype of likes: Alice likes Bob AND favors Carol.
+        query = parse_query_xml(
+            '<query><start id="N1"/><follow relation="likes"/>'
+            '<collect sort-by="label"/></query>'
+        )
+        assert [n.label for n in run_query(query, model)] == ["Bob", "Carol"]
+
+    def test_subrelations_excluded_on_request(self, model):
+        query = parse_query_xml(
+            '<query><start id="N1"/>'
+            '<follow relation="likes" subrelations="false"/>'
+            "<collect/></query>"
+        )
+        assert [n.label for n in run_query(query, model)] == ["Bob"]
+
+    def test_backward_follow(self, model):
+        query = parse_query_xml(
+            '<query><start type="Program"/>'
+            '<follow relation="uses" direction="backward"/>'
+            '<collect sort-by="label"/></query>'
+        )
+        assert [n.label for n in run_query(query, model)] == ["Bob", "Carol"]
+
+    def test_distinct_dedupes(self, model):
+        # Bob and Carol both use LedgerD: distinct keeps one.
+        query = parse_query_xml(
+            '<query><start type="User"/><follow relation="uses"/>'
+            '<filter-type type="Program"/><collect sort-by="label"/></query>'
+        )
+        labels = [n.label for n in run_query(query, model)]
+        assert labels == ["AuditD", "LedgerD"]
+
+    def test_distinct_off_keeps_duplicates(self, model):
+        query = parse_query_xml(
+            '<query><start type="User"/><follow relation="uses"/>'
+            '<filter-type type="Program"/>'
+            '<collect sort-by="label" distinct="false"/></query>'
+        )
+        assert len(run_query(query, model)) == 3
+
+    def test_property_filters(self, model):
+        query = parse_query_xml(
+            '<query><start type="Person"/>'
+            '<filter-property name="birthYear" op="lt" value="1976"/>'
+            '<collect sort-by="label"/></query>'
+        )
+        assert [n.label for n in run_query(query, model)] == ["Alice", "Carol"]
+
+    def test_contains_filter(self, model):
+        query = parse_query_xml(
+            '<query><start type="Program"/>'
+            '<filter-property name="label" op="contains" value="Ledger"/>'
+            "<collect/></query>"
+        )
+        assert [n.label for n in run_query(query, model)] == ["LedgerD"]
+
+    def test_missing_property_never_matches(self, model):
+        query = parse_query_xml(
+            '<query><start type="Program"/>'
+            '<filter-property name="birthYear" op="lt" value="2000"/>'
+            "<collect/></query>"
+        )
+        assert run_query(query, model) == []
+
+    def test_descending_sort(self, model):
+        query = parse_query_xml(
+            '<query><start type="User"/>'
+            '<collect sort-by="label" order="descending"/></query>'
+        )
+        labels = [n.label for n in run_query(query, model)]
+        assert labels == sorted(labels, reverse=True)
+
+
+class TestXQueryBackend:
+    QUERIES = [
+        '<query><start type="User"/><follow relation="likes"/>'
+        '<follow relation="uses" target-type="Program"/>'
+        '<collect sort-by="label"/></query>',
+        '<query><start all="true"/><filter-type type="Person"/>'
+        '<collect sort-by="label"/></query>',
+        '<query><start type="Program"/>'
+        '<follow relation="uses" direction="backward"/>'
+        '<collect sort-by="label" order="descending"/></query>',
+        '<query><start type="Person"/>'
+        '<filter-property name="birthYear" op="ge" value="1975"/>'
+        '<collect sort-by="label"/></query>',
+        '<query><start type="User"/><follow relation="uses"/>'
+        '<collect sort-by="label" distinct="false"/></query>',
+    ]
+
+    @pytest.mark.parametrize("source", QUERIES)
+    def test_backends_agree(self, model, source):
+        query = parse_query_xml(source)
+        backend = XQueryCalculusBackend(model)
+        native_ids = [n.id for n in run_query(query, model)]
+        xquery_ids = [n.id for n in backend.run(query)]
+        assert native_ids == xquery_ids
+
+    def test_compiled_source_is_valid_xquery(self, model):
+        from repro.xquery import parse_query as parse_xq
+
+        backend = XQueryCalculusBackend(model)
+        query = parse_query_xml(self.QUERIES[0])
+        module = parse_xq(backend.compile_to_xquery(query))
+        assert module.body is not None
+
+    def test_export_cache_reused(self, model):
+        backend = XQueryCalculusBackend(model)
+        first = backend.export
+        assert backend.export is first
+        backend.invalidate_export()
+        assert backend.export is not first

@@ -1,0 +1,120 @@
+"""Unit tests for repro.xdm.compare: comparison semantics."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xdm import (
+    AttributeNode,
+    ElementNode,
+    TextNode,
+    UntypedAtomic,
+    deep_equal,
+    general_compare,
+    value_compare,
+)
+from repro.xdm.compare import ComparisonTypeError, nodes_before
+
+
+class TestValueCompare:
+    def test_numeric_eq(self):
+        assert value_compare("eq", 1, 1.0)
+
+    def test_decimal_and_double(self):
+        assert value_compare("lt", Decimal("1.5"), 2.0)
+
+    def test_strings(self):
+        assert value_compare("gt", "b", "a")
+
+    def test_untyped_vs_number_promotes(self):
+        assert value_compare("eq", UntypedAtomic("3"), 3)
+
+    def test_untyped_vs_string(self):
+        assert value_compare("eq", UntypedAtomic("x"), "x")
+
+    def test_untyped_vs_boolean(self):
+        assert value_compare("eq", UntypedAtomic("true"), True)
+
+    def test_string_vs_number_is_type_error(self):
+        with pytest.raises(ComparisonTypeError):
+            value_compare("eq", "1", 1)
+
+    def test_bad_untyped_promotion_is_type_error(self):
+        with pytest.raises(ComparisonTypeError):
+            value_compare("eq", UntypedAtomic("pear"), 1)
+
+    def test_all_six_operators(self):
+        assert value_compare("ne", 1, 2)
+        assert value_compare("le", 1, 1)
+        assert value_compare("ge", 2, 2)
+        assert not value_compare("lt", 2, 1)
+
+
+class TestGeneralCompare:
+    """The paper's quirk 4, verbatim."""
+
+    def test_one_equals_sequence(self):
+        assert general_compare("=", [1], [1, 2, 3])
+
+    def test_sequence_equals_three(self):
+        assert general_compare("=", [1, 2, 3], [3])
+
+    def test_one_not_three(self):
+        assert not general_compare("=", [1], [3])
+
+    def test_self_not_equal_is_also_true(self):
+        # (1,2) != (1,2) is true because 1 != 2.
+        assert general_compare("!=", [1, 2], [1, 2])
+
+    def test_empty_never_compares(self):
+        assert not general_compare("=", [], [1, 2])
+        assert not general_compare("!=", [], [])
+
+    def test_existential_less_than(self):
+        assert general_compare("<", [5, 1], [2])
+
+    def test_membership_idiom(self):
+        # "Once in a while, we used = to test if a sequence contained a value"
+        haystack = ["a", "b", "c"]
+        assert general_compare("=", haystack, ["b"])
+        assert not general_compare("=", haystack, ["z"])
+
+
+class TestDeepEqual:
+    def test_atomics(self):
+        assert deep_equal([1, "a"], [1, "a"])
+        assert not deep_equal([1], [2])
+
+    def test_length_mismatch(self):
+        assert not deep_equal([1], [1, 1])
+
+    def test_elements_with_same_shape(self):
+        left = ElementNode("a", [AttributeNode("x", "1")], [TextNode("t")])
+        right = ElementNode("a", [AttributeNode("x", "1")], [TextNode("t")])
+        assert deep_equal([left], [right])
+
+    def test_attribute_order_ignored(self):
+        left = ElementNode("a", [AttributeNode("x", "1"), AttributeNode("y", "2")])
+        right = ElementNode("a", [AttributeNode("y", "2"), AttributeNode("x", "1")])
+        assert deep_equal([left], [right])
+
+    def test_name_mismatch(self):
+        assert not deep_equal([ElementNode("a")], [ElementNode("b")])
+
+    def test_node_vs_atomic(self):
+        assert not deep_equal([ElementNode("a")], ["a"])
+
+    def test_incomparable_atomics_are_unequal(self):
+        assert not deep_equal(["1"], [1])
+
+
+class TestNodesBefore:
+    def test_within_tree(self):
+        first = ElementNode("a")
+        second = ElementNode("b")
+        ElementNode("root", children=[first, second])
+        assert nodes_before(first, second) is True
+        assert nodes_before(second, first) is False
+
+    def test_cross_tree_returns_none(self):
+        assert nodes_before(ElementNode("a"), ElementNode("b")) is None

@@ -1,0 +1,153 @@
+"""Unit tests for repro.xdm.items: atomic values and their lexical forms."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xdm.items import (
+    UntypedAtomic,
+    atomic_type_name,
+    format_decimal,
+    format_double,
+    is_atomic,
+    parse_number,
+    string_value_of_atomic,
+    untyped_to_double,
+)
+
+
+class TestUntypedAtomic:
+    def test_wraps_string(self):
+        assert UntypedAtomic("42").value == "42"
+
+    def test_coerces_non_string(self):
+        assert UntypedAtomic(42).value == "42"
+
+    def test_equality(self):
+        assert UntypedAtomic("a") == UntypedAtomic("a")
+        assert UntypedAtomic("a") != UntypedAtomic("b")
+
+    def test_not_equal_to_plain_string(self):
+        assert UntypedAtomic("a") != "a"
+
+    def test_hashable(self):
+        assert len({UntypedAtomic("a"), UntypedAtomic("a")}) == 1
+
+    def test_str(self):
+        assert str(UntypedAtomic("hello")) == "hello"
+
+
+class TestTypeNames:
+    def test_boolean_before_integer(self):
+        # bool is an int subclass; the mapping must not confuse them.
+        assert atomic_type_name(True) == "xs:boolean"
+        assert atomic_type_name(1) == "xs:integer"
+
+    def test_decimal(self):
+        assert atomic_type_name(Decimal("1.5")) == "xs:decimal"
+
+    def test_double(self):
+        assert atomic_type_name(1.5) == "xs:double"
+
+    def test_string(self):
+        assert atomic_type_name("x") == "xs:string"
+
+    def test_untyped(self):
+        assert atomic_type_name(UntypedAtomic("x")) == "xs:untypedAtomic"
+
+    def test_non_atomic_raises(self):
+        with pytest.raises(TypeError):
+            atomic_type_name([1, 2])
+
+    def test_is_atomic(self):
+        assert is_atomic("x") and is_atomic(1) and is_atomic(UntypedAtomic(""))
+        assert not is_atomic([]) and not is_atomic(None)
+
+
+class TestStringValue:
+    def test_booleans(self):
+        assert string_value_of_atomic(True) == "true"
+        assert string_value_of_atomic(False) == "false"
+
+    def test_integer(self):
+        assert string_value_of_atomic(42) == "42"
+
+    def test_integral_double_prints_without_point(self):
+        assert string_value_of_atomic(3.0) == "3"
+
+    def test_fractional_double(self):
+        assert string_value_of_atomic(2.5) == "2.5"
+
+    def test_decimal_strips_trailing_zeros(self):
+        assert string_value_of_atomic(Decimal("1.500")) == "1.5"
+
+    def test_decimal_integral(self):
+        assert string_value_of_atomic(Decimal("7")) == "7"
+
+    def test_untyped(self):
+        assert string_value_of_atomic(UntypedAtomic(" pad ")) == " pad "
+
+
+class TestDoubleFormatting:
+    def test_nan(self):
+        assert format_double(float("nan")) == "NaN"
+
+    def test_infinities(self):
+        assert format_double(float("inf")) == "INF"
+        assert format_double(float("-inf")) == "-INF"
+
+    def test_negative_integral(self):
+        assert format_double(-4.0) == "-4"
+
+
+class TestDecimalFormatting:
+    def test_no_exponent(self):
+        assert format_decimal(Decimal("1E+2")) == "100"
+
+    def test_zero(self):
+        assert format_decimal(Decimal("0")) == "0"
+
+    def test_small_fraction(self):
+        assert format_decimal(Decimal("0.25")) == "0.25"
+
+
+class TestParseNumber:
+    def test_integer_literal(self):
+        value = parse_number("42")
+        assert value == 42 and isinstance(value, int)
+
+    def test_decimal_literal(self):
+        value = parse_number("1.5")
+        assert value == Decimal("1.5") and isinstance(value, Decimal)
+
+    def test_double_literal(self):
+        value = parse_number("1e3")
+        assert value == 1000.0 and isinstance(value, float)
+
+    def test_double_with_sign_exponent(self):
+        assert parse_number("2.5E-1") == 0.25
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_number("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_number("1.2.3")
+
+
+class TestUntypedPromotion:
+    def test_plain_number(self):
+        assert untyped_to_double(UntypedAtomic(" 2.5 ")) == 2.5
+
+    def test_inf_lexical(self):
+        assert untyped_to_double(UntypedAtomic("INF")) == float("inf")
+        assert untyped_to_double(UntypedAtomic("-INF")) == float("-inf")
+
+    def test_nan_lexical(self):
+        value = untyped_to_double(UntypedAtomic("NaN"))
+        assert value != value
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ValueError):
+            untyped_to_double(UntypedAtomic("hello"))

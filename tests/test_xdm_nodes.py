@@ -1,0 +1,185 @@
+"""Unit tests for repro.xdm.nodes: node kinds, axes, order, mutation."""
+
+import pytest
+
+from repro.xdm import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    TextNode,
+    element,
+    sort_document_order,
+)
+
+
+def sample_tree():
+    """<root a="1"><x><y/></x>text<x2/></root> inside a document."""
+    y = ElementNode("y")
+    x = ElementNode("x", children=[y])
+    text = TextNode("text")
+    x2 = ElementNode("x2")
+    root = ElementNode("root", [AttributeNode("a", "1")], [x, text, x2])
+    return DocumentNode([root]), root, x, y, text, x2
+
+
+class TestIdentity:
+    def test_equal_content_distinct_identity(self):
+        assert ElementNode("a") is not ElementNode("a")
+
+    def test_copy_has_fresh_identity(self):
+        node = ElementNode("a", children=[TextNode("t")])
+        duplicate = node.copy()
+        assert duplicate is not node
+        assert duplicate.children[0] is not node.children[0]
+        assert duplicate.string_value() == node.string_value()
+
+    def test_copy_detaches_parent(self):
+        _, root, x, *_ = sample_tree()
+        assert x.copy().parent is None
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self):
+        root = ElementNode(
+            "r", children=[TextNode("a"), ElementNode("e", children=[TextNode("b")])]
+        )
+        assert root.string_value() == "ab"
+
+    def test_comment_text_excluded_from_element_value(self):
+        root = ElementNode("r", children=[TextNode("a"), CommentNode("nope")])
+        assert root.string_value() == "a"
+
+    def test_attribute_value(self):
+        assert AttributeNode("n", "v").string_value() == "v"
+
+    def test_document_value(self):
+        document, *_ = sample_tree()
+        assert document.string_value() == "text"
+
+
+class TestAxes:
+    def test_children_excludes_attributes(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert root.children == [x, text, x2]
+
+    def test_attributes(self):
+        _, root, *_ = sample_tree()
+        assert [a.name for a in root.attributes] == ["a"]
+
+    def test_descendants_in_document_order(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert list(root.descendants()) == [x, y, text, x2]
+
+    def test_ancestors(self):
+        document, root, x, y, *_ = sample_tree()
+        assert list(y.ancestors()) == [x, root, document]
+
+    def test_root(self):
+        document, root, x, y, *_ = sample_tree()
+        assert y.root() is document
+
+    def test_following_siblings(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert list(x.following_siblings()) == [text, x2]
+
+    def test_preceding_siblings_reverse_order(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert list(x2.preceding_siblings()) == [text, x]
+
+    def test_attribute_has_no_siblings(self):
+        _, root, *_ = sample_tree()
+        attribute = root.attributes[0]
+        assert list(attribute.following_siblings()) == []
+
+
+class TestDocumentOrder:
+    def test_sorts_within_tree(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert sort_document_order([x2, y, root, text, x]) == [root, x, y, text, x2]
+
+    def test_attribute_sorts_after_element_before_children(self):
+        _, root, x, *_ = sample_tree()
+        attribute = root.attributes[0]
+        assert sort_document_order([x, attribute, root]) == [root, attribute, x]
+
+    def test_deduplicates_by_identity(self):
+        _, root, x, *_ = sample_tree()
+        assert sort_document_order([x, x, root, root]) == [root, x]
+
+    def test_cross_tree_order_is_stable(self):
+        first = ElementNode("a")
+        second = ElementNode("b")
+        once = sort_document_order([second, first])
+        again = sort_document_order([first, second])
+        assert once == again
+
+
+class TestMutation:
+    def test_append_reparents(self):
+        parent = ElementNode("p")
+        child = ElementNode("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_append_attribute_rejected(self):
+        with pytest.raises(TypeError):
+            ElementNode("p").append(AttributeNode("a", "1"))
+
+    def test_set_attribute_replaces_same_name(self):
+        node = ElementNode("p")
+        node.set_attribute("a", "1")
+        node.set_attribute("a", "2")
+        assert node.get_attribute("a") == "2"
+        assert len(node.attributes) == 1
+
+    def test_replace_child_splices(self):
+        parent = ElementNode("p")
+        old = TextNode("old")
+        parent.append(old)
+        replacements = [TextNode("n1"), TextNode("n2")]
+        parent.replace_child(old, replacements)
+        assert [c.text for c in parent.children] == ["n1", "n2"]
+        assert old.parent is None
+        assert all(r.parent is parent for r in replacements)
+
+    def test_remove(self):
+        parent = ElementNode("p")
+        child = ElementNode("c")
+        parent.append(child)
+        parent.remove(child)
+        assert parent.children == [] and child.parent is None
+
+    def test_insert(self):
+        parent = ElementNode("p", children=[TextNode("b")])
+        parent.insert(0, TextNode("a"))
+        assert parent.string_value() == "ab"
+
+
+class TestConvenience:
+    def test_child_elements_filter(self):
+        _, root, x, y, text, x2 = sample_tree()
+        assert root.child_elements("x") == [x]
+        assert root.child_elements() == [x, x2]
+
+    def test_first_child_element(self):
+        _, root, x, *_ = sample_tree()
+        assert root.first_child_element("x") is x
+        assert root.first_child_element("zzz") is None
+
+    def test_element_builder(self):
+        node = element("div", "hello ", element("b", "world"), class_="box")
+        assert node.get_attribute("class") == "box"
+        assert node.string_value() == "hello world"
+
+    def test_element_builder_attribute_node_positional(self):
+        node = element("div", AttributeNode("x", "1"))
+        assert node.get_attribute("x") == "1"
+
+    def test_element_builder_flattens_lists(self):
+        node = element("ul", [element("li", str(i)) for i in range(3)])
+        assert len(node.child_elements("li")) == 3
+
+    def test_document_element(self):
+        document, root, *_ = sample_tree()
+        assert document.document_element() is root

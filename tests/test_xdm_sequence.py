@@ -1,0 +1,142 @@
+"""Unit tests for repro.xdm.sequence: flattening and friends."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xdm import (
+    ElementNode,
+    TextNode,
+    UntypedAtomic,
+    atomize,
+    effective_boolean_value,
+    number_value,
+    sequence,
+    singleton,
+    string_value,
+)
+
+
+class TestFlattening:
+    def test_paper_example(self):
+        # (1,(2,3,4),(),(5,((6,7)))) = (1,2,3,4,5,6,7)
+        assert sequence(1, [2, 3, 4], [], [5, [[6, 7]]]) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_empty(self):
+        assert sequence() == []
+
+    def test_single_item_is_plain(self):
+        assert sequence(1) == [1]
+
+    def test_structure_is_unrecoverable(self):
+        # the paper's point-list failure: two points become four numbers.
+        points = sequence([1, 2], [3, 4])
+        assert points == [1, 2, 3, 4]
+
+    def test_none_is_dropped(self):
+        assert sequence(1, None, 2) == [1, 2]
+
+    def test_nodes_are_items(self):
+        node = ElementNode("a")
+        assert sequence([node], []) == [node]
+
+    def test_rejects_non_items(self):
+        with pytest.raises(TypeError):
+            sequence(object())
+
+
+class TestSingleton:
+    def test_ok(self):
+        assert singleton([5]) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            singleton([])
+
+    def test_many_raises(self):
+        with pytest.raises(ValueError):
+            singleton([1, 2])
+
+
+class TestAtomize:
+    def test_atomics_pass_through(self):
+        assert atomize([1, "a"]) == [1, "a"]
+
+    def test_node_becomes_untyped(self):
+        node = ElementNode("a", children=[TextNode("42")])
+        assert atomize([node]) == [UntypedAtomic("42")]
+
+    def test_mixed(self):
+        node = TextNode("x")
+        assert atomize([1, node]) == [1, UntypedAtomic("x")]
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_is_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_leading_node_is_true(self):
+        assert effective_boolean_value([ElementNode("a")]) is True
+
+    def test_singleton_boolean(self):
+        assert effective_boolean_value([True]) is True
+        assert effective_boolean_value([False]) is False
+
+    def test_zero_is_false(self):
+        assert effective_boolean_value([0]) is False
+        assert effective_boolean_value([0.0]) is False
+
+    def test_nan_is_false(self):
+        assert effective_boolean_value([float("nan")]) is False
+
+    def test_nonzero_decimal_true(self):
+        assert effective_boolean_value([Decimal("0.5")]) is True
+
+    def test_empty_string_false(self):
+        assert effective_boolean_value([""]) is False
+        assert effective_boolean_value(["x"]) is True
+
+    def test_untyped_follows_string_rule(self):
+        assert effective_boolean_value([UntypedAtomic("")]) is False
+        assert effective_boolean_value([UntypedAtomic("false")]) is True  # non-empty!
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(ValueError):
+            effective_boolean_value([1, 2])
+
+
+class TestStringValue:
+    def test_empty(self):
+        assert string_value([]) == ""
+
+    def test_atomic(self):
+        assert string_value([True]) == "true"
+
+    def test_node(self):
+        assert string_value([ElementNode("a", children=[TextNode("hi")])]) == "hi"
+
+    def test_multi_raises(self):
+        with pytest.raises(ValueError):
+            string_value([1, 2])
+
+
+class TestNumberValue:
+    def test_empty_is_nan(self):
+        assert number_value([]) != number_value([])
+
+    def test_integer(self):
+        assert number_value([3]) == 3.0
+
+    def test_boolean(self):
+        assert number_value([True]) == 1.0
+
+    def test_numeric_string(self):
+        assert number_value(["2.5"]) == 2.5
+
+    def test_garbage_is_nan(self):
+        value = number_value(["pear"])
+        assert value != value
+
+    def test_node_content(self):
+        node = ElementNode("n", children=[TextNode("7")])
+        assert number_value([node]) == 7.0

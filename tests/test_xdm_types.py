@@ -1,0 +1,142 @@
+"""Unit tests for repro.xdm.types: the type-system fragment."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xdm import (
+    AttributeNode,
+    CastError,
+    ElementNode,
+    ItemType,
+    SequenceType,
+    TextNode,
+    UntypedAtomic,
+    atomic_type_derives_from,
+    cast_atomic,
+)
+
+
+class TestHierarchy:
+    def test_integer_derives_from_decimal(self):
+        assert atomic_type_derives_from("xs:integer", "xs:decimal")
+
+    def test_everything_derives_from_any_atomic(self):
+        for name in ("xs:string", "xs:boolean", "xs:double", "xs:integer"):
+            assert atomic_type_derives_from(name, "xs:anyAtomicType")
+
+    def test_decimal_not_integer(self):
+        assert not atomic_type_derives_from("xs:decimal", "xs:integer")
+
+    def test_positive_integer_chain(self):
+        assert atomic_type_derives_from("xs:positiveInteger", "xs:decimal")
+
+
+class TestItemType:
+    def test_item_matches_everything(self):
+        item = ItemType.item()
+        assert item.matches(1) and item.matches(ElementNode("a"))
+
+    def test_atomic_match(self):
+        assert ItemType.atomic("xs:integer").matches(5)
+        assert not ItemType.atomic("xs:integer").matches("5")
+
+    def test_boolean_is_not_integer(self):
+        assert not ItemType.atomic("xs:integer").matches(True)
+
+    def test_integer_is_decimal(self):
+        assert ItemType.atomic("xs:decimal").matches(5)
+
+    def test_node_kind(self):
+        assert ItemType.node("element").matches(ElementNode("a"))
+        assert not ItemType.node("element").matches(TextNode("t"))
+
+    def test_named_element(self):
+        error_type = ItemType.node("element", name="error")
+        assert error_type.matches(ElementNode("error"))
+        assert not error_type.matches(ElementNode("ok"))
+
+    def test_attribute_kind(self):
+        assert ItemType.node("attribute").matches(AttributeNode("a", "1"))
+
+    def test_atomic_rejects_nodes(self):
+        assert not ItemType.atomic("xs:string").matches(TextNode("x"))
+
+
+class TestSequenceType:
+    def test_exactly_one(self):
+        sequence_type = SequenceType(ItemType.atomic("xs:integer"))
+        assert sequence_type.matches([1])
+        assert not sequence_type.matches([])
+        assert not sequence_type.matches([1, 2])
+
+    def test_zero_or_one(self):
+        sequence_type = SequenceType(ItemType.atomic("xs:integer"), "?")
+        assert sequence_type.matches([]) and sequence_type.matches([1])
+        assert not sequence_type.matches([1, 2])
+
+    def test_zero_or_more(self):
+        sequence_type = SequenceType(ItemType.atomic("xs:integer"), "*")
+        assert sequence_type.matches([]) and sequence_type.matches([1, 2, 3])
+
+    def test_one_or_more(self):
+        sequence_type = SequenceType(ItemType.atomic("xs:integer"), "+")
+        assert not sequence_type.matches([])
+        assert sequence_type.matches([1, 2])
+
+    def test_empty_sequence(self):
+        assert SequenceType.empty().matches([])
+        assert not SequenceType.empty().matches([1])
+
+    def test_item_mismatch_rejects(self):
+        sequence_type = SequenceType(ItemType.atomic("xs:string"), "*")
+        assert not sequence_type.matches(["a", 1])
+
+
+class TestCasting:
+    def test_to_string(self):
+        assert cast_atomic(42, "xs:string") == "42"
+
+    def test_to_integer_from_string(self):
+        assert cast_atomic("  17 ", "xs:integer") == 17
+
+    def test_to_integer_from_double_truncates(self):
+        assert cast_atomic(3.9, "xs:integer") == 3
+
+    def test_to_integer_from_nan_fails(self):
+        with pytest.raises(CastError):
+            cast_atomic(float("nan"), "xs:integer")
+
+    def test_to_boolean_lexical(self):
+        assert cast_atomic("true", "xs:boolean") is True
+        assert cast_atomic("0", "xs:boolean") is False
+
+    def test_to_boolean_garbage_fails(self):
+        with pytest.raises(CastError):
+            cast_atomic("yes", "xs:boolean")
+
+    def test_to_double_special_lexicals(self):
+        assert cast_atomic("INF", "xs:double") == float("inf")
+        assert cast_atomic("-INF", "xs:double") == float("-inf")
+
+    def test_to_decimal(self):
+        assert cast_atomic("1.25", "xs:decimal") == Decimal("1.25")
+
+    def test_to_untyped(self):
+        result = cast_atomic(5, "xs:untypedAtomic")
+        assert isinstance(result, UntypedAtomic) and result.value == "5"
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(CastError):
+            cast_atomic(-1, "xs:nonNegativeInteger")
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(CastError):
+            cast_atomic(0, "xs:positiveInteger")
+
+    def test_boolean_to_integer(self):
+        assert cast_atomic(True, "xs:integer") == 1
+
+    def test_unknown_target_fails(self):
+        with pytest.raises(CastError):
+            cast_atomic(1, "xs:duration")

@@ -1,0 +1,175 @@
+"""Unit tests for repro.xmlio: the from-scratch XML layer."""
+
+import pytest
+
+from repro.xdm import CommentNode, ElementNode, ProcessingInstructionNode, TextNode
+from repro.xmlio import (
+    XmlSyntaxError,
+    parse_document,
+    parse_element,
+    serialize,
+)
+
+
+class TestParserBasics:
+    def test_simple_element(self):
+        root = parse_element("<a/>")
+        assert root.name == "a" and root.children == []
+
+    def test_attributes(self):
+        root = parse_element('<a x="1" y="two"/>')
+        assert root.get_attribute("x") == "1"
+        assert root.get_attribute("y") == "two"
+
+    def test_single_quoted_attributes(self):
+        assert parse_element("<a x='1'/>").get_attribute("x") == "1"
+
+    def test_nested(self):
+        root = parse_element("<a><b><c/></b></a>")
+        assert root.children[0].children[0].name == "c"
+
+    def test_text_content(self):
+        root = parse_element("<a>hello</a>")
+        assert root.string_value() == "hello"
+
+    def test_mixed_content(self):
+        root = parse_element("<a>x<b>y</b>z</a>")
+        assert root.string_value() == "xyz"
+        assert [type(c).__name__ for c in root.children] == [
+            "TextNode",
+            "ElementNode",
+            "TextNode",
+        ]
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        root = parse_element("<a>\n  <b/>\n</a>")
+        assert len(root.children) == 1
+
+    def test_whitespace_kept_on_request(self):
+        root = parse_element("<a>\n  <b/>\n</a>", keep_whitespace_text=True)
+        assert len(root.children) == 3
+
+    def test_names_with_dashes_and_dots(self):
+        root = parse_element("<table-of-contents.v2/>")
+        assert root.name == "table-of-contents.v2"
+
+    def test_xml_declaration_skipped(self):
+        document = parse_document('<?xml version="1.0"?><a/>')
+        assert document.document_element().name == "a"
+
+    def test_doctype_skipped(self):
+        document = parse_document('<!DOCTYPE html [<!ENTITY x "y">]><a/>')
+        assert document.document_element().name == "a"
+
+    def test_comment(self):
+        root = parse_element("<a><!-- note --></a>")
+        assert isinstance(root.children[0], CommentNode)
+        assert root.children[0].text == " note "
+
+    def test_processing_instruction(self):
+        root = parse_element("<a><?target data here?></a>")
+        pi = root.children[0]
+        assert isinstance(pi, ProcessingInstructionNode)
+        assert pi.target == "target" and pi.text == "data here"
+
+    def test_cdata(self):
+        root = parse_element("<a><![CDATA[<not> & parsed]]></a>")
+        assert root.string_value() == "<not> & parsed"
+
+    def test_parents_are_wired(self):
+        root = parse_element("<a><b/></a>")
+        assert root.children[0].parent is root
+        assert root.parent is not None  # the document node
+
+
+class TestEntities:
+    def test_named_entities(self):
+        root = parse_element("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert root.string_value() == "<>&\"'"
+
+    def test_numeric_entities(self):
+        assert parse_element("<a>&#65;&#x42;</a>").string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        assert parse_element('<a x="&amp;&#33;"/>').get_attribute("x") == "&!"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element("<a>&nope;</a>")
+
+
+class TestErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XmlSyntaxError, match="mismatched"):
+            parse_element("<a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XmlSyntaxError, match="unclosed"):
+            parse_element("<a><b></b>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XmlSyntaxError, match="duplicate"):
+            parse_element('<a x="1" x="2"/>')
+
+    def test_stray_close(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element("</a>")
+
+    def test_no_element(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("   just text   ")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XmlSyntaxError, match="comment"):
+            parse_element("<a><!-- oops</a>")
+
+    def test_error_carries_location(self):
+        try:
+            parse_document("<a>\n<b>\n</a>")
+        except XmlSyntaxError as error:
+            assert error.line == 3
+        else:
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestSerializer:
+    def test_roundtrip_simple(self):
+        text = '<a x="1"><b>hi</b><c/></a>'
+        assert serialize(parse_element(text)) == text
+
+    def test_escapes_text(self):
+        node = ElementNode("a", children=[TextNode("<&>")])
+        assert serialize(node) == "<a>&lt;&amp;&gt;</a>"
+
+    def test_escapes_attributes(self):
+        node = ElementNode("a")
+        node.set_attribute("x", 'he said "no" & left')
+        assert 'x="he said &quot;no&quot; &amp; left"' in serialize(node)
+
+    def test_newline_in_attribute_escaped(self):
+        node = ElementNode("a")
+        node.set_attribute("x", "two\nlines")
+        assert "&#10;" in serialize(node)
+
+    def test_empty_element_self_closes(self):
+        assert serialize(ElementNode("br")) == "<br/>"
+
+    def test_indent_mode(self):
+        root = parse_element("<a><b><c/></b></a>")
+        expected = "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+        assert serialize(root, indent=True) == expected
+
+    def test_indent_preserves_mixed_content(self):
+        root = parse_element("<a>text<b/>more</a>")
+        assert serialize(root, indent=True) == "<a>text<b/>more</a>"
+
+    def test_xml_declaration(self):
+        assert serialize(ElementNode("a"), xml_declaration=True).startswith("<?xml")
+
+    def test_comment_roundtrip(self):
+        text = "<a><!--note--></a>"
+        assert serialize(parse_element(text)) == text
+
+    def test_entity_roundtrip(self):
+        original = "<a>&lt;tag&gt; &amp; more</a>"
+        assert serialize(parse_element(original)) == original

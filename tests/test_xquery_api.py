@@ -1,0 +1,117 @@
+"""Tests for the engine facade: compilation, configs, serialization."""
+
+import pytest
+
+from repro.xdm import ElementNode
+from repro.xquery import (
+    CompiledQuery,
+    EngineConfig,
+    XQueryEngine,
+    XQueryStaticError,
+    serialize_result,
+)
+
+
+class TestEngineConstruction:
+    def test_default_config(self):
+        engine = XQueryEngine()
+        assert engine.config.optimize is True
+        assert engine.config.trace_is_dead_code is False
+
+    def test_keyword_flags(self):
+        engine = XQueryEngine(optimize=False, galax_diagnostics=True)
+        assert engine.config.optimize is False
+        assert engine.config.galax_diagnostics is True
+
+    def test_config_object(self):
+        config = EngineConfig(duplicate_attribute_mode="first")
+        assert XQueryEngine(config).config is config
+
+    def test_config_and_flags_conflict(self):
+        with pytest.raises(TypeError):
+            XQueryEngine(EngineConfig(), optimize=False)
+
+
+class TestCompiledQueries:
+    def test_compile_once_run_many(self):
+        engine = XQueryEngine()
+        query = engine.compile("$x * $x")
+        assert isinstance(query, CompiledQuery)
+        assert query.run(variables={"x": 3}) == [9]
+        assert query.run(variables={"x": 5}) == [25]
+
+    def test_external_variable_names(self):
+        engine = XQueryEngine()
+        query = engine.compile(
+            "declare variable $a external; declare variable $b := 1; $a + $b"
+        )
+        assert query.external_variable_names == ["a"]
+
+    def test_optimizer_stats_exposed(self):
+        engine = XQueryEngine()
+        query = engine.compile("let $dead := 1 return 2 + 3")
+        assert query.optimizer_stats.dead_lets_removed == 1
+        assert query.optimizer_stats.folded_constants == 1
+
+    def test_no_stats_when_not_optimizing(self):
+        engine = XQueryEngine(optimize=False)
+        assert engine.compile("1").optimizer_stats is None
+
+    def test_declared_variable_type_enforced(self):
+        engine = XQueryEngine()
+        query = engine.compile(
+            "declare variable $n as xs:integer external; $n"
+        )
+        with pytest.raises(XQueryStaticError):
+            query.run(variables={"n": "not an int"})
+
+    def test_duplicate_variable_declaration(self):
+        engine = XQueryEngine()
+        with pytest.raises(XQueryStaticError) as info:
+            engine.compile(
+                "declare variable $x := 1; declare variable $x := 2; $x"
+            )
+        assert info.value.code == "XQST0049"
+
+    def test_scalar_variable_coercion(self):
+        engine = XQueryEngine()
+        assert engine.evaluate("$s", variables={"s": "plain"}) == ["plain"]
+        assert engine.evaluate("$t", variables={"t": (1, 2)}) == [1, 2]
+
+    def test_node_variable(self):
+        engine = XQueryEngine()
+        node = ElementNode("x")
+        assert engine.evaluate("$n", variables={"n": node}) == [node]
+
+
+class TestSerializeResult:
+    def test_atomics_space_separated(self):
+        assert serialize_result([1, 2, "three"]) == "1 2 three"
+
+    def test_nodes_serialized(self):
+        assert serialize_result([ElementNode("a"), ElementNode("b")]) == "<a/><b/>"
+
+    def test_mixed(self):
+        assert serialize_result([1, ElementNode("a"), 2]) == "1<a/>2"
+
+    def test_empty(self):
+        assert serialize_result([]) == ""
+
+    def test_boolean_rendering(self):
+        assert serialize_result([True, False]) == "true false"
+
+
+class TestUntypedMode:
+    def test_type_checks_can_be_disabled(self):
+        # the paper "used XQuery in the untyped mode": with
+        # type_check_calls off, declared types are not enforced.
+        source = (
+            "declare function local:f($x as xs:integer) { $x }; local:f('s')"
+        )
+        strict = XQueryEngine()
+        relaxed = XQueryEngine(type_check_calls=False)
+        from repro.xquery import XQueryTypeError
+
+        with pytest.raises(XQueryTypeError):
+            strict.evaluate(source)
+        assert relaxed.evaluate(source) == ["s"]

@@ -1,0 +1,75 @@
+"""Tests for DynamicContext scoping and the TraceLog."""
+
+from repro.xquery.context import DynamicContext, EngineConfig, TraceLog
+
+
+class TestTraceLog:
+    def test_collects(self):
+        log = TraceLog()
+        log.emit("one")
+        log.emit("two")
+        assert log.messages == ["one", "two"]
+
+    def test_echo_callback(self):
+        seen = []
+        log = TraceLog(echo=seen.append)
+        log.emit("hello")
+        assert seen == ["hello"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit("x")
+        log.clear()
+        assert log.messages == []
+
+
+class TestDynamicContext:
+    def test_with_variables_does_not_leak_up(self):
+        parent = DynamicContext(variables={"a": [1]})
+        child = parent.with_variables({"b": [2]})
+        assert child.variables == {"a": [1], "b": [2]}
+        assert "b" not in parent.variables
+
+    def test_with_variables_shadows(self):
+        parent = DynamicContext(variables={"a": [1]})
+        child = parent.with_variables({"a": [9]})
+        assert child.variables["a"] == [9]
+        assert parent.variables["a"] == [1]
+
+    def test_with_focus_preserves_variables(self):
+        parent = DynamicContext(variables={"a": [1]})
+        focused = parent.with_focus("item", 2, 5)
+        assert focused.item == "item"
+        assert (focused.position, focused.size) == (2, 5)
+        assert focused.variables["a"] == [1]
+        assert parent.item is None
+
+    def test_function_scope_sees_globals_only(self):
+        ctx = DynamicContext(variables={"local": [1]})
+        ctx.globals["g"] = [7]
+        scope = ctx.function_scope({"param": [2]})
+        assert scope.variables == {"g": [7], "param": [2]}
+        assert scope.item is None
+        assert scope.depth == ctx.depth + 1
+
+    def test_shared_components_are_shared(self):
+        config = EngineConfig()
+        trace = TraceLog()
+        ctx = DynamicContext(config=config, trace=trace)
+        child = ctx.with_variables({})
+        assert child.config is config and child.trace is trace
+
+    def test_default_construction(self):
+        ctx = DynamicContext()
+        assert ctx.variables == {} and ctx.globals == {}
+        assert ctx.item is None and ctx.depth == 0
+
+
+class TestEngineConfigDefaults:
+    def test_defaults_are_modern(self):
+        config = EngineConfig()
+        assert config.duplicate_attribute_mode == "last"
+        assert config.galax_diagnostics is False
+        assert config.optimize is True
+        assert config.trace_is_dead_code is False
+        assert config.type_check_calls is True

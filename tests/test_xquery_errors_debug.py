@@ -1,0 +1,111 @@
+"""Tests for error reporting, Galax-mode diagnostics, and debugging tools."""
+
+import pytest
+
+from repro.xquery import (
+    ERROR_CODES,
+    EngineConfig,
+    XQueryDynamicError,
+    XQueryEngine,
+    XQueryStaticError,
+    XQueryUserError,
+)
+from repro.xquery.debug import (
+    BisectionResult,
+    ErrorBisector,
+    make_probe_runner,
+    run_with_trace,
+)
+
+
+class TestErrorReporting:
+    def test_dynamic_errors_carry_location(self):
+        engine = XQueryEngine()
+        with pytest.raises(XQueryDynamicError) as info:
+            engine.evaluate("1 +\n$missing")
+        assert info.value.line == 2
+
+    def test_galax_mode_strips_location(self):
+        engine = XQueryEngine(EngineConfig(galax_diagnostics=True))
+        with pytest.raises(XQueryDynamicError) as info:
+            engine.evaluate("$missing")
+        assert info.value.line is None
+
+    def test_galax_missing_dollar_message(self):
+        # the paper quotes the exact message for a missing variable.
+        engine = XQueryEngine(EngineConfig(galax_diagnostics=True))
+        with pytest.raises(XQueryDynamicError) as info:
+            engine.evaluate("$anything-at-all")
+        assert "Variable '$glx:dot' not found" in str(info.value)
+
+    def test_normal_mode_names_the_variable(self):
+        engine = XQueryEngine()
+        with pytest.raises(XQueryDynamicError, match="nope"):
+            engine.evaluate("$nope")
+
+    def test_error_codes_catalogued(self):
+        for code in ("XPST0003", "XQTY0024", "FORG0006", "FOER0000"):
+            assert code in ERROR_CODES
+
+    def test_static_error_is_not_dynamic(self):
+        engine = XQueryEngine()
+        with pytest.raises(XQueryStaticError):
+            engine.evaluate("1 +")
+
+
+class TestErrorBisection:
+    def make_program(self, total, bug_at):
+        def source_for_probe(probe_at):
+            lines = ["let $x0 := 1"]
+            for step in range(1, total + 1):
+                if step == probe_at:
+                    lines.append('let $p := error("probe")')
+                if step == bug_at:
+                    lines.append(f"let $x{step} := $x{step - 1} idiv 0")
+                else:
+                    lines.append(f"let $x{step} := $x{step - 1} + 1")
+            lines.append(f"return $x{total}")
+            return "\n".join(lines)
+
+        return source_for_probe
+
+    @pytest.mark.parametrize("bug_at", [1, 7, 16, 31, 32])
+    def test_finds_the_bug(self, bug_at):
+        engine = XQueryEngine()
+        runner = make_probe_runner(engine, self.make_program(32, bug_at))
+        result = ErrorBisector(32, runner).locate()
+        assert result.failing_step == bug_at
+
+    def test_run_count_is_logarithmic(self):
+        engine = XQueryEngine()
+        runner = make_probe_runner(engine, self.make_program(64, 33))
+        result = ErrorBisector(64, runner).locate()
+        assert result.runs <= 7  # ceil(log2(64)) + 1
+
+    def test_single_step_program(self):
+        result = ErrorBisector(1, lambda step: True).locate()
+        assert result == BisectionResult(failing_step=1, runs=0, probes_tried=[])
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(ValueError):
+            ErrorBisector(0, lambda step: True)
+
+
+class TestTraceRuns:
+    def test_collects_messages_and_error(self):
+        engine = XQueryEngine(EngineConfig(optimize=False))
+        run = run_with_trace(engine, "let $x := trace('v', 5) return $x idiv 0")
+        assert run.messages == ["v 5"]
+        assert isinstance(run.error, XQueryDynamicError)
+        assert run.trace_count == 1
+
+    def test_successful_run(self):
+        engine = XQueryEngine(EngineConfig(optimize=False))
+        run = run_with_trace(engine, "trace('ok', 1)")
+        assert run.error is None and run.value == [1]
+
+    def test_user_error_propagates_with_value(self):
+        engine = XQueryEngine()
+        run = run_with_trace(engine, "error('stop', (1,2))")
+        assert isinstance(run.error, XQueryUserError)
+        assert run.error.value == [1, 2]

@@ -1,0 +1,218 @@
+"""Evaluator tests: literals, arithmetic, comparisons, logic, types."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xquery import XQueryEngine, XQueryDynamicError, XQueryTypeError
+
+engine = XQueryEngine()
+
+
+def run(source, **kwargs):
+    return engine.evaluate(source, **kwargs)
+
+
+class TestLiteralsAndSequences:
+    def test_integer(self):
+        assert run("42") == [42]
+
+    def test_decimal_literal(self):
+        assert run("1.5") == [Decimal("1.5")]
+
+    def test_double_literal(self):
+        assert run("1e2") == [100.0]
+
+    def test_string(self):
+        assert run("'hi'") == ["hi"]
+
+    def test_empty_sequence(self):
+        assert run("()") == []
+
+    def test_flattening(self):
+        assert run("(1,(2,3,4),(),(5,((6,7))))") == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_singleton_indistinguishable(self):
+        assert run("(1)") == run("1")
+
+    def test_range(self):
+        assert run("2 to 5") == [2, 3, 4, 5]
+
+    def test_empty_range(self):
+        assert run("5 to 2") == []
+
+    def test_range_with_empty_operand(self):
+        assert run("() to 3") == []
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert run("2 + 3 * 4") == [14]
+
+    def test_integer_division_yields_decimal(self):
+        assert run("7 div 2") == [Decimal("3.5")]
+
+    def test_idiv(self):
+        assert run("7 idiv 2") == [3]
+        assert run("-7 idiv 2") == [-3]  # truncating, not flooring
+
+    def test_mod_sign_follows_dividend(self):
+        assert run("5 mod 3") == [2]
+        assert run("-5 mod 3") == [-2]
+
+    def test_division_by_zero(self):
+        with pytest.raises(XQueryDynamicError) as info:
+            run("1 div 0")
+        assert info.value.code == "FOAR0001"
+
+    def test_double_division_by_zero_is_infinity(self):
+        assert run("1e0 div 0") == [float("inf")]
+
+    def test_empty_propagates(self):
+        assert run("() + 1") == []
+        assert run("1 * ()") == []
+
+    def test_unary_minus(self):
+        assert run("-(2 + 3)") == [-5]
+
+    def test_double_unary(self):
+        assert run("- -5") == [5]
+
+    def test_untyped_promotes_to_double(self):
+        doc = engine.evaluate("<n>4</n>")[0]
+        assert engine.evaluate("$n + 1", variables={"n": doc}) == [5.0]
+
+    def test_string_arithmetic_is_type_error(self):
+        with pytest.raises(XQueryTypeError):
+            run("'a' + 1")
+
+    def test_non_singleton_operand_is_type_error(self):
+        with pytest.raises(XQueryTypeError):
+            run("(1,2) + 1")
+
+
+class TestComparisons:
+    def test_existential_equals(self):
+        assert run("1 = (1,2,3)") == [True]
+        assert run("(1,2,3) = 3") == [True]
+        assert run("1 = 3") == [False]
+
+    def test_existential_not_equals_weirdness(self):
+        assert run("(1,2) != (1,2)") == [True]
+
+    def test_value_comparison_singleton(self):
+        assert run("1 eq 1") == [True]
+        assert run("2 le 1") == [False]
+
+    def test_value_comparison_rejects_sequences(self):
+        with pytest.raises(XQueryTypeError):
+            run("1 eq (1,2,3)")
+
+    def test_value_comparison_empty_gives_empty(self):
+        assert run("() eq 1") == []
+
+    def test_string_comparison(self):
+        assert run("'apple' lt 'banana'") == [True]
+
+    def test_node_identity(self):
+        assert run("let $x := <a/> return $x is $x") == [True]
+        assert run("<a/> is <a/>") == [False]
+
+    def test_document_order_comparison(self):
+        source = "let $d := <r><a/><b/></r> return ($d/a << $d/b, $d/b >> $d/a)"
+        assert run(source) == [True, True]
+
+    def test_general_compare_type_error(self):
+        with pytest.raises(XQueryTypeError):
+            run("'x' = 1")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert run("1 eq 1 and 2 eq 2") == [True]
+        assert run("1 eq 2 or 2 eq 2") == [True]
+
+    def test_short_circuit_and(self):
+        # the right side would divide by zero; and must not evaluate it.
+        assert run("false() and (1 div 0 eq 1)") == [False]
+
+    def test_short_circuit_or(self):
+        assert run("true() or (1 div 0 eq 1)") == [True]
+
+    def test_ebv_of_node_is_true(self):
+        assert run("if (<a/>) then 1 else 2") == [1]
+
+    def test_ebv_of_empty_is_false(self):
+        assert run("if (()) then 1 else 2") == [2]
+
+    def test_ebv_type_error(self):
+        with pytest.raises(XQueryDynamicError) as info:
+            run("if ((1,2)) then 1 else 2")
+        assert info.value.code == "FORG0006"
+
+
+class TestTypeExpressions:
+    def test_instance_of(self):
+        assert run("5 instance of xs:integer") == [True]
+        assert run("5 instance of xs:string") == [False]
+        assert run("(1,2) instance of xs:integer+") == [True]
+        assert run("() instance of empty-sequence()") == [True]
+
+    def test_instance_of_node_kinds(self):
+        assert run("<a/> instance of element()") == [True]
+        assert run("<a/> instance of element(a)") == [True]
+        assert run("<a/> instance of element(b)") == [False]
+        assert run("attribute x {1} instance of attribute()") == [True]
+
+    def test_cast(self):
+        assert run("'42' cast as xs:integer") == [42]
+
+    def test_cast_failure(self):
+        with pytest.raises(XQueryDynamicError) as info:
+            run("'pear' cast as xs:integer")
+        assert info.value.code == "FORG0001"
+
+    def test_cast_empty_with_question_mark(self):
+        assert run("() cast as xs:integer?") == []
+
+    def test_castable(self):
+        assert run("'42' castable as xs:integer") == [True]
+        assert run("'pear' castable as xs:integer") == [False]
+
+    def test_treat_as(self):
+        assert run("5 treat as xs:integer") == [5]
+        with pytest.raises(XQueryDynamicError):
+            run("'x' treat as xs:integer")
+
+    def test_constructor_function(self):
+        assert run("xs:integer('7')") == [7]
+        assert run("xs:string(3.0)") == ["3"]
+
+
+class TestVariables:
+    def test_external_binding(self):
+        assert run("$x * 2", variables={"x": 21}) == [42]
+
+    def test_list_binding_is_sequence(self):
+        assert run("count($xs)", variables={"xs": [1, 2, 3]}) == [3]
+
+    def test_declared_variable(self):
+        assert run("declare variable $n := 6; $n * 7") == [42]
+
+    def test_declared_depends_on_earlier(self):
+        assert run(
+            "declare variable $a := 2; declare variable $b := $a * 3; $b"
+        ) == [6]
+
+    def test_external_declared_and_provided(self):
+        source = "declare variable $in external; $in + 1"
+        assert run(source, variables={"in": 1}) == [2]
+
+    def test_missing_external_raises(self):
+        with pytest.raises(Exception, match="external"):
+            run("declare variable $in external; $in")
+
+    def test_undefined_variable(self):
+        with pytest.raises(XQueryDynamicError) as info:
+            run("$nope")
+        assert info.value.code == "XPST0008"

@@ -1,0 +1,222 @@
+"""Evaluator tests: FLWOR, quantifiers, conditionals, user functions."""
+
+import pytest
+
+from repro.xmlio import parse_element
+from repro.xquery import XQueryEngine, XQueryDynamicError, XQueryTypeError
+
+engine = XQueryEngine()
+
+
+def run(source, **kwargs):
+    return engine.evaluate(source, **kwargs)
+
+
+class TestForLet:
+    def test_basic_for(self):
+        assert run("for $i in 1 to 3 return $i * 10") == [10, 20, 30]
+
+    def test_for_flattens_results(self):
+        assert run("for $i in 1 to 2 return ($i, $i)") == [1, 1, 2, 2]
+
+    def test_nested_for_cartesian(self):
+        assert run("for $a in (1,2) for $b in (10,20) return $a + $b") == [
+            11,
+            21,
+            12,
+            22,
+        ]
+
+    def test_comma_separated_bindings(self):
+        assert run("for $a in (1,2), $b in (10,20) return $a + $b") == [
+            11,
+            21,
+            12,
+            22,
+        ]
+
+    def test_let_binds_whole_sequence(self):
+        assert run("let $s := (1,2,3) return count($s)") == [3]
+
+    def test_positional_variable(self):
+        assert run("for $x at $i in ('a','b','c') return $i") == [1, 2, 3]
+
+    def test_let_with_type_ok(self):
+        assert run("let $x as xs:integer := 5 return $x") == [5]
+
+    def test_let_with_type_mismatch(self):
+        with pytest.raises(XQueryTypeError):
+            run("let $x as xs:string := 5 return $x")
+
+    def test_where(self):
+        assert run("for $i in 1 to 10 where $i mod 3 eq 0 return $i") == [3, 6, 9]
+
+    def test_empty_source_yields_nothing(self):
+        assert run("for $x in () return 1") == []
+
+
+class TestOrderBy:
+    def test_ascending_default(self):
+        assert run("for $x in (3,1,2) order by $x return $x") == [1, 2, 3]
+
+    def test_descending(self):
+        assert run("for $x in (3,1,2) order by $x descending return $x") == [3, 2, 1]
+
+    def test_string_keys(self):
+        assert run("for $w in ('pear','fig','apple') order by $w return $w") == [
+            "apple",
+            "fig",
+            "pear",
+        ]
+
+    def test_multiple_keys(self):
+        source = (
+            "for $p in ((1,'b'),(1,'a')) return 1,"
+            "for $x in (2,1), $y in ('b','a') order by $x, $y return concat($x,$y)"
+        )
+        assert run("for $x in (2,1), $y in ('b','a') order by $x, $y return concat($x,$y)") == [
+            "1a",
+            "1b",
+            "2a",
+            "2b",
+        ]
+
+    def test_empty_least_default(self):
+        result = run(
+            "for $x in (<a>2</a>, <a/>, <a>1</a>) "
+            "order by $x/text() return string($x)"
+        )
+        assert result == ["", "1", "2"]
+
+    def test_empty_greatest(self):
+        result = run(
+            "for $x in (<a>2</a>, <a/>, <a>1</a>) "
+            "order by $x/text() empty greatest return string($x)"
+        )
+        assert result == ["1", "2", ""]
+
+    def test_order_by_node_value(self):
+        doc = parse_element(
+            "<m><n id='c'/><n id='a'/><n id='b'/></m>"
+        )
+        result = run(
+            "for $n in $m/n order by string($n/@id) return string($n/@id)",
+            variables={"m": doc},
+        )
+        assert result == ["a", "b", "c"]
+
+    def test_stable_keyword_accepted(self):
+        assert run("for $x in (2,1) stable order by $x return $x") == [1, 2]
+
+    def test_incomparable_keys_raise(self):
+        with pytest.raises((XQueryTypeError, TypeError)):
+            run("for $x in (1, 'a') order by $x return $x")
+
+
+class TestUserFunctions:
+    def test_simple(self):
+        assert run("declare function local:sq($x) { $x * $x }; local:sq(7)") == [49]
+
+    def test_recursion(self):
+        source = """
+        declare function local:sum($n) {
+          if ($n le 0) then 0 else $n + local:sum($n - 1)
+        };
+        local:sum(100)
+        """
+        assert run(source) == [5050]
+
+    def test_mutual_recursion(self):
+        source = """
+        declare function local:is-even($n) {
+          if ($n eq 0) then true() else local:is-odd($n - 1)
+        };
+        declare function local:is-odd($n) {
+          if ($n eq 0) then false() else local:is-even($n - 1)
+        };
+        (local:is-even(10), local:is-odd(7))
+        """
+        assert run(source) == [True, True]
+
+    def test_overloading_by_arity(self):
+        source = """
+        declare function local:f($x) { $x };
+        declare function local:f($x, $y) { $x + $y };
+        (local:f(1), local:f(1, 2))
+        """
+        assert run(source) == [1, 3]
+
+    def test_functions_see_globals_not_locals(self):
+        source = """
+        declare variable $g := 10;
+        declare function local:f() { $g };
+        let $local-only := 99 return local:f()
+        """
+        assert run(source) == [10]
+
+    def test_no_capture_of_caller_locals(self):
+        source = """
+        declare function local:f() { $hidden };
+        let $hidden := 1 return local:f()
+        """
+        with pytest.raises(XQueryDynamicError):
+            run(source)
+
+    def test_param_type_checked(self):
+        source = """
+        declare function local:f($x as xs:integer) { $x };
+        local:f('nope')
+        """
+        with pytest.raises(XQueryTypeError):
+            run(source)
+
+    def test_return_type_checked(self):
+        source = """
+        declare function local:f($x) as xs:string { $x };
+        local:f(5)
+        """
+        with pytest.raises(XQueryTypeError):
+            run(source)
+
+    def test_unknown_function(self):
+        with pytest.raises(XQueryDynamicError) as info:
+            run("local:missing(1)")
+        assert info.value.code == "XPST0017"
+
+    def test_duplicate_function_rejected(self):
+        source = """
+        declare function local:f($x) { $x };
+        declare function local:f($y) { $y };
+        1
+        """
+        with pytest.raises(Exception, match="duplicate"):
+            run(source)
+
+    def test_recursion_limit_guards(self):
+        source = """
+        declare function local:loop($n) { local:loop($n + 1) };
+        local:loop(0)
+        """
+        limited = XQueryEngine(max_recursion_depth=64)
+        with pytest.raises(XQueryDynamicError, match="recursion"):
+            limited.evaluate(source)
+
+    def test_fn_prefix_resolution(self):
+        assert run("fn:count((1,2))") == [2]
+
+
+class TestQuantified:
+    def test_some_true_false(self):
+        assert run("some $x in (1,2,3) satisfies $x gt 2") == [True]
+        assert run("some $x in (1,2,3) satisfies $x gt 5") == [False]
+
+    def test_every(self):
+        assert run("every $x in (1,2,3) satisfies $x gt 0") == [True]
+        assert run("every $x in (1,2,3) satisfies $x gt 1") == [False]
+
+    def test_empty_domain(self):
+        assert run("some $x in () satisfies true()") == [False]
+        assert run("every $x in () satisfies false()") == [True]
+
+    def test_multiple_bindings(self):
+        assert run("some $a in (1,2), $b in (2,3) satisfies $a eq $b") == [True]

@@ -1,0 +1,129 @@
+"""Edge cases of the builtin library and arithmetic promotion."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xquery import XQueryEngine, XQueryTypeError
+
+engine = XQueryEngine()
+
+
+def run(source, **kwargs):
+    return engine.evaluate(source, **kwargs)
+
+
+class TestSubstringEdges:
+    def test_fractional_start_rounds(self):
+        assert run("substring('12345', 1.5, 2.6)") == ["234"]
+
+    def test_start_past_end(self):
+        assert run("substring('abc', 10)") == [""]
+
+    def test_negative_length_empty(self):
+        assert run("substring('abc', 2, -5)") == [""]
+
+    def test_empty_input(self):
+        assert run("substring((), 1)") == [""]
+
+
+class TestTranslateEdges:
+    def test_shorter_target_deletes(self):
+        assert run("translate('abcabc', 'abc', 'x')") == ["xx"]
+
+    def test_repeated_source_uses_first_mapping(self):
+        assert run("translate('aaa', 'aa', 'bc')") == ["bbb"]
+
+    def test_empty_maps(self):
+        assert run("translate('abc', '', '')") == ["abc"]
+
+
+class TestNumericEdges:
+    def test_sum_preserves_integer_type(self):
+        result = run("sum((1, 2, 3))")[0]
+        assert result == 6 and isinstance(result, int)
+
+    def test_sum_promotes_to_double_with_untyped(self):
+        node = run("<v>1.5</v>")[0]
+        result = run("sum(($v, 1))", variables={"v": node})
+        assert result == [2.5]
+
+    def test_avg_of_integers_is_decimal(self):
+        result = run("avg((1, 2))")[0]
+        assert result == Decimal("1.5")
+
+    def test_min_max_on_strings_and_numbers_mixed_fails(self):
+        with pytest.raises(XQueryTypeError):
+            run("min((1, 'a'))")
+
+    def test_round_negative_half_toward_positive(self):
+        assert run("round(-0.5)") == [0]
+
+    def test_abs_decimal(self):
+        assert run("abs(-1.5)") == [Decimal("1.5")]
+
+    def test_floor_of_negative(self):
+        assert run("floor(-1.1)") == [-2]
+
+    def test_nan_propagation_in_arithmetic(self):
+        result = run("number('x') + 1")[0]
+        assert result != result
+
+    def test_infinity_arithmetic(self):
+        assert run("1e0 div 0 - 1") == [float("inf")]
+
+    def test_decimal_division_stays_exact(self):
+        assert run("1 div 3 * 3") == [Decimal("0.9999999999999999999999999999")]
+
+
+class TestRegexFunctions:
+    def test_replace_with_groups(self):
+        assert run("replace('a1b2', '[0-9]', '#')") == ["a#b#"]
+
+    def test_replace_with_dollar_reference(self):
+        assert run(r"replace('abc', '(b)', '[$1]')") == ["a[b]c"]
+
+    def test_matches_is_search_not_fullmatch(self):
+        assert run("matches('xxabyy', 'ab')") == [True]
+
+    def test_tokenize_multichar_pattern(self):
+        assert run("tokenize('a::b::c', '::')") == ["a", "b", "c"]
+
+
+class TestStringConversionEdges:
+    def test_string_of_double(self):
+        assert run("string(2.0e0)") == ["2"]
+
+    def test_string_of_negative_zero(self):
+        assert run("string(0 - 0)") == ["0"]
+
+    def test_concat_coerces_everything(self):
+        assert run("concat(1, true(), 'x', ())") == ["1truex"]
+
+    def test_string_join_atomizes_nodes(self):
+        assert run("string-join((<a>1</a>, <a>2</a>), '-')") == ["1-2"]
+
+
+class TestDistinctValuesEdges:
+    def test_nan_handling(self):
+        # NaN never equals anything including itself; both survive.
+        result = run("count(distinct-values((number('x'), number('y'))))")
+        assert result == [2]
+
+    def test_untyped_compared_as_string(self):
+        result = run("distinct-values((<v>a</v>, 'a'))")
+        assert result == ["a"]
+
+    def test_cross_numeric_types(self):
+        assert run("count(distinct-values((1, 1.0, xs:decimal('1'))))") == [1]
+
+
+class TestDeepEqualEdges:
+    def test_comments_ignored(self):
+        assert run("deep-equal(<a><!--x--><b/></a>, <a><b/></a>)") == [True]
+
+    def test_attribute_values_matter(self):
+        assert run("deep-equal(<a x='1'/>, <a x='2'/>)") == [False]
+
+    def test_text_boundaries_matter(self):
+        assert run("deep-equal(<a>xy</a>, <a>x<b/>y</a>)") == [False]

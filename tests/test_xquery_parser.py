@@ -1,0 +1,255 @@
+"""Unit tests for the XQuery parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.xquery import parse_expression, parse_query
+from repro.xquery import ast as xq_ast
+from repro.xquery.errors import XQueryStaticError
+
+
+class TestPrimaries:
+    def test_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, xq_ast.Literal) and expr.value == 42
+
+    def test_empty_parens(self):
+        assert isinstance(parse_expression("()"), xq_ast.EmptySequence)
+
+    def test_variable(self):
+        expr = parse_expression("$foo")
+        assert isinstance(expr, xq_ast.VarRef) and expr.name == "foo"
+
+    def test_context_item(self):
+        assert isinstance(parse_expression("."), xq_ast.ContextItem)
+
+    def test_sequence(self):
+        expr = parse_expression("1, 2, 3")
+        assert isinstance(expr, xq_ast.SequenceExpr) and len(expr.items) == 3
+
+    def test_function_call(self):
+        expr = parse_expression("concat('a', 'b')")
+        assert isinstance(expr, xq_ast.FunctionCall)
+        assert expr.name == "concat" and len(expr.args) == 2
+
+
+class TestOperatorPrecedence:
+    def test_multiplication_binds_tighter(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, xq_ast.Arithmetic) and expr.op == "+"
+        assert isinstance(expr.right, xq_ast.Arithmetic) and expr.right.op == "*"
+
+    def test_comparison_above_arithmetic(self):
+        expr = parse_expression("1 + 1 eq 2")
+        assert isinstance(expr, xq_ast.Comparison) and expr.style == "value"
+
+    def test_and_above_or(self):
+        expr = parse_expression("1 or 2 and 3")
+        assert isinstance(expr, xq_ast.BooleanOp) and expr.op == "or"
+
+    def test_range(self):
+        expr = parse_expression("1 to 5")
+        assert isinstance(expr, xq_ast.RangeExpr)
+
+    def test_general_vs_value_comparison(self):
+        assert parse_expression("$a = $b").style == "general"
+        assert parse_expression("$a eq $b").style == "value"
+        assert parse_expression("$a is $b").style == "node"
+
+    def test_union_and_intersect(self):
+        expr = parse_expression("$a union $b intersect $c")
+        assert isinstance(expr, xq_ast.SetOp) and expr.op == "union"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-$x")
+        assert isinstance(expr, xq_ast.Unary)
+
+    def test_instance_of(self):
+        expr = parse_expression("$x instance of xs:integer+")
+        assert isinstance(expr, xq_ast.InstanceOf)
+        assert expr.sequence_type.occurrence == "+"
+
+    def test_cast_with_optional(self):
+        expr = parse_expression("$x cast as xs:integer?")
+        assert isinstance(expr, xq_ast.CastAs) and expr.allow_empty
+
+
+class TestPaths:
+    def test_child_step(self):
+        expr = parse_expression("$x/kid")
+        assert isinstance(expr, xq_ast.PathExpr)
+        separator, step = expr.steps[0]
+        assert separator == "/" and step.axis == "child" and step.test.name == "kid"
+
+    def test_descendant_shorthand(self):
+        expr = parse_expression("$x//grandkid")
+        assert expr.steps[0][0] == "//"
+
+    def test_attribute_shorthand(self):
+        expr = parse_expression("$x/@year")
+        assert expr.steps[0][1].axis == "attribute"
+
+    def test_explicit_axis(self):
+        expr = parse_expression("parent::book")
+        assert isinstance(expr, xq_ast.PathExpr)
+        assert expr.first.axis == "parent" and expr.first.test.name == "book"
+
+    def test_predicates(self):
+        expr = parse_expression('$x/kid[@year="1983"][2]')
+        step = expr.steps[0][1]
+        assert len(step.predicates) == 2
+
+    def test_kind_tests(self):
+        expr = parse_expression("$x/text()")
+        assert expr.steps[0][1].test.kind == "text"
+
+    def test_wildcard(self):
+        expr = parse_expression("$x/*")
+        assert expr.steps[0][1].test.kind == "wildcard"
+
+    def test_rooted_path(self):
+        expr = parse_expression("/book/title")
+        assert expr.anchor == "/"
+
+    def test_filter_with_predicate(self):
+        expr = parse_expression("(1,2,3)[2]")
+        assert isinstance(expr, xq_ast.FilterExpr)
+
+    def test_bare_name_is_step_not_variable(self):
+        # the paper's quirk 1: x means "children named x".
+        expr = parse_expression("x")
+        assert isinstance(expr, xq_ast.PathExpr)
+        assert expr.first.test.name == "x"
+
+
+class TestFLWOR:
+    def test_for_let_where_return(self):
+        expr = parse_expression(
+            "for $x in 1 to 10 let $y := $x * 2 where $y gt 5 return $y"
+        )
+        assert isinstance(expr, xq_ast.FLWOR)
+        kinds = [type(clause).__name__ for clause in expr.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause"]
+
+    def test_positional_variable(self):
+        expr = parse_expression("for $x at $i in $s return $i")
+        assert expr.clauses[0].position_var == "i"
+
+    def test_multiple_bindings_one_keyword(self):
+        expr = parse_expression("for $a in 1, $b in 2 return $a + $b")
+        assert len(expr.clauses) == 2
+
+    def test_order_by(self):
+        expr = parse_expression(
+            "for $x in $s order by $x descending empty greatest return $x"
+        )
+        order = expr.clauses[-1]
+        assert order.specs[0].descending and not order.specs[0].empty_least
+
+    def test_quantified(self):
+        expr = parse_expression("some $x in (1,2) satisfies $x gt 1")
+        assert isinstance(expr, xq_ast.Quantified) and expr.quantifier == "some"
+
+    def test_if_then_else(self):
+        expr = parse_expression("if (1) then 2 else 3")
+        assert isinstance(expr, xq_ast.IfExpr)
+
+    def test_for_as_element_name_still_works(self):
+        # "for" not followed by $var is a name test.
+        expr = parse_expression("$x/for")
+        assert isinstance(expr, xq_ast.PathExpr)
+
+
+class TestConstructors:
+    def test_direct_empty(self):
+        expr = parse_expression("<a/>")
+        assert isinstance(expr, xq_ast.DirectElement) and expr.name == "a"
+
+    def test_direct_attributes(self):
+        expr = parse_expression('<a x="1" y="{$v}"/>')
+        assert expr.attributes[0] == ("x", ["1"])
+        assert isinstance(expr.attributes[1][1][0], xq_ast.VarRef)
+
+    def test_direct_nested_content(self):
+        expr = parse_expression("<a><b>text</b>{1 + 1}</a>")
+        kinds = [type(part).__name__ for part in expr.content]
+        assert kinds == ["DirectElement", "Arithmetic"]
+
+    def test_boundary_whitespace_stripped(self):
+        expr = parse_expression("<a>\n  <b/>\n</a>")
+        assert len(expr.content) == 1
+
+    def test_double_brace_escape(self):
+        expr = parse_expression("<a>{{literal}}</a>")
+        assert expr.content[0].text == "{literal}"
+
+    def test_computed_element(self):
+        expr = parse_expression("element foo { 1 }")
+        assert isinstance(expr, xq_ast.ComputedElement) and expr.name == "foo"
+
+    def test_computed_with_name_expression(self):
+        expr = parse_expression('element { concat("a","b") } { () }')
+        assert expr.name is None and expr.name_expr is not None
+
+    def test_computed_attribute(self):
+        expr = parse_expression("attribute troubles { 1 }")
+        assert isinstance(expr, xq_ast.ComputedAttribute)
+
+    def test_xml_comment_constructor(self):
+        expr = parse_expression("<!-- hello -->")
+        assert isinstance(expr, xq_ast.DirectComment)
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XQueryStaticError):
+            parse_expression("<a></b>")
+
+
+class TestProlog:
+    def test_function_declaration(self):
+        module = parse_query(
+            "declare function local:double($x) { $x * 2 }; local:double(4)"
+        )
+        assert len(module.functions) == 1
+        assert module.functions[0].name == "local:double"
+
+    def test_typed_function(self):
+        module = parse_query(
+            "declare function local:f($x as xs:integer) as xs:integer { $x }; 1"
+        )
+        function = module.functions[0]
+        assert function.params[0].declared_type is not None
+        assert function.return_type is not None
+
+    def test_variable_declaration(self):
+        module = parse_query("declare variable $n := 5; $n")
+        assert module.variables[0].name == "n"
+
+    def test_external_variable(self):
+        module = parse_query("declare variable $input external; $input")
+        assert module.variables[0].value is None
+
+    def test_namespace_declaration(self):
+        module = parse_query('declare namespace foo = "http://x"; 1')
+        assert module.namespaces == [("foo", "http://x")]
+
+    def test_version_declaration(self):
+        module = parse_query('xquery version "1.0"; 2')
+        assert module.body.value == 2
+
+    def test_reserved_function_name_rejected(self):
+        with pytest.raises(XQueryStaticError):
+            parse_query("declare function if($x) { $x }; 1")
+
+
+class TestErrorMessages:
+    def test_syntax_error_has_location(self):
+        with pytest.raises(XQueryStaticError) as info:
+            parse_expression("1 +\n  +")
+        assert info.value.code == "XPST0003"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XQueryStaticError, match="after end"):
+            parse_expression("1 1")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(XQueryStaticError):
+            parse_expression("(1, 2")

@@ -1,0 +1,203 @@
+"""Evaluator tests: path expressions, axes, predicates."""
+
+import pytest
+
+from repro.xmlio import parse_document, parse_element
+from repro.xquery import XQueryEngine, XQueryDynamicError, XQueryTypeError
+
+engine = XQueryEngine()
+
+LIBRARY = """
+<library>
+  <book year="1983"><title>Tales</title><author>A. Writer</author></book>
+  <book year="2001"><title>More Tales</title><author>B. Writer</author></book>
+  <magazine year="2001"><title>Glossy</title></magazine>
+  <shelf><book year="1999"><title>Hidden</title></book></shelf>
+</library>
+"""
+
+
+@pytest.fixture(scope="module")
+def library():
+    return parse_element(LIBRARY)
+
+
+def run(source, library, **kwargs):
+    return engine.evaluate(source, variables={"lib": library}, **kwargs)
+
+
+class TestChildSteps:
+    def test_named_children(self, library):
+        assert len(run("$lib/book", library)) == 2
+
+    def test_chained(self, library):
+        titles = run("$lib/book/title", library)
+        assert [t.string_value() for t in titles] == ["Tales", "More Tales"]
+
+    def test_wildcard(self, library):
+        assert len(run("$lib/*", library)) == 4
+
+    def test_text_kind_test(self, library):
+        texts = run("$lib/book/title/text()", library)
+        assert texts[0].string_value() == "Tales"
+
+    def test_missing_name_gives_empty(self, library):
+        assert run("$lib/nonexistent", library) == []
+
+
+class TestDescendants:
+    def test_double_slash(self, library):
+        assert len(run("$lib//book", library)) == 3
+
+    def test_double_slash_from_middle(self, library):
+        assert len(run("$lib/shelf//title", library)) == 1
+
+    def test_descendant_axis_explicit(self, library):
+        assert len(run("$lib/descendant::title", library)) == 4
+
+    def test_descendant_or_self(self, library):
+        result = run("$lib/descendant-or-self::library", library)
+        assert len(result) == 1
+
+
+class TestAttributes:
+    def test_attribute_step(self, library):
+        years = run("$lib/book/@year", library)
+        assert [a.value for a in years] == ["1983", "2001"]
+
+    def test_attribute_in_predicate(self, library):
+        result = run('$lib/book[@year="1983"]/title', library)
+        assert result[0].string_value() == "Tales"
+
+    def test_attribute_comparison_numeric(self, library):
+        result = run("$lib/book[@year > 1990]/title", library)
+        assert result[0].string_value() == "More Tales"
+
+    def test_attribute_wildcard(self, library):
+        assert len(run("$lib/book[1]/@*", library)) == 1
+
+    def test_missing_attribute_empty(self, library):
+        assert run("$lib/book[1]/@nope", library) == []
+
+
+class TestReverseAndSiblingAxes:
+    def test_parent(self, library):
+        result = run("$lib/book[1]/parent::library", library)
+        assert len(result) == 1
+
+    def test_parent_name_test_filters(self, library):
+        # "parent::book gives the parent node ... but only if it is a book"
+        assert len(run("$lib/book[1]/title/parent::book", library)) == 1
+        assert run("$lib/book[1]/title/parent::magazine", library) == []
+
+    def test_dotdot(self, library):
+        result = run("$lib/book[1]/../magazine", library)
+        assert len(result) == 1
+
+    def test_ancestor(self, library):
+        result = run("$lib/shelf/book/title/ancestor::shelf", library)
+        assert len(result) == 1
+
+    def test_following_sibling(self, library):
+        result = run("$lib/book[1]/following-sibling::*", library)
+        assert len(result) == 3
+
+    def test_preceding_sibling(self, library):
+        result = run("$lib/magazine/preceding-sibling::book", library)
+        assert len(result) == 2
+
+    def test_self_axis(self, library):
+        assert len(run("$lib/book[1]/self::book", library)) == 1
+        assert run("$lib/book[1]/self::magazine", library) == []
+
+
+class TestPredicates:
+    def test_numeric_predicate(self, library):
+        result = run("$lib/book[2]/title", library)
+        assert result[0].string_value() == "More Tales"
+
+    def test_last_function(self, library):
+        result = run("$lib/book[last()]/@year", library)
+        assert result[0].value == "2001"
+
+    def test_position_function(self, library):
+        result = run("$lib/*[position() ge 3]", library)
+        assert len(result) == 2
+
+    def test_boolean_predicate(self, library):
+        result = run("$lib/book[author]", library)
+        assert len(result) == 2
+
+    def test_predicate_on_sequence(self, library):
+        assert run("(10, 20, 30)[2]", library) == [20]
+        assert run("(10, 20, 30)[. gt 15]", library) == [20, 30]
+
+    def test_stacked_predicates_apply_per_context_node(self, library):
+        # //book[P][1] filters within each parent's children — the classic
+        # XPath trap; the global first needs (...)[1].
+        result = run("$lib//book[@year > 1990][1]", library)
+        assert [b.get_attribute("year") for b in result] == ["2001", "1999"]
+        global_first = run("($lib//book[@year > 1990])[1]", library)
+        assert global_first[0].get_attribute("year") == "2001"
+
+    def test_out_of_range_numeric(self, library):
+        assert run("$lib/book[99]", library) == []
+
+
+class TestQuantifiers:
+    def test_paper_example_shape(self, library):
+        # some $y in $x/kids satisfies count($y//foo) gt count($y//bar)
+        source = (
+            "some $b in $lib/book satisfies count($b//author) gt count($b//editor)"
+        )
+        assert run(source, library) == [True]
+
+    def test_every(self, library):
+        assert run("every $b in $lib//book satisfies $b/title", library) == [True]
+        assert run(
+            "every $b in $lib//book satisfies $b/@year < 2000", library
+        ) == [False]
+
+
+class TestDocumentOrderNormalization:
+    def test_union_sorts_and_dedupes(self, library):
+        result = run("($lib/magazine | $lib/book | $lib/book)", library)
+        names = [n.name for n in result]
+        assert names == ["book", "book", "magazine"]
+
+    def test_intersect(self, library):
+        result = run("$lib/* intersect $lib/book", library)
+        assert len(result) == 2
+
+    def test_except(self, library):
+        result = run("$lib/* except $lib/book", library)
+        assert [n.name for n in result] == ["magazine", "shelf"]
+
+    def test_set_op_on_atomics_fails(self, library):
+        with pytest.raises(XQueryTypeError):
+            run("(1,2) union (2,3)", library)
+
+    def test_parent_step_dedupes(self, library):
+        # two titles share no parent, three books do share the library.
+        result = run("$lib//book/ancestor::library", library)
+        assert len(result) == 1
+
+
+class TestRootedPaths:
+    def test_rooted_from_document(self):
+        document = parse_document(LIBRARY)
+        result = engine.evaluate("/library/book", context_item=document)
+        assert len(result) == 2
+
+    def test_double_slash_root(self):
+        document = parse_document(LIBRARY)
+        result = engine.evaluate("//title", context_item=document)
+        assert len(result) == 4
+
+    def test_path_on_atomic_is_error(self, library):
+        with pytest.raises((XQueryTypeError, XQueryDynamicError)):
+            run("(1)/x", library)
+
+    def test_context_item_paths(self, library):
+        result = engine.evaluate("book/title", context_item=library)
+        assert len(result) == 2

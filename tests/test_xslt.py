@@ -1,0 +1,201 @@
+"""Tests for the mini-XSLT processor."""
+
+import pytest
+
+from repro.xmlio import parse_document, serialize
+from repro.xslt import StylesheetError, parse_match_pattern, parse_stylesheet, transform
+
+
+def apply(stylesheet, xml):
+    result = transform(stylesheet, parse_document(xml))
+    return "".join(serialize(node) for node in result)
+
+
+class TestMatchPatterns:
+    def test_name_pattern(self):
+        pattern = parse_match_pattern("book")
+        document = parse_document("<book/>")
+        assert pattern.matches(document.document_element())
+
+    def test_path_pattern(self):
+        pattern = parse_match_pattern("library/book")
+        document = parse_document("<library><book/></library>")
+        book = document.document_element().children[0]
+        assert pattern.matches(book)
+        lone = parse_document("<shop><book/></shop>").document_element().children[0]
+        assert not pattern.matches(lone)
+
+    def test_root_pattern(self):
+        assert parse_match_pattern("/").matches(parse_document("<a/>"))
+
+    def test_text_pattern(self):
+        document = parse_document("<a>t</a>")
+        text = document.document_element().children[0]
+        assert parse_match_pattern("text()").matches(text)
+
+    def test_wildcard(self):
+        pattern = parse_match_pattern("*")
+        assert pattern.matches(parse_document("<x/>").document_element())
+
+    def test_specificity_ordering(self):
+        assert (
+            parse_match_pattern("a/b").specificity
+            > parse_match_pattern("b").specificity
+            > parse_match_pattern("*").specificity
+        )
+
+    def test_unsupported_pattern(self):
+        with pytest.raises(StylesheetError):
+            parse_match_pattern("a[1]")
+
+
+class TestTransform:
+    def test_literal_result(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/"><out>fixed</out></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<a/>") == "<out>fixed</out>"
+
+    def test_value_of(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="book"><t><xsl:value-of select="title"/></t></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<book><title>X</title></book>") == "<t>X</t>"
+
+    def test_apply_templates_recurses(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="library"><list><xsl:apply-templates/></list></xsl:template>
+          <xsl:template match="book"><item><xsl:value-of select="@id"/></item></xsl:template>
+        </xsl:stylesheet>"""
+        xml = '<library><book id="1"/><book id="2"/></library>'
+        assert apply(stylesheet, xml) == "<list><item>1</item><item>2</item></list>"
+
+    def test_apply_templates_with_select(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/"><xsl:apply-templates select="lib/book"/></xsl:template>
+          <xsl:template match="book"><b/></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<lib><book/><mag/><book/></lib>") == "<b/><b/>"
+
+    def test_copy_of(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/"><xsl:copy-of select="r/keep"/></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<r><keep x='1'>t</keep><drop/></r>") == '<keep x="1">t</keep>'
+
+    def test_for_each(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/">
+            <ul><xsl:for-each select="r/v"><li><xsl:value-of select="."/></li></xsl:for-each></ul>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<r><v>1</v><v>2</v></r>") == "<ul><li>1</li><li>2</li></ul>"
+
+    def test_if(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="v">
+            <xsl:if test=". > 5"><big><xsl:value-of select="."/></big></xsl:if>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<r><v>3</v><v>9</v></r>") == "<big>9</big>"
+
+    def test_builtin_rules_copy_text(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="b"><boom/></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<a>keep<b>drop</b></a>") == "keep<boom/>"
+
+    def test_more_specific_template_wins(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="*"><any/></xsl:template>
+          <xsl:template match="special"><yes/></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<special/>") == "<yes/>"
+
+    def test_stream_split_use_case(self):
+        # the paper's actual use: splitting output streams apart.
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/">
+            <xsl:copy-of select="output-streams/document/child::node()"/>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        xml = (
+            "<output-streams><document><html><p>D</p></html></document>"
+            "<problems><problem>P</problem></problems></output-streams>"
+        )
+        assert apply(stylesheet, xml) == "<html><p>D</p></html>"
+
+    def test_unknown_instruction(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/"><xsl:wat select="."/></xsl:template>
+        </xsl:stylesheet>"""
+        with pytest.raises(StylesheetError):
+            apply(stylesheet, "<a/>")
+
+    def test_bad_top_level(self):
+        with pytest.raises(StylesheetError):
+            parse_stylesheet("<xsl:stylesheet><div/></xsl:stylesheet>")
+
+
+class TestExtendedInstructions:
+    def test_choose_when_otherwise(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="v">
+            <xsl:choose>
+              <xsl:when test=". > 5"><big/></xsl:when>
+              <xsl:when test=". > 2"><mid/></xsl:when>
+              <xsl:otherwise><small/></xsl:otherwise>
+            </xsl:choose>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        xml = "<r><v>9</v><v>4</v><v>1</v></r>"
+        assert apply(stylesheet, xml) == "<big/><mid/><small/>"
+
+    def test_choose_no_match_no_otherwise(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="v">
+            <xsl:choose><xsl:when test=". > 100"><x/></xsl:when></xsl:choose>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<r><v>1</v></r>") == ""
+
+    def test_choose_rejects_stray_children(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/">
+            <xsl:choose><div/></xsl:choose>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        with pytest.raises(StylesheetError):
+            apply(stylesheet, "<a/>")
+
+    def test_computed_attribute(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="book">
+            <entry>
+              <xsl:attribute name="title"><xsl:value-of select="@name"/></xsl:attribute>
+            </entry>
+          </xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, '<book name="Dune"/>') == '<entry title="Dune"/>'
+
+    def test_literal_text_instruction(self):
+        stylesheet = """
+        <xsl:stylesheet>
+          <xsl:template match="/"><out><xsl:text>  spaced  </xsl:text></out></xsl:template>
+        </xsl:stylesheet>"""
+        assert apply(stylesheet, "<a/>") == "<out>  spaced  </out>"
