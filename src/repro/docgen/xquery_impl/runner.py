@@ -198,6 +198,7 @@ class XQueryDocumentGenerator:
             metrics={
                 "implementation": "xquery",
                 "error_regime": self.error_regime,
+                "backend": self.engine.config.backend,
                 "phases": 5,
                 "bytes_per_phase": bytes_per_phase,
                 "bytes_copied_total": sum(bytes_per_phase.values()),

@@ -20,6 +20,9 @@ from .items import UntypedAtomic
 
 _node_counter = itertools.count(1)
 
+#: Shared empty result for index misses; never mutated.
+_NO_NODES: List["Node"] = []
+
 
 class Node:
     """Base class for all XDM node kinds."""
@@ -179,11 +182,21 @@ class DocumentNode(Node):
 
 
 class ElementNode(Node):
-    """An element node with attributes and ordered children."""
+    """An element node with attributes and ordered children.
+
+    Besides the plain child/attribute lists, an element keeps two lazily
+    built indexes — child elements by name and attribute nodes by name —
+    so the hot axis steps of the closure-compiled XQuery backend (and
+    ``get_attribute``) are O(1) dict hits instead of O(children) scans.
+    Every mutation path through this class invalidates them; code that
+    must mutate the raw lists directly (the Galax duplicate-attribute
+    quirk) goes through :meth:`append_duplicate_attribute` so the caches
+    can never go stale.
+    """
 
     kind = "element"
 
-    __slots__ = ("_name", "_attributes", "_children")
+    __slots__ = ("_name", "_attributes", "_children", "_child_index", "_attr_index")
 
     def __init__(
         self,
@@ -195,6 +208,8 @@ class ElementNode(Node):
         self._name = name
         self._attributes: List[AttributeNode] = []
         self._children: List[Node] = []
+        self._child_index: Optional[dict] = None
+        self._attr_index: Optional[dict] = None
         for attribute in attributes or []:
             self.set_attribute_node(attribute)
         for child in children or []:
@@ -207,6 +222,9 @@ class ElementNode(Node):
     @name.setter
     def name(self, value: str) -> None:
         self._name = value
+        parent = self.parent
+        if isinstance(parent, ElementNode):
+            parent._child_index = None
 
     @property
     def attributes(self) -> List["AttributeNode"]:
@@ -224,14 +242,17 @@ class ElementNode(Node):
             raise TypeError("attribute nodes are not children; use set_attribute_node")
         child.parent = self
         self._children.append(child)
+        self._child_index = None
 
     def insert(self, index: int, child: Node) -> None:
         child.parent = self
         self._children.insert(index, child)
+        self._child_index = None
 
     def remove(self, child: Node) -> None:
         self._children.remove(child)
         child.parent = None
+        self._child_index = None
 
     def replace_child(self, old: Node, replacements: List[Node]) -> None:
         """Replace *old* with *replacements*, splicing them in place."""
@@ -240,9 +261,11 @@ class ElementNode(Node):
         for replacement in replacements:
             replacement.parent = self
         self._children[index : index + 1] = replacements
+        self._child_index = None
 
     def set_attribute_node(self, attribute: "AttributeNode") -> None:
         """Attach an attribute node; a same-named existing one is replaced."""
+        self._attr_index = None
         for index, existing in enumerate(self._attributes):
             if existing.name == attribute.name:
                 existing.parent = None
@@ -252,30 +275,71 @@ class ElementNode(Node):
         attribute.parent = self
         self._attributes.append(attribute)
 
+    def append_duplicate_attribute(self, attribute: "AttributeNode") -> None:
+        """Attach an attribute *without* replacing a same-named one.
+
+        This violates the data model on purpose: it is how the evaluator's
+        ``duplicate_attribute_mode="keep"`` reproduces the Galax bug where
+        both duplicates survive.  Routing the quirk through here keeps the
+        attribute index honest.
+        """
+        attribute.parent = self
+        self._attributes.append(attribute)
+        self._attr_index = None
+
     def set_attribute(self, name: str, value: str) -> None:
         self.set_attribute_node(AttributeNode(name, value))
 
     def get_attribute(self, name: str) -> Optional[str]:
-        for attribute in self._attributes:
-            if attribute.name == name:
-                return attribute.value
-        return None
+        matches = self._attribute_index().get(name)
+        return matches[0].value if matches else None
+
+    # -- lazy name indexes -------------------------------------------------
+
+    def _child_element_index(self) -> dict:
+        index = self._child_index
+        if index is None:
+            index = {}
+            for child in self._children:
+                if isinstance(child, ElementNode):
+                    index.setdefault(child._name, []).append(child)
+            self._child_index = index
+        return index
+
+    def _attribute_index(self) -> dict:
+        index = self._attr_index
+        if index is None:
+            index = {}
+            for attribute in self._attributes:
+                index.setdefault(attribute.name, []).append(attribute)
+            self._attr_index = index
+        return index
+
+    def children_by_name(self, name: str) -> List["ElementNode"]:
+        """Child elements named *name*, in document order — O(1) amortized.
+
+        Returns an internal index list; callers must not mutate it.
+        """
+        return self._child_element_index().get(name, _NO_NODES)
+
+    def attributes_by_name(self, name: str) -> List["AttributeNode"]:
+        """Attribute nodes named *name* (plural only in ``keep`` quirk mode).
+
+        Returns an internal index list; callers must not mutate it.
+        """
+        return self._attribute_index().get(name, _NO_NODES)
 
     # -- convenience -------------------------------------------------------
 
     def child_elements(self, name: Optional[str] = None) -> List["ElementNode"]:
         """Child elements, optionally filtered by name."""
-        return [
-            child
-            for child in self._children
-            if isinstance(child, ElementNode) and (name is None or child.name == name)
-        ]
+        if name is not None:
+            return list(self.children_by_name(name))
+        return [child for child in self._children if isinstance(child, ElementNode)]
 
     def first_child_element(self, name: str) -> Optional["ElementNode"]:
-        for child in self._children:
-            if isinstance(child, ElementNode) and child.name == name:
-                return child
-        return None
+        matches = self.children_by_name(name)
+        return matches[0] if matches else None
 
     def string_value(self) -> str:
         return "".join(

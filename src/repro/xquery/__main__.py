@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from ..xmlio import parse_document
 from .api import XQueryEngine, serialize_result
@@ -62,6 +63,17 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", action="store_true", help="print fn:trace output to stderr"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("treewalk", "closures"),
+        default="treewalk",
+        help="execution backend (default: treewalk, the reference interpreter)",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-query compile vs run time to stderr",
+    )
     return parser
 
 
@@ -80,6 +92,7 @@ def main(argv=None) -> int:
         optimize=not args.no_optimize,
         trace_is_dead_code=args.buggy_dce,
         galax_diagnostics=args.galax,
+        backend=args.backend,
     )
     engine = XQueryEngine(config)
 
@@ -104,16 +117,28 @@ def main(argv=None) -> int:
 
     trace = TraceLog(echo=(lambda msg: print(f"trace: {msg}", file=sys.stderr)))
     try:
-        result = engine.evaluate(
-            source,
+        started = time.perf_counter()
+        query = engine.compile(source)
+        if args.backend == "closures":
+            query.closures  # build the closure program inside the compile window
+        compile_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        result = query.run(
             context_item=context_item,
             variables=variables,
             documents=documents,
             trace=trace if args.trace else None,
         )
+        run_seconds = time.perf_counter() - started
     except XQueryError as error:
         print(str(error), file=sys.stderr)
         return 1
+    if args.timing:
+        print(
+            f"timing [{args.backend}]: compile {compile_seconds * 1000:.2f}ms, "
+            f"run {run_seconds * 1000:.2f}ms",
+            file=sys.stderr,
+        )
     print(serialize_result(result))
     return 0
 

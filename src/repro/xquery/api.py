@@ -18,16 +18,22 @@ the 2004 Galax behaviours the paper describes (see
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import fields
 from typing import Dict, List, Optional, Tuple
 
 from ..xdm import DocumentNode, Node, Sequence, is_node, sequence
 from ..xmlio import serialize
 from .ast import FunctionDecl, Module
+from .compiler import CompiledProgram
 from .context import DynamicContext, EngineConfig, TraceLog
 from .errors import XQueryStaticError, extended_stack
 from .evaluator import evaluate
 from .optimizer import OptimizerStats, optimize_module
 from .parser import parse_query
+
+#: Names accepted by ``EngineConfig.backend`` / ``CompiledQuery.run``.
+BACKENDS = ("treewalk", "closures")
 
 
 class CompiledQuery:
@@ -66,6 +72,21 @@ class CompiledQuery:
             self.optimizer_stats = optimize_module(
                 module, trace_is_dead_code=config.trace_is_dead_code
             )
+        self._closures: Optional[CompiledProgram] = None
+
+    @property
+    def closures(self) -> CompiledProgram:
+        """The closure-compiled form of this query, built on first use.
+
+        The treewalk backend needs nothing beyond the AST, so queries that
+        never run under ``backend="closures"`` never pay for compilation.
+        """
+        if self._closures is None:
+            with extended_stack():
+                self._closures = CompiledProgram(
+                    self.module, self.functions, self.config
+                )
+        return self._closures
 
     @property
     def external_variable_names(self) -> List[str]:
@@ -77,12 +98,19 @@ class CompiledQuery:
         variables: Optional[Dict[str, object]] = None,
         documents: Optional[Dict[str, DocumentNode]] = None,
         trace: Optional[TraceLog] = None,
+        backend: Optional[str] = None,
     ) -> Sequence:
         """Evaluate the query body; returns a flat sequence of items.
 
         ``variables`` supplies external variables; plain Python values are
         coerced into sequences (a list is a sequence, a scalar a singleton).
+        ``backend`` overrides the config's backend for this run only.
         """
+        backend = backend if backend is not None else self.config.backend
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         ctx = DynamicContext(
             functions=self.functions,
             documents=documents or {},
@@ -92,14 +120,20 @@ class CompiledQuery:
         provided = {
             name: _coerce_sequence(value) for name, value in (variables or {}).items()
         }
+        program = self.closures if backend == "closures" else None
         with extended_stack():
-            self._bind_globals(ctx, provided)
+            self._bind_globals(ctx, provided, program)
             if context_item is not None:
                 ctx = ctx.with_focus(context_item, 1, 1)
+            if program is not None:
+                return program.body(ctx)
             return evaluate(self.module.body, ctx)
 
     def _bind_globals(
-        self, ctx: DynamicContext, provided: Dict[str, Sequence]
+        self,
+        ctx: DynamicContext,
+        provided: Dict[str, Sequence],
+        program: Optional[CompiledProgram] = None,
     ) -> None:
         for declaration in self.module.variables:
             if declaration.value is None:
@@ -111,6 +145,8 @@ class CompiledQuery:
                         column=declaration.column,
                     )
                 value = provided[declaration.name]
+            elif program is not None:
+                value = program.variable_values[declaration.name](ctx)
             else:
                 value = evaluate(declaration.value, ctx)
             if (
@@ -135,15 +171,21 @@ class CompiledQuery:
 
 
 def _coerce_sequence(value: object) -> Sequence:
-    if isinstance(value, list):
+    # lists and tuples are both "a sequence of items" to the host API;
+    # sequence() flattens either kind of nesting the same way.
+    if isinstance(value, (list, tuple)):
         return sequence(value)
-    if isinstance(value, tuple):
-        return sequence(*value)
     return sequence(value)
 
 
 class XQueryEngine:
-    """Compiles and evaluates XQuery programs under one configuration."""
+    """Compiles and evaluates XQuery programs under one configuration.
+
+    Repeated compilations of identical source are served from a bounded
+    LRU cache (size ``config.compile_cache_size``; ``0`` disables it).
+    The cache key includes every config field, so an engine whose config
+    is mutated between calls never serves a stale compilation.
+    """
 
     def __init__(self, config: Optional[EngineConfig] = None, **flags):
         if config is None:
@@ -151,11 +193,45 @@ class XQueryEngine:
         elif flags:
             raise TypeError("pass either a config object or keyword flags, not both")
         self.config = config
+        self._cache: "OrderedDict[tuple, CompiledQuery]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def compile(self, source: str) -> CompiledQuery:
+    def _cache_key(self, source: str) -> tuple:
+        return (source,) + tuple(
+            (f.name, getattr(self.config, f.name)) for f in fields(self.config)
+        )
+
+    def compile(self, source: str, use_cache: bool = True) -> CompiledQuery:
         """Parse, validate, and (per config) optimize a query."""
-        module = parse_query(source)
-        return CompiledQuery(module, self.config)
+        if not use_cache or self.config.compile_cache_size <= 0:
+            return CompiledQuery(parse_query(source), self.config)
+        key = self._cache_key(source)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+        query = CompiledQuery(parse_query(source), self.config)
+        self._cache[key] = query
+        while len(self._cache) > self.config.compile_cache_size:
+            self._cache.popitem(last=False)
+        return query
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters, in the shape ``functools.lru_cache`` uses."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "currsize": len(self._cache),
+            "maxsize": self.config.compile_cache_size,
+        }
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def evaluate(
         self,

@@ -29,6 +29,15 @@ class EngineConfig:
         the paper's tracing vanish).
     ``max_recursion_depth``
         Guard for runaway recursive user functions.
+    ``backend``
+        Which execution backend ``CompiledQuery.run`` uses by default:
+        ``"treewalk"`` (the period-accurate reference interpreter) or
+        ``"closures"`` (the closure-compiling backend, same semantics,
+        several times faster).  Parity between the two is asserted by
+        ``tests/test_backend_parity.py``.
+    ``compile_cache_size``
+        Maximum number of compiled queries the engine's LRU compile cache
+        retains; ``0`` disables caching entirely.
     """
 
     duplicate_attribute_mode: str = "last"
@@ -37,6 +46,8 @@ class EngineConfig:
     trace_is_dead_code: bool = False
     max_recursion_depth: int = 2000
     type_check_calls: bool = True
+    backend: str = "treewalk"
+    compile_cache_size: int = 128
 
 
 class TraceLog:

@@ -785,8 +785,7 @@ def _attach_attributes(
     if mode == "keep":
         # Galax-bug mode: both duplicates survive, violating the data model.
         for attribute in attributes:
-            attribute.parent = element
-            element.attributes.append(attribute)
+            element.append_duplicate_attribute(attribute)
         return
     seen: Dict[str, AttributeNode] = {}
     order: List[str] = []

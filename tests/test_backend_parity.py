@@ -1,0 +1,303 @@
+"""Differential parity: the closure backend must match the treewalk exactly.
+
+The closure compiler (:mod:`repro.xquery.compiler`) does not share the
+treewalk's interpreter loop, so its fidelity to the period-accurate quirks
+is asserted *here*, by running the same programs under both backends and
+comparing serialized results, trace output, and error codes.  The corpus
+mirrors the benchmark suite: the e01 sequence-indexing rows, the e02
+attribute-folding programs under every duplicate-attribute mode, the error
+regimes (spec codes and Galax diagnostics), the trace-optimizer deletion
+bug, and the real docgen/querycalc workloads end to end.
+"""
+
+import pytest
+
+from repro.awb import export_model
+from repro.docgen import XQueryDocumentGenerator
+from repro.querycalc import XQueryCalculusBackend, parse_query_xml
+from repro.workloads import make_it_model, system_context_template
+from repro.xmlio import serialize
+from repro.xquery import EngineConfig, TraceLog, XQueryEngine
+from repro.xquery.api import serialize_result
+from repro.xquery.errors import XQueryError
+
+BACKENDS = ("treewalk", "closures")
+
+
+def outcome(query, backend, **run_kwargs):
+    """Run one backend to a comparable value: result+traces, or the error."""
+    trace = TraceLog()
+    try:
+        result = query.run(backend=backend, trace=trace, **run_kwargs)
+    except XQueryError as error:
+        return ("error", type(error).__name__, error.code, error.bare_message)
+    return ("ok", serialize_result(result), tuple(trace.messages))
+
+
+def assert_parity(source, config=None, **run_kwargs):
+    engine = XQueryEngine(config or EngineConfig())
+    query = engine.compile(source)
+    results = {backend: outcome(query, backend, **run_kwargs) for backend in BACKENDS}
+    assert results["treewalk"] == results["closures"], source
+    return results["treewalk"]
+
+
+# -- expression corpus (examples + language features) -------------------------
+
+EXPRESSIONS = [
+    # from examples/quickstart.py
+    "for $i in 1 to 5 return $i * $i",
+    "1 = (1,2,3)",
+    "(1,2) != (1,2)",
+    "(1,(2,3),(),(4,(5)))",
+    # arithmetic / unary / precedence
+    "2 + 3 * 4 - 6 div 4",
+    "-(1, 2)[1] + 7 mod 3",
+    "10 idiv 3",
+    # comparisons, all three styles
+    "1 < 2 and 'a' le 'b' or not(true())",
+    "let $a := <x/> let $b := <y/> return ($a is $a, $a is $b, $a << $b)",
+    # sequences, ranges, predicates
+    "(1 to 10)[. mod 2 = 0]",
+    "(1 to 10)[position() > 7][last()]",
+    "reverse((1 to 4))[2]",
+    # FLWOR: where / order by / positional var / nested for
+    "for $i at $p in ('c','a','b') order by $i descending return concat($p, $i)",
+    "for $i in 1 to 3 for $j in 1 to 3 where $i < $j return $i * 10 + $j",
+    "let $s := (3, 1, 2) for $x in $s order by $x return $x + 100",
+    "for $x in (1, 2) let $y := $x + 1 return ($y, $y)",
+    # quantified
+    "some $x in (1,2,3) satisfies $x > 2",
+    "every $x in (1,2,3), $y in (4,5) satisfies $x < $y",
+    # conditionals / typeswitch / try-catch
+    "if ((0)) then 'yes' else 'no'",
+    "typeswitch (<a/>) case $e as element() return 'elem' default return 'other'",
+    "try { 1 div 0 } catch { 'caught' }",
+    "try { error('boom') } catch $e { $e//message/text() }",
+    # casts and type tests
+    "xs:integer('42') + 1",
+    "'3.5' castable as xs:decimal",
+    "(1, 2) instance of xs:integer+",
+    "() cast as xs:integer?",
+    "5 treat as xs:integer",
+    # constructors: direct, computed, nested, attributes
+    "<a b='{1+1}'>text{2+3}<c/></a>",
+    "element {concat('d', 'iv')} {attribute class {'x'}, 'body'}",
+    "document {<r><k>1</k></r>}//k/text()",
+    "<out>{for $i in 1 to 3 return <n>{$i}</n>}</out>",
+    "text {1, 2, 3}",
+    "comment {'notes'}",
+    # paths and axes over constructed trees
+    "<r><a><b>1</b></a><a><b>2</b></a></r>/a/b/text()",
+    "<r><a x='1'/><a x='2'/></r>/a/@x",
+    "(<r><a/><b/><c/></r>)/b/following-sibling::*",
+    "(<r><a><b/></a></r>)//b/ancestor::*[last()]",
+    "<r><a/>mid<b/></r>/node()",
+    "count(<r><a><a/></a></r>//a)",
+    # set operations
+    "let $r := <r><a/><b/></r> return count(($r/a, $r/b) union $r/*)",
+    "let $r := <r><a/><b/></r> return ($r/* except $r/b)/name(.)",
+    "let $r := <r><a/><b/></r> return ($r/* intersect $r/a)/name(.)",
+    # string / aggregate builtins
+    "string-join(for $i in 1 to 3 return string($i), '-')",
+    "sum((1, 2, 3.5)), avg((2, 4)), min((3, 1)), max((3, 1))",
+    "concat('a', 'b', 'c'), substring('hello', 2, 3), upper-case('x')",
+    "distinct-values((1, 2, 1, 'a', 'a'))",
+    # user functions, recursion, defaults of the function scope
+    "declare function local:twice($x) { $x * 2 }; local:twice(21)",
+    (
+        "declare function local:down($n as xs:integer) as xs:integer* "
+        "{ if ($n = 0) then () else ($n, local:down($n - 1)) }; "
+        "local:down(4)"
+    ),
+    (
+        "declare function local:even($n) { if ($n = 0) then true() else local:odd($n - 1) }; "
+        "declare function local:odd($n) { if ($n = 0) then false() else local:even($n - 1) }; "
+        "local:even(10)"
+    ),
+    # declared globals referencing each other
+    "declare variable $base := 10; declare variable $top := $base * 4; $top - $base",
+]
+
+
+@pytest.mark.parametrize("source", EXPRESSIONS)
+def test_expression_parity(source):
+    assert_parity(source)
+
+
+# -- e01: the sequence-indexing quirk table -----------------------------------
+
+E01_ROWS = [
+    ("1", "2", "3"),
+    ("1", '(2, "2a")', "4"),
+    ("1", "()", "3"),
+    ('("1a","1b")', "2", "3"),
+    ("1", "()", '("3a","3b")'),
+    ("()", "(2)", "()"),
+    ("1", 'attribute y {"why?"}', "2"),
+]
+
+
+@pytest.mark.parametrize("x,y,z", E01_ROWS)
+def test_e01_sequence_indexing_parity(x, y, z):
+    prefix = f"let $x := {x} let $y := {y} let $z := {z} return "
+    assert_parity(prefix + "($x, $y, $z)[2]")
+    assert_parity(prefix + "<el>{$x}{$y}{$z}</el>")
+
+
+# -- e02: attribute folding under every duplicate mode ------------------------
+
+E02_SOURCES = [
+    "let $x := attribute troubles {1} return <el> {$x} </el>",
+    (
+        "let $a := attribute a {1} let $b := attribute a {2} "
+        "let $c := attribute b {3} return <el> {$a}{$b}{$c} </el>"
+    ),
+    'let $x := attribute troubles {1} return <el> "doom" {$x} </el>',
+]
+
+
+@pytest.mark.parametrize("source", E02_SOURCES)
+@pytest.mark.parametrize("mode", ["last", "first", "keep", "error"])
+def test_e02_attribute_folding_parity(source, mode):
+    assert_parity(source, EngineConfig(duplicate_attribute_mode=mode))
+
+
+# -- the error corpus: identical classes, codes, and messages -----------------
+
+ERROR_SOURCES = [
+    "$missing",  # XPST0008
+    ".",  # XPDY0002: absent context item
+    "(1,2) + 3",  # XPTY0004 from the arithmetic operator
+    "1 + <a>x</a>",  # promotion failure
+    "-'text'",  # unary type error
+    "(1,2) eq 3",  # value comparison cardinality
+    "('a','b') is <x/>",  # node comparison on non-singletons
+    "1/child::a",  # XPTY0019: step over an atomic
+    "<a>{2}</a>/(1, <b/>)",  # XPTY0018: mixed step result
+    "(1, 2) to 3",  # 'to' cardinality
+    "let $x := attribute a {1} return <el>x{$x}</el>",  # XQTY0024
+    "xs:integer('nope')",  # FORG0001
+    "xs:integer(1, 2)",  # XPST0017: constructor arity
+    "unknown:fn(1)",  # XPST0017
+    "if (('x', 'y')) then 1 else 2",  # FORG0006 from EBV
+    "1 div 0",  # FOAR0001
+    "error('QQ')",  # FOER0000 user error
+    "let $a := attribute a {1} return document { $a }",  # attr in document
+    "5 treat as xs:string",  # XPDY0050
+    "() cast as xs:integer",  # empty cast without '?'
+    (
+        "declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)"
+    ),  # FOER0000 recursion guard
+    (
+        "declare function local:typed($x as xs:integer) { $x }; local:typed('a')"
+    ),  # XPTY0004 argument type check
+]
+
+
+@pytest.mark.parametrize("source", ERROR_SOURCES)
+def test_error_parity(source):
+    result = assert_parity(source)
+    assert result[0] == "error", source
+
+
+@pytest.mark.parametrize("source", ["$missing", "$glx"])
+def test_galax_diagnostics_parity(source):
+    result = assert_parity(source, EngineConfig(galax_diagnostics=True))
+    assert result[3] == "Internal_Error: Variable '$glx:dot' not found."
+
+
+def test_recursion_limit_parity():
+    source = "declare function local:f($n) { if ($n = 0) then 0 else local:f($n - 1) }; local:f(50)"
+    ok = assert_parity(source, EngineConfig(max_recursion_depth=100))
+    assert ok[0] == "ok"
+    failed = assert_parity(source, EngineConfig(max_recursion_depth=10))
+    assert failed[0] == "error" and failed[2] == "FOER0000"
+
+
+# -- trace semantics and the trace-deletion optimizer bug ---------------------
+
+TRACE_SOURCE = "let $d := trace('probe', 9) return trace('live', 1)"
+
+
+def test_trace_parity():
+    result = assert_parity(TRACE_SOURCE, EngineConfig(optimize=False))
+    assert result[2] == ("probe 9", "live 1")
+
+
+def test_trace_deletion_parity():
+    # the buggy dead-code pass deletes the dead let's trace identically
+    # under both backends (it runs on the shared AST, but parity proves the
+    # closure compiler honours the post-optimizer tree).
+    result = assert_parity(
+        TRACE_SOURCE, EngineConfig(optimize=True, trace_is_dead_code=True)
+    )
+    assert "probe 9" not in result[2]
+
+
+# -- external variables and host coercion -------------------------------------
+
+def test_external_variable_parity():
+    source = (
+        "declare variable $xs external; declare variable $n external; "
+        "sum($xs) * $n"
+    )
+    assert_parity(source, variables={"xs": [1, 2, 3], "n": 2})
+    assert_parity(source, variables={"xs": (1, (2, 3)), "n": 2})
+
+
+def test_context_item_parity():
+    from repro.xmlio import parse_document
+
+    doc = parse_document("<r><v>1</v><v>2</v></r>")
+    assert_parity("sum(/r/v)", context_item=doc)
+    assert_parity("//v[2]/text()", context_item=doc)
+
+
+# -- end to end: the paper's workloads under both backends --------------------
+
+def _docgen_fingerprint(backend):
+    model = make_it_model(scale=3)
+    generator = XQueryDocumentGenerator(model, config=EngineConfig(backend=backend))
+    result = generator.generate(system_context_template())
+    return (
+        serialize(result.document),
+        [repr(p) for p in result.problems],
+        [repr(entry) for entry in result.toc],
+        result.visited_node_ids,
+    )
+
+
+def test_docgen_end_to_end_parity():
+    treewalk = _docgen_fingerprint("treewalk")
+    closures = _docgen_fingerprint("closures")
+    assert treewalk == closures
+
+
+def test_querycalc_end_to_end_parity():
+    model = make_it_model(scale=6)
+    query = parse_query_xml(
+        '<query><start type="User"/><follow relation="uses"/>'
+        '<collect sort-by="label"/></query>'
+    )
+    runs = {
+        backend: XQueryCalculusBackend(
+            model, engine=XQueryEngine(EngineConfig(backend=backend))
+        ).run(query)
+        for backend in BACKENDS
+    }
+    assert runs["treewalk"] == runs["closures"]
+
+
+def test_exported_model_query_parity():
+    # query a real exported AWB model through paths, predicates, and axes.
+    root = export_model(make_it_model(scale=4))
+    for source in [
+        "count($model//object)",
+        "for $o in $model//object[@type='User'] return string($o/@id)",
+        "$model//object[value[@name='label']]/value[@name='label']/text()",
+    ]:
+        assert_parity(
+            "declare variable $model external; " + source,
+            variables={"model": root},
+        )

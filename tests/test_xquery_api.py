@@ -115,3 +115,102 @@ class TestUntypedMode:
         with pytest.raises(XQueryTypeError):
             strict.evaluate(source)
         assert relaxed.evaluate(source) == ["s"]
+
+
+class TestCoerceSequence:
+    """Host-value coercion: lists and tuples must flatten identically."""
+
+    def query(self):
+        return XQueryEngine().compile("declare variable $v external; $v")
+
+    def test_flat_list_and_tuple_agree(self):
+        assert self.query().run(variables={"v": [1, 2, 3]}) == [1, 2, 3]
+        assert self.query().run(variables={"v": (1, 2, 3)}) == [1, 2, 3]
+
+    def test_nested_list_and_tuple_agree(self):
+        nested_list = [1, [2, [3]], []]
+        nested_tuple = (1, (2, (3,)), ())
+        assert self.query().run(variables={"v": nested_list}) == [1, 2, 3]
+        assert self.query().run(variables={"v": nested_tuple}) == [1, 2, 3]
+
+    def test_mixed_nesting_agrees(self):
+        assert self.query().run(variables={"v": [1, (2, [3])]}) == [1, 2, 3]
+        assert self.query().run(variables={"v": (1, [2, (3,)])}) == [1, 2, 3]
+
+    def test_scalar_is_singleton(self):
+        assert self.query().run(variables={"v": 7}) == [7]
+        assert self.query().run(variables={"v": "s"}) == ["s"]
+
+
+class TestCompileCache:
+    def test_hit_and_miss_counting(self):
+        engine = XQueryEngine()
+        first = engine.compile("1 + 1")
+        again = engine.compile("1 + 1")
+        other = engine.compile("2 + 2")
+        assert again is first
+        assert other is not first
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 2
+        assert info["currsize"] == 2
+
+    def test_bounded_lru_eviction(self):
+        engine = XQueryEngine(compile_cache_size=2)
+        a = engine.compile("1")
+        engine.compile("2")
+        engine.compile("1")  # refresh a's recency
+        engine.compile("3")  # evicts "2"
+        assert engine.compile("1") is a
+        assert engine.cache_info()["currsize"] == 2
+        before = engine.cache_misses
+        engine.compile("2")  # was evicted: a fresh miss
+        assert engine.cache_misses == before + 1
+
+    def test_cache_disabled_by_size_zero(self):
+        engine = XQueryEngine(compile_cache_size=0)
+        first = engine.compile("1 + 1")
+        assert engine.compile("1 + 1") is not first
+        assert engine.cache_info() == {
+            "hits": 0, "misses": 0, "currsize": 0, "maxsize": 0,
+        }
+
+    def test_use_cache_false_bypasses(self):
+        engine = XQueryEngine()
+        cached = engine.compile("1")
+        assert engine.compile("1", use_cache=False) is not cached
+        assert engine.cache_info()["hits"] == 0
+
+    def test_config_mutation_invalidates(self):
+        engine = XQueryEngine()
+        optimized = engine.compile("1 + 2")
+        engine.config.optimize = False
+        raw = engine.compile("1 + 2")
+        assert raw is not optimized
+        assert raw.optimizer_stats is None
+
+    def test_cache_clear(self):
+        engine = XQueryEngine()
+        engine.compile("1")
+        engine.compile("1")
+        engine.cache_clear()
+        assert engine.cache_info() == {
+            "hits": 0, "misses": 0, "currsize": 0, "maxsize": 128,
+        }
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        query = XQueryEngine().compile("1")
+        with pytest.raises(ValueError):
+            query.run(backend="bytecode")
+
+    def test_config_backend_is_default(self):
+        engine = XQueryEngine(backend="closures")
+        query = engine.compile("2 + 2")
+        assert query.run() == [4]
+        assert query._closures is not None
+
+    def test_treewalk_never_builds_closures(self):
+        query = XQueryEngine().compile("2 + 2")
+        assert query.run() == [4]
+        assert query._closures is None
