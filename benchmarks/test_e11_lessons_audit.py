@@ -94,6 +94,18 @@ class TestVerdictsAreGroundTruth:
 
         assert benchmark.pedantic(attempt, rounds=2, iterations=1) == 0
 
+    def test_lesson5_verdict_cites_measured_diagnostics(self):
+        # the scorecard's debugging note carries counts the analyzer
+        # actually measured, not a hand-written claim.
+        from repro.littlelang.audit import measured_dead_trace_diagnostics
+
+        measured = measured_dead_trace_diagnostics()
+        assert measured == {"dead_trace_probe": 1, "insinuated_fix": 0}
+        profile = profile_xquery_2004()
+        _, note = profile.answers["debugging"]
+        assert "1 XQL001" in note
+        assert "0 on the insinuated fix" in note
+
     def test_lesson6_syntax_fail(self, benchmark):
         # '=' means nonempty intersection; $n-1 is a name.
         engine = XQueryEngine()

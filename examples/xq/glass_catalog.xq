@@ -1,0 +1,22 @@
+(: The paper's running example domain: a catalog of glass types.
+   Run with:
+     python -m repro.xquery -f examples/xq/glass_catalog.xq --doc catalog=...
+   Lint with:
+     python -m repro.xquery.lint examples/xq/glass_catalog.xq :)
+
+declare function local:rank($glass) {
+  if ($glass/@thermal-class eq "A") then 1
+  else if ($glass/@thermal-class eq "B") then 2
+  else 3
+};
+
+<catalog-report>{
+  for $glass in doc("catalog")/catalog/glass
+  let $rank := local:rank($glass)
+  where $rank le 2
+  order by $rank, string($glass/@name)
+  return
+    <glass name="{ $glass/@name }" rank="{ $rank }">{
+      string($glass/description)
+    }</glass>
+}</catalog-report>

@@ -1,0 +1,10 @@
+(: E1-safe sequence indexing: every part of the concatenation is
+   exactly one item, so [2] is stable no matter how parts flatten.
+   Contrast with the E1 table in benchmarks/test_e01_sequence_table.py. :)
+
+declare variable $second external;
+
+let $first := <item n="1"/>
+let $third := <item n="3"/>
+let $row := ($first, exactly-one($second), $third)
+return <picked>{ $row[2] }</picked>

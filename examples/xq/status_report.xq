@@ -1,0 +1,20 @@
+(: A small report generator: FLWOR over an external model, computed
+   attributes placed before content (the safe E2 ordering), and a live
+   trace probe — the binding is USED, so the dead-code pass keeps it. :)
+
+declare variable $model external;
+
+declare function local:status($node) {
+  if (exists($node/@status)) then string($node/@status) else "unknown"
+};
+
+<status-report count="{ count($model/child::element()) }">{
+  for $entry in $model/child::element()
+  let $status := trace("status: ", local:status($entry))
+  return
+    element entry {
+      attribute name { name($entry) },
+      attribute status { $status },
+      string($entry)
+    }
+}</status-report>

@@ -10,7 +10,7 @@ Person use a Program" even when the metamodel prefers otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 #: scalar property types the paper mentions (string, integer, HTML, ...).

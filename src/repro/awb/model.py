@@ -17,8 +17,8 @@ Design points straight from the paper:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from .metamodel import Metamodel
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .metamodel import Advisory, Metamodel
+from .metamodel import Advisory
 from .model import Model
 
 

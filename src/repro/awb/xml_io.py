@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..xdm import DocumentNode, ElementNode, Node, TextNode, element
+from ..xdm import DocumentNode, ElementNode, Node, TextNode
 from ..xmlio import parse_document, parse_element, serialize
 from .metamodel import Metamodel
 from .model import Model, ModelNode, RelationObject

@@ -13,7 +13,7 @@ functions never have errors."
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ...awb.model import Model, ModelNode
 from ...querycalc import parse_query_xml, run_query

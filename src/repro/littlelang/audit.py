@@ -46,6 +46,37 @@ class LanguageProfile:
         return sum(1 for verdict in self.audit() if verdict.satisfied)
 
 
+#: the paper's canonical probes for the debugging lesson: the dead-trace
+#: program (examples/debugging_story.py) and its insinuated fix.
+_DEAD_TRACE_PROBE = (
+    "let $x := 6 * 7\n"
+    'let $dummy := trace("x=", $x)\n'
+    "let $y := $x idiv 0\n"
+    "return $y"
+)
+_LIVE_TRACE_PROBE = 'let $x := trace("x=", 6 * 7)\nlet $y := $x idiv 0\nreturn $y'
+
+
+def measured_dead_trace_diagnostics() -> Dict[str, int]:
+    """XQL001 counts on the canonical probes, measured by the analyzer.
+
+    The scorecard cites these instead of a hand-written claim: the linter
+    flags the dead-trace probe (1 finding) and passes the insinuated
+    version (0 findings), demonstrating both the footgun and its fix.
+    """
+    from ..xquery.analysis import analyze_source
+
+    def count(source: str) -> int:
+        return sum(
+            1 for d in analyze_source(source, select=["XQL001"])
+        )
+
+    return {
+        "dead_trace_probe": count(_DEAD_TRACE_PROBE),
+        "insinuated_fix": count(_LIVE_TRACE_PROBE),
+    }
+
+
 def profile_xquery_2004() -> LanguageProfile:
     """The draft-era XQuery this repo implements, as the paper found it."""
     profile = LanguageProfile("XQuery (2004 draft, Galax-era)")
@@ -73,11 +104,14 @@ def profile_xquery_2004() -> LanguageProfile:
         "fn:error only throws; nothing catches, so errors travel as "
         "<error> return values checked after every call",
     )
+    measured = measured_dead_trace_diagnostics()
     profile.answer(
         "debugging",
         False,
         "error() kills the program; trace() arrived late and the optimizer "
-        "deleted it as dead code",
+        "deleted it as dead code (measured: xqlint flags "
+        f"{measured['dead_trace_probe']} XQL001 on the dead-trace probe, "
+        f"{measured['insinuated_fix']} on the insinuated fix)",
     )
     profile.answer(
         "syntax",

@@ -8,7 +8,6 @@ benchmark run sees the same model.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from ..awb import Model, load_metamodel
 

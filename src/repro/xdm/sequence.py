@@ -20,7 +20,7 @@ from .items import (
     string_value_of_atomic,
     untyped_to_double,
 )
-from .nodes import Node, is_node
+from .nodes import is_node
 
 #: A sequence value: a flat list of items.
 Sequence = List[object]

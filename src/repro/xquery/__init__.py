@@ -10,8 +10,13 @@ Public entry points:
 * :mod:`repro.xquery.debug` — the paper's debugging workflows.
 * :mod:`repro.xquery.statictype` — untyped-mode checking and the type
   "metastasis" measurement.
+* :mod:`repro.xquery.analysis` — the xqlint static analyzer
+  (:func:`analyze_source`, :class:`Diagnostic`; CLI at
+  ``python -m repro.xquery.lint``); ``EngineConfig(lint="warn"|"error")``
+  runs it at compile time.
 """
 
+from .analysis import Diagnostic, LintWarning, analyze_module, analyze_source
 from .api import CompiledQuery, XQueryEngine, serialize_result
 from .context import DynamicContext, EngineConfig, TraceLog
 from .errors import (
@@ -28,9 +33,11 @@ from .parser import parse_expression, parse_query
 
 __all__ = [
     "CompiledQuery",
+    "Diagnostic",
     "DynamicContext",
     "ERROR_CODES",
     "EngineConfig",
+    "LintWarning",
     "OptimizerStats",
     "TraceLog",
     "XQueryDynamicError",
@@ -39,6 +46,8 @@ __all__ = [
     "XQueryStaticError",
     "XQueryTypeError",
     "XQueryUserError",
+    "analyze_module",
+    "analyze_source",
     "builtin_names",
     "optimize_module",
     "parse_expression",

@@ -74,6 +74,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-query compile vs run time to stderr",
     )
+    parser.add_argument(
+        "--lint",
+        choices=("off", "warn", "error"),
+        default="off",
+        help="run the static analyzer at compile time "
+        "(see also: python -m repro.xquery.lint)",
+    )
     return parser
 
 
@@ -93,6 +100,7 @@ def main(argv=None) -> int:
         trace_is_dead_code=args.buggy_dce,
         galax_diagnostics=args.galax,
         backend=args.backend,
+        lint=args.lint,
     )
     engine = XQueryEngine(config)
 

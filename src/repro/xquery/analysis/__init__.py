@@ -1,0 +1,74 @@
+"""Static analysis for the XQuery subset — the tooling the paper lacked.
+
+The paper's toolchain gave "no information of where" when queries failed;
+this package is the counterfactual: a multi-pass analyzer with located
+diagnostics for exactly the footguns the paper documents (dead traces,
+unchecked error values, positional-predicate surprises, attribute folding),
+plus ordinary hygiene (dead code, shadowing, name/arity resolution).
+
+Layers: :mod:`.diagnostics` (the finding model), :mod:`.cardinality`
+(occurrence inference — the empty/one/many lattice), :mod:`.rules`
+(XQL001–XQL008 and the registry), :mod:`.driver` (entry points), and
+:mod:`.corpus` (linting the repo's own .xq sources against a baseline).
+"""
+
+from .cardinality import (
+    EMPTY,
+    ONE,
+    OPT,
+    PLUS,
+    STAR,
+    Binding,
+    Card,
+    CardinalityAnalyzer,
+)
+from .corpus import (
+    BASELINE_PATH,
+    CorpusUnit,
+    corpus_units,
+    diff_against_baseline,
+    format_baseline,
+    lint_corpus,
+    lint_unit,
+    load_baseline,
+)
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    LintWarning,
+    severity_at_least,
+    sort_diagnostics,
+)
+from .driver import analyze_module, analyze_source, parse_for_lint
+from .rules import RULES, ModuleAnalysis, Rule, rule_catalog
+
+__all__ = [
+    "BASELINE_PATH",
+    "Binding",
+    "Card",
+    "CardinalityAnalyzer",
+    "CorpusUnit",
+    "Diagnostic",
+    "EMPTY",
+    "LintWarning",
+    "ModuleAnalysis",
+    "ONE",
+    "OPT",
+    "PLUS",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "STAR",
+    "analyze_module",
+    "analyze_source",
+    "corpus_units",
+    "diff_against_baseline",
+    "format_baseline",
+    "lint_corpus",
+    "lint_unit",
+    "load_baseline",
+    "parse_for_lint",
+    "rule_catalog",
+    "severity_at_least",
+    "sort_diagnostics",
+]

@@ -1,0 +1,450 @@
+"""Occurrence (cardinality) inference over the XQuery AST.
+
+The paper's E1 table shows why this matters: ``($x, $y, $z)[2]`` answers
+"what is item 2?" differently depending on how each part flattens, and
+Galax reported the resulting surprises as ``Index out of bounds, without
+any information of where``.  This pass infers, for every expression, a
+conservative interval of how many items it can produce — the
+empty / exactly-one / zero-or-more lattice the rules build on.
+
+A :class:`Card` is a ``[lo, hi]`` interval (``hi=None`` is unbounded).
+The familiar lattice points are the constants ``EMPTY`` (0,0), ``ONE``
+(1,1), ``OPT`` (0,1), ``STAR`` (0,∞), and ``PLUS`` (1,∞); exact finite
+lengths such as (3,3) fall out of concatenation for free.
+
+Alongside pure cardinality, the pass tracks whether an expression may
+construct *attribute nodes* — the ingredient of the paper's E2 folding
+surprises (an attribute node in element content silently becomes an
+attribute of the parent, or a runtime error when it arrives too late).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .. import ast
+from ...xdm import SequenceType
+
+#: intervals wider than this saturate to "unbounded".
+_HI_CAP = 1000
+
+
+@dataclass(frozen=True)
+class Card:
+    """How many items an expression can produce: a ``[lo, hi]`` interval."""
+
+    lo: int
+    hi: Optional[int]  # None = unbounded
+
+    def __repr__(self) -> str:
+        hi = "*" if self.hi is None else self.hi
+        return f"Card({self.lo},{hi})"
+
+    @property
+    def can_be_empty(self) -> bool:
+        return self.lo == 0
+
+    @property
+    def is_exactly_one(self) -> bool:
+        return self.lo == 1 and self.hi == 1
+
+
+EMPTY = Card(0, 0)
+ONE = Card(1, 1)
+OPT = Card(0, 1)
+STAR = Card(0, None)
+PLUS = Card(1, None)
+
+
+def concat(a: Card, b: Card) -> Card:
+    """Cardinality of the sequence concatenation ``(a, b)``."""
+    lo = min(a.lo + b.lo, _HI_CAP)
+    if a.hi is None or b.hi is None:
+        return Card(lo, None)
+    hi = a.hi + b.hi
+    return Card(lo, None if hi > _HI_CAP else hi)
+
+
+def join(a: Card, b: Card) -> Card:
+    """Least upper bound: either branch may be taken."""
+    if a.hi is None or b.hi is None:
+        hi: Optional[int] = None
+    else:
+        hi = max(a.hi, b.hi)
+    return Card(min(a.lo, b.lo), hi)
+
+
+def from_sequence_type(sequence_type: Optional[SequenceType]) -> Card:
+    """The interval a declared ``as`` annotation promises."""
+    if sequence_type is None:
+        return STAR
+    if sequence_type.item_type is None:  # empty-sequence()
+        return EMPTY
+    return {
+        SequenceType.EXACTLY_ONE: ONE,
+        SequenceType.ZERO_OR_ONE: OPT,
+        SequenceType.ZERO_OR_MORE: STAR,
+        SequenceType.ONE_OR_MORE: PLUS,
+    }.get(sequence_type.occurrence, STAR)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """What is statically known about one bound variable."""
+
+    card: Card = STAR
+    may_be_attribute: bool = False
+    attribute_name: Optional[str] = None  # when provably one named attribute
+
+
+Env = Dict[str, Binding]
+
+#: builtins that return exactly one item regardless of input.
+_ALWAYS_ONE = {
+    "true", "false", "not", "boolean", "count", "empty", "exists",
+    "position", "last", "deep-equal", "string", "string-length", "concat",
+    "string-join", "normalize-space", "upper-case", "lower-case",
+    "translate", "contains", "starts-with", "ends-with", "matches",
+    "replace", "codepoints-to-string", "number", "sum", "name",
+    "local-name", "exactly-one", "doc", "doc-available", "substring",
+    "substring-before", "substring-after",
+}
+
+#: builtins that return at most one item.
+_AT_MOST_ONE = {
+    "abs", "floor", "ceiling", "round", "avg", "min", "max", "node-name",
+    "root", "zero-or-one",
+}
+
+
+class CardinalityAnalyzer:
+    """Infers occurrence intervals bottom-up, given an environment."""
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.functions: Dict[Tuple[str, int], ast.FunctionDecl] = {}
+        for declaration in module.functions:
+            local = declaration.name.split(":")[-1]
+            self.functions[(local, declaration.arity)] = declaration
+
+    # -- cardinality -------------------------------------------------------
+
+    def card(self, expr, env: Env) -> Card:
+        if expr is None:
+            return EMPTY
+        if isinstance(expr, (ast.Literal, ast.ContextItem)):
+            return ONE
+        if isinstance(expr, ast.EmptySequence):
+            return EMPTY
+        if isinstance(expr, ast.VarRef):
+            binding = env.get(expr.name)
+            return binding.card if binding is not None else STAR
+        if isinstance(expr, ast.SequenceExpr):
+            total = EMPTY
+            for item in expr.items:
+                total = concat(total, self.card(item, env))
+            return total
+        if isinstance(expr, ast.RangeExpr):
+            return self._range_card(expr)
+        if isinstance(expr, (ast.Arithmetic, ast.Unary)):
+            return self._empty_propagating(expr, env)
+        if isinstance(expr, ast.Comparison):
+            if expr.style == "general":
+                return ONE
+            return self._empty_propagating(expr, env)
+        if isinstance(expr, (ast.BooleanOp, ast.Quantified, ast.InstanceOf,
+                             ast.CastableAs)):
+            return ONE
+        if isinstance(expr, ast.CastAs):
+            return OPT if expr.allow_empty else ONE
+        if isinstance(expr, ast.TreatAs):
+            return from_sequence_type(expr.sequence_type)
+        if isinstance(expr, ast.SetOp):
+            return STAR
+        if isinstance(expr, ast.AxisStep):
+            return STAR
+        if isinstance(expr, ast.FilterExpr):
+            return self._filter_card(expr, env)
+        if isinstance(expr, ast.PathExpr):
+            if expr.anchor is None and not expr.steps and expr.first is not None:
+                return self.card(expr.first, env)
+            return STAR
+        if isinstance(expr, ast.IfExpr):
+            return join(
+                self.card(expr.then_branch, env),
+                self.card(expr.else_branch, env) if expr.else_branch else EMPTY,
+            )
+        if isinstance(expr, ast.Typeswitch):
+            result = None
+            for case in expr.cases:
+                card = self.card(case.result, env)
+                result = card if result is None else join(result, card)
+            default = self.card(expr.default, env)
+            return default if result is None else join(result, default)
+        if isinstance(expr, ast.TryCatch):
+            return join(self.card(expr.body, env), self.card(expr.handler, env))
+        if isinstance(expr, ast.FLWOR):
+            return self._flwor_card(expr, env)
+        if isinstance(expr, ast.FunctionCall):
+            return self._call_card(expr)
+        if isinstance(expr, (ast.DirectElement, ast.DirectComment, ast.DirectPI,
+                             ast.ComputedElement, ast.ComputedAttribute,
+                             ast.ComputedText, ast.ComputedComment,
+                             ast.ComputedDocument)):
+            return ONE
+        return STAR
+
+    def _range_card(self, expr: ast.RangeExpr) -> Card:
+        start, end = expr.start, expr.end
+        if (
+            isinstance(start, ast.Literal)
+            and isinstance(end, ast.Literal)
+            and isinstance(start.value, int)
+            and isinstance(end.value, int)
+        ):
+            n = end.value - start.value + 1
+            if n <= 0:
+                return EMPTY
+            return Card(min(n, _HI_CAP), None if n > _HI_CAP else n)
+        return STAR
+
+    def _empty_propagating(self, expr, env: Env) -> Card:
+        """Ops that yield one item unless an operand is the empty sequence."""
+        operands = (
+            [expr.operand]
+            if isinstance(expr, ast.Unary)
+            else [expr.left, expr.right]
+        )
+        lo = 1
+        for operand in operands:
+            if self.card(operand, env).can_be_empty:
+                lo = 0
+        return Card(lo, 1)
+
+    def _filter_card(self, expr: ast.FilterExpr, env: Env) -> Card:
+        base = self.card(expr.base, env)
+        for predicate in expr.predicates:
+            if positional_index(predicate) is not None:
+                base = Card(0, 0 if base.hi == 0 else 1)
+            else:
+                base = Card(0, base.hi)
+        return base
+
+    def _flwor_card(self, expr: ast.FLWOR, env: Env) -> Card:
+        inner = dict(env)
+        repetitions = ONE
+        filtered = False
+        for clause in expr.clauses:
+            if isinstance(clause, ast.ForClause):
+                source = self.card(clause.source, inner)
+                repetitions = _multiply(repetitions, source)
+                inner[clause.var] = Binding(card=ONE)
+                if clause.position_var:
+                    inner[clause.position_var] = Binding(card=ONE)
+            elif isinstance(clause, ast.LetClause):
+                inner[clause.var] = self.binding_of(clause.value, inner)
+            elif isinstance(clause, ast.WhereClause):
+                filtered = True
+        result = self.card(expr.result, inner)
+        total = _multiply(repetitions, result)
+        if filtered:
+            total = Card(0, total.hi)
+        return total
+
+    def _call_card(self, expr: ast.FunctionCall) -> Card:
+        name = expr.name
+        if name.startswith("fn:"):
+            name = name[3:]
+        if name.startswith("xs:"):
+            return ONE
+        local = name.split(":")[-1]
+        if local in _ALWAYS_ONE:
+            return ONE
+        if local in _AT_MOST_ONE:
+            return OPT
+        if local == "one-or-more":
+            return PLUS
+        declaration = self.functions.get((local, len(expr.args)))
+        if declaration is not None and declaration.return_type is not None:
+            return from_sequence_type(declaration.return_type)
+        return STAR
+
+    # -- attribute-node inference (for the E2 rules) -----------------------
+
+    def may_construct_attribute(self, expr, env: Env) -> bool:
+        """True if *expr* can evaluate to one or more attribute nodes.
+
+        Deliberately narrow — only shapes the analyzer can prove, so the
+        E2 rule never cries wolf on ordinary element content.
+        """
+        if isinstance(expr, ast.ComputedAttribute):
+            return True
+        if isinstance(expr, ast.VarRef):
+            binding = env.get(expr.name)
+            return binding is not None and binding.may_be_attribute
+        if isinstance(expr, ast.SequenceExpr):
+            return any(self.may_construct_attribute(item, env) for item in expr.items)
+        if isinstance(expr, ast.IfExpr):
+            return self.may_construct_attribute(
+                expr.then_branch, env
+            ) or self.may_construct_attribute(expr.else_branch, env)
+        if isinstance(expr, ast.FLWOR):
+            inner = dict(env)
+            for clause in expr.clauses:
+                if isinstance(clause, ast.LetClause):
+                    inner[clause.var] = self.binding_of(clause.value, inner)
+                elif isinstance(clause, ast.ForClause):
+                    inner[clause.var] = Binding(
+                        card=ONE,
+                        may_be_attribute=self.may_construct_attribute(
+                            clause.source, inner
+                        ),
+                    )
+            return self.may_construct_attribute(expr.result, inner)
+        if isinstance(expr, ast.PathExpr):
+            return self._path_ends_in_attribute(expr)
+        return False
+
+    @staticmethod
+    def _path_ends_in_attribute(expr: ast.PathExpr) -> bool:
+        last = expr.steps[-1][1] if expr.steps else expr.first
+        return isinstance(last, ast.AxisStep) and last.axis == "attribute"
+
+    def static_attribute_name(self, expr, env: Env) -> Optional[str]:
+        """The attribute's name, when *expr* is provably one named attribute."""
+        if isinstance(expr, ast.ComputedAttribute) and expr.name is not None:
+            return expr.name
+        if isinstance(expr, ast.VarRef):
+            binding = env.get(expr.name)
+            return binding.attribute_name if binding is not None else None
+        return None
+
+    def binding_of(self, expr, env: Env) -> Binding:
+        """The :class:`Binding` a ``let``-style binding of *expr* produces."""
+        return Binding(
+            card=self.card(expr, env),
+            may_be_attribute=self.may_construct_attribute(expr, env),
+            attribute_name=self.static_attribute_name(expr, env),
+        )
+
+
+def positional_index(predicate) -> Optional[int]:
+    """N when *predicate* is the positional filter ``[N]`` (or
+    ``[position() = N]`` / ``[position() eq N]``), else None."""
+    if isinstance(predicate, ast.Literal) and isinstance(predicate.value, int):
+        return predicate.value
+    if (
+        isinstance(predicate, ast.Comparison)
+        and predicate.op in ("=", "eq")
+        and isinstance(predicate.left, ast.FunctionCall)
+        and predicate.left.name.split(":")[-1] == "position"
+        and not predicate.left.args
+        and isinstance(predicate.right, ast.Literal)
+        and isinstance(predicate.right.value, int)
+    ):
+        return predicate.right.value
+    return None
+
+
+def _multiply(a: Card, b: Card) -> Card:
+    lo = min(a.lo * b.lo, _HI_CAP)
+    if a.hi is None or b.hi is None:
+        return Card(lo, None)
+    hi = a.hi * b.hi
+    return Card(lo, None if hi > _HI_CAP else hi)
+
+
+# -- scoped traversal ---------------------------------------------------------
+
+
+def iter_scoped(root, env: Env, analyzer: CardinalityAnalyzer) -> Iterator[Tuple[object, Env]]:
+    """Yield ``(expr, env)`` for every expression under *root*, with the
+    environment that is in scope at that expression.
+
+    The environment maps variable names to :class:`Binding`; ``let``
+    bindings carry inferred cardinality and attribute-ness, ``for`` and
+    quantifier bindings are exactly-one items.
+    """
+    if root is None:
+        return
+    yield root, env
+    if isinstance(root, ast.FLWOR):
+        inner = dict(env)
+        for clause in root.clauses:
+            if isinstance(clause, ast.ForClause):
+                yield from iter_scoped(clause.source, inner, analyzer)
+                inner = dict(inner)
+                inner[clause.var] = Binding(
+                    card=ONE,
+                    may_be_attribute=analyzer.may_construct_attribute(
+                        clause.source, inner
+                    ),
+                )
+                if clause.position_var:
+                    inner[clause.position_var] = Binding(card=ONE)
+            elif isinstance(clause, ast.LetClause):
+                yield from iter_scoped(clause.value, inner, analyzer)
+                inner = dict(inner)
+                inner[clause.var] = analyzer.binding_of(clause.value, inner)
+            elif isinstance(clause, ast.WhereClause):
+                yield from iter_scoped(clause.condition, inner, analyzer)
+            elif isinstance(clause, ast.OrderByClause):
+                for spec in clause.specs:
+                    yield from iter_scoped(spec.key, inner, analyzer)
+        yield from iter_scoped(root.result, inner, analyzer)
+        return
+    if isinstance(root, ast.Quantified):
+        inner = dict(env)
+        for var, source in root.bindings:
+            yield from iter_scoped(source, inner, analyzer)
+            inner = dict(inner)
+            inner[var] = Binding(card=ONE)
+        yield from iter_scoped(root.satisfies, inner, analyzer)
+        return
+    if isinstance(root, ast.Typeswitch):
+        yield from iter_scoped(root.operand, env, analyzer)
+        for case in root.cases:
+            inner = env
+            if case.var:
+                inner = dict(env)
+                inner[case.var] = Binding(card=from_sequence_type(case.sequence_type))
+            yield from iter_scoped(case.result, inner, analyzer)
+        inner = env
+        if root.default_var:
+            inner = dict(env)
+            inner[root.default_var] = Binding(card=STAR)
+        yield from iter_scoped(root.default, inner, analyzer)
+        return
+    if isinstance(root, ast.TryCatch):
+        yield from iter_scoped(root.body, env, analyzer)
+        inner = env
+        if root.catch_var:
+            inner = dict(env)
+            inner[root.catch_var] = Binding(card=ONE)
+        yield from iter_scoped(root.handler, inner, analyzer)
+        return
+    for child in ast.children_of(root):
+        yield from iter_scoped(child, env, analyzer)
+
+
+def module_environments(module: ast.Module, analyzer: CardinalityAnalyzer):
+    """Initial environments: one for the module body (globals), and one
+    per function (globals + parameters).  Returned as
+    ``(body_env, {function_decl: env})``."""
+    globals_env: Env = {}
+    for declaration in module.variables:
+        if declaration.declared_type is not None:
+            binding = Binding(card=from_sequence_type(declaration.declared_type))
+        elif declaration.value is not None:
+            binding = analyzer.binding_of(declaration.value, globals_env)
+        else:
+            binding = Binding(card=STAR)
+        globals_env[declaration.name] = binding
+    function_envs = {}
+    for function in module.functions:
+        env = dict(globals_env)
+        for param in function.params:
+            env[param.name] = Binding(card=from_sequence_type(param.declared_type))
+        function_envs[id(function)] = env
+    return globals_env, function_envs

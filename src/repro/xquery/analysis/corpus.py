@@ -1,0 +1,135 @@
+"""Linting the repository's own XQuery corpus against a baseline.
+
+The corpus is every ``.xq`` program the repo ships: the docgen generator
+(both error regimes, assembled exactly the way the runner assembles them,
+plus each standalone phase module) and the example queries under
+``examples/xq/``.  ``lint_corpus`` runs the analyzer over all of them;
+CI compares the result against the committed ``lint-baseline.txt`` so a
+change that introduces a *new* diagnostic fails, while the known, accepted
+findings (the corpus deliberately preserves some 2004 idioms) don't.
+
+Baseline lines are ``source:line:column:CODE``, one per finding, ``#``
+comments allowed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .diagnostics import Diagnostic, sort_diagnostics
+from .driver import analyze_source
+
+_REPO_SRC = os.path.dirname(  # src/
+    os.path.dirname(  # src/repro/
+        os.path.dirname(  # src/repro/xquery/
+            os.path.dirname(os.path.abspath(__file__))
+        )
+    )
+)
+REPO_ROOT = os.path.dirname(_REPO_SRC)
+EXAMPLES_XQ_DIR = os.path.join(REPO_ROOT, "examples", "xq")
+BASELINE_PATH = os.path.join(REPO_ROOT, "lint-baseline.txt")
+
+#: docgen phase modules that run standalone (one ``$doc`` external each).
+_PHASE_MODULES = (
+    "phase_omissions.xq",
+    "phase_toc.xq",
+    "phase_replace.xq",
+    "phase_strip.xq",
+)
+
+
+@dataclass(frozen=True)
+class CorpusUnit:
+    """One lintable program: a label and its full source text."""
+
+    label: str
+    source: str
+
+
+def corpus_units() -> List[CorpusUnit]:
+    """Every .xq program the repo ships, assembled the way it actually runs."""
+    from ...docgen.xquery_impl.runner import assemble_main_program, read_module
+
+    units: List[CorpusUnit] = [
+        CorpusUnit("docgen:main(values)", assemble_main_program("values")),
+        CorpusUnit("docgen:main(exceptions)", assemble_main_program("exceptions")),
+    ]
+    for name in _PHASE_MODULES:
+        units.append(CorpusUnit(f"docgen:{name}", read_module(name)))
+    if os.path.isdir(EXAMPLES_XQ_DIR):
+        for filename in sorted(os.listdir(EXAMPLES_XQ_DIR)):
+            if not filename.endswith(".xq"):
+                continue
+            path = os.path.join(EXAMPLES_XQ_DIR, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                units.append(CorpusUnit(f"examples/xq/{filename}", handle.read()))
+    return units
+
+
+def lint_unit(unit: CorpusUnit, config=None) -> List[Diagnostic]:
+    return analyze_source(unit.source, config=config, source_label=unit.label)
+
+
+def lint_corpus(config=None) -> List[Diagnostic]:
+    """Lint every corpus unit; diagnostics carry the unit label as source."""
+    findings: List[Diagnostic] = []
+    for unit in corpus_units():
+        findings.extend(lint_unit(unit, config=config))
+    return sort_diagnostics(findings)
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def baseline_key(diagnostic: Diagnostic) -> str:
+    source, line, column, code = diagnostic.key
+    return f"{source}:{line}:{column}:{code}"
+
+
+def format_baseline(diagnostics: Iterable[Diagnostic]) -> str:
+    """The checked-in baseline format, with messages as trailing comments."""
+    lines = [
+        "# xqlint corpus baseline — accepted findings on the shipped corpus.",
+        "# One `source:line:column:CODE` per line; regenerate with",
+        "#   PYTHONPATH=src python -m repro.xquery.lint --corpus --write-baseline",
+    ]
+    for diagnostic in sort_diagnostics(diagnostics):
+        lines.append(f"{baseline_key(diagnostic)}  # {diagnostic.message}")
+    return "\n".join(lines) + "\n"
+
+
+def load_baseline(path: Optional[str] = None) -> Set[str]:
+    """The accepted finding keys; empty when no baseline file exists yet."""
+    path = path or BASELINE_PATH
+    accepted: Set[str] = set()
+    if not os.path.exists(path):
+        return accepted
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                accepted.add(line)
+    return accepted
+
+
+def diff_against_baseline(
+    diagnostics: Iterable[Diagnostic], path: Optional[str] = None
+) -> Tuple[List[Diagnostic], Set[str]]:
+    """``(new_findings, stale_keys)`` relative to the baseline file.
+
+    *new_findings* are diagnostics whose key is not accepted; *stale_keys*
+    are accepted keys the corpus no longer produces (candidates to prune).
+    """
+    accepted = load_baseline(path)
+    produced: Dict[str, Diagnostic] = {}
+    fresh: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = baseline_key(diagnostic)
+        produced[key] = diagnostic
+        if key not in accepted:
+            fresh.append(diagnostic)
+    stale = accepted - set(produced)
+    return sort_diagnostics(fresh), stale

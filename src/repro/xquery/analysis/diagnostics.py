@@ -1,0 +1,80 @@
+"""The diagnostic model for the static analyzer.
+
+The paper's sharpest complaint about the 2004 toolchain is that failures
+arrived "without any information of where" — Galax died with ``Index out
+of bounds`` and no location.  Every :class:`Diagnostic` therefore carries
+a real line/column span (threaded from the lexer through the AST), a
+stable rule code, and a severity, and renders in the conventional
+``file:line:column: CODE message`` shape that editors and CI understand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: severity names, in increasing order of gravity.
+SEVERITIES = ("info", "warning", "error")
+
+
+class LintWarning(UserWarning):
+    """Raised (as a warning) when ``EngineConfig(lint="warn")`` finds issues."""
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule code, a severity, a message, and a location."""
+
+    code: str  # e.g. "XQL003"
+    severity: str  # "info" | "warning" | "error"
+    message: str
+    line: int = 0
+    column: int = 0
+    rule: str = ""  # the rule's slug, e.g. "positional-predicate"
+    source: str = ""  # unit label (file path or corpus unit name)
+    spec_code: Optional[str] = None  # W3C code when one exists (XPST0008, ...)
+    hint: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> Tuple[str, int, int, str]:
+        """Identity used for baseline matching: (source, line, column, code)."""
+        return (self.source, self.line, self.column, self.code)
+
+    def render(self) -> str:
+        where = self.source or "<query>"
+        spec = f" ({self.spec_code})" if self.spec_code else ""
+        return (
+            f"{where}:{self.line}:{self.column}: "
+            f"{self.code}{spec} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "source": self.source,
+        }
+        if self.spec_code:
+            payload["spec_code"] = self.spec_code
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_diagnostics(diagnostics) -> list:
+    """Stable presentation order: by unit, then location, then code."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.source, d.line, d.column, d.code, d.message),
+    )
+
+
+def severity_at_least(diagnostic: Diagnostic, floor: str) -> bool:
+    return SEVERITIES.index(diagnostic.severity) >= SEVERITIES.index(floor)

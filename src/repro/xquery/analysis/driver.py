@@ -1,0 +1,107 @@
+"""Entry points that run every registered rule over a module or source text.
+
+``analyze_module`` works on an already-parsed :class:`~repro.xquery.ast.Module`;
+``analyze_source`` parses first and turns parse failures into **XQL000**
+diagnostics (the analyzer never raises on bad input — the whole point is to
+report *with a location* instead of dying the way 2004 Galax did).
+
+Library modules — a prolog with no body expression, like the docgen
+``util.xq`` — are parsed by appending a ``()`` body; rules that need a body
+to be meaningful (unused-function detection) relax for them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from .. import ast
+from ..errors import XQueryStaticError
+from ..parser import parse_query
+from .diagnostics import Diagnostic, sort_diagnostics
+from .rules import RULES, ModuleAnalysis
+
+
+def _selected_codes(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> Set[str]:
+    codes = set(RULES)
+    if select:
+        wanted = {c.upper() for c in select}
+        codes = {c for c in codes if c in wanted}
+    if ignore:
+        dropped = {c.upper() for c in ignore}
+        codes = {c for c in codes if c not in dropped}
+    return codes
+
+
+def analyze_module(
+    module: ast.Module,
+    config=None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    source_label: str = "",
+    has_body: Optional[bool] = None,
+) -> List[Diagnostic]:
+    """Run every selected rule over *module*; returns sorted diagnostics."""
+    codes = _selected_codes(select, ignore)
+    analysis = ModuleAnalysis(module, config=config, has_body=has_body)
+    findings: List[Diagnostic] = []
+    for code in sorted(codes):
+        for diagnostic in RULES[code].check(analysis):
+            if source_label and not diagnostic.source:
+                diagnostic.source = source_label
+            findings.append(diagnostic)
+    return sort_diagnostics(findings)
+
+
+def parse_for_lint(source: str):
+    """Parse *source*, tolerating prolog-only library modules.
+
+    Returns ``(module, has_body)``.  Raises :class:`XQueryStaticError` only
+    when the text is unparseable even as a library.
+    """
+    try:
+        return parse_query(source), True
+    except XQueryStaticError as original:
+        # a library module is a prolog with no body; retry with a dummy one.
+        # if the retry fails too, report the ORIGINAL error — the retry's
+        # positions are shifted by the appended body.
+        try:
+            module = parse_query(source + "\n()")
+        except XQueryStaticError:
+            raise original
+        module.body = None
+        return module, False
+
+
+def analyze_source(
+    source: str,
+    config=None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    source_label: str = "",
+) -> List[Diagnostic]:
+    """Parse and analyze; parse failures become XQL000 diagnostics."""
+    try:
+        module, has_body = parse_for_lint(source)
+    except XQueryStaticError as error:
+        return [
+            Diagnostic(
+                code="XQL000",
+                severity="error",
+                message=f"parse error: {error.bare_message}",
+                line=error.line or 0,
+                column=error.column or 0,
+                rule="parse-error",
+                source=source_label,
+                spec_code=error.code,
+            )
+        ]
+    return analyze_module(
+        module,
+        config=config,
+        select=select,
+        ignore=ignore,
+        source_label=source_label,
+        has_body=has_body,
+    )

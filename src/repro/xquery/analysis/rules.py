@@ -1,0 +1,885 @@
+"""The paper-grounded lint rules (XQL001–XQL008) and their registry.
+
+Each rule encodes one footgun the paper hit in 2004:
+
+* **XQL001** — the Galax optimizer "helpfully" deleting ``trace`` probes
+  bound to dead variables;
+* **XQL002** — the error-as-value convention used without its mandatory
+  ``is-error`` check ("nearly every function call [became] a half-dozen
+  lines");
+* **XQL003** — positional predicates over sequences whose flattening is
+  not statically fixed (the E1 sequence-indexing table, and the
+  ``Index out of bounds, without any information of where`` death);
+* **XQL004** — attribute constructors folding into the parent element or
+  erroring when they arrive after content (the E2 table);
+* **XQL005** — unused functions/variables and unreachable branches (what
+  the optimizer silently removes, the author silently loses);
+* **XQL006** — variable shadowing in FLWOR clauses (aggravated by the
+  paper's syntax complaints: ``$n-1`` is a *name*, so shadowing is easy
+  to introduce while "fixing" exactly that);
+* **XQL007 / XQL008** — the name-resolution and arity checks that used to
+  live in :mod:`repro.xquery.statictype`, re-homed as lint rules (their
+  W3C codes XPST0008/XPST0017 ride along as ``spec_code``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .. import ast
+from ..optimizer import contains_trace, free_variables, has_side_effects
+from ..statictype import check_module
+from ...xdm import ItemType
+from .cardinality import (
+    CardinalityAnalyzer,
+    Env,
+    iter_scoped,
+    module_environments,
+    positional_index,
+)
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    slug: str
+    summary: str
+    paper: str  # where in the paper the footgun lives
+    check: Callable[["ModuleAnalysis"], Iterable[Diagnostic]]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, slug: str, summary: str, paper: str):
+    """Class decorator-style registration for rule check functions."""
+
+    def register(fn: Callable[["ModuleAnalysis"], Iterable[Diagnostic]]):
+        RULES[code] = Rule(code=code, slug=slug, summary=summary, paper=paper, check=fn)
+        return fn
+
+    return register
+
+
+class ModuleAnalysis:
+    """Shared per-module facts the rules draw on.
+
+    Built once per :func:`analyze_module` call: cardinality analyzer,
+    initial environments, the fallible-function fixpoint, and the
+    checker-function set.  ``has_body`` is False for library modules
+    (prolog only, body synthesized) — some rules relax there.
+    """
+
+    def __init__(self, module: ast.Module, config=None, has_body: Optional[bool] = None):
+        self.module = module
+        self.config = config
+        self.has_body = module.body is not None if has_body is None else has_body
+        self.analyzer = CardinalityAnalyzer(module)
+        self.body_env, self._function_envs = module_environments(module, self.analyzer)
+        self._fallible: Optional[Set[str]] = None
+        self._constructors: Optional[Set[str]] = None
+        self._checkers: Optional[Set[str]] = None
+
+    # -- traversal helpers --------------------------------------------------
+
+    def units(self) -> Iterator[Tuple[str, object, Env]]:
+        """Yield ``(owner, root_expr, initial_env)`` per function and body."""
+        for function in self.module.functions:
+            yield function.name, function.body, self._function_envs[id(function)]
+        for declaration in self.module.variables:
+            if declaration.value is not None:
+                yield f"${declaration.name}", declaration.value, self.body_env
+        if self.module.body is not None:
+            yield "<body>", self.module.body, self.body_env
+
+    def scoped(self) -> Iterator[Tuple[str, object, Env]]:
+        """Yield ``(owner, expr, env)`` for every expression in the module."""
+        for owner, root, env in self.units():
+            for expr, scope in iter_scoped(root, env, self.analyzer):
+                yield owner, expr, scope
+
+    # -- the error-as-value convention (XQL002 machinery) -------------------
+
+    @staticmethod
+    def _local(name: str) -> str:
+        return name.split(":")[-1]
+
+    def checker_functions(self) -> Set[str]:
+        """Functions that *test* for an error value (``local:is-error``):
+        their body applies ``instance of element(error)`` to a parameter."""
+        if self._checkers is None:
+            checkers: Set[str] = set()
+            for function in self.module.functions:
+                params = {p.name for p in function.params}
+                found: List[bool] = []
+
+                def visit(node, params=params, found=found) -> None:
+                    if (
+                        isinstance(node, ast.InstanceOf)
+                        and node.sequence_type is not None
+                        and node.sequence_type.item_type is not None
+                        and node.sequence_type.item_type.category == ItemType.NODE
+                        and node.sequence_type.item_type.node_kind == "element"
+                        and node.sequence_type.item_type.name == "error"
+                        and isinstance(node.operand, ast.VarRef)
+                        and node.operand.name in params
+                    ):
+                        found.append(True)
+
+                ast.walk(function.body, visit)
+                if found:
+                    checkers.add(self._local(function.name))
+            self._checkers = checkers
+        return self._checkers
+
+    @staticmethod
+    def _constructs_error_element(expr) -> bool:
+        found: List[bool] = []
+
+        def visit(node) -> None:
+            if isinstance(node, ast.DirectElement) and node.name == "error":
+                found.append(True)
+            elif isinstance(node, ast.ComputedElement) and node.name == "error":
+                found.append(True)
+
+        ast.walk(expr, visit)
+        return bool(found)
+
+    def fallible_functions(self) -> Tuple[Set[str], Set[str]]:
+        """``(fallible, constructors)`` by local name.
+
+        *Constructors* always return an error element (``local:mk-error``);
+        calling one is intentional construction, never flagged.  *Fallible*
+        functions may return an error element — directly, or by containing
+        an unguarded call to another fallible function (fixpoint).
+        """
+        if self._fallible is None:
+            constructors: Set[str] = set()
+            fallible: Set[str] = set()
+            for function in self.module.functions:
+                body = _unwrap_parens(function.body)
+                if (
+                    isinstance(body, (ast.DirectElement, ast.ComputedElement))
+                    and body.name == "error"
+                ):
+                    constructors.add(self._local(function.name))
+                if self._constructs_error_element(function.body):
+                    fallible.add(self._local(function.name))
+            changed = True
+            while changed:
+                changed = False
+                for function in self.module.functions:
+                    local = self._local(function.name)
+                    if local in fallible:
+                        continue
+                    # tail-position propagation spreads fallibility too, so
+                    # the fixpoint does NOT exempt tail calls.
+                    if self._unguarded_calls(
+                        function.body, fallible | constructors, exempt_tail=False
+                    ):
+                        fallible.add(local)
+                        changed = True
+            self._fallible = fallible
+            self._constructors = constructors
+        return self._fallible, self._constructors
+
+    def _unguarded_calls(
+        self, root, fallible: Set[str], exempt_tail: bool = True
+    ) -> List[ast.FunctionCall]:
+        """Calls to *fallible* functions in *root* whose result is never
+        passed through a checker (``local:is-error``).
+
+        With *exempt_tail*, calls in result (tail) position are treated as
+        guarded: returning a fallible result unchecked is the convention's
+        propagation idiom — the caller checks.
+        """
+        checkers = self.checker_functions()
+        calls: List[ast.FunctionCall] = []
+        guarded_ids: Set[int] = set()
+        checked_vars: Set[str] = set()
+        if exempt_tail:
+            guarded_ids.update(id(node) for node in _result_roots(root))
+
+        def visit(node) -> None:
+            if isinstance(node, ast.FunctionCall):
+                if self._local(node.name) in fallible:
+                    calls.append(node)
+                if self._local(node.name) in checkers:
+                    for arg in node.args:
+                        if isinstance(arg, ast.VarRef):
+                            checked_vars.add(arg.name)
+                        for inner in _result_roots(arg):
+                            guarded_ids.add(id(inner))
+
+        ast.walk(root, visit)
+
+        def mark_guarded_lets(node) -> None:
+            if isinstance(node, ast.FLWOR):
+                for clause in node.clauses:
+                    if (
+                        isinstance(clause, ast.LetClause)
+                        and clause.var in checked_vars
+                    ):
+                        for inner in _result_roots(clause.value):
+                            guarded_ids.add(id(inner))
+
+        ast.walk(root, mark_guarded_lets)
+        return [call for call in calls if id(call) not in guarded_ids]
+
+
+def _unwrap_parens(expr):
+    """Strip no-op wrappers: a parenthesized expression parses as a
+    step-less, anchor-less PathExpr."""
+    while (
+        isinstance(expr, ast.PathExpr)
+        and expr.anchor is None
+        and not expr.steps
+        and expr.first is not None
+    ):
+        expr = expr.first
+    return expr
+
+
+def _result_roots(expr) -> List[object]:
+    """The sub-expressions a value can *be* (through parens, conditionals
+    and try/catch) — where a fallible call's result escapes unwrapped."""
+    expr = _unwrap_parens(expr)
+    if isinstance(expr, ast.IfExpr):
+        roots = _result_roots(expr.then_branch)
+        if expr.else_branch is not None:
+            roots += _result_roots(expr.else_branch)
+        return [expr] + roots
+    if isinstance(expr, ast.TryCatch):
+        return [expr] + _result_roots(expr.body) + _result_roots(expr.handler)
+    if isinstance(expr, ast.FLWOR):
+        return [expr] + _result_roots(expr.result)
+    return [expr]
+
+
+def _flwor_downstream_names(flwor: ast.FLWOR, index: int) -> Set[str]:
+    """Free variables referenced after clause *index* — exactly the
+    optimizer's liveness computation, shared so XQL001 predicts it."""
+    downstream: Set[str] = set()
+    for later in flwor.clauses[index + 1 :]:
+        if isinstance(later, ast.ForClause):
+            downstream |= free_variables(later.source)
+        elif isinstance(later, ast.LetClause):
+            downstream |= free_variables(later.value)
+        elif isinstance(later, ast.WhereClause):
+            downstream |= free_variables(later.condition)
+        elif isinstance(later, ast.OrderByClause):
+            for spec in later.specs:
+                downstream |= free_variables(spec.key)
+    downstream |= free_variables(flwor.result)
+    return downstream
+
+
+def _iter_flwors(analysis: ModuleAnalysis) -> Iterator[Tuple[str, ast.FLWOR]]:
+    for owner, root, _env in analysis.units():
+        found: List[ast.FLWOR] = []
+        ast.walk(root, lambda n: found.append(n) if isinstance(n, ast.FLWOR) else None)
+        for flwor in found:
+            yield owner, flwor
+
+
+# ---------------------------------------------------------------------------
+# XQL001 — trace() in dead-variable position
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "XQL001",
+    "dead-trace",
+    "trace() bound to an unused variable: the 2004 dead-code optimizer "
+    "silently deletes the binding and the trace with it",
+    '"Simply adding the trace introduces a dead variable $dummy, which the '
+    'Galax compiler helpfully optimizes away — along with the call to trace."',
+)
+def check_dead_trace(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    severity = "warning"
+    config = analysis.config
+    if config is not None and getattr(config, "optimize", False) and getattr(
+        config, "trace_is_dead_code", False
+    ):
+        severity = "error"  # this engine *will* eat the probe
+    for owner, flwor in _iter_flwors(analysis):
+        for index, clause in enumerate(flwor.clauses):
+            if not isinstance(clause, ast.LetClause):
+                continue
+            if not contains_trace(clause.value):
+                continue
+            if clause.var in _flwor_downstream_names(flwor, index):
+                continue
+            # the buggy optimizer keeps the let only for error(); with
+            # trace demoted to dead code, this binding is gone.
+            if has_side_effects(clause.value, trace_is_dead_code=True):
+                continue
+            yield Diagnostic(
+                code="XQL001",
+                severity=severity,
+                message=(
+                    f"in {owner}: trace() is bound to unused variable "
+                    f"${clause.var}; the 2004 dead-code pass deletes this "
+                    f"binding and the trace output vanishes"
+                ),
+                line=clause.line or clause.value.line,
+                column=clause.column or clause.value.column,
+                rule="dead-trace",
+                hint=f"insinuate the trace into live code: "
+                f"let ${clause.var} := trace(..., <live value>)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# XQL002 — error-as-value result used without a check
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "XQL002",
+    "unchecked-error-value",
+    "result of a fallible function (one that may return <error>) used "
+    "without an is-error check",
+    '"[The convention] turned nearly every function call into a half-dozen '
+    'lines of code" — and forgetting those lines silently propagates an '
+    "<error> element into the document.",
+)
+def check_unchecked_error_value(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    fallible, constructors = analysis.fallible_functions()
+    flagged = fallible - constructors
+    if not flagged:
+        return
+    checkers = analysis.checker_functions()
+    if not checkers:
+        # no is-error-style checker declared: the convention is not in
+        # force in this module, so every "fallible" call would be noise.
+        return
+    for owner, root, _env in analysis.units():
+        # tail propagation is fine inside functions; an unchecked fallible
+        # result in the module body flows straight into the output.
+        is_function = not owner.startswith(("<", "$"))
+        for call in analysis._unguarded_calls(root, flagged, exempt_tail=is_function):
+            yield Diagnostic(
+                code="XQL002",
+                severity="warning",
+                message=(
+                    f"in {owner}: result of fallible {call.name}() is used "
+                    f"without an is-error check; an <error> element can flow "
+                    f"into the output"
+                ),
+                line=call.line,
+                column=call.column,
+                rule="unchecked-error-value",
+                hint="bind the result with let and test it: "
+                "let $r := ... return if (local:is-error($r)) then ... else ...",
+            )
+
+
+# ---------------------------------------------------------------------------
+# XQL003 — positional predicates the E1 table warns about
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "XQL003",
+    "positional-predicate",
+    "positional predicate on a possibly-empty or non-singleton sequence: "
+    "which item is selected depends on runtime flattening",
+    "The E1 sequence-indexing table: ($X, $Y, $Z)[2] slides across X, Y and "
+    'Z as parts flatten; Galax reported the surprises as "Index out of '
+    'bounds, without any information of where".',
+)
+def check_positional_predicates(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    for owner, expr, env in analysis.scoped():
+        if not isinstance(expr, ast.FilterExpr):
+            continue
+        base_card = analysis.analyzer.card(expr.base, env)
+        for predicate in expr.predicates:
+            n = positional_index(predicate)
+            if n is None:
+                continue
+            if n < 1:
+                yield Diagnostic(
+                    code="XQL003",
+                    severity="error",
+                    message=(
+                        f"in {owner}: positional predicate [{n}] can never "
+                        f"select an item (positions are 1-based)"
+                    ),
+                    line=predicate.line or expr.line,
+                    column=predicate.column or expr.column,
+                    rule="positional-predicate",
+                )
+            elif base_card.hi is not None and n > base_card.hi:
+                yield Diagnostic(
+                    code="XQL003",
+                    severity="error",
+                    message=(
+                        f"in {owner}: positional predicate [{n}] can never "
+                        f"select an item — the base sequence has at most "
+                        f"{base_card.hi} item(s)"
+                    ),
+                    line=predicate.line or expr.line,
+                    column=predicate.column or expr.column,
+                    rule="positional-predicate",
+                )
+            else:
+                base = _unwrap_parens(expr.base)
+                if isinstance(base, ast.SequenceExpr) and any(
+                    not analysis.analyzer.card(item, env).is_exactly_one
+                    for item in base.items
+                ):
+                    yield Diagnostic(
+                        code="XQL003",
+                        severity="warning",
+                        message=(
+                            f"in {owner}: [{n}] indexes a concatenation whose "
+                            f"parts may be empty or plural; which item is at "
+                            f"position {n} depends on runtime flattening (E1)"
+                        ),
+                        line=predicate.line or expr.line,
+                        column=predicate.column or expr.column,
+                        rule="positional-predicate",
+                        hint="make each part exactly-one (wrap with "
+                        "exactly-one()) or select from a single sub-sequence",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# XQL004 — attribute constructor folding surprises (E2)
+# ---------------------------------------------------------------------------
+
+
+def _attribute_content_findings(
+    analysis: ModuleAnalysis,
+    owner: str,
+    element_name: str,
+    parts: List[object],
+    env: Env,
+    static_attr_names: List[str],
+    where,
+) -> Iterator[Diagnostic]:
+    analyzer = analysis.analyzer
+    seen_names = list(static_attr_names)
+    seen_content = False
+    for part in parts:
+        if isinstance(part, ast.DirectText):
+            seen_content = True
+            continue
+        if not isinstance(part, ast.Expr):
+            seen_content = True
+            continue
+        if analyzer.may_construct_attribute(part, env):
+            line = getattr(part, "line", 0) or where.line
+            column = getattr(part, "column", 0) or where.column
+            if seen_content:
+                yield Diagnostic(
+                    code="XQL004",
+                    severity="error",
+                    message=(
+                        f"in {owner}: attribute node in <{element_name}> "
+                        f"content arrives after non-attribute content — this "
+                        f"raises XQTY0024 at runtime (E2)"
+                    ),
+                    line=line,
+                    column=column,
+                    rule="attribute-folding",
+                    spec_code="XQTY0024",
+                )
+            else:
+                name = analyzer.static_attribute_name(part, env)
+                if name is not None and name in seen_names:
+                    yield Diagnostic(
+                        code="XQL004",
+                        severity="warning",
+                        message=(
+                            f"in {owner}: duplicate attribute name "
+                            f"{name!r} on <{element_name}>: which value "
+                            f'survives is "one of two results" (and the '
+                            f"Galax bug kept both)"
+                        ),
+                        line=line,
+                        column=column,
+                        rule="attribute-folding",
+                        spec_code="XQDY0025",
+                    )
+                if name is not None:
+                    seen_names.append(name)
+                if isinstance(where, ast.DirectElement):
+                    yield Diagnostic(
+                        code="XQL004",
+                        severity="info",
+                        message=(
+                            f"in {owner}: enclosed expression at the start of "
+                            f"<{element_name}> content may yield attribute "
+                            f"nodes, which silently fold into "
+                            f"<{element_name}>'s attributes (E2)"
+                        ),
+                        line=line,
+                        column=column,
+                        rule="attribute-folding",
+                    )
+        else:
+            seen_content = True
+
+
+@rule(
+    "XQL004",
+    "attribute-folding",
+    "attribute constructor in element content: silently folds into the "
+    "parent's attributes, duplicates one of two results, or errors after "
+    "content",
+    'The E2 attribute-folding table ("Treatment of Child Elements"): a '
+    "leading attribute node becomes an attribute of the parent; duplicates "
+    'give "one of two results" (Galax kept both); late attributes error.',
+)
+def check_attribute_folding(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    for owner, expr, env in analysis.scoped():
+        if isinstance(expr, ast.DirectElement):
+            static_names: List[str] = []
+            for attr_name, _parts in expr.attributes:
+                if attr_name in static_names:
+                    yield Diagnostic(
+                        code="XQL004",
+                        severity="warning",
+                        message=(
+                            f"in {owner}: <{expr.name}> declares attribute "
+                            f"{attr_name!r} twice"
+                        ),
+                        line=expr.line,
+                        column=expr.column,
+                        rule="attribute-folding",
+                        spec_code="XQDY0025",
+                    )
+                static_names.append(attr_name)
+            yield from _attribute_content_findings(
+                analysis, owner, expr.name, expr.content, env, static_names, expr
+            )
+        elif isinstance(expr, ast.ComputedElement) and expr.content is not None:
+            content = _unwrap_parens(expr.content)
+            parts = (
+                list(content.items)
+                if isinstance(content, ast.SequenceExpr)
+                else [content]
+            )
+            # computed constructors put attributes first by idiom; only the
+            # attribute-after-content error is worth reporting there.
+            for finding in _attribute_content_findings(
+                analysis,
+                owner,
+                expr.name or "element",
+                parts,
+                env,
+                [],
+                expr,
+            ):
+                if finding.severity == "error":
+                    yield finding
+
+
+# ---------------------------------------------------------------------------
+# XQL005 — unused declarations and unreachable branches
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "XQL005",
+    "dead-code",
+    "unused function, unused variable, or unreachable branch",
+    "What the optimizer silently removes, the author silently loses — the "
+    "trace bug was exactly a dead-code pass disagreeing with the author "
+    "about what mattered.",
+)
+def check_dead_code(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    module = analysis.module
+    # unused user functions (only meaningful when a body exists to reach them)
+    if analysis.has_body:
+        called: Set[str] = set()
+
+        def note_call(node) -> None:
+            if isinstance(node, ast.FunctionCall):
+                called.add(node.name.split(":")[-1])
+
+        for _owner, root, _env in analysis.units():
+            ast.walk(root, note_call)
+        for function in module.functions:
+            if function.name.split(":")[-1] not in called:
+                yield Diagnostic(
+                    code="XQL005",
+                    severity="warning",
+                    message=f"function {function.name}() is never called",
+                    line=function.line,
+                    column=function.column,
+                    rule="dead-code",
+                )
+    # unused global variables
+    referenced: Set[str] = set()
+
+    def note_var(node) -> None:
+        if isinstance(node, ast.VarRef):
+            referenced.add(node.name)
+
+    for _owner, root, _env in analysis.units():
+        ast.walk(root, note_var)
+    for declaration in module.variables:
+        if declaration.name not in referenced:
+            yield Diagnostic(
+                code="XQL005",
+                severity="warning",
+                message=f"variable ${declaration.name} is declared but never used",
+                line=declaration.line,
+                column=declaration.column,
+                rule="dead-code",
+            )
+    # unused let bindings (the optimizer removes them without a word)
+    for owner, flwor in _iter_flwors(analysis):
+        for index, clause in enumerate(flwor.clauses):
+            if not isinstance(clause, ast.LetClause):
+                continue
+            if clause.var in _flwor_downstream_names(flwor, index):
+                continue
+            if contains_trace(clause.value):
+                continue  # XQL001's territory
+            survives = has_side_effects(clause.value, trace_is_dead_code=True)
+            yield Diagnostic(
+                code="XQL005",
+                severity="info",
+                message=(
+                    f"in {owner}: let ${clause.var} is never used"
+                    + (
+                        " (kept only for its error() side effect)"
+                        if survives
+                        else "; the optimizer removes it silently"
+                    )
+                ),
+                line=clause.line or (clause.value.line if clause.value else 0),
+                column=clause.column or (clause.value.column if clause.value else 0),
+                rule="dead-code",
+            )
+    # unreachable branches
+    for owner, expr, _env in analysis.scoped():
+        if isinstance(expr, ast.IfExpr):
+            condition = _const_bool(expr.condition)
+            if condition is not None:
+                dead = expr.else_branch if condition else expr.then_branch
+                which = "else" if condition else "then"
+                if dead is None:
+                    continue
+                yield Diagnostic(
+                    code="XQL005",
+                    severity="warning",
+                    message=(
+                        f"in {owner}: condition is constantly "
+                        f"{str(condition).lower()}; the {which} "
+                        f"branch is unreachable"
+                    ),
+                    line=getattr(dead, "line", 0) or expr.line,
+                    column=getattr(dead, "column", 0) or expr.column,
+                    rule="dead-code",
+                )
+        elif isinstance(expr, ast.FLWOR):
+            for clause in expr.clauses:
+                if (
+                    isinstance(clause, ast.WhereClause)
+                    and _const_bool(clause.condition) is False
+                ):
+                    yield Diagnostic(
+                        code="XQL005",
+                        severity="warning",
+                        message=(
+                            f"in {owner}: where clause is constantly false; "
+                            f"the FLWOR always returns ()"
+                        ),
+                        line=clause.line or expr.line,
+                        column=clause.column or expr.column,
+                        rule="dead-code",
+                    )
+
+
+def _const_bool(expr) -> Optional[bool]:
+    """The statically known truth value of a condition, if any.
+
+    XQuery has no boolean literals — ``true()``/``false()`` are function
+    calls — so this looks through both shapes (the Literal form appears
+    after constant folding).
+    """
+    expr = _unwrap_parens(expr)
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, ast.FunctionCall) and not expr.args:
+        local = expr.name.split(":")[-1]
+        if local == "true":
+            return True
+        if local == "false":
+            return False
+    return None
+
+
+# ---------------------------------------------------------------------------
+# XQL006 — variable shadowing in FLWOR clauses
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "XQL006",
+    "shadowed-variable",
+    "a for/let/quantifier binding reuses a name already in scope",
+    "The paper's syntax lesson: with $n-1 scanning as one variable name and "
+    "bare names meaning node tests, silently rebinding $x is an easy way to "
+    "read the wrong value with no diagnostic at all.",
+)
+def check_shadowing(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    global_names = {declaration.name for declaration in analysis.module.variables}
+
+    def walk(owner: str, expr, scope: Set[str]) -> Iterator[Diagnostic]:
+        if expr is None or not isinstance(expr, ast.Expr):
+            return
+        if isinstance(expr, ast.FLWOR):
+            inner = set(scope)
+            for clause in expr.clauses:
+                if isinstance(clause, ast.ForClause):
+                    yield from walk(owner, clause.source, inner)
+                    for name, line, column in (
+                        (clause.var, clause.line, clause.column),
+                        (clause.position_var, clause.line, clause.column),
+                    ):
+                        if name and name in inner:
+                            yield _shadow(owner, "for", name, line, column)
+                        if name:
+                            inner.add(name)
+                elif isinstance(clause, ast.LetClause):
+                    yield from walk(owner, clause.value, inner)
+                    if clause.var in inner:
+                        yield _shadow(owner, "let", clause.var, clause.line, clause.column)
+                    inner.add(clause.var)
+                elif isinstance(clause, ast.WhereClause):
+                    yield from walk(owner, clause.condition, inner)
+                elif isinstance(clause, ast.OrderByClause):
+                    for spec in clause.specs:
+                        yield from walk(owner, spec.key, inner)
+            yield from walk(owner, expr.result, inner)
+            return
+        if isinstance(expr, ast.Quantified):
+            inner = set(scope)
+            for name, source in expr.bindings:
+                yield from walk(owner, source, inner)
+                if name in inner:
+                    yield _shadow(owner, expr.quantifier, name, source.line, source.column)
+                inner.add(name)
+            yield from walk(owner, expr.satisfies, inner)
+            return
+        if isinstance(expr, ast.Typeswitch):
+            yield from walk(owner, expr.operand, scope)
+            for case in expr.cases:
+                inner = set(scope)
+                if case.var:
+                    if case.var in inner:
+                        yield _shadow(owner, "case", case.var, expr.line, expr.column)
+                    inner.add(case.var)
+                yield from walk(owner, case.result, inner)
+            inner = set(scope)
+            if expr.default_var:
+                if expr.default_var in inner:
+                    yield _shadow(owner, "default", expr.default_var, expr.line, expr.column)
+                inner.add(expr.default_var)
+            yield from walk(owner, expr.default, inner)
+            return
+        if isinstance(expr, ast.TryCatch):
+            yield from walk(owner, expr.body, scope)
+            inner = set(scope)
+            if expr.catch_var:
+                if expr.catch_var in inner:
+                    yield _shadow(owner, "catch", expr.catch_var, expr.line, expr.column)
+                inner.add(expr.catch_var)
+            yield from walk(owner, expr.handler, inner)
+            return
+        for child in ast.children_of(expr):
+            yield from walk(owner, child, scope)
+
+    for function in analysis.module.functions:
+        scope = set(global_names)
+        for param in function.params:
+            if param.name in scope:
+                yield Diagnostic(
+                    code="XQL006",
+                    severity="warning",
+                    message=(
+                        f"in {function.name}: parameter ${param.name} shadows "
+                        f"the global variable of the same name"
+                    ),
+                    line=param.line or function.line,
+                    column=param.column or function.column,
+                    rule="shadowed-variable",
+                )
+            scope.add(param.name)
+        yield from walk(function.name, function.body, scope)
+    if analysis.module.body is not None:
+        yield from walk("<body>", analysis.module.body, set(global_names))
+
+
+def _shadow(owner: str, kind: str, name: str, line: int, column: int) -> Diagnostic:
+    return Diagnostic(
+        code="XQL006",
+        severity="warning",
+        message=(
+            f"in {owner}: {kind} binding ${name} shadows an in-scope "
+            f"variable of the same name"
+        ),
+        line=line,
+        column=column,
+        rule="shadowed-variable",
+    )
+
+
+# ---------------------------------------------------------------------------
+# XQL007 / XQL008 — the re-homed statictype checks
+# ---------------------------------------------------------------------------
+
+_SPEC_TO_XQL = {"XPST0008": "XQL007", "XPST0017": "XQL008"}
+
+
+@rule(
+    "XQL007",
+    "undefined-variable",
+    "reference to an undeclared variable (re-homed XPST0008)",
+    'Under galax_diagnostics this surfaced as "Internal_Error: Variable '
+    "'$glx:dot' not found.\" with no location at all.",
+)
+def check_undefined_variables(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    yield from _rehomed(analysis, "XQL007")
+
+
+@rule(
+    "XQL008",
+    "unknown-function",
+    "call to an unknown function or with the wrong arity (re-homed XPST0017)",
+    "The paper's author had no analyzer at all: name and arity mistakes "
+    "surfaced only when the query happened to execute the call.",
+)
+def check_unknown_functions(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    yield from _rehomed(analysis, "XQL008")
+
+
+def _rehomed(analysis: ModuleAnalysis, code: str) -> Iterator[Diagnostic]:
+    for issue in check_module(analysis.module):
+        mapped = _SPEC_TO_XQL.get(issue.code)
+        if mapped != code:
+            continue
+        yield Diagnostic(
+            code=mapped,
+            severity="error",
+            message=issue.message,
+            line=issue.line,
+            column=issue.column,
+            rule=RULES[mapped].slug if mapped in RULES else "",
+            spec_code=issue.code,
+        )
+
+
+def rule_catalog() -> List[Rule]:
+    """All registered rules, ordered by code."""
+    return [RULES[code] for code in sorted(RULES)]

@@ -67,12 +67,36 @@ class CompiledQuery:
                     column=variable.column,
                 )
             seen_variables.add(variable.name)
+        #: lint findings, populated when ``config.lint`` is not "off".
+        self.diagnostics: List["Diagnostic"] = []
+        if config.lint != "off":
+            # lint BEFORE optimization: XQL001's whole point is to see the
+            # trace binding the dead-code pass is about to delete.
+            self._run_lint()
         self.optimizer_stats: Optional[OptimizerStats] = None
         if config.optimize:
             self.optimizer_stats = optimize_module(
                 module, trace_is_dead_code=config.trace_is_dead_code
             )
         self._closures: Optional[CompiledProgram] = None
+
+    def _run_lint(self) -> None:
+        import warnings
+
+        from .analysis import LintWarning, analyze_module, severity_at_least
+
+        self.diagnostics = analyze_module(self.module, config=self.config)
+        for diagnostic in self.diagnostics:
+            if not severity_at_least(diagnostic, "warning"):
+                continue
+            if self.config.lint == "error":
+                raise XQueryStaticError(
+                    f"lint: {diagnostic.code} {diagnostic.message}",
+                    code=diagnostic.spec_code or diagnostic.code,
+                    line=diagnostic.line or None,
+                    column=diagnostic.column or None,
+                )
+            warnings.warn(diagnostic.render(), LintWarning, stacklevel=4)
 
     @property
     def closures(self) -> CompiledProgram:

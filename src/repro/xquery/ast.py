@@ -158,6 +158,8 @@ class ForClause:
     var: str = ""
     position_var: Optional[str] = None
     source: Expr = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -165,11 +167,15 @@ class LetClause:
     var: str = ""
     value: Expr = None
     declared_type: Optional[SequenceType] = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass
 class WhereClause:
     condition: Expr = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -251,6 +257,8 @@ class FunctionCall(Expr):
 class Param:
     name: str = ""
     declared_type: Optional[SequenceType] = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass

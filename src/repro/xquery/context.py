@@ -38,6 +38,14 @@ class EngineConfig:
     ``compile_cache_size``
         Maximum number of compiled queries the engine's LRU compile cache
         retains; ``0`` disables caching entirely.
+    ``lint``
+        Run the static analyzer (:mod:`repro.xquery.analysis`) at compile
+        time, *before* the optimizer runs: ``"off"`` (default), ``"warn"``
+        (emit a :class:`~repro.xquery.analysis.LintWarning` per finding of
+        warning severity or worse), or ``"error"`` (raise
+        :class:`~repro.xquery.errors.XQueryStaticError` on the first such
+        finding).  Linting pre-optimization is what lets XQL001 warn about
+        the trace the dead-code pass is about to delete.
     """
 
     duplicate_attribute_mode: str = "last"
@@ -48,6 +56,13 @@ class EngineConfig:
     type_check_calls: bool = True
     backend: str = "treewalk"
     compile_cache_size: int = 128
+    lint: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.lint not in ("off", "warn", "error"):
+            raise ValueError(
+                f"lint must be 'off', 'warn', or 'error', not {self.lint!r}"
+            )
 
 
 class TraceLog:

@@ -39,7 +39,6 @@ from .context import DynamicContext
 from .errors import (
     XQueryDynamicError,
     XQueryTypeError,
-    XQueryUserError,
 )
 from .operators import arithmetic, negate, set_operation
 

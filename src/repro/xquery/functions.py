@@ -24,8 +24,6 @@ from decimal import Decimal
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..xdm import (
-    AttributeNode,
-    DocumentNode,
     Node,
     Sequence,
     UntypedAtomic,
@@ -34,7 +32,6 @@ from ..xdm import (
     effective_boolean_value,
     is_node,
     number_value,
-    sort_document_order,
     string_value_of_atomic,
     value_compare,
 )

@@ -1,0 +1,154 @@
+"""``python -m repro.xquery.lint`` — the xqlint command-line front end.
+
+Lint .xq files (or stdin)::
+
+    python -m repro.xquery.lint query.xq other.xq
+    echo 'let $d := trace("x", 1) return 2' | python -m repro.xquery.lint -
+    python -m repro.xquery.lint --json --select XQL001,XQL003 query.xq
+
+Lint the repository's shipped corpus against the committed baseline (what
+CI runs)::
+
+    python -m repro.xquery.lint --corpus
+    python -m repro.xquery.lint --corpus --write-baseline   # accept findings
+
+Exit codes: 0 clean (corpus mode: no findings beyond the baseline),
+1 findings at or above ``--fail-on`` (default: warning), 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    BASELINE_PATH,
+    Diagnostic,
+    analyze_source,
+    diff_against_baseline,
+    format_baseline,
+    lint_corpus,
+    rule_catalog,
+    severity_at_least,
+    sort_diagnostics,
+)
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if not raw:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def _emit(diagnostics: List[Diagnostic], as_json: bool, out) -> None:
+    if as_json:
+        json.dump([d.to_json() for d in diagnostics], out, indent=2)
+        out.write("\n")
+    else:
+        for diagnostic in diagnostics:
+            out.write(diagnostic.render() + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.xquery.lint",
+        description="Static analyzer for the XQuery subset (rules XQL000-XQL008).",
+    )
+    parser.add_argument(
+        "files", nargs="*", help=".xq files to lint ('-' reads stdin)"
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON findings")
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run"
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="warning",
+        help="minimum severity that makes the exit code 1 (default: warning)",
+    )
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="lint the repo's shipped .xq corpus against the baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file for --corpus (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="with --corpus: write the current findings as the new baseline",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for entry in rule_catalog():
+            print(f"{entry.code} ({entry.slug}): {entry.summary}")
+        return 0
+
+    if args.corpus:
+        return _run_corpus(args)
+
+    if not args.files:
+        parser.error("no input files (pass .xq paths, '-' for stdin, or --corpus)")
+
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    findings: List[Diagnostic] = []
+    for path in args.files:
+        if path == "-":
+            source = sys.stdin.read()
+            label = "<stdin>"
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as error:
+                print(f"error: cannot read {path}: {error}", file=sys.stderr)
+                return 2
+            label = path
+        findings.extend(
+            analyze_source(
+                source, select=select, ignore=ignore, source_label=label
+            )
+        )
+    findings = sort_diagnostics(findings)
+    _emit(findings, args.json, sys.stdout)
+    failing = [d for d in findings if severity_at_least(d, args.fail_on)]
+    return 1 if failing else 0
+
+
+def _run_corpus(args) -> int:
+    findings = lint_corpus()
+    baseline_path = args.baseline or BASELINE_PATH
+    if args.write_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(format_baseline(findings))
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    fresh, stale = diff_against_baseline(findings, baseline_path)
+    _emit(fresh, args.json, sys.stdout)
+    if not args.json:
+        for key in sorted(stale):
+            print(f"note: baseline entry no longer produced: {key}")
+        print(
+            f"corpus: {len(findings)} finding(s), {len(fresh)} new, "
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+        )
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -234,7 +234,14 @@ class Parser:
                 if self.token.is_name("as"):
                     self.advance()
                     declared_type = self._parse_sequence_type()
-                params.append(ast.Param(param_token.value, declared_type))
+                params.append(
+                    ast.Param(
+                        param_token.value,
+                        declared_type,
+                        line=param_token.line,
+                        column=param_token.column,
+                    )
+                )
                 if self.token.is_symbol(","):
                     self.advance()
                     continue
@@ -349,7 +356,13 @@ class Parser:
                     self.expect_name("in")
                     source = self.parse_expr_single()
                     clauses.append(
-                        ast.ForClause(var_token.value, position_var, source)
+                        ast.ForClause(
+                            var_token.value,
+                            position_var,
+                            source,
+                            line=var_token.line,
+                            column=var_token.column,
+                        )
                     )
                 else:
                     declared_type = None
@@ -359,15 +372,27 @@ class Parser:
                     self.expect_symbol(":=")
                     value = self.parse_expr_single()
                     clauses.append(
-                        ast.LetClause(var_token.value, value, declared_type)
+                        ast.LetClause(
+                            var_token.value,
+                            value,
+                            declared_type,
+                            line=var_token.line,
+                            column=var_token.column,
+                        )
                     )
                 if self.token.is_symbol(","):
                     self.advance()
                     continue
                 break
         if self.token.is_name("where"):
-            self.advance()
-            clauses.append(ast.WhereClause(self.parse_expr_single()))
+            where_token = self.advance()
+            clauses.append(
+                ast.WhereClause(
+                    self.parse_expr_single(),
+                    line=where_token.line,
+                    column=where_token.column,
+                )
+            )
         if self.token.is_name("stable") or self.token.is_name("order"):
             stable = False
             if self.token.is_name("stable"):
@@ -886,9 +911,10 @@ class Parser:
     def _direct_element(self) -> ast.DirectElement:
         """Scan one direct element; the lexer cursor sits at its ``<``."""
         lexer = self.lexer
+        line, column = lexer.location()
         lexer.take("<")
         name = lexer.scan_xml_name()
-        element = ast.DirectElement(name=name)
+        element = ast.DirectElement(name=name, line=line, column=column)
         while True:
             lexer.skip_xml_space()
             if lexer.at("/>"):
@@ -982,11 +1008,16 @@ class Parser:
                 raise lexer.error(f"unclosed element <{element_name}>")
             if lexer.at("<!--"):
                 flush()
+                line, column = lexer.location()
                 lexer.take("<!--")
                 end = lexer.text.find("-->", lexer.pos)
                 if end < 0:
                     raise lexer.error("unterminated XML comment")
-                parts.append(ast.DirectComment(text=lexer.text[lexer.pos : end]))
+                parts.append(
+                    ast.DirectComment(
+                        text=lexer.text[lexer.pos : end], line=line, column=column
+                    )
+                )
                 lexer.pos = end + 3
                 continue
             if lexer.at("<?"):

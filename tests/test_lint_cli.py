@@ -1,0 +1,99 @@
+"""The ``python -m repro.xquery.lint`` front end: exit codes and formats."""
+
+import json
+
+import pytest
+
+from repro.xquery.lint import main
+
+
+@pytest.fixture
+def dirty_query(tmp_path):
+    path = tmp_path / "dirty.xq"
+    path.write_text('let $d := trace("x", 1) return $nope\n', encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def clean_query(tmp_path):
+    path = tmp_path / "clean.xq"
+    path.write_text("for $i in 1 to 3 return $i * $i\n", encoding="utf-8")
+    return str(path)
+
+
+class TestFileMode:
+    def test_clean_file_exits_zero(self, clean_query, capsys):
+        assert main([clean_query]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_and_are_printed(self, dirty_query, capsys):
+        assert main([dirty_query]) == 1
+        out = capsys.readouterr().out
+        assert "XQL001" in out
+        assert "XQL007" in out
+        assert dirty_query in out
+
+    def test_json_output_is_parseable(self, dirty_query, capsys):
+        assert main(["--json", dirty_query]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["code"] for entry in payload} == {"XQL001", "XQL007"}
+        assert all(entry["line"] == 1 for entry in payload)
+
+    def test_select_limits_rules(self, dirty_query, capsys):
+        assert main(["--select", "XQL001", dirty_query]) == 1
+        out = capsys.readouterr().out
+        assert "XQL001" in out
+        assert "XQL007" not in out
+
+    def test_ignore_drops_rules(self, dirty_query, capsys):
+        main(["--ignore", "XQL001,XQL007", dirty_query])
+        assert "XQL00" not in capsys.readouterr().out
+
+    def test_fail_on_error_tolerates_warnings(self, tmp_path):
+        path = tmp_path / "warn-only.xq"
+        path.write_text('let $d := trace("x", 1) return 2\n', encoding="utf-8")
+        assert main([str(path)]) == 1
+        assert main(["--fail-on", "error", str(path)]) == 0
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["/no/such/file.xq"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_rules_catalog(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("XQL001", "XQL004", "XQL008"):
+            assert code in out
+
+
+class TestCorpusMode:
+    def test_corpus_matches_committed_baseline(self, capsys):
+        # the repo invariant CI enforces: no findings beyond the baseline
+        assert main(["--corpus"]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_write_then_check_roundtrip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        assert main(["--corpus", "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["--corpus", "--baseline", str(baseline)]) == 0
+
+    def test_empty_baseline_fails_when_corpus_has_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "empty.txt"
+        baseline.write_text("# nothing accepted\n", encoding="utf-8")
+        code = main(["--corpus", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        # the shipped corpus deliberately keeps some 2004 idioms, so an
+        # empty baseline must trip the gate
+        assert code == 1
+        assert "new" in out
+
+    def test_stale_entries_are_reported_but_not_fatal(self, tmp_path, capsys):
+        baseline = tmp_path / "stale.txt"
+        main(["--corpus", "--write-baseline", "--baseline", str(baseline)])
+        with open(baseline, "a", encoding="utf-8") as handle:
+            handle.write("gone.xq:1:1:XQL001\n")
+        capsys.readouterr()
+        assert main(["--corpus", "--baseline", str(baseline)]) == 0
+        assert "no longer produced" in capsys.readouterr().out

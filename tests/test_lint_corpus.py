@@ -1,0 +1,74 @@
+"""Linting the repo's own .xq corpus: units, baseline, invariants."""
+
+from repro.xquery.analysis import (
+    corpus_units,
+    diff_against_baseline,
+    format_baseline,
+    lint_corpus,
+    lint_unit,
+    load_baseline,
+)
+from repro.xquery.analysis.corpus import baseline_key
+
+
+class TestCorpusUnits:
+    def test_both_docgen_regimes_are_covered(self):
+        labels = [unit.label for unit in corpus_units()]
+        assert "docgen:main(values)" in labels
+        assert "docgen:main(exceptions)" in labels
+
+    def test_standalone_phases_are_covered(self):
+        labels = [unit.label for unit in corpus_units()]
+        for phase in ("phase_omissions", "phase_toc", "phase_replace", "phase_strip"):
+            assert f"docgen:{phase}.xq" in labels
+
+    def test_example_queries_are_covered(self):
+        labels = [unit.label for unit in corpus_units()]
+        assert any(label.startswith("examples/xq/") for label in labels)
+
+    def test_no_unit_fails_to_parse(self):
+        for unit in corpus_units():
+            diagnostics = lint_unit(unit)
+            assert not any(d.code == "XQL000" for d in diagnostics), unit.label
+
+
+class TestBaselineGate:
+    def test_corpus_produces_no_findings_beyond_baseline(self):
+        fresh, _stale = diff_against_baseline(lint_corpus())
+        assert fresh == [], [d.render() for d in fresh]
+
+    def test_baseline_has_no_stale_entries(self):
+        _fresh, stale = diff_against_baseline(lint_corpus())
+        assert stale == set()
+
+    def test_committed_baseline_loads(self):
+        accepted = load_baseline()
+        # the shipped corpus keeps a few 2004 idioms on purpose
+        assert accepted
+        assert all(entry.count(":") >= 3 for entry in accepted)
+
+    def test_examples_are_completely_clean(self):
+        # example queries are the showcase: not even baselined findings
+        for unit in corpus_units():
+            if unit.label.startswith("examples/xq/"):
+                assert lint_unit(unit) == [], unit.label
+
+    def test_format_load_roundtrip(self, tmp_path):
+        findings = lint_corpus()
+        path = tmp_path / "baseline.txt"
+        path.write_text(format_baseline(findings), encoding="utf-8")
+        accepted = load_baseline(str(path))
+        assert accepted == {baseline_key(d) for d in findings}
+
+    def test_new_finding_would_trip_the_gate(self, tmp_path):
+        from repro.xquery.analysis import Diagnostic
+
+        findings = lint_corpus()
+        path = tmp_path / "baseline.txt"
+        path.write_text(format_baseline(findings), encoding="utf-8")
+        intruder = Diagnostic(
+            code="XQL001", severity="warning", message="seeded",
+            line=1, column=1, source="intruder.xq",
+        )
+        fresh, _ = diff_against_baseline(findings + [intruder], str(path))
+        assert [d.source for d in fresh] == ["intruder.xq"]

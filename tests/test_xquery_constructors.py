@@ -8,9 +8,8 @@ Includes the two behavioral tables from the paper:
 
 import pytest
 
-from repro.xdm import AttributeNode, ElementNode, TextNode, UntypedAtomic
+from repro.xdm import AttributeNode, TextNode
 from repro.xquery import EngineConfig, XQueryDynamicError, XQueryEngine
-from repro.xquery.api import serialize_result
 
 engine = XQueryEngine()
 

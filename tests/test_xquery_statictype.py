@@ -83,3 +83,32 @@ class TestMetastasis:
         )
         report = annotation_pressure(module)
         assert report["annotated"] == 0 and report["pressure"] == 0.0
+
+
+class TestAnnotationPressureEdges:
+    def test_empty_module(self):
+        report = annotation_pressure(parse_query("42"))
+        assert report == {
+            "functions": 0,
+            "annotated": 0,
+            "dragged_in": 0,
+            "touched": 0,
+            "pressure": 0.0,
+        }
+
+    def test_fully_annotated_module_has_pressure_one(self):
+        module = parse_query(
+            "declare function local:a($x as item()) as item() { local:b($x) };"
+            "declare function local:b($x as item()) as item() { $x };"
+            "local:a(1)"
+        )
+        report = annotation_pressure(module)
+        assert report["annotated"] == 2
+        assert report["dragged_in"] == 0
+        assert report["pressure"] == 1.0
+
+    def test_param_annotation_alone_counts(self):
+        module = parse_query(
+            "declare function local:a($x as item()) { $x }; local:a(1)"
+        )
+        assert annotation_pressure(module)["annotated"] == 1
