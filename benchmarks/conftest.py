@@ -7,6 +7,7 @@ back EXPERIMENTS.md survive the pytest output capture.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -21,6 +22,23 @@ def record_result(name: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def record_json(name: str, payload, directory: str | None = None) -> str:
+    """Write an experiment's machine-readable results as JSON.
+
+    The ``.txt`` tables are for humans; these sit alongside them so the
+    perf trajectory is diffable/trackable across PRs.  ``directory``
+    overrides the destination (used for the repo-level ``BENCH_*.json``).
+    """
+    directory = RESULTS_DIR if directory is None else directory
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[json written to {path}]")
     return path
 
 

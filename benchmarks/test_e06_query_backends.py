@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from conftest import format_table, record_result
+from conftest import format_table, record_json, record_result
 from repro.querycalc import XQueryCalculusBackend, parse_query_xml, run_query
 from repro.workloads import make_it_model
 
@@ -78,6 +78,22 @@ def test_e06_slowdown_table(benchmark):
         format_table(
             ["nodes", "relations", "native/query", "xquery/query", "slowdown"], rows
         ),
+    )
+    record_json(
+        "e06_query_backends.json",
+        {
+            "experiment": "e06",
+            "rows": [
+                {
+                    "nodes": nodes,
+                    "relations": relations,
+                    "native_ms": float(native.rstrip("ms")),
+                    "xquery_ms": float(xquery.rstrip("ms")),
+                    "slowdown": float(slowdown.rstrip("x")),
+                }
+                for nodes, relations, native, xquery, slowdown in rows
+            ],
+        },
     )
     # shape: at least an order of magnitude at every size, growing with
     # model size (the joins scan the whole export per hop).

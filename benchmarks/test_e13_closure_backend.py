@@ -18,7 +18,7 @@ backend is never *slower* than the treewalk on the e05 scale=4 workload.
 
 import time
 
-from conftest import format_table, record_result
+from conftest import format_table, record_json, record_result
 from repro.docgen import NativeDocumentGenerator, XQueryDocumentGenerator
 from repro.querycalc import XQueryCalculusBackend, parse_query_xml, run_query
 from repro.workloads import make_it_model, table_template
@@ -148,6 +148,23 @@ def test_e13_closure_backend_speedups():
             ["workload", "treewalk", "closures", "speedup", "native", "output"],
             rows,
         ),
+    )
+    record_json(
+        "e13_closure_backend.json",
+        {
+            "experiment": "e13",
+            "rows": [
+                {
+                    "workload": workload,
+                    "treewalk_ms": float(treewalk.rstrip("ms")),
+                    "closures_ms": float(closures.rstrip("ms")),
+                    "speedup": float(speedup.rstrip("x")),
+                    "native_ms": float(native.rstrip("ms")),
+                    "output": output,
+                }
+                for workload, treewalk, closures, speedup, native, output in rows
+            ],
+        },
     )
 
     # The CI gate: closures must never regress below the treewalk on the

@@ -21,6 +21,7 @@ from .validate import (
     render_omissions_window,
 )
 from .xml_io import (
+    IncrementalExporter,
     ModelImportError,
     export_metamodel,
     export_model,
@@ -33,6 +34,7 @@ from .metamodels import BUILTIN_METAMODELS, load as load_metamodel
 __all__ = [
     "Advisory",
     "EditorDecl",
+    "IncrementalExporter",
     "BUILTIN_METAMODELS",
     "Metamodel",
     "MetamodelError",

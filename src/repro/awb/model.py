@@ -18,9 +18,69 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from .metamodel import Metamodel
+
+#: Mutation event kinds delivered to :meth:`Model.add_listener` callbacks.
+MUTATION_KINDS = (
+    "node-added",
+    "node-changed",
+    "node-removed",
+    "relation-added",
+    "relation-changed",
+    "relation-removed",
+)
+
+
+class PropertyBag(dict):
+    """A property dict that tells its owner's model about every write.
+
+    AWB code (and user code) mutates ``node.properties`` directly, so dirty
+    tracking cannot rely on everyone calling :meth:`ModelNode.set` — the bag
+    itself reports writes.  Reads stay plain ``dict`` speed.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner):
+        super().__init__()
+        self._owner = owner
+
+    def _touched(self) -> None:
+        self._owner._mark_changed()
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._touched()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._touched()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._touched()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._touched()
+        return result
+
+    def clear(self):
+        super().clear()
+        self._touched()
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._touched()
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return self[key]
+        self[key] = default
+        return default
 
 
 @dataclass
@@ -44,8 +104,11 @@ class ModelNode:
     def __init__(self, node_id: str, type_name: str, model: "Model"):
         self.id = node_id
         self.type_name = type_name
-        self.properties: Dict[str, object] = {}
         self.model = model
+        self.properties: Dict[str, object] = PropertyBag(self)
+
+    def _mark_changed(self) -> None:
+        self.model._notify("node-changed", self.id)
 
     @property
     def label(self) -> str:
@@ -87,7 +150,17 @@ class RelationObject:
         self.relation_name = relation_name
         self.source = source
         self.target = target
-        self.properties: Dict[str, object] = {}
+        self.properties: Dict[str, object] = PropertyBag(self)
+
+    def _mark_changed(self) -> None:
+        self.source.model._notify("relation-changed", self.id)
+
+    def set(self, name: str, value: object) -> None:
+        """Set a property; ad-hoc names are allowed, per AWB philosophy."""
+        self.properties[name] = value
+
+    def get(self, name: str, default: object = None) -> object:
+        return self.properties.get(name, default)
 
     def is_relation(self, relation_name: str) -> bool:
         return self.source.model.metamodel.is_relation_subtype(
@@ -114,6 +187,30 @@ class Model:
         self._relation_counter = itertools.count(1)
         self._outgoing: Dict[str, List[RelationObject]] = {}
         self._incoming: Dict[str, List[RelationObject]] = {}
+        #: Monotonically increasing mutation counter.  Consumers (export
+        #: caches, the query service's result cache) use it as a cheap
+        #: "has anything changed since I looked?" fingerprint.
+        self.generation = 0
+        self._listeners: List[Callable[[str, str], None]] = []
+
+    # -- mutation tracking ------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Register a callback ``listener(kind, entity_id)`` for mutations.
+
+        ``kind`` is one of :data:`MUTATION_KINDS`.  Listeners observe every
+        structural change and every property write (including direct
+        ``node.properties[...] = value`` mutation, which AWB allows).
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str, str], None]) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, kind: str, entity_id: str) -> None:
+        self.generation += 1
+        for listener in self._listeners:
+            listener(kind, entity_id)
 
     # -- construction -----------------------------------------------------------
 
@@ -153,6 +250,7 @@ class Model:
         self.nodes[node_id] = node
         self._outgoing[node_id] = []
         self._incoming[node_id] = []
+        self._notify("node-added", node_id)
         return node
 
     def connect(
@@ -198,12 +296,14 @@ class Model:
         self.relations[relation_id] = relation
         self._outgoing[source.id].append(relation)
         self._incoming[target.id].append(relation)
+        self._notify("relation-added", relation_id)
         return relation
 
     def remove_relation(self, relation: RelationObject) -> None:
         del self.relations[relation.id]
         self._outgoing[relation.source.id].remove(relation)
         self._incoming[relation.target.id].remove(relation)
+        self._notify("relation-removed", relation.id)
 
     def remove_node(self, node: ModelNode) -> None:
         """Remove a node and every relation touching it."""
@@ -214,6 +314,7 @@ class Model:
         del self._outgoing[node.id]
         del self._incoming[node.id]
         del self.nodes[node.id]
+        self._notify("node-removed", node.id)
 
     # -- queries --------------------------------------------------------------------
 

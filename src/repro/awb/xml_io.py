@@ -106,6 +106,153 @@ def _value_type(value: object, name: str, node: Optional[ModelNode]) -> str:
     return "string"
 
 
+class IncrementalExporter:
+    """Maintains a live XML export of a model under mutation.
+
+    The first :meth:`export` call builds the full document (exactly
+    :func:`export_model`); afterwards the exporter listens to the model's
+    mutation events and, on the next :meth:`export`, re-exports only the
+    *dirty* ``<node>``/``<relation>`` subtrees — replacing, inserting, or
+    removing the affected elements in place.  A point mutation therefore
+    costs one subtree, not a whole-model rebuild.
+
+    The maintained document is kept byte-identical to a fresh
+    :func:`export_model` (the property-based suite asserts this under
+    random mutation sequences).  The invariant that makes it work: the
+    root's children are exactly the node elements in ``model.nodes`` dict
+    order followed by the relation elements in ``model.relations`` order,
+    and Python dicts mutate order the same way the exporter does (deletes
+    keep order, inserts append).
+    """
+
+    def __init__(self, model: Model):
+        self.model = model
+        self._document: Optional[DocumentNode] = None
+        self._node_elements: Dict[str, ElementNode] = {}
+        self._relation_elements: Dict[str, ElementNode] = {}
+        # dicts used as ordered sets: iteration order = event order, which
+        # for brand-new entities equals their model-dict insertion order.
+        self._dirty_nodes: Dict[str, None] = {}
+        self._dirty_relations: Dict[str, None] = {}
+        self._removed_nodes: Dict[str, None] = {}
+        self._removed_relations: Dict[str, None] = {}
+        self._needs_full = True
+        #: ``model.generation`` as of the current document's state.
+        self.generation = -1
+        self.full_exports = 0
+        self.subtree_exports = 0
+        model.add_listener(self._observe)
+
+    # -- event intake -----------------------------------------------------------
+
+    def _observe(self, kind: str, entity_id: str) -> None:
+        # NB: an add after a remove does *not* cancel the pending removal:
+        # re-adding an id moves it to the end of its dict, so the old
+        # element must be physically removed and a fresh one appended.
+        if kind in ("node-added", "node-changed"):
+            self._dirty_nodes[entity_id] = None
+        elif kind == "node-removed":
+            self._removed_nodes[entity_id] = None
+            self._dirty_nodes.pop(entity_id, None)
+        elif kind in ("relation-added", "relation-changed"):
+            self._dirty_relations[entity_id] = None
+        elif kind == "relation-removed":
+            self._removed_relations[entity_id] = None
+            self._dirty_relations.pop(entity_id, None)
+
+    def _has_pending(self) -> bool:
+        return bool(
+            self._dirty_nodes
+            or self._dirty_relations
+            or self._removed_nodes
+            or self._removed_relations
+        )
+
+    # -- export -----------------------------------------------------------------
+
+    def export(self) -> DocumentNode:
+        """The up-to-date export document (applying any pending changes)."""
+        if self._document is None or self._needs_full:
+            self._rebuild()
+        elif self._has_pending():
+            self._apply_pending()
+        self.generation = self.model.generation
+        return self._document
+
+    def invalidate(self) -> None:
+        """Force a full rebuild on the next :meth:`export` call."""
+        self._needs_full = True
+
+    def detach(self) -> None:
+        """Stop listening to the model (the exporter is then inert)."""
+        self.model.remove_listener(self._observe)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "full_exports": self.full_exports,
+            "subtree_exports": self.subtree_exports,
+            "generation": self.generation,
+        }
+
+    def _clear_pending(self) -> None:
+        self._dirty_nodes.clear()
+        self._dirty_relations.clear()
+        self._removed_nodes.clear()
+        self._removed_relations.clear()
+
+    def _rebuild(self) -> None:
+        self._document = export_model(self.model)
+        root = self._document.document_element()
+        self._node_elements = dict(
+            zip(self.model.nodes.keys(), root.child_elements("node"))
+        )
+        self._relation_elements = dict(
+            zip(self.model.relations.keys(), root.child_elements("relation"))
+        )
+        self._needs_full = False
+        self.full_exports += 1
+        self._clear_pending()
+
+    def _apply_pending(self) -> None:
+        root = self._document.document_element()
+        root.set_attribute("name", self.model.name)
+        for node_id in self._removed_nodes:
+            element = self._node_elements.pop(node_id, None)
+            if element is not None:
+                root.remove(element)
+        for relation_id in self._removed_relations:
+            element = self._relation_elements.pop(relation_id, None)
+            if element is not None:
+                root.remove(element)
+        for node_id in self._dirty_nodes:
+            node = self.model.nodes.get(node_id)
+            if node is None:
+                continue  # created and removed between exports
+            fresh = _export_node(node)
+            old = self._node_elements.get(node_id)
+            if old is not None:
+                root.replace_child(old, [fresh])
+            else:
+                # new nodes go at the end of the node block (before the
+                # first relation element), mirroring dict-append order.
+                root.insert(len(self._node_elements), fresh)
+            self._node_elements[node_id] = fresh
+            self.subtree_exports += 1
+        for relation_id in self._dirty_relations:
+            relation = self.model.relations.get(relation_id)
+            if relation is None:
+                continue
+            fresh = _export_relation(relation)
+            old = self._relation_elements.get(relation_id)
+            if old is not None:
+                root.replace_child(old, [fresh])
+            else:
+                root.append(fresh)
+            self._relation_elements[relation_id] = fresh
+            self.subtree_exports += 1
+        self._clear_pending()
+
+
 def export_metamodel(metamodel: Metamodel) -> ElementNode:
     """Export a metamodel's type hierarchies as XML.
 

@@ -3,6 +3,7 @@
 from .ast import Collect, FilterProperty, FilterType, Follow, Query, Start
 from .native import QueryRuntimeError, run_query
 from .parser import QueryParseError, parse_query_xml
+from .service import QueryService, normalize_query
 from .via_xquery import XQueryCalculusBackend
 
 __all__ = [
@@ -13,8 +14,10 @@ __all__ = [
     "Query",
     "QueryParseError",
     "QueryRuntimeError",
+    "QueryService",
     "Start",
     "XQueryCalculusBackend",
+    "normalize_query",
     "parse_query_xml",
     "run_query",
 ]

@@ -1,0 +1,16 @@
+"""Serving layer for the query calculus: caches, batching, metrics.
+
+See :mod:`repro.querycalc.service.service` for the architecture story.
+"""
+
+from .plans import PlanCache, QueryPlan, normalize_query
+from .results import ResultCache
+from .service import QueryService
+
+__all__ = [
+    "PlanCache",
+    "QueryPlan",
+    "QueryService",
+    "ResultCache",
+    "normalize_query",
+]

@@ -1,0 +1,117 @@
+"""Plan normalization and the plan cache.
+
+A *plan* is everything the service needs to execute one calculus query
+repeatedly without re-doing per-query work: for the XQuery backend, the
+generated XQuery source and its :class:`~repro.xquery.api.CompiledQuery`
+(parsed, linted, optimized, closure-compiled); for the native backend the
+query AST itself is the plan.
+
+Plans are keyed by the *normalized query text* — a canonical rendering of
+the calculus AST — so two structurally identical queries parsed from
+different XML files share one compiled plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..ast import FilterProperty, FilterType, Follow, Query
+
+
+def normalize_query(query: Query) -> str:
+    """A canonical one-line text form of a calculus query.
+
+    Structurally equal queries normalize identically; the text doubles as
+    the plan- and result-cache key and as a human-readable plan name.
+    """
+    parts = []
+    start = query.start
+    if start.all_nodes:
+        parts.append("start(*)")
+    elif start.node_id is not None:
+        parts.append(f"start(id={start.node_id!r})")
+    else:
+        parts.append(f"start(type={start.type!r})")
+    for step in query.steps:
+        if isinstance(step, Follow):
+            target = repr(step.target_type) if step.target_type else "*"
+            sub = "sub" if step.include_subrelations else "exact"
+            parts.append(
+                f"follow({step.relation!r},{step.direction},{target},{sub})"
+            )
+        elif isinstance(step, FilterType):
+            parts.append(f"type({step.type!r})")
+        elif isinstance(step, FilterProperty):
+            parts.append(f"prop({step.name!r},{step.op},{step.value!r})")
+        else:
+            raise TypeError(f"unknown step {type(step).__name__}")
+    collect = query.collect
+    direction = "desc" if collect.descending else "asc"
+    distinct = "distinct" if collect.distinct else "all"
+    parts.append(f"collect({collect.sort_by!r},{direction},{distinct})")
+    return "|".join(parts)
+
+
+@dataclass
+class QueryPlan:
+    """An executable plan for one normalized calculus query."""
+
+    key: str
+    backend: str  # "xquery" or "native"
+    query: Query
+    #: generated XQuery source (XQuery backend only).
+    source: Optional[str] = None
+    #: compiled query, ready to ``run()`` (XQuery backend only).
+    compiled: Optional[object] = None
+
+
+class PlanCache:
+    """A small thread-safe LRU of :class:`QueryPlan` keyed by normalized text."""
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: str, build: Callable[[], QueryPlan]) -> QueryPlan:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+        # build outside the lock (compilation can be slow and is pure);
+        # a concurrent duplicate build resolves in favour of the first.
+        plan = build()
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return existing
+            self.misses += 1
+            if self.maxsize > 0:
+                self._plans[key] = plan
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "currsize": len(self._plans),
+                "maxsize": self.maxsize,
+            }

@@ -1,0 +1,66 @@
+"""The result cache: (plan key, export generation) → node ids.
+
+Results are stored as node *ids*, not live node objects: ids survive
+being handed between threads, and mapping back through ``model.nodes`` on
+every hit means a hit can never resurrect a node that has since been
+removed.
+
+Invalidation is by *generation*, the model's monotonically increasing
+mutation counter: any mutation bumps it, so entries recorded against an
+older export can never be served again — they simply age out of the LRU.
+There is no per-entry dependency tracking to get wrong; correctness rides
+on the same dirty-tracking clock the incremental exporter uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+ResultKey = Tuple[str, int]
+
+
+class ResultCache:
+    """A thread-safe LRU of result-id lists keyed by (plan key, generation)."""
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._results: "OrderedDict[ResultKey, List[str]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: ResultKey) -> Optional[List[str]]:
+        with self._lock:
+            ids = self._results.get(key)
+            if ids is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._results.move_to_end(key)
+            return list(ids)
+
+    def put(self, key: ResultKey, node_ids: List[str]) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._results[key] = list(node_ids)
+            self._results.move_to_end(key)
+            while len(self._results) > self.maxsize:
+                self._results.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "currsize": len(self._results),
+                "maxsize": self.maxsize,
+            }

@@ -1,0 +1,262 @@
+"""The query service: a serving layer over the calculus backends.
+
+This is the architectural answer to E6.  The paper measured the raw
+shape — "calling XQuery from Java to evaluate queries was preposterously
+inefficient" — by re-exporting the model and re-evaluating from scratch
+per query.  A serving deployment (compare Apache VXQuery's compiled-plan
+reuse and data-scan sharing) never does that; it keeps four caches warm
+between requests:
+
+1. a **plan cache**: normalized calculus text → generated XQuery source →
+   compiled closure program (the engine's own compile LRU backs this up);
+2. an **incremental model export**: mutations dirty individual subtrees,
+   so the XML document the queries scan is patched, not rebuilt;
+3. a **result cache** keyed by (plan, export generation): repeat queries
+   against an unchanged model are a dict hit, and any model mutation
+   bumps the generation and silently invalidates every stale entry;
+4. a **batch API**: :meth:`QueryService.run_batch` runs a whole UI
+   refresh worth of queries over one shared export snapshot on a thread
+   pool, evaluating each distinct plan once and fanning results out to
+   duplicates.
+
+Engine semantics are untouched: a cold miss runs exactly the code E6
+measures, quirks and all.  The service only decides *how often* that
+code runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...awb.model import Model, ModelNode
+from ...xdm import ElementNode
+from ...xquery import EngineConfig, XQueryEngine
+from ..ast import Query
+from ..native import run_query
+from ..via_xquery import XQueryCalculusBackend
+from .plans import PlanCache, QueryPlan, normalize_query
+from .results import ResultCache
+
+#: Latency samples kept for the p50/p95 metrics (oldest evicted first).
+MAX_LATENCY_SAMPLES = 2048
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(fraction * len(ordered))) - 1))
+    return ordered[index]
+
+
+class QueryService:
+    """Serves calculus queries from caches, falling back to a backend.
+
+    ``backend`` selects the engine under the caches: ``"xquery"`` (the
+    paper's preposterously inefficient path, compiled via the closures
+    backend by default) or ``"native"`` (the live-graph interpreter).
+    Both share the same plan normalization, result cache, and metrics, so
+    E15 can compare them under identical serving conditions.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        engine: Optional[XQueryEngine] = None,
+        backend: str = "xquery",
+        plan_cache_size: int = 128,
+        result_cache_size: int = 512,
+        workers: int = 4,
+    ):
+        if backend not in ("xquery", "native"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.model = model
+        self.backend = backend
+        self.workers = workers
+        if backend == "xquery":
+            self.engine = engine or XQueryEngine(EngineConfig(backend="closures"))
+            self._backend = XQueryCalculusBackend(model, engine=self.engine)
+        else:
+            self.engine = engine
+            self._backend = None
+        self._plans = PlanCache(maxsize=plan_cache_size)
+        self._results = ResultCache(maxsize=result_cache_size)
+        self._export_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._queries = 0
+        self._batches = 0
+        self._executed = 0
+        self._batch_deduped = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, query: Query) -> List[ModelNode]:
+        """Serve one query: result cache → plan cache → backend."""
+        started = time.perf_counter()
+        plan = self._plan(query)
+        root, generation = self._snapshot()
+        key = (plan.key, generation)
+        cached_ids = self._results.get(key)
+        if cached_ids is None:
+            ids = self._execute(plan, root)
+            self._results.put(key, ids)
+            executed = 1
+        else:
+            ids = cached_ids
+            executed = 0
+        nodes = self._materialize(ids)
+        self._record(1, executed, time.perf_counter() - started)
+        return nodes
+
+    def run_batch(
+        self, queries: Iterable[Query], workers: Optional[int] = None
+    ) -> List[List[ModelNode]]:
+        """Run independent read-only queries over one export snapshot.
+
+        Distinct plans are evaluated once each — duplicates within the
+        batch share the result — on a pool of ``workers`` threads.  The
+        model must not be mutated while a batch is in flight.
+        """
+        started = time.perf_counter()
+        queries = list(queries)
+        if not queries:
+            return []
+        workers = self.workers if workers is None else workers
+        plans = [self._plan(query) for query in queries]
+        root, generation = self._snapshot()
+
+        unique: Dict[str, QueryPlan] = {}
+        for plan in plans:
+            unique.setdefault(plan.key, plan)
+        ids_by_key: Dict[str, List[str]] = {}
+        to_run: List[QueryPlan] = []
+        for key, plan in unique.items():
+            cached_ids = self._results.get((key, generation))
+            if cached_ids is not None:
+                ids_by_key[key] = cached_ids
+            else:
+                to_run.append(plan)
+
+        def job(plan: QueryPlan) -> Tuple[str, List[str]]:
+            ids = self._execute(plan, root)
+            self._results.put((plan.key, generation), ids)
+            return plan.key, ids
+
+        if workers <= 1 or len(to_run) <= 1:
+            for plan in to_run:
+                key, ids = job(plan)
+                ids_by_key[key] = ids
+        else:
+            pool = ThreadPoolExecutor(max_workers=min(workers, len(to_run)))
+            try:
+                for key, ids in pool.map(job, to_run):
+                    ids_by_key[key] = ids
+            finally:
+                pool.shutdown()
+
+        elapsed = time.perf_counter() - started
+        with self._metrics_lock:
+            self._batches += 1
+            self._batch_deduped += len(queries) - len(unique)
+        self._record(len(queries), len(to_run), elapsed)
+        return [self._materialize(ids_by_key[plan.key]) for plan in plans]
+
+    def invalidate(self) -> None:
+        """Drop cached results and force a full re-export.
+
+        Never required for correctness — mutation tracking invalidates
+        automatically — but useful to reclaim memory or force a clean
+        baseline in benchmarks.
+        """
+        self._results.clear()
+        if self._backend is not None:
+            self._backend.invalidate_export()
+
+    # -- observability ----------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-layer cache counters: plans, results, engine compile, export."""
+        stats = {
+            "plans": self._plans.stats(),
+            "results": self._results.stats(),
+        }
+        if self.engine is not None:
+            stats["compile"] = self.engine.cache_info()
+        if self._backend is not None:
+            stats["export"] = self._backend.export_stats()
+        return stats
+
+    def metrics(self) -> Dict[str, object]:
+        """The small metrics dict the E15 report reads."""
+        with self._metrics_lock:
+            latencies = list(self._latencies)
+            queries = self._queries
+            batches = self._batches
+            executed = self._executed
+            deduped = self._batch_deduped
+        plan_stats = self._plans.stats()
+        result_stats = self._results.stats()
+        return {
+            "backend": self.backend,
+            "queries": queries,
+            "batches": batches,
+            "executed": executed,
+            "batch_deduped": deduped,
+            "hits": result_stats["hits"],
+            "misses": result_stats["misses"],
+            "plan_hits": plan_stats["hits"],
+            "plan_misses": plan_stats["misses"],
+            "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+            "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        }
+
+    # -- internals --------------------------------------------------------------
+
+    def _plan(self, query: Query) -> QueryPlan:
+        key = normalize_query(query)
+
+        def build() -> QueryPlan:
+            if self.backend == "native":
+                return QueryPlan(key, "native", query)
+            source = self._backend.compile_to_xquery(query)
+            compiled = self.engine.compile(source)
+            return QueryPlan(key, "xquery", query, source=source, compiled=compiled)
+
+        return self._plans.get_or_build(key, build)
+
+    def _snapshot(self) -> Tuple[Optional[ElementNode], int]:
+        """The (export root, generation) pair queries should run against."""
+        if self._backend is None:
+            return None, self.model.generation
+        with self._export_lock:
+            document = self._backend.export
+            return document.document_element(), self._backend.export_generation
+
+    def _execute(self, plan: QueryPlan, root: Optional[ElementNode]) -> List[str]:
+        if plan.backend == "native":
+            return [node.id for node in run_query(plan.query, self.model)]
+        result = plan.compiled.run(variables={"model": root})
+        ids: List[str] = []
+        for item in result:
+            if not isinstance(item, ElementNode):
+                continue
+            node_id = item.get_attribute("id")
+            if node_id is not None and node_id in self.model.nodes:
+                ids.append(node_id)
+        return ids
+
+    def _materialize(self, ids: List[str]) -> List[ModelNode]:
+        nodes = self.model.nodes
+        return [nodes[node_id] for node_id in ids if node_id in nodes]
+
+    def _record(self, queries: int, executed: int, elapsed: float) -> None:
+        with self._metrics_lock:
+            self._queries += queries
+            self._executed += executed
+            self._latencies.append(elapsed)
+            if len(self._latencies) > MAX_LATENCY_SAMPLES:
+                del self._latencies[: len(self._latencies) - MAX_LATENCY_SAMPLES]

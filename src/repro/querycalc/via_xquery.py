@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from ..awb.metamodel import Metamodel
 from ..awb.model import Model, ModelNode
-from ..awb.xml_io import export_model
+from ..awb.xml_io import IncrementalExporter
 from ..xdm import DocumentNode, ElementNode
 from ..xquery import XQueryEngine
 from .ast import Collect, FilterProperty, FilterType, Follow, Query
@@ -32,26 +32,36 @@ def _string_sequence(names: List[str]) -> str:
 class XQueryCalculusBackend:
     """Compiles and runs calculus queries via the XQuery engine.
 
-    The XML export can be supplied once and reused across queries (the
-    realistic usage: the workbench would re-export only when the model
-    changed).
+    The XML export is maintained *incrementally*: the backend listens to
+    model mutations and re-exports only dirty ``<node>``/``<relation>``
+    subtrees on the next query, instead of rebuilding the whole document.
+    A point mutation on a big model therefore costs one subtree export,
+    not an O(model) rebuild.
     """
 
     def __init__(self, model: Model, engine: Optional[XQueryEngine] = None):
         self.model = model
         self.metamodel: Metamodel = model.metamodel
         self.engine = engine or XQueryEngine()
-        self._export: Optional[DocumentNode] = None
+        self._exporter = IncrementalExporter(model)
 
     def invalidate_export(self) -> None:
-        """Drop the cached XML export (call after mutating the model)."""
-        self._export = None
+        """Force a full re-export on next use (normally unnecessary: the
+        exporter tracks mutations and patches affected subtrees itself)."""
+        self._exporter.invalidate()
 
     @property
     def export(self) -> DocumentNode:
-        if self._export is None:
-            self._export = export_model(self.model)
-        return self._export
+        return self._exporter.export()
+
+    @property
+    def export_generation(self) -> int:
+        """``model.generation`` as of the last applied export."""
+        return self._exporter.generation
+
+    def export_stats(self) -> dict:
+        """Full-vs-subtree export counters from the incremental exporter."""
+        return self._exporter.stats()
 
     def compile_to_xquery(self, query: Query) -> str:
         """Translate a calculus query into XQuery source text."""

@@ -18,6 +18,7 @@ the 2004 Galax behaviours the paper describes (see
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import fields
 from typing import Dict, List, Optional, Tuple
@@ -79,6 +80,7 @@ class CompiledQuery:
                 module, trace_is_dead_code=config.trace_is_dead_code
             )
         self._closures: Optional[CompiledProgram] = None
+        self._closures_lock = threading.Lock()
 
     def _run_lint(self) -> None:
         import warnings
@@ -104,12 +106,16 @@ class CompiledQuery:
 
         The treewalk backend needs nothing beyond the AST, so queries that
         never run under ``backend="closures"`` never pay for compilation.
+        Built under a lock so concurrent first runs (the query service's
+        thread pool) share one program instead of racing to build two.
         """
         if self._closures is None:
-            with extended_stack():
-                self._closures = CompiledProgram(
-                    self.module, self.functions, self.config
-                )
+            with self._closures_lock:
+                if self._closures is None:
+                    with extended_stack():
+                        self._closures = CompiledProgram(
+                            self.module, self.functions, self.config
+                        )
         return self._closures
 
     @property
@@ -208,7 +214,9 @@ class XQueryEngine:
     Repeated compilations of identical source are served from a bounded
     LRU cache (size ``config.compile_cache_size``; ``0`` disables it).
     The cache key includes every config field, so an engine whose config
-    is mutated between calls never serves a stale compilation.
+    is mutated between calls never serves a stale compilation.  The cache
+    (lookup, insert, eviction, counters) is guarded by a lock, so one
+    engine can be shared by the query service's worker threads.
     """
 
     def __init__(self, config: Optional[EngineConfig] = None, **flags):
@@ -218,6 +226,7 @@ class XQueryEngine:
             raise TypeError("pass either a config object or keyword flags, not both")
         self.config = config
         self._cache: "OrderedDict[tuple, CompiledQuery]" = OrderedDict()
+        self._cache_lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -231,31 +240,42 @@ class XQueryEngine:
         if not use_cache or self.config.compile_cache_size <= 0:
             return CompiledQuery(parse_query(source), self.config)
         key = self._cache_key(source)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self.cache_misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+        # parse/compile outside the lock: compilation is pure, and a rare
+        # duplicate compile beats serializing every miss behind one lock.
         query = CompiledQuery(parse_query(source), self.config)
-        self._cache[key] = query
-        while len(self._cache) > self.config.compile_cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return existing
+            self.cache_misses += 1
+            self._cache[key] = query
+            while len(self._cache) > self.config.compile_cache_size:
+                self._cache.popitem(last=False)
         return query
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/size counters, in the shape ``functools.lru_cache`` uses."""
-        return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "currsize": len(self._cache),
-            "maxsize": self.config.compile_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "currsize": len(self._cache),
+                "maxsize": self.config.compile_cache_size,
+            }
 
     def cache_clear(self) -> None:
-        self._cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     def evaluate(
         self,

@@ -1,0 +1,118 @@
+"""Concurrency stress: one engine / one service shared by many threads.
+
+The compile LRU (lookup, insert, eviction, counters) and the lazy closure
+build are the shared mutable state; these tests hammer them from 8
+threads and assert no corruption — every thread sees correct results and
+the cache counters stay consistent.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.querycalc import QueryService, parse_query_xml, run_query
+from repro.workloads import make_it_model
+from repro.xquery import EngineConfig, XQueryEngine
+
+THREADS = 8
+QUERIES_PER_THREAD = 100
+
+
+def _sources():
+    # enough distinct sources to churn a small LRU, each with a known answer.
+    return [(f"sum(1 to {n})", n * (n + 1) // 2) for n in range(1, 26)]
+
+
+class TestEngineThreadSafety:
+    def test_8_threads_x_100_queries_one_engine(self):
+        # a small cache forces constant hit/miss/eviction interleaving.
+        engine = XQueryEngine(EngineConfig(compile_cache_size=8))
+        sources = _sources()
+        failures = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(thread_index):
+            barrier.wait()  # maximize interleaving
+            for i in range(QUERIES_PER_THREAD):
+                source, expected = sources[(thread_index + i) % len(sources)]
+                result = engine.evaluate(source)
+                if result != [expected]:
+                    failures.append((source, result))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        info = engine.cache_info()
+        assert info["hits"] + info["misses"] == THREADS * QUERIES_PER_THREAD
+        assert 0 < info["currsize"] <= 8
+
+    def test_concurrent_closures_build_shares_one_program(self):
+        engine = XQueryEngine(EngineConfig(backend="closures"))
+        compiled = engine.compile("for $i in 1 to 5 return $i * $i")
+        programs = []
+        barrier = threading.Barrier(THREADS)
+
+        def build():
+            barrier.wait()
+            programs.append(compiled.closures)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for _ in range(THREADS):
+                pool.submit(build)
+        assert len(programs) == THREADS
+        assert all(program is programs[0] for program in programs)
+
+    def test_concurrent_runs_of_one_compiled_query(self):
+        engine = XQueryEngine(EngineConfig(backend="closures"))
+        compiled = engine.compile("sum(for $i in $v return $i * $i)")
+        results = []
+
+        def run(n):
+            value = list(range(n + 1))
+            results.append(
+                (n, compiled.run(variables={"v": value}), sum(i * i for i in value))
+            )
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for n in range(50):
+                pool.submit(run, n)
+        assert len(results) == 50
+        assert all(result == [expected] for _, result, expected in results)
+
+
+class TestServiceThreadSafety:
+    def test_concurrent_service_runs_match_native(self):
+        model = make_it_model(scale=6)
+        service = QueryService(model)
+        sources = [
+            '<query><start type="User"/><collect sort-by="label"/></query>',
+            '<query><start type="User"/><follow relation="likes"/><collect/></query>',
+            '<query><start all="true"/><filter-type type="Program"/><collect/></query>',
+            '<query><start type="Server"/><follow relation="runs"/><collect/></query>',
+        ]
+        queries = [parse_query_xml(source) for source in sources]
+        expected = [[n.id for n in run_query(query, model)] for query in queries]
+        failures = []
+
+        def worker(thread_index):
+            for i in range(25):
+                index = (thread_index + i) % len(queries)
+                got = [n.id for n in service.run(queries[index])]
+                if got != expected[index]:
+                    failures.append((index, got))
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for index in range(THREADS):
+                pool.submit(worker, index)
+        assert not failures
+        metrics = service.metrics()
+        assert metrics["queries"] == THREADS * 25
+        # each distinct plan was executed at most a handful of times even
+        # under racing first-misses; the rest were cache hits.
+        assert metrics["executed"] <= len(queries) * THREADS
+        assert metrics["hits"] >= metrics["queries"] - metrics["executed"]
