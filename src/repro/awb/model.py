@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .metamodel import Metamodel
 
@@ -185,8 +185,12 @@ class Model:
         self.warnings: List[ModelWarning] = []
         self._node_counter = itertools.count(1)
         self._relation_counter = itertools.count(1)
-        self._outgoing: Dict[str, List[RelationObject]] = {}
-        self._incoming: Dict[str, List[RelationObject]] = {}
+        #: node id → {relation id → relation}, insertion-ordered.  Keyed by
+        #: relation id so unlinking one relation is an O(1) dict delete; the
+        #: old list-based index made removing a high-fan-out hub quadratic
+        #: (``list.remove`` is O(degree) per relation).
+        self._outgoing: Dict[str, Dict[str, RelationObject]] = {}
+        self._incoming: Dict[str, Dict[str, RelationObject]] = {}
         #: Monotonically increasing mutation counter.  Consumers (export
         #: caches, the query service's result cache) use it as a cheap
         #: "has anything changed since I looked?" fingerprint.
@@ -248,8 +252,8 @@ class Model:
         for name, value in properties.items():
             node.set(name, value)
         self.nodes[node_id] = node
-        self._outgoing[node_id] = []
-        self._incoming[node_id] = []
+        self._outgoing[node_id] = {}
+        self._incoming[node_id] = {}
         self._notify("node-added", node_id)
         return node
 
@@ -294,22 +298,22 @@ class Model:
         for name, value in properties.items():
             relation.properties[name] = value
         self.relations[relation_id] = relation
-        self._outgoing[source.id].append(relation)
-        self._incoming[target.id].append(relation)
+        self._outgoing[source.id][relation_id] = relation
+        self._incoming[target.id][relation_id] = relation
         self._notify("relation-added", relation_id)
         return relation
 
     def remove_relation(self, relation: RelationObject) -> None:
         del self.relations[relation.id]
-        self._outgoing[relation.source.id].remove(relation)
-        self._incoming[relation.target.id].remove(relation)
+        del self._outgoing[relation.source.id][relation.id]
+        del self._incoming[relation.target.id][relation.id]
         self._notify("relation-removed", relation.id)
 
     def remove_node(self, node: ModelNode) -> None:
         """Remove a node and every relation touching it."""
-        for relation in list(self._outgoing[node.id]):
+        for relation in list(self._outgoing[node.id].values()):
             self.remove_relation(relation)
-        for relation in list(self._incoming[node.id]):
+        for relation in list(self._incoming[node.id].values()):
             self.remove_relation(relation)
         del self._outgoing[node.id]
         del self._incoming[node.id]
@@ -339,7 +343,7 @@ class Model:
         include_subrelations: bool = True,
     ) -> List[RelationObject]:
         return self._filter_relations(
-            self._outgoing[node.id], relation_name, include_subrelations
+            self._outgoing[node.id].values(), relation_name, include_subrelations
         )
 
     def incoming(
@@ -349,12 +353,12 @@ class Model:
         include_subrelations: bool = True,
     ) -> List[RelationObject]:
         return self._filter_relations(
-            self._incoming[node.id], relation_name, include_subrelations
+            self._incoming[node.id].values(), relation_name, include_subrelations
         )
 
     def _filter_relations(
         self,
-        relations: List[RelationObject],
+        relations: Iterable[RelationObject],
         relation_name: Optional[str],
         include_subrelations: bool,
     ) -> List[RelationObject]:

@@ -3,15 +3,26 @@
 from .ast import Collect, FilterProperty, FilterType, Follow, Query, Start
 from .native import QueryRuntimeError, run_query
 from .parser import QueryParseError, parse_query_xml
-from .service import QueryService, normalize_query
+from .service import (
+    BatchItem,
+    FaultConfig,
+    FaultInjector,
+    QueryError,
+    QueryService,
+    normalize_query,
+)
 from .via_xquery import XQueryCalculusBackend
 
 __all__ = [
+    "BatchItem",
     "Collect",
+    "FaultConfig",
+    "FaultInjector",
     "FilterProperty",
     "FilterType",
     "Follow",
     "Query",
+    "QueryError",
     "QueryParseError",
     "QueryRuntimeError",
     "QueryService",

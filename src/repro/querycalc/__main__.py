@@ -23,9 +23,10 @@ import sys
 import time
 
 from ..awb import import_model_text, load_metamodel
+from ..xquery.errors import XQueryError
 from .native import run_query
 from .parser import parse_query_xml
-from .service import QueryService
+from .service import FaultConfig, FaultInjector, QueryService, classify_error
 from .via_xquery import XQueryCalculusBackend
 
 
@@ -62,9 +63,28 @@ def main(argv=None) -> int:
         help="print the generated XQuery (xquery/service backends only)",
     )
     parser.add_argument("--time", action="store_true", help="print timing")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock budget; a run that exceeds it fails "
+        "with XQDY_TIMEOUT (service backend only)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos-test the serving path, e.g. 'eval=0.1,stall=0.05,"
+        "stall-ms=40,seed=7' (service backend only)",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+    if args.backend != "service" and args.timeout is not None:
+        parser.error("--timeout requires --backend service")
+    if args.backend != "service" and args.inject_faults is not None:
+        parser.error("--inject-faults requires --backend service")
 
     with open(args.model, "r", encoding="utf-8") as handle:
         model = import_model_text(handle.read(), load_metamodel(args.metamodel))
@@ -74,7 +94,15 @@ def main(argv=None) -> int:
     service = None
     backend = None
     if args.backend == "service":
-        service = QueryService(model)
+        injector = None
+        if args.inject_faults is not None:
+            try:
+                injector = FaultInjector(FaultConfig.parse(args.inject_faults))
+            except ValueError as exc:
+                parser.error(str(exc))
+        service = QueryService(
+            model, default_timeout=args.timeout, fault_injector=injector
+        )
     elif args.backend == "xquery":
         backend = XQueryCalculusBackend(model)
     if args.show_compiled and args.backend != "native":
@@ -83,6 +111,8 @@ def main(argv=None) -> int:
 
     nodes = []
     timings = []
+    failures = 0
+    last_error = None
     for _ in range(args.repeat):
         started = time.perf_counter()
         if args.backend == "native":
@@ -90,7 +120,17 @@ def main(argv=None) -> int:
         elif args.backend == "xquery":
             nodes = backend.run(query)
         else:
-            nodes = service.run(query)
+            try:
+                nodes = service.run(query)
+            except Exception as exc:  # structured failure, not a crash
+                if not isinstance(exc, XQueryError) and not hasattr(
+                    exc, "query_error_kind"
+                ):
+                    raise
+                error = classify_error(exc)
+                failures += 1
+                last_error = error
+                print(f"query failed — {error}", file=sys.stderr)
         timings.append(time.perf_counter() - started)
 
     for node in nodes:
@@ -115,9 +155,18 @@ def main(argv=None) -> int:
                 f"service: {metrics['queries']} queries, "
                 f"{metrics['hits']} result-cache hit(s), "
                 f"{metrics['misses']} miss(es), "
+                f"{metrics['errors']} error(s), "
+                f"{metrics['timeouts']} timeout(s), "
+                f"{metrics['fallbacks']} fallback(s), "
                 f"p50 {metrics['p50_ms']:.2f}ms p95 {metrics['p95_ms']:.2f}ms",
                 file=sys.stderr,
             )
+    if failures:
+        print(
+            f"{failures}/{args.repeat} run(s) failed; last: {last_error}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

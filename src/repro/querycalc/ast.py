@@ -84,8 +84,15 @@ Step = object
 
 @dataclass
 class Query:
-    """A complete calculus query."""
+    """A complete calculus query.
+
+    ``trace`` optionally labels the query for diagnostics: the XQuery
+    backend wraps the collected result in ``fn:trace(..., label)``, so the
+    serving layer can record (and replay, on cache hits) what the query
+    saw — the E8 story, done right this time.
+    """
 
     start: Start = field(default_factory=Start)
     steps: List[Step] = field(default_factory=list)
     collect: Collect = field(default_factory=Collect)
+    trace: Optional[str] = None

@@ -33,6 +33,7 @@ def parse_query_xml(source: Union[str, ElementNode]) -> Query:
     if root.name != "query":
         raise QueryParseError(f"expected <query>, found <{root.name}>")
     query = Query()
+    query.trace = root.get_attribute("trace")
     saw_start = False
     saw_collect = False
     for child in root.child_elements():

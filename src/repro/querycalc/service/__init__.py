@@ -1,16 +1,28 @@
-"""Serving layer for the query calculus: caches, batching, metrics.
+"""Serving layer for the query calculus: caches, batching, fault tolerance.
 
-See :mod:`repro.querycalc.service.service` for the architecture story.
+See :mod:`repro.querycalc.service.service` for the architecture story,
+:mod:`repro.querycalc.service.errors` for the failure taxonomy, and
+:mod:`repro.querycalc.service.faults` for the chaos-testing harness.
 """
 
+from .errors import ERROR_KINDS, Deadline, QueryError, classify_error
+from .faults import FaultConfig, FaultInjector, InjectedFault
 from .plans import PlanCache, QueryPlan, normalize_query
-from .results import ResultCache
+from .results import BatchItem, ResultCache
 from .service import QueryService
 
 __all__ = [
+    "BatchItem",
+    "Deadline",
+    "ERROR_KINDS",
+    "FaultConfig",
+    "FaultInjector",
+    "InjectedFault",
     "PlanCache",
+    "QueryError",
     "QueryPlan",
     "QueryService",
     "ResultCache",
+    "classify_error",
     "normalize_query",
 ]

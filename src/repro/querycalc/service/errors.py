@@ -1,0 +1,134 @@
+"""Structured query failure: the taxonomy the serving layer speaks.
+
+The paper's complaint about XQuery's error-as-value regime was that it
+"turns nearly every function call into a half-dozen lines" of defensive
+boilerplate; the serving layer's first draft quietly swung to the other
+extreme — one bad query raised out of ``pool.map`` and threw away every
+completed sibling.  Production serving degrades per-request, never
+per-fleet, so failure here is a first-class value: a :class:`QueryError`
+with a small closed ``kind`` vocabulary, the originating spec code, and
+the plan key that failed.
+
+Kinds:
+
+``compile``
+    the plan could not be built (calculus→XQuery translation, parse, or
+    static validation failed);
+``lint``
+    the static analyzer rejected the generated program
+    (``EngineConfig(lint="error")``);
+``dynamic``
+    evaluation raised a spec dynamic/type error (XPDY/XPTY/FO…);
+``timeout``
+    the query ran past its wall-clock deadline (``XQDY_TIMEOUT``);
+``internal``
+    anything else — an engine bug, an injected fault, a failure that is
+    not the query's fault.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...xquery.errors import (
+    XQueryDynamicError,
+    XQueryError,
+    XQueryStaticError,
+    XQueryTimeoutError,
+)
+
+#: the closed vocabulary of failure kinds.
+ERROR_KINDS = ("compile", "lint", "dynamic", "timeout", "internal")
+
+
+@dataclass
+class QueryError:
+    """One query's structured failure, safe to return alongside results."""
+
+    kind: str  # one of ERROR_KINDS
+    message: str
+    #: the originating W3C/spec code (XPST0003, XQDY_TIMEOUT, ...) if any.
+    code: Optional[str] = None
+    #: the normalized plan key of the failing query, if planning got far
+    #: enough to produce one.
+    plan_key: Optional[str] = None
+    #: class name of the underlying Python exception, for forensics.
+    exception: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ERROR_KINDS:
+            raise ValueError(
+                f"kind must be one of {ERROR_KINDS}, not {self.kind!r}"
+            )
+
+    def __str__(self) -> str:
+        code = f"[{self.code}] " if self.code else ""
+        return f"{self.kind}: {code}{self.message}"
+
+
+def classify_error(error: BaseException, plan_key: Optional[str] = None) -> QueryError:
+    """Map a raised exception onto the serving taxonomy."""
+    kind = "internal"
+    code = getattr(error, "code", None)
+    message = getattr(error, "bare_message", None) or str(error) or type(error).__name__
+    if isinstance(error, XQueryTimeoutError) or code == "XQDY_TIMEOUT":
+        kind = "timeout"
+    elif isinstance(error, XQueryStaticError):
+        # the engine re-homes lint findings as static errors prefixed
+        # "lint:"; everything else static is a compile failure.
+        kind = "lint" if message.startswith("lint:") else "compile"
+    elif isinstance(error, XQueryDynamicError):
+        kind = "dynamic"
+    elif isinstance(error, XQueryError):
+        kind = "dynamic"
+    injected = getattr(error, "query_error_kind", None)
+    if injected in ERROR_KINDS:
+        kind = injected
+    return QueryError(
+        kind=kind,
+        message=message,
+        code=code,
+        plan_key=plan_key,
+        exception=type(error).__name__,
+    )
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget: an absolute cutoff plus the budget it came from.
+
+    ``at`` is a ``time.monotonic()`` instant.  The budget is kept purely
+    for error messages ("exceeded its 250ms budget"), so capping a
+    deadline against a batch-wide one keeps the tighter ``at`` but the
+    per-query budget label.
+    """
+
+    at: float
+    budget: float = field(default=0.0)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(at=time.monotonic() + seconds, budget=seconds)
+
+    def cap(self, other: Optional["Deadline"]) -> "Deadline":
+        """The tighter of this deadline and *other* (None is no cap)."""
+        if other is None or other.at >= self.at:
+            return self
+        return Deadline(at=other.at, budget=self.budget or other.budget)
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() > self.at
+
+    def remaining(self) -> float:
+        return max(0.0, self.at - time.monotonic())
+
+    def check(self, stage: str = "") -> None:
+        """Raise ``XQDY_TIMEOUT`` if the budget has been spent."""
+        if self.expired:
+            where = f" (at {stage})" if stage else ""
+            raise XQueryTimeoutError(
+                f"query exceeded its {self.budget * 1000:.0f}ms budget{where}"
+            )

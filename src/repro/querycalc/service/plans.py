@@ -52,6 +52,9 @@ def normalize_query(query: Query) -> str:
     direction = "desc" if collect.descending else "asc"
     distinct = "distinct" if collect.distinct else "all"
     parts.append(f"collect({collect.sort_by!r},{direction},{distinct})")
+    if query.trace is not None:
+        # a traced query generates different XQuery, so it is a distinct plan
+        parts.append(f"trace({query.trace!r})")
     return "|".join(parts)
 
 

@@ -1,9 +1,19 @@
-"""The result cache: (plan key, export generation) → node ids.
+"""Result values and the result cache.
 
-Results are stored as node *ids*, not live node objects: ids survive
-being handed between threads, and mapping back through ``model.nodes`` on
-every hit means a hit can never resurrect a node that has since been
-removed.
+:class:`BatchItem` is what the service returns per query: a list of live
+model nodes (it *is* a list, so existing callers keep working) plus the
+serving metadata a robust client needs — the structured
+:class:`~repro.querycalc.service.errors.QueryError` if the query failed,
+whether the answer came from cache, and the ``fn:trace`` messages the
+evaluation emitted.
+
+The cache stores node *ids* (not live node objects) keyed by
+``(plan key, export generation)``: ids survive being handed between
+threads, and mapping back through ``model.nodes`` on every hit means a
+hit can never resurrect a node that has since been removed.  Trace
+messages are recorded **alongside** the ids, so a cached serve replays
+the traces a cold run emitted instead of silently eating them the way
+the Galax optimizer ate the paper's probes (the E8 story).
 
 Invalidation is by *generation*, the model's monotonically increasing
 mutation counter: any mutation bumps it, so entries recorded against an
@@ -16,36 +26,79 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import QueryError
 
 ResultKey = Tuple[str, int]
 
+#: what the cache stores per key: (node ids, trace messages).
+CachedResult = Tuple[List[str], Tuple[str, ...]]
+
+
+class BatchItem(List["ModelNode"]):  # noqa: F821 - forward ref, avoids an import cycle
+    """One query's outcome: a node list plus serving metadata.
+
+    Iterating/indexing yields the result nodes (empty when the query
+    failed), so code written against the old ``List[ModelNode]`` return
+    type keeps working unchanged.
+    """
+
+    __slots__ = ("error", "served_from_cache", "traces")
+
+    def __init__(
+        self,
+        nodes: Iterable = (),
+        error: Optional[QueryError] = None,
+        served_from_cache: bool = False,
+        traces: Sequence[str] = (),
+    ):
+        super().__init__(nodes)
+        self.error = error
+        self.served_from_cache = served_from_cache
+        self.traces = tuple(traces)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def nodes(self) -> list:
+        return list(self)
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            return f"<BatchItem error={self.error}>"
+        origin = "cache" if self.served_from_cache else "engine"
+        return f"<BatchItem {len(self)} node(s) from {origin}>"
+
 
 class ResultCache:
-    """A thread-safe LRU of result-id lists keyed by (plan key, generation)."""
+    """A thread-safe LRU of (ids, traces) keyed by (plan key, generation)."""
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
-        self._results: "OrderedDict[ResultKey, List[str]]" = OrderedDict()
+        self._results: "OrderedDict[ResultKey, CachedResult]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: ResultKey) -> Optional[List[str]]:
+    def get(self, key: ResultKey) -> Optional[CachedResult]:
         with self._lock:
-            ids = self._results.get(key)
-            if ids is None:
+            entry = self._results.get(key)
+            if entry is None:
                 self.misses += 1
                 return None
             self.hits += 1
             self._results.move_to_end(key)
-            return list(ids)
+            ids, traces = entry
+            return list(ids), traces
 
-    def put(self, key: ResultKey, node_ids: List[str]) -> None:
+    def put(self, key: ResultKey, node_ids: List[str], traces: Sequence[str] = ()) -> None:
         if self.maxsize <= 0:
             return
         with self._lock:
-            self._results[key] = list(node_ids)
+            self._results[key] = (list(node_ids), tuple(traces))
             self._results.move_to_end(key)
             while len(self._results) > self.maxsize:
                 self._results.popitem(last=False)

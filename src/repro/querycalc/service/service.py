@@ -1,11 +1,8 @@
-"""The query service: a serving layer over the calculus backends.
+"""The query service: a fault-tolerant serving layer over the calculus backends.
 
-This is the architectural answer to E6.  The paper measured the raw
-shape — "calling XQuery from Java to evaluate queries was preposterously
-inefficient" — by re-exporting the model and re-evaluating from scratch
-per query.  A serving deployment (compare Apache VXQuery's compiled-plan
-reuse and data-scan sharing) never does that; it keeps four caches warm
-between requests:
+This is the architectural answer to E6 *and* the robustness answer to the
+paper's error-handling chapter.  The caching story (PR 3) keeps four
+layers warm between requests:
 
 1. a **plan cache**: normalized calculus text → generated XQuery source →
    compiled closure program (the engine's own compile LRU backs this up);
@@ -19,13 +16,32 @@ between requests:
    pool, evaluating each distinct plan once and fanning results out to
    duplicates.
 
+The robustness layer on top makes failure a first-class outcome instead
+of an unhandled exception:
+
+* **per-query error isolation** — a failing job in :meth:`run_batch`
+  yields a :class:`~repro.querycalc.service.results.BatchItem` carrying a
+  structured :class:`~repro.querycalc.service.errors.QueryError` while
+  every sibling completes; metrics always record the whole batch;
+* **deadlines** — a wall-clock budget per query (and optionally per
+  batch) is threaded down into both engine backends, which check it
+  between pipeline stages and raise ``XQDY_TIMEOUT`` cleanly instead of
+  hanging a worker;
+* **graceful degradation** — an *internal* (non-spec) error from the
+  closures backend is retried once on the treewalk reference backend
+  before surfacing, and counted in ``metrics()["fallbacks"]``;
+* **fault injection** — a :class:`~repro.querycalc.service.faults.FaultInjector`
+  can fail or stall any pipeline site, which is how the chaos suite and
+  the E16 benchmark exercise all of the above.
+
 Engine semantics are untouched: a cold miss runs exactly the code E6
 measures, quirks and all.  The service only decides *how often* that
-code runs.
+code runs — and, now, what happens when it fails.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -33,23 +49,32 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...awb.model import Model, ModelNode
 from ...xdm import ElementNode
-from ...xquery import EngineConfig, XQueryEngine
+from ...xquery import EngineConfig, TraceLog, XQueryEngine
+from ...xquery.errors import XQueryError, XQueryTimeoutError
 from ..ast import Query
 from ..native import run_query
 from ..via_xquery import XQueryCalculusBackend
+from .errors import Deadline, QueryError, classify_error
+from .faults import FaultInjector
 from .plans import PlanCache, QueryPlan, normalize_query
-from .results import ResultCache
+from .results import BatchItem, ResultCache
 
 #: Latency samples kept for the p50/p95 metrics (oldest evicted first).
 MAX_LATENCY_SAMPLES = 2048
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
+    """Standard ceil-based nearest-rank percentile (1-indexed rank).
+
+    The previous ``round()``-based formula suffered banker's rounding:
+    p50 of five samples landed on the 2nd value instead of the median.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, int(round(fraction * len(ordered))) - 1))
-    return ordered[index]
+    rank = math.ceil(fraction * len(ordered))
+    rank = min(len(ordered), max(1, rank))
+    return ordered[rank - 1]
 
 
 class QueryService:
@@ -60,6 +85,11 @@ class QueryService:
     backend by default) or ``"native"`` (the live-graph interpreter).
     Both share the same plan normalization, result cache, and metrics, so
     E15 can compare them under identical serving conditions.
+
+    ``default_timeout`` is the per-query wall-clock budget in seconds
+    applied when a call does not pass its own; ``fault_injector`` wires a
+    :class:`~repro.querycalc.service.faults.FaultInjector` into the
+    pipeline's hook points for chaos testing.
     """
 
     def __init__(
@@ -70,12 +100,16 @@ class QueryService:
         plan_cache_size: int = 128,
         result_cache_size: int = 512,
         workers: int = 4,
+        default_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if backend not in ("xquery", "native"):
             raise ValueError(f"unknown backend {backend!r}")
         self.model = model
         self.backend = backend
         self.workers = workers
+        self.default_timeout = default_timeout
+        self.faults = fault_injector
         if backend == "xquery":
             self.engine = engine or XQueryEngine(EngineConfig(backend="closures"))
             self._backend = XQueryCalculusBackend(model, engine=self.engine)
@@ -91,79 +125,187 @@ class QueryService:
         self._batches = 0
         self._executed = 0
         self._batch_deduped = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._fallbacks = 0
+        self._errors_by_kind: Dict[str, int] = {}
 
     # -- public API -------------------------------------------------------------
 
-    def run(self, query: Query) -> List[ModelNode]:
-        """Serve one query: result cache → plan cache → backend."""
+    def run(self, query: Query, timeout: Optional[float] = None) -> BatchItem:
+        """Serve one query: result cache → plan cache → backend.
+
+        Returns a :class:`BatchItem` (a list of live model nodes carrying
+        ``served_from_cache`` and ``traces``).  Failures raise — callers
+        that want errors as values use :meth:`run_batch` — but are still
+        recorded in :meth:`metrics` first.
+        """
         started = time.perf_counter()
-        plan = self._plan(query)
-        root, generation = self._snapshot()
-        key = (plan.key, generation)
-        cached_ids = self._results.get(key)
-        if cached_ids is None:
-            ids = self._execute(plan, root)
-            self._results.put(key, ids)
+        deadline = self._deadline(timeout)
+        plan_key: Optional[str] = None
+        executed = 0
+        try:
+            plan = self._plan(query)
+            plan_key = plan.key
+            root, generation = self._snapshot()
+            cached = self._results.get((plan.key, generation))
+            if cached is not None:
+                ids, traces = cached
+                self._record(1, 0, time.perf_counter() - started)
+                return BatchItem(
+                    self._materialize(ids), served_from_cache=True, traces=traces
+                )
             executed = 1
-        else:
-            ids = cached_ids
-            executed = 0
-        nodes = self._materialize(ids)
-        self._record(1, executed, time.perf_counter() - started)
-        return nodes
+            ids, traces = self._execute(plan, root, deadline)
+            self._results.put((plan.key, generation), ids, traces)
+            self._record(1, 1, time.perf_counter() - started)
+            return BatchItem(self._materialize(ids), traces=traces)
+        except Exception as exc:
+            error = classify_error(exc, plan_key)
+            self._record(
+                1, executed, time.perf_counter() - started, errors=(error,)
+            )
+            raise
 
     def run_batch(
-        self, queries: Iterable[Query], workers: Optional[int] = None
-    ) -> List[List[ModelNode]]:
+        self,
+        queries: Iterable[Query],
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        batch_timeout: Optional[float] = None,
+    ) -> List[BatchItem]:
         """Run independent read-only queries over one export snapshot.
 
         Distinct plans are evaluated once each — duplicates within the
         batch share the result — on a pool of ``workers`` threads.  The
         model must not be mutated while a batch is in flight.
+
+        Failures are **isolated per query**: a failing job yields a
+        :class:`BatchItem` whose ``error`` is a structured
+        :class:`QueryError` while every sibling completes, and metrics
+        record the entire batch either way.  ``timeout`` budgets each
+        query's wall clock (default :attr:`default_timeout`);
+        ``batch_timeout`` additionally caps the whole batch — queries
+        that would start after it expires fail fast with kind
+        ``timeout``.
         """
         started = time.perf_counter()
         queries = list(queries)
         if not queries:
             return []
         workers = self.workers if workers is None else workers
-        plans = [self._plan(query) for query in queries]
-        root, generation = self._snapshot()
+        per_query = timeout if timeout is not None else self.default_timeout
+        batch_deadline = (
+            Deadline.after(batch_timeout) if batch_timeout is not None else None
+        )
 
-        unique: Dict[str, QueryPlan] = {}
-        for plan in plans:
-            unique.setdefault(plan.key, plan)
-        ids_by_key: Dict[str, List[str]] = {}
-        to_run: List[QueryPlan] = []
-        for key, plan in unique.items():
-            cached_ids = self._results.get((key, generation))
-            if cached_ids is not None:
-                ids_by_key[key] = cached_ids
-            else:
-                to_run.append(plan)
-
-        def job(plan: QueryPlan) -> Tuple[str, List[str]]:
-            ids = self._execute(plan, root)
-            self._results.put((plan.key, generation), ids)
-            return plan.key, ids
-
-        if workers <= 1 or len(to_run) <= 1:
-            for plan in to_run:
-                key, ids = job(plan)
-                ids_by_key[key] = ids
-        else:
-            pool = ThreadPoolExecutor(max_workers=min(workers, len(to_run)))
+        # 1. plan every query, isolating per-query compile/lint failures.
+        plan_keys: List[str] = []
+        plans: Dict[str, QueryPlan] = {}
+        plan_errors: Dict[str, QueryError] = {}
+        for index, query in enumerate(queries):
             try:
-                for key, ids in pool.map(job, to_run):
-                    ids_by_key[key] = ids
-            finally:
-                pool.shutdown()
+                plan = self._plan(query)
+            except Exception as exc:
+                try:
+                    key = normalize_query(query)
+                except Exception:
+                    key = f"<unplannable #{index}>"
+                plan_keys.append(key)
+                plan_errors.setdefault(key, classify_error(exc, key))
+            else:
+                plan_keys.append(plan.key)
+                plans.setdefault(plan.key, plan)
 
+        # 2. one shared export snapshot; if it fails, every planned query
+        # gets the structured error instead of the batch raising.
+        root: Optional[ElementNode] = None
+        generation = 0
+        export_error: Optional[QueryError] = None
+        try:
+            root, generation = self._snapshot()
+        except Exception as exc:
+            export_error = classify_error(exc)
+
+        # 3. serve each distinct plan: result cache, then the backend.
+        outcomes: Dict[str, Tuple] = {}
+        to_run: List[QueryPlan] = []
+        if export_error is None:
+            for key, plan in plans.items():
+                cached = self._results.get((key, generation))
+                if cached is not None:
+                    ids, traces = cached
+                    outcomes[key] = ("ok", ids, traces, True)
+                else:
+                    to_run.append(plan)
+
+            def job(plan: QueryPlan) -> Tuple[str, Tuple]:
+                deadline = (
+                    Deadline.after(per_query) if per_query is not None else None
+                )
+                if deadline is not None:
+                    deadline = deadline.cap(batch_deadline)
+                else:
+                    deadline = batch_deadline
+                try:
+                    if deadline is not None:
+                        deadline.check("batch queue")
+                    ids, traces = self._execute(plan, root, deadline)
+                    self._results.put((plan.key, generation), ids, traces)
+                    return plan.key, ("ok", ids, traces, False)
+                except Exception as exc:
+                    return plan.key, ("err", classify_error(exc, plan.key))
+
+            if workers <= 1 or len(to_run) <= 1:
+                for plan in to_run:
+                    key, outcome = job(plan)
+                    outcomes[key] = outcome
+            else:
+                pool = ThreadPoolExecutor(max_workers=min(workers, len(to_run)))
+                try:
+                    for key, outcome in pool.map(job, to_run):
+                        outcomes[key] = outcome
+                finally:
+                    pool.shutdown()
+
+        # 4. fan results (and errors) out to the original query order.
+        items: List[BatchItem] = []
+        errors: List[QueryError] = []
+        for key in plan_keys:
+            if key in plan_errors:
+                error = plan_errors[key]
+            elif export_error is not None:
+                error = QueryError(
+                    kind=export_error.kind,
+                    message=export_error.message,
+                    code=export_error.code,
+                    plan_key=key,
+                    exception=export_error.exception,
+                )
+            else:
+                outcome = outcomes[key]
+                if outcome[0] == "ok":
+                    _, ids, traces, from_cache = outcome
+                    items.append(
+                        BatchItem(
+                            self._materialize(ids),
+                            served_from_cache=from_cache,
+                            traces=traces,
+                        )
+                    )
+                    continue
+                error = outcome[1]
+            errors.append(error)
+            items.append(BatchItem((), error=error))
+
+        # 5. bookkeeping happens unconditionally — partial failure no
+        # longer skips it (the pre-robustness bug this layer fixes).
         elapsed = time.perf_counter() - started
         with self._metrics_lock:
             self._batches += 1
-            self._batch_deduped += len(queries) - len(unique)
-        self._record(len(queries), len(to_run), elapsed)
-        return [self._materialize(ids_by_key[plan.key]) for plan in plans]
+            self._batch_deduped += len(queries) - len(set(plan_keys))
+        self._record(len(queries), len(to_run), elapsed, errors=errors)
+        return items
 
     def invalidate(self) -> None:
         """Drop cached results and force a full re-export.
@@ -191,13 +333,17 @@ class QueryService:
         return stats
 
     def metrics(self) -> Dict[str, object]:
-        """The small metrics dict the E15 report reads."""
+        """The small metrics dict the E15/E16 reports read."""
         with self._metrics_lock:
             latencies = list(self._latencies)
             queries = self._queries
             batches = self._batches
             executed = self._executed
             deduped = self._batch_deduped
+            errors = self._errors
+            timeouts = self._timeouts
+            fallbacks = self._fallbacks
+            by_kind = dict(self._errors_by_kind)
         plan_stats = self._plans.stats()
         result_stats = self._results.stats()
         return {
@@ -206,6 +352,10 @@ class QueryService:
             "batches": batches,
             "executed": executed,
             "batch_deduped": deduped,
+            "errors": errors,
+            "timeouts": timeouts,
+            "fallbacks": fallbacks,
+            "errors_by_kind": by_kind,
             "hits": result_stats["hits"],
             "misses": result_stats["misses"],
             "plan_hits": plan_stats["hits"],
@@ -216,10 +366,16 @@ class QueryService:
 
     # -- internals --------------------------------------------------------------
 
+    def _deadline(self, timeout: Optional[float]) -> Optional[Deadline]:
+        timeout = timeout if timeout is not None else self.default_timeout
+        return Deadline.after(timeout) if timeout is not None else None
+
     def _plan(self, query: Query) -> QueryPlan:
         key = normalize_query(query)
 
         def build() -> QueryPlan:
+            if self.faults is not None:
+                self.faults.on_compile(key)
             if self.backend == "native":
                 return QueryPlan(key, "native", query)
             source = self._backend.compile_to_xquery(query)
@@ -231,15 +387,72 @@ class QueryService:
     def _snapshot(self) -> Tuple[Optional[ElementNode], int]:
         """The (export root, generation) pair queries should run against."""
         if self._backend is None:
+            if self.faults is not None:
+                self.faults.on_export()
             return None, self.model.generation
         with self._export_lock:
+            if self.faults is not None:
+                self.faults.on_export()
             document = self._backend.export
             return document.document_element(), self._backend.export_generation
 
-    def _execute(self, plan: QueryPlan, root: Optional[ElementNode]) -> List[str]:
+    def _execute(
+        self,
+        plan: QueryPlan,
+        root: Optional[ElementNode],
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[List[str], Tuple[str, ...]]:
+        """Evaluate one plan, returning (node ids, trace messages).
+
+        Spec errors (including timeouts) surface as-is.  An *internal*
+        error from the compiled closures backend is retried once on the
+        treewalk reference backend — graceful degradation: correctness
+        from the reference interpreter beats failing the request — and
+        only surfaces if the retry also fails.
+        """
         if plan.backend == "native":
-            return [node.id for node in run_query(plan.query, self.model)]
-        result = plan.compiled.run(variables={"model": root})
+            if self.faults is not None:
+                self.faults.on_evaluate(plan.key, deadline, backend="native")
+            if deadline is not None:
+                deadline.check("evaluate")
+            return [node.id for node in run_query(plan.query, self.model)], ()
+        primary_backend = self.engine.config.backend
+        try:
+            return self._evaluate_plan(plan, root, deadline, primary_backend)
+        except XQueryError:
+            raise
+        except Exception as primary:
+            if primary_backend == "treewalk":
+                raise  # already on the reference backend: nothing to degrade to
+            with self._metrics_lock:
+                self._fallbacks += 1
+            try:
+                return self._evaluate_plan(plan, root, deadline, "treewalk")
+            except XQueryTimeoutError:
+                raise  # the budget ran out during the retry: that is a timeout
+            except Exception:
+                raise primary
+
+    def _evaluate_plan(
+        self,
+        plan: QueryPlan,
+        root: Optional[ElementNode],
+        deadline: Optional[Deadline],
+        backend: str,
+    ) -> Tuple[List[str], Tuple[str, ...]]:
+        if self.faults is not None:
+            self.faults.on_evaluate(plan.key, deadline, backend=backend)
+        if deadline is not None:
+            deadline.check("evaluate")
+        trace = TraceLog()
+        result = plan.compiled.run(
+            variables={"model": root},
+            trace=trace,
+            backend=backend,
+            deadline=deadline.at if deadline is not None else None,
+        )
+        if deadline is not None:
+            deadline.check("materialize")
         ids: List[str] = []
         for item in result:
             if not isinstance(item, ElementNode):
@@ -247,16 +460,29 @@ class QueryService:
             node_id = item.get_attribute("id")
             if node_id is not None and node_id in self.model.nodes:
                 ids.append(node_id)
-        return ids
+        return ids, tuple(trace.messages)
 
     def _materialize(self, ids: List[str]) -> List[ModelNode]:
         nodes = self.model.nodes
         return [nodes[node_id] for node_id in ids if node_id in nodes]
 
-    def _record(self, queries: int, executed: int, elapsed: float) -> None:
+    def _record(
+        self,
+        queries: int,
+        executed: int,
+        elapsed: float,
+        errors: Iterable[QueryError] = (),
+    ) -> None:
         with self._metrics_lock:
             self._queries += queries
             self._executed += executed
             self._latencies.append(elapsed)
             if len(self._latencies) > MAX_LATENCY_SAMPLES:
                 del self._latencies[: len(self._latencies) - MAX_LATENCY_SAMPLES]
+            for error in errors:
+                self._errors += 1
+                self._errors_by_kind[error.kind] = (
+                    self._errors_by_kind.get(error.kind, 0) + 1
+                )
+                if error.kind == "timeout":
+                    self._timeouts += 1

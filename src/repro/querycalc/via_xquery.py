@@ -72,7 +72,7 @@ class XQueryCalculusBackend:
             function_name = f"local:step{index}"
             lines.append(self._compile_step(step, function_name))
             pipeline = f"{function_name}({pipeline})"
-        lines.append(self._compile_collect(query.collect, pipeline))
+        lines.append(self._compile_collect(query.collect, pipeline, query.trace))
         return "\n".join(lines)
 
     def run(self, query: Query) -> List[ModelNode]:
@@ -152,11 +152,18 @@ class XQueryCalculusBackend:
             f"}};"
         )
 
-    def _compile_collect(self, collect: Collect, pipeline: str) -> str:
+    def _compile_collect(
+        self, collect: Collect, pipeline: str, trace: Optional[str] = None
+    ) -> str:
         sort_property = collect.sort_by or self.metamodel.label_property
         # "$x | ()" deduplicates by node identity and restores document
         # order — the idiomatic XQuery way to build a set of nodes.
         dedup = f"({pipeline} | ())" if collect.distinct else f"({pipeline})"
+        if trace is not None:
+            # this engine's fn:trace returns its LAST argument, so the label
+            # goes first and the pipeline value flows through unchanged.
+            label = trace.replace('"', "&quot;")
+            dedup = f'trace("{label}", {dedup})'
         direction = "descending" if collect.descending else "ascending"
         return (
             f"for $result in {dedup}\n"

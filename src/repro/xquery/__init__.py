@@ -24,6 +24,7 @@ from .errors import (
     XQueryDynamicError,
     XQueryError,
     XQueryStaticError,
+    XQueryTimeoutError,
     XQueryTypeError,
     XQueryUserError,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "XQueryEngine",
     "XQueryError",
     "XQueryStaticError",
+    "XQueryTimeoutError",
     "XQueryTypeError",
     "XQueryUserError",
     "analyze_module",

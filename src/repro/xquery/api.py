@@ -19,6 +19,7 @@ the 2004 Galax behaviours the paper describes (see
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import fields
 from typing import Dict, List, Optional, Tuple
@@ -129,23 +130,34 @@ class CompiledQuery:
         documents: Optional[Dict[str, DocumentNode]] = None,
         trace: Optional[TraceLog] = None,
         backend: Optional[str] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Sequence:
         """Evaluate the query body; returns a flat sequence of items.
 
         ``variables`` supplies external variables; plain Python values are
         coerced into sequences (a list is a sequence, a scalar a singleton).
         ``backend`` overrides the config's backend for this run only.
+        ``timeout`` is a wall-clock budget in seconds (``deadline`` the
+        equivalent absolute ``time.monotonic()`` instant); a run that
+        exceeds it raises :class:`~repro.xquery.errors.XQueryTimeoutError`
+        (``XQDY_TIMEOUT``) at the next stage boundary instead of hanging
+        the calling thread.
         """
         backend = backend if backend is not None else self.config.backend
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if timeout is not None:
+            budget = time.monotonic() + timeout
+            deadline = budget if deadline is None else min(deadline, budget)
         ctx = DynamicContext(
             functions=self.functions,
             documents=documents or {},
             config=self.config,
             trace=trace,
+            deadline=deadline,
         )
         provided = {
             name: _coerce_sequence(value) for name, value in (variables or {}).items()
@@ -202,9 +214,7 @@ class CompiledQuery:
 
 def _coerce_sequence(value: object) -> Sequence:
     # lists and tuples are both "a sequence of items" to the host API;
-    # sequence() flattens either kind of nesting the same way.
-    if isinstance(value, (list, tuple)):
-        return sequence(value)
+    # sequence() flattens either kind of nesting, and wraps a scalar.
     return sequence(value)
 
 
@@ -229,6 +239,9 @@ class XQueryEngine:
         self._cache_lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: threads that compiled but lost the insert race: counted as
+        #: misses (the compile work really happened) and tallied here.
+        self.cache_races = 0
 
     def _cache_key(self, source: str) -> tuple:
         return (source,) + tuple(
@@ -252,7 +265,10 @@ class XQueryEngine:
         with self._cache_lock:
             existing = self._cache.get(key)
             if existing is not None:
-                self.cache_hits += 1
+                # we lost the insert race after doing a full compile: that
+                # is real compile work, so it counts as a miss, not a hit.
+                self.cache_misses += 1
+                self.cache_races += 1
                 self._cache.move_to_end(key)
                 return existing
             self.cache_misses += 1
@@ -267,6 +283,7 @@ class XQueryEngine:
             return {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
+                "races": self.cache_races,
                 "currsize": len(self._cache),
                 "maxsize": self.config.compile_cache_size,
             }
@@ -276,6 +293,7 @@ class XQueryEngine:
             self._cache.clear()
             self.cache_hits = 0
             self.cache_misses = 0
+            self.cache_races = 0
 
     def evaluate(
         self,
@@ -284,6 +302,7 @@ class XQueryEngine:
         variables: Optional[Dict[str, object]] = None,
         documents: Optional[Dict[str, DocumentNode]] = None,
         trace: Optional[TraceLog] = None,
+        timeout: Optional[float] = None,
     ) -> Sequence:
         """One-shot compile-and-run."""
         return self.compile(source).run(
@@ -291,6 +310,7 @@ class XQueryEngine:
             variables=variables,
             documents=documents,
             trace=trace,
+            timeout=timeout,
         )
 
     def evaluate_to_string(self, source: str, **kwargs) -> str:

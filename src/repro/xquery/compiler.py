@@ -842,6 +842,8 @@ class _Compiler:
                 # in the outer focus, exactly as the treewalk does.
                 current = first_thunk(ctx)
             for expand, step_thunk, candidates, ordered, step_expr in steps:
+                if ctx.deadline is not None:
+                    ctx.check_deadline()
                 if expand:
                     current = _descendant_or_self_nodes(current)
                 if candidates is None:
@@ -889,13 +891,18 @@ class _Compiler:
         result_thunk = self.compile(expr.result)
 
         def run(ctx: DynamicContext) -> Sequence:
+            check_deadline = ctx.deadline is not None
             tuples: List[Dict[str, Sequence]] = [dict()]
             for compiled in compiled_clauses:
+                if check_deadline:
+                    ctx.check_deadline()
                 kind = compiled[0]
                 if kind == "for":
                     _, var, position_var, source_thunk = compiled
                     expanded = []
                     for bindings in tuples:
+                        if check_deadline:
+                            ctx.check_deadline()
                         scope = ctx.with_variables(bindings)
                         source = source_thunk(scope)
                         for position, item in enumerate(source, start=1):
@@ -908,6 +915,8 @@ class _Compiler:
                 elif kind == "let":
                     _, var, declared_type, value_thunk = compiled
                     for bindings in tuples:
+                        if check_deadline:
+                            ctx.check_deadline()
                         scope = ctx.with_variables(bindings)
                         value = value_thunk(scope)
                         if declared_type is not None and not declared_type.matches(value):
@@ -921,15 +930,25 @@ class _Compiler:
                         bindings[var] = value
                 elif kind == "where":
                     _, condition_test = compiled
-                    tuples = [
-                        bindings
-                        for bindings in tuples
-                        if condition_test(ctx.with_variables(bindings))
-                    ]
+                    if check_deadline:
+                        kept = []
+                        for bindings in tuples:
+                            ctx.check_deadline()
+                            if condition_test(ctx.with_variables(bindings)):
+                                kept.append(bindings)
+                        tuples = kept
+                    else:
+                        tuples = [
+                            bindings
+                            for bindings in tuples
+                            if condition_test(ctx.with_variables(bindings))
+                        ]
                 else:  # order
                     _, specs = compiled
                     decorated = []
                     for index, bindings in enumerate(tuples):
+                        if check_deadline:
+                            ctx.check_deadline()
                         scope = ctx.with_variables(bindings)
                         keys = tuple(
                             _OrderKey(key_thunk(scope), descending, empty_least)
@@ -940,6 +959,8 @@ class _Compiler:
                     tuples = [bindings for _, _, bindings in decorated]
             result: Sequence = []
             for bindings in tuples:
+                if check_deadline:
+                    ctx.check_deadline()
                 scope = ctx.with_variables(bindings)
                 result.extend(result_thunk(scope))
             return result
@@ -1115,6 +1136,7 @@ class _Compiler:
                     f"recursion depth limit exceeded calling {function_name}()",
                     "FOER0000",
                 )
+            ctx.check_deadline()
             bindings: Dict[str, Sequence] = {}
             for param_name, arg_thunk, declared_type, type_message in param_specs:
                 value = arg_thunk(ctx)

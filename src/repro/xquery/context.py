@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..xdm import DocumentNode, Sequence
 from .ast import FunctionDecl
+from .errors import XQueryTimeoutError
 
 
 @dataclass
@@ -110,6 +112,7 @@ class DynamicContext:
         "config",
         "trace",
         "depth",
+        "deadline",
     )
 
     def __init__(
@@ -119,6 +122,7 @@ class DynamicContext:
         documents: Optional[Dict[str, DocumentNode]] = None,
         config: Optional[EngineConfig] = None,
         trace: Optional[TraceLog] = None,
+        deadline: Optional[float] = None,
     ):
         self.variables: Dict[str, Sequence] = variables if variables is not None else {}
         #: module-level (prolog-declared and external) variables; visible in
@@ -132,6 +136,16 @@ class DynamicContext:
         self.config = config if config is not None else EngineConfig()
         self.trace = trace if trace is not None else TraceLog()
         self.depth = 0
+        #: absolute ``time.monotonic()`` instant after which evaluation must
+        #: stop, or None for no budget.  Checked between pipeline stages,
+        #: FLWOR tuples, and user-function calls in both backends.
+        self.deadline = deadline
+
+    def check_deadline(self) -> None:
+        """Raise ``XQDY_TIMEOUT`` if the wall-clock budget has been spent."""
+        deadline = self.deadline
+        if deadline is not None and time.monotonic() > deadline:
+            raise XQueryTimeoutError("query exceeded its wall-clock deadline")
 
     def with_variables(self, new_bindings: Dict[str, Sequence]) -> "DynamicContext":
         """A child context with additional variable bindings."""
@@ -174,4 +188,5 @@ class DynamicContext:
         child.config = self.config
         child.trace = self.trace
         child.depth = self.depth
+        child.deadline = self.deadline
         return child

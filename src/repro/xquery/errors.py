@@ -54,6 +54,20 @@ class XQueryDynamicError(XQueryError):
     default_code = "XPDY0002"
 
 
+class XQueryTimeoutError(XQueryDynamicError):
+    """The query ran past its wall-clock deadline.
+
+    Raised cleanly from the evaluation loop (between pipeline stages, FLWOR
+    tuples, and function calls) rather than by killing a worker thread, so a
+    serving layer can cut off a runaway query and keep the worker.
+    """
+
+    default_code = "XQDY_TIMEOUT"
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message, code=code)
+
+
 class XQueryUserError(XQueryDynamicError):
     """Raised by ``fn:error`` — the paper's only debugging tool at first.
 
@@ -86,6 +100,7 @@ ERROR_CODES = {
     "FOAR0001": "division by zero",
     "FOER0000": "error raised by fn:error",
     "FODC0002": "error retrieving resource (fn:doc)",
+    "XQDY_TIMEOUT": "the query exceeded its wall-clock deadline",
 }
 
 

@@ -372,6 +372,7 @@ def _apply_step(
         # The leading expression of a relative path is evaluated once in the
         # outer focus ($x/kid: $x is not evaluated per context node).
         return evaluate(step, ctx)
+    ctx.check_deadline()
     results: Sequence = []
     size = len(context_items)
     saw_node = False
@@ -399,6 +400,7 @@ def _apply_step(
 def _eval_flwor(expr: ast.FLWOR, ctx: DynamicContext) -> Sequence:
     tuples: List[Dict[str, Sequence]] = [dict()]
     for clause in expr.clauses:
+        ctx.check_deadline()
         if isinstance(clause, ast.ForClause):
             tuples = _expand_for(clause, tuples, ctx)
         elif isinstance(clause, ast.LetClause):
@@ -424,7 +426,10 @@ def _eval_flwor(expr: ast.FLWOR, ctx: DynamicContext) -> Sequence:
         elif isinstance(clause, ast.OrderByClause):
             tuples = _order_tuples(clause, tuples, ctx)
     result: Sequence = []
+    check_deadline = ctx.deadline is not None
     for bindings in tuples:
+        if check_deadline:
+            ctx.check_deadline()
         scope = ctx.with_variables(bindings)
         result.extend(evaluate(expr.result, scope))
     return result
@@ -436,7 +441,10 @@ def _expand_for(
     ctx: DynamicContext,
 ) -> List[Dict[str, Sequence]]:
     expanded = []
+    check_deadline = ctx.deadline is not None
     for bindings in tuples:
+        if check_deadline:
+            ctx.check_deadline()
         scope = ctx.with_variables(bindings)
         source = evaluate(clause.source, scope)
         for position, item in enumerate(source, start=1):
@@ -621,6 +629,7 @@ def _call_user_function(
             f"recursion depth limit exceeded calling {declaration.name}()",
             "FOER0000",
         )
+    ctx.check_deadline()
     bindings: Dict[str, Sequence] = {}
     for param, arg_expr in zip(declaration.params, expr.args):
         value = evaluate(arg_expr, ctx)

@@ -125,6 +125,31 @@ class TestRemoval:
         assert model.relations == {}
         assert model.outgoing(a) == []
 
+    def test_relation_order_preserved_after_interleaved_removal(self, model):
+        hub = model.create_node("User")
+        spokes = [model.create_node("User") for _ in range(5)]
+        relations = [model.connect(hub, "likes", spoke) for spoke in spokes]
+        model.remove_relation(relations[2])
+        assert model.outgoing(hub) == [
+            relations[0], relations[1], relations[3], relations[4]
+        ]
+
+    def test_hub_removal_scales(self, model):
+        # 10k relations off one hub: with the old list.remove() unlink this
+        # cascade was O(degree^2) and took tens of seconds; the id-indexed
+        # adjacency makes it O(degree).
+        import time
+
+        hub = model.create_node("User")
+        spokes = [model.create_node("User") for _ in range(10_000)]
+        for spoke in spokes:
+            model.connect(hub, "likes", spoke)
+        started = time.perf_counter()
+        model.remove_node(hub)
+        elapsed = time.perf_counter() - started
+        assert model.relations == {}
+        assert elapsed < 1.0
+
     def test_stats(self, model):
         model.create_node("User")
         assert model.stats()["nodes"] == 1

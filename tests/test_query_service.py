@@ -11,6 +11,7 @@ from repro.querycalc import (
     run_query,
 )
 from repro.querycalc.service import PlanCache, QueryPlan, ResultCache
+from repro.querycalc.service.service import _percentile
 from repro.workloads import make_it_model
 
 LIKES_USES = """
@@ -168,6 +169,7 @@ class TestMetricsAndStats:
         metrics = service.metrics()
         for field in (
             "backend", "queries", "batches", "executed", "batch_deduped",
+            "errors", "timeouts", "fallbacks", "errors_by_kind",
             "hits", "misses", "plan_hits", "plan_misses", "p50_ms", "p95_ms",
         ):
             assert field in metrics
@@ -210,15 +212,20 @@ class TestPlanAndResultCacheUnits:
         cache = ResultCache(maxsize=8)
         cache.put(("q", 1), ["N1"])
         cache.put(("q", 2), ["N2"])
-        assert cache.get(("q", 1)) == ["N1"]
-        assert cache.get(("q", 2)) == ["N2"]
+        assert cache.get(("q", 1)) == (["N1"], ())
+        assert cache.get(("q", 2)) == (["N2"], ())
 
     def test_result_cache_returns_copies(self):
         cache = ResultCache(maxsize=8)
         cache.put(("q", 1), ["N1"])
-        first = cache.get(("q", 1))
-        first.append("N2")
-        assert cache.get(("q", 1)) == ["N1"]
+        first_ids, _ = cache.get(("q", 1))
+        first_ids.append("N2")
+        assert cache.get(("q", 1)) == (["N1"], ())
+
+    def test_result_cache_keeps_traces(self):
+        cache = ResultCache(maxsize=8)
+        cache.put(("q", 1), ["N1"], traces=["probe 1"])
+        assert cache.get(("q", 1)) == (["N1"], ("probe 1",))
 
     def test_zero_sized_caches_disable_cleanly(self, model):
         service = QueryService(model, plan_cache_size=0, result_cache_size=0)
@@ -227,6 +234,34 @@ class TestPlanAndResultCacheUnits:
         assert ids(service.run(query)) == expected
         assert ids(service.run(query)) == expected
         assert service.metrics()["executed"] == 2  # nothing was cached
+
+
+class TestPercentile:
+    """The ceil-based nearest-rank formula (the round() one was off by one)."""
+
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_median_of_odd_count_is_the_middle_value(self):
+        # round(0.5 * 5) == 2 under banker's rounding — the old bug
+        assert _percentile([5.0, 1.0, 4.0, 2.0, 3.0], 0.50) == 3.0
+
+    def test_median_of_two(self):
+        # nearest-rank p50 of two samples is the lower one (rank ceil(1.0)=1)
+        assert _percentile([1.0, 2.0], 0.50) == 1.0
+
+    def test_p95_of_one_hundred(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert _percentile(samples, 0.95) == 95.0
+        assert _percentile(samples, 0.50) == 50.0
+
+    def test_extremes_clamp(self):
+        samples = [1.0, 2.0, 3.0]
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile(samples, 1.0) == 3.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.95) == 7.0
 
 
 class TestBackendParityUnderService:
@@ -307,5 +342,66 @@ class TestServiceCli:
                     "--model", model_file,
                     "--query", query_file,
                     "--repeat", "0",
+                ]
+            )
+
+    def test_timeout_completes_with_ample_budget(self, model_file, query_file):
+        from repro.querycalc.__main__ import main as calc_main
+
+        assert calc_main(
+            [
+                "--model", model_file,
+                "--query", query_file,
+                "--backend", "service",
+                "--timeout", "30",
+            ]
+        ) == 0
+
+    def test_injected_faults_exit_nonzero_with_structured_error(
+        self, model_file, query_file, capsys
+    ):
+        from repro.querycalc.__main__ import main as calc_main
+
+        code = calc_main(
+            [
+                "--model", model_file,
+                "--query", query_file,
+                "--backend", "service",
+                "--inject-faults", "eval=1.0,kind=dynamic",
+                "--time",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "query failed — dynamic:" in err
+        assert "1/1 run(s) failed" in err
+        assert "error(s)" in err and "fallback(s)" in err
+
+    def test_fault_flags_require_service_backend(self, model_file, query_file):
+        from repro.querycalc.__main__ import main as calc_main
+
+        with pytest.raises(SystemExit):
+            calc_main(
+                ["--model", model_file, "--query", query_file, "--timeout", "1"]
+            )
+        with pytest.raises(SystemExit):
+            calc_main(
+                [
+                    "--model", model_file,
+                    "--query", query_file,
+                    "--inject-faults", "eval=0.5",
+                ]
+            )
+
+    def test_bad_fault_spec_rejected(self, model_file, query_file):
+        from repro.querycalc.__main__ import main as calc_main
+
+        with pytest.raises(SystemExit):
+            calc_main(
+                [
+                    "--model", model_file,
+                    "--query", query_file,
+                    "--backend", "service",
+                    "--inject-faults", "explode=1.0",
                 ]
             )

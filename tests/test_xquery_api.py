@@ -171,7 +171,7 @@ class TestCompileCache:
         first = engine.compile("1 + 1")
         assert engine.compile("1 + 1") is not first
         assert engine.cache_info() == {
-            "hits": 0, "misses": 0, "currsize": 0, "maxsize": 0,
+            "hits": 0, "misses": 0, "races": 0, "currsize": 0, "maxsize": 0,
         }
 
     def test_use_cache_false_bypasses(self):
@@ -194,7 +194,7 @@ class TestCompileCache:
         engine.compile("1")
         engine.cache_clear()
         assert engine.cache_info() == {
-            "hits": 0, "misses": 0, "currsize": 0, "maxsize": 128,
+            "hits": 0, "misses": 0, "races": 0, "currsize": 0, "maxsize": 128,
         }
 
 
