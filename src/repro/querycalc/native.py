@@ -70,7 +70,7 @@ def _property_predicate(step: FilterProperty) -> Callable[[ModelNode], bool]:
         if value is None:
             return False
         if step.op == "contains":
-            return step.value in str(value)
+            return step.value in _text(value)
         try:
             left, right = _coerce_pair(value, step.value)
         except ValueError:
@@ -92,6 +92,19 @@ def _property_predicate(step: FilterProperty) -> Callable[[ModelNode], bool]:
     return predicate
 
 
+def _text(value: object) -> str:
+    """A property value as its canonical (export) text.
+
+    Booleans read as ``true``/``false`` — the form the XML export writes
+    and the form queries are written against.  Leaking Python's
+    ``True``/``False`` here made ``contains``/sorting disagree with the
+    XQuery backend (found by the differential fuzzer).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
 def _coerce_pair(value: object, text: str):
     """Compare numerically when the node value is numeric, else as strings."""
     if isinstance(value, bool):
@@ -109,7 +122,7 @@ def _collect(collect: Collect, nodes: List[ModelNode], model: Model) -> List[Mod
         nodes = list(seen.values())
     sort_property = collect.sort_by or model.metamodel.label_property
     nodes.sort(
-        key=lambda node: (str(node.get(sort_property, "")), node.id),
+        key=lambda node: (_text(node.get(sort_property, "")), node.id),
         reverse=collect.descending,
     )
     return nodes

@@ -52,7 +52,7 @@ from ...xdm import ElementNode
 from ...xquery import EngineConfig, TraceLog, XQueryEngine
 from ...xquery.errors import XQueryError, XQueryTimeoutError
 from ..ast import Query
-from ..native import run_query
+from ..native import QueryRuntimeError, run_query
 from ..via_xquery import XQueryCalculusBackend
 from .errors import Deadline, QueryError, classify_error
 from .faults import FaultInjector
@@ -410,6 +410,13 @@ class QueryService:
         from the reference interpreter beats failing the request — and
         only surfaces if the retry also fails.
         """
+        start_id = plan.query.start.node_id
+        if start_id is not None and start_id not in self.model.nodes:
+            # both engine backends treat a dangling start id as a caller
+            # error (native always did; the XQuery backend was aligned by
+            # the differential fuzzer) — the service must agree even when
+            # it evaluates the cached plan itself.
+            raise QueryRuntimeError(f"start node {start_id!r} is not in the model")
         if plan.backend == "native":
             if self.faults is not None:
                 self.faults.on_evaluate(plan.key, deadline, backend="native")

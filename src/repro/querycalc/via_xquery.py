@@ -22,6 +22,7 @@ from ..awb.xml_io import IncrementalExporter
 from ..xdm import DocumentNode, ElementNode
 from ..xquery import XQueryEngine
 from .ast import Collect, FilterProperty, FilterType, Follow, Query
+from .native import QueryRuntimeError
 
 
 def _string_sequence(names: List[str]) -> str:
@@ -77,6 +78,12 @@ class XQueryCalculusBackend:
 
     def run(self, query: Query) -> List[ModelNode]:
         """Compile, evaluate, and map results back to live model nodes."""
+        start_id = query.start.node_id
+        if start_id is not None and start_id not in self.model.nodes:
+            # the generated XQuery would just select nothing, but the
+            # native backend treats a dangling start id as a caller error
+            # — found by the differential fuzzer, aligned here.
+            raise QueryRuntimeError(f"start node {start_id!r} is not in the model")
         source = self.compile_to_xquery(query)
         root = self.export.document_element()
         result = self.engine.evaluate(source, variables={"model": root})
@@ -139,12 +146,31 @@ class XQueryCalculusBackend:
 
     def _compile_filter_property(self, step: FilterProperty, function_name: str) -> str:
         value = step.value.replace('"', "&quot;")
+        prop = f'property[@name eq "{step.name}"]'
         if step.op == "contains":
-            condition = f'contains(string(property[@name eq "{step.name}"]), "{value}")'
+            condition = f'contains(string({prop}), "{value}")'
         else:
+            # Mirror the native backend's per-node coercion: the export
+            # stamps each property with its stored type, so the generated
+            # query can branch on it.  Numeric values compare as numbers
+            # (the fuzzer caught "16" lt "2" being true here), booleans as
+            # booleans, everything else as strings.  When the query's
+            # literal does not parse as the branch's type, native's
+            # coercion fails and the node never matches — fold that to
+            # false() at compile time, the literal is right here.
+            try:
+                float(step.value)
+                numeric = f'number(string({prop})) {step.op} number("{value}")'
+            except ValueError:
+                numeric = "false()"
+            truth = "true()" if step.value.strip().lower() == "true" else "false()"
+            boolean = f'(string({prop}) eq "true") {step.op} {truth}'
+            strings = f'string({prop}) {step.op} "{value}"'
             condition = (
-                f'property[@name eq "{step.name}"] and '
-                f'string(property[@name eq "{step.name}"]) {step.op} "{value}"'
+                f"{prop} and "
+                f'(if ({prop}/@type = ("integer", "float")) then {numeric}\n'
+                f'   else if ({prop}/@type eq "boolean") then {boolean}\n'
+                f"   else {strings})"
             )
         return (
             f"declare function {function_name}($nodes) {{\n"
@@ -165,9 +191,13 @@ class XQueryCalculusBackend:
             label = trace.replace('"', "&quot;")
             dedup = f'trace("{label}", {dedup})'
         direction = "descending" if collect.descending else "ascending"
+        # the id tie-break takes the same direction as the sort key: native
+        # sorts on the tuple (value, id) and reverses the whole tuple, so a
+        # descending sort breaks ties by *descending* id.  (The fuzzer found
+        # the stable-sort document-order ties this used to leave behind.)
         return (
             f"for $result in {dedup}\n"
             f'order by string($result/property[@name eq "{sort_property}"]) '
-            f"{direction}, string($result/@id)\n"
+            f"{direction}, string($result/@id) {direction}\n"
             f"return $result"
         )

@@ -1,0 +1,167 @@
+"""The persisted regression corpus: shrunk reproducers, pinned forever.
+
+Every divergence the fuzzer ever finds is reduced and written here, so
+the exact program that once exposed a bug (or documents a licensed
+quirk) is replayed by ``tests/test_fuzz_regressions.py`` on every run —
+the fuzzer's lottery wins become deterministic regression tests.
+
+File formats under ``tests/corpus/fuzz/``:
+
+* ``*.xq`` — an XQuery-pair case.  Header comments carry provenance and
+  the engine configuration::
+
+      (: fuzz-case kind=xquery seed=12345 gen=1 :)
+      (: config: {"duplicate_attribute_mode": "keep"} :)
+      (: note: one line on what this pinned and why :)
+      (: allow: rule-name :)            <- only for licensed quirks
+      <program text>
+
+* ``*.calculus.xml`` — a calculus-fleet case::
+
+      <fuzz-case kind="calculus" model-seed="3" model-size="24"
+                 note="..." allow="html-property-filter">
+        <query>...</query>
+      </fuzz-case>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..xquery import EngineConfig
+
+#: default corpus location, relative to the repo root.
+DEFAULT_CORPUS = os.path.join("tests", "corpus", "fuzz")
+
+_HEADER = re.compile(r"^\(:\s*(fuzz-case|config|note|allow):?\s*(.*?)\s*:\)\s*$")
+
+
+@dataclass
+class CorpusCase:
+    """One pinned reproducer."""
+
+    name: str
+    kind: str  # "xquery" | "calculus"
+    source: str  # program text (xquery) or <query> XML (calculus)
+    config: dict = field(default_factory=dict)
+    note: str = ""
+    allow: Optional[str] = None
+    seed: Optional[int] = None
+    generator_version: Optional[int] = None
+    model_seed: int = 0
+    model_size: int = 24
+    model_html: bool = False
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(**self.config)
+
+
+def load_corpus(directory: str) -> List[CorpusCase]:
+    """Every pinned case in ``directory``, sorted by file name."""
+    cases: List[CorpusCase] = []
+    if not os.path.isdir(directory):
+        return cases
+    for entry in sorted(os.listdir(directory)):
+        path = os.path.join(directory, entry)
+        if entry.endswith(".calculus.xml"):
+            cases.append(_load_calculus(entry, path))
+        elif entry.endswith(".xq"):
+            cases.append(_load_xquery(entry, path))
+    return cases
+
+
+def _load_xquery(name: str, path: str) -> CorpusCase:
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    case = CorpusCase(name=name, kind="xquery", source="")
+    body_start = 0
+    for index, line in enumerate(lines):
+        match = _HEADER.match(line)
+        if match is None:
+            body_start = index
+            break
+        tag, value = match.groups()
+        if tag == "fuzz-case":
+            for token in value.split():
+                key, _, raw = token.partition("=")
+                if key == "seed":
+                    case.seed = int(raw)
+                elif key == "gen":
+                    case.generator_version = int(raw)
+        elif tag == "config":
+            case.config = json.loads(value) if value else {}
+        elif tag == "note":
+            case.note = value
+        elif tag == "allow":
+            case.allow = value or None
+        body_start = index + 1
+    case.source = "\n".join(lines[body_start:]).strip("\n")
+    return case
+
+
+def _load_calculus(name: str, path: str) -> CorpusCase:
+    from ..xmlio import parse_element, serialize
+
+    with open(path, "r", encoding="utf-8") as handle:
+        root = parse_element(handle.read())
+    if root.name != "fuzz-case":
+        raise ValueError(f"{path}: expected <fuzz-case>, found <{root.name}>")
+    queries = [child for child in root.child_elements() if child.name == "query"]
+    if len(queries) != 1:
+        raise ValueError(f"{path}: expected exactly one <query>")
+    return CorpusCase(
+        name=name,
+        kind="calculus",
+        source=serialize(queries[0]),
+        note=root.get_attribute("note") or "",
+        allow=root.get_attribute("allow") or None,
+        seed=int(root.get_attribute("seed") or 0) or None,
+        model_seed=int(root.get_attribute("model-seed") or 0),
+        model_size=int(root.get_attribute("model-size") or 24),
+        model_html=root.get_attribute("model-html") == "true",
+    )
+
+
+def write_xquery_case(
+    directory: str,
+    name: str,
+    source: str,
+    config: Optional[dict] = None,
+    note: str = "",
+    allow: Optional[str] = None,
+    seed: Optional[int] = None,
+    generator_version: Optional[int] = None,
+) -> str:
+    """Write a pinned ``.xq`` case with its provenance header."""
+    os.makedirs(directory, exist_ok=True)
+    if not name.endswith(".xq"):
+        name += ".xq"
+    lines = []
+    provenance = []
+    if seed is not None:
+        provenance.append(f"seed={seed}")
+    if generator_version is not None:
+        provenance.append(f"gen={generator_version}")
+    lines.append(f"(: fuzz-case kind=xquery {' '.join(provenance)} :)".replace("  ", " "))
+    if config:
+        lines.append(f"(: config: {json.dumps(config, sort_keys=True)} :)")
+    if note:
+        lines.append(f"(: note: {note} :)")
+    if allow:
+        lines.append(f"(: allow: {allow} :)")
+    lines.append(source.strip("\n"))
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def parse_corpus_query(case: CorpusCase):
+    """The calculus Query a pinned calculus case replays."""
+    from ..querycalc import parse_query_xml
+
+    return parse_query_xml(case.source)

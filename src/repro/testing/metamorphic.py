@@ -1,0 +1,119 @@
+"""Metamorphic rewrites: two renderings of one meaning.
+
+Each rule builds a *pair* of source programs from the same random
+ingredients, constructed so XQuery semantics guarantee they evaluate
+identically; the oracle then runs both renderings under both backends.
+The rules are deliberately conservative — each one's preconditions are
+enforced by construction, not checked after the fact:
+
+``predicate-where``
+    ``for $v in (S)[P(.)] return B``  ≡  ``for $v in S where P($v) return B``
+    whenever ``P`` is position-free (no ``position()``/``last()``) and
+    ``S`` is a sequence of atomics (so the predicate's context item is
+    the same value the range variable binds).
+
+``let-inline``
+    ``let $v := E return B($v)``  ≡  ``B((E))`` whenever ``E`` is pure
+    and constructor-free — inlining duplicates evaluation, which is only
+    unobservable when ``E`` has no side effects (``fn:trace``,
+    ``fn:error``) and creates no nodes (identity is observable via
+    ``is``/``<<``).
+
+``reassociate``
+    ``(($a, $b), $c)``  ≡  ``($a, ($b, $c))`` — sequence construction
+    flattens, so grouping is unobservable *within a single enclosed
+    expression*.  (Across two enclosed expressions it is famously NOT:
+    that boundary is the paper's E1 quirk table, which the plain pair
+    oracle covers.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from .generator import ProgramGenerator
+
+METAMORPHIC_RULES = ("predicate-where", "let-inline", "reassociate")
+
+
+def metamorphic_pair(
+    rng: random.Random, generator: ProgramGenerator
+) -> Tuple[str, str, str]:
+    """Returns ``(original_source, rewritten_source, rule_name)``."""
+    rule = rng.choice(METAMORPHIC_RULES)
+    return _BUILDERS[rule](rng, generator) + (rule,)
+
+
+def _pure_numeric(rng: random.Random, generator: ProgramGenerator, fuel: int) -> str:
+    """A pure, constructor-free numeric expression."""
+    for _ in range(8):
+        expr = generator._numeric([], fuel)
+        if expr.pure and not expr.creates_nodes:
+            return expr.render()
+    return str(rng.randrange(0, 50))
+
+
+def _predicate_where(rng: random.Random, generator: ProgramGenerator) -> Tuple[str, str]:
+    lo = rng.randrange(0, 5)
+    hi = lo + rng.randrange(2, 9)
+    items = ", ".join(
+        str(rng.randrange(-5, 20)) for _ in range(rng.randrange(3, 7))
+    )
+    source_seq = rng.choice((f"({lo} to {hi})", f"({items})"))
+    predicate = rng.choice(
+        (
+            f"{{}} mod {rng.randrange(2, 5)} = {rng.randrange(0, 3)}",
+            f"{{}} >= {rng.randrange(0, 9)}",
+            f"{{}} * 2 <= {rng.randrange(0, 20)}",
+            f"not({{}} = {rng.randrange(0, 9)})",
+        )
+    )
+    body = rng.choice(("$v", "$v + 100", "$v * $v", "concat('#', string($v))"))
+    original = (
+        f"for $v in {source_seq}[{predicate.format('.')}] return {body}"
+    )
+    rewritten = (
+        f"for $v in {source_seq} where {predicate.format('$v')} return {body}"
+    )
+    return original, rewritten
+
+
+def _let_inline(rng: random.Random, generator: ProgramGenerator) -> Tuple[str, str]:
+    value = _pure_numeric(rng, generator, fuel=5)
+    body = rng.choice(
+        (
+            "{v} + {v}",
+            "({v}, {v})",
+            "sum(({v}, 1, {v}))",
+            "(if ({v} >= 0) then {v} else -{v})",
+            "string({v})",
+        )
+    )
+    original = "let $x := " + value + " return " + body.format(v="$x")
+    rewritten = body.format(v=f"({value})")
+    return original, rewritten
+
+
+def _reassociate(rng: random.Random, generator: ProgramGenerator) -> Tuple[str, str]:
+    a = _pure_numeric(rng, generator, 3)
+    b = _pure_numeric(rng, generator, 3)
+    c = rng.choice((f"'{generator._word()}'", _pure_numeric(rng, generator, 3)))
+    left = f"(({a}, {b}), {c})"
+    right = f"({a}, ({b}, {c}))"
+    wrapper = rng.choice(
+        (
+            "count({s})",
+            "string-join(for $i in {s} return string($i), '-')",
+            "<el>{{{s}}}</el>",
+            "reverse({s})",
+        )
+    )
+    return wrapper.format(s=left), wrapper.format(s=right)
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "predicate-where": _predicate_where,
+    "let-inline": _let_inline,
+    "reassociate": _reassociate,
+}

@@ -1,0 +1,147 @@
+"""Random AWB models and random calculus queries over them.
+
+The models are structurally honest to the paper's engagements — people,
+programs, servers, documents tied together by ``has``/``uses``/``runs``/
+``likes`` — but the generator deliberately exercises the permissive
+corners the metamodel chapter calls out: ad-hoc properties on individual
+nodes, unknown node and relation types (allowed, with a meek warning),
+duplicate labels (so sort tie-breaking is observable), and properties of
+every scalar type the export format distinguishes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..awb import Model, load_metamodel
+from ..querycalc.ast import Collect, FilterProperty, FilterType, Follow, Query, Start
+
+#: node types drawn for random nodes (plus a rare unknown type).
+NODE_TYPES = [
+    "User",
+    "Superuser",
+    "Person",
+    "Program",
+    "Server",
+    "Subsystem",
+    "Document",
+    "Computer",
+]
+
+RELATIONS = ["has", "uses", "runs", "likes", "favors"]
+
+_LABELS = ["ant", "bee", "cat", "doe", "elk", "fox", "gnu", "hen"]
+
+
+def random_model(seed: int, size: int = 24, html_properties: bool = False) -> Model:
+    """A seeded random model with ``size`` nodes plus a SystemBeingDesigned.
+
+    ``html_properties`` opts into html-typed property values (the export
+    schema-drift quirk): the native calculus backend sees the raw markup
+    string while the XQuery backend sees only the text content, so filters
+    over them legitimately diverge — see the oracle allowlist.
+    """
+    rng = random.Random(seed)
+    model = Model(load_metamodel("it-architecture"), name=f"fuzz-model-{seed}")
+    sbd = model.create_node("SystemBeingDesigned", label="SUD")
+    nodes = [sbd]
+    for index in range(size):
+        if rng.random() < 0.06:
+            type_name = "Widget"  # unknown type: allowed, warns
+        else:
+            type_name = rng.choice(NODE_TYPES)
+        # duplicate labels are deliberate: sorting must tie-break by id.
+        label = rng.choice(_LABELS)
+        node = model.create_node(type_name, label=label)
+        if rng.random() < 0.5:
+            node.set("rank", rng.randrange(0, 40))
+        if rng.random() < 0.3:
+            node.set("weight", rng.randrange(1, 80) / 4.0)
+        if rng.random() < 0.3:
+            node.set("active", rng.random() < 0.5)
+        if rng.random() < 0.4:
+            node.set("tag", rng.choice(_LABELS) + str(rng.randrange(0, 5)))
+        if type_name == "Document" and rng.random() < 0.7:
+            node.set("version", f"{rng.randrange(0, 3)}.{rng.randrange(0, 10)}")
+        if type_name in ("User", "Superuser", "Person") and rng.random() < 0.6:
+            node.set("birthYear", 1950 + rng.randrange(0, 50))
+        if html_properties and rng.random() < 0.3:
+            node.set("description", f"<p>{rng.choice(_LABELS)}</p>")
+        nodes.append(node)
+    relation_count = int(size * 1.5)
+    for _ in range(relation_count):
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        name = "blesses" if rng.random() < 0.05 else rng.choice(RELATIONS)
+        model.connect(source, name, target)
+    return model
+
+
+def random_calculus_query(rng: random.Random, model: Model) -> Query:
+    """A seeded random calculus query that is valid against ``model``."""
+    roll = rng.random()
+    if roll < 0.15:
+        start = Start(all_nodes=True)
+    elif roll < 0.3:
+        start = Start(node_id=rng.choice(list(model.nodes)))
+    else:
+        start = Start(type=rng.choice(NODE_TYPES + ["Element", "System"]))
+    steps: List[object] = []
+    for _ in range(rng.randrange(0, 3)):
+        kind = rng.random()
+        if kind < 0.55:
+            steps.append(
+                Follow(
+                    relation=rng.choice(RELATIONS + ["blesses"]),
+                    direction=rng.choice(("forward", "backward")),
+                    target_type=(
+                        rng.choice(NODE_TYPES) if rng.random() < 0.3 else None
+                    ),
+                    include_subrelations=rng.random() < 0.8,
+                )
+            )
+        elif kind < 0.75:
+            steps.append(FilterType(type=rng.choice(NODE_TYPES + ["Element"])))
+        else:
+            steps.append(_random_property_filter(rng, model))
+    collect = Collect(
+        sort_by=rng.choice((None, "label", "rank", "tag")),
+        descending=rng.random() < 0.3,
+        distinct=rng.random() < 0.8,
+    )
+    trace = f"q{rng.randrange(0, 1000)}" if rng.random() < 0.25 else None
+    return Query(start=start, steps=steps, collect=collect, trace=trace)
+
+
+def _random_property_filter(rng: random.Random, model: Model) -> FilterProperty:
+    name = rng.choice(("rank", "weight", "active", "tag", "label", "version", "birthYear"))
+    op = rng.choice(("eq", "ne", "lt", "le", "gt", "ge", "contains"))
+    value = _sample_value(rng, model, name)
+    return FilterProperty(name=name, op=op, value=value)
+
+
+def _sample_value(rng: random.Random, model: Model, name: str) -> str:
+    """Mostly values that actually occur, so filters sometimes match."""
+    present: List[str] = []
+    for node in model.nodes.values():
+        value = node.get(name)
+        if value is None:
+            continue
+        present.append("true" if value is True else "false" if value is False else str(value))
+    if present and rng.random() < 0.7:
+        return rng.choice(present)
+    if name in ("rank", "birthYear"):
+        return str(rng.randrange(0, 2000))
+    if name == "weight":
+        return str(rng.randrange(0, 80) / 4.0)
+    if name == "active":
+        return rng.choice(("true", "false", "1"))
+    return rng.choice(_LABELS)
+
+
+def describe_query(query: Query) -> str:
+    """Human-readable one-liner (the normalized plan text)."""
+    from ..querycalc.service.plans import normalize_query
+
+    return normalize_query(query)

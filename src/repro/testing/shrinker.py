@@ -1,0 +1,167 @@
+"""Delta-debugging shrinker: reduce a diverging program to its essence.
+
+Two reducers share one contract — ``is_interesting(source) -> bool`` says
+whether a candidate still exhibits the divergence; the shrinker returns
+the smallest interesting program it can find:
+
+* :func:`shrink_program` works on the generator's :class:`GenExpr` tree,
+  so every candidate is produced structurally (replace a subtree with an
+  atom, hoist a child over its parent, drop a declaration or sequence
+  element) and never needs re-parsing.  Invalid candidates reject
+  themselves: a program that no longer compiles fails identically under
+  every backend, so it is no longer "interesting".
+* :func:`shrink_text` is the fallback for divergences that arrive as
+  plain source (a pinned corpus file, a user report): classic ddmin over
+  lines, then over character chunks.
+
+Both are greedy-with-restart: apply the first size-reducing candidate,
+start over, stop at a fixpoint.  Acceptance is strictly-smaller renders,
+so termination is by descent on program size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .generator import GenExpr, atom
+
+#: replacement vocabulary, cheapest first.
+_ATOMS = ("()", "1", "0", "'s'")
+
+
+def shrink_program(
+    program: GenExpr,
+    is_interesting: Callable[[str], bool],
+    max_checks: int = 2000,
+) -> GenExpr:
+    """Structurally reduce ``program`` while ``is_interesting`` holds."""
+    checks = [0]
+
+    def interesting(candidate: GenExpr) -> bool:
+        if checks[0] >= max_checks:
+            return False
+        checks[0] += 1
+        try:
+            return is_interesting(candidate.render())
+        except Exception:
+            return False
+
+    current = program
+    while checks[0] < max_checks:
+        candidate = _one_reduction(current, interesting)
+        if candidate is None:
+            break
+        current = candidate
+    return current
+
+
+def _one_reduction(
+    current: GenExpr, interesting: Callable[[GenExpr], bool]
+) -> Optional[GenExpr]:
+    """The first strictly-smaller interesting candidate, or None."""
+    size = len(current.render())
+    # visit big subtrees first: one lucky replacement deletes the most.
+    nodes: List[Tuple[Tuple[int, ...], GenExpr]] = sorted(
+        current.walk(), key=lambda pair: -len(pair[1].render())
+    )
+    for path, node in nodes:
+        if not path and node.kind == "program":
+            # drop whole top-level parts (declaration + its newline).
+            for index in range(len(node.parts) - 1, -1, -1):
+                part = node.parts[index]
+                if isinstance(part, GenExpr) and index + 1 < len(node.parts):
+                    candidate = GenExpr(
+                        node.kind,
+                        node.parts[:index] + node.parts[index + 2 :],
+                        flavor=node.flavor,
+                    )
+                    if len(candidate.render()) < size and interesting(candidate):
+                        return candidate
+            continue
+        if node.kind == "atom" and node.render() in _ATOMS:
+            continue
+        # 1. replace the subtree with an atom.
+        for text in _ATOMS:
+            replacement = atom(text)
+            if len(replacement.render()) >= len(node.render()):
+                continue
+            candidate = current.replace(path, replacement)
+            if interesting(candidate):
+                return candidate
+        # 2. hoist a child over this node.
+        for child in node.children():
+            if len(child.render()) >= len(node.render()):
+                continue
+            candidate = current.replace(path, child)
+            if interesting(candidate):
+                return candidate
+        # 3. drop elements of list-shaped productions (sequences, element
+        # content): remove one child part plus its separator if any.
+        if len(node.children()) >= 2:
+            for index in range(len(node.parts) - 1, -1, -1):
+                if not isinstance(node.parts[index], GenExpr):
+                    continue
+                candidate = current.without_part(path, index)
+                if len(candidate.render()) < size and interesting(candidate):
+                    return candidate
+    return None
+
+
+def shrink_text(
+    source: str,
+    is_interesting: Callable[[str], bool],
+    max_checks: int = 2000,
+) -> str:
+    """ddmin over lines, then character chunks, for plain-text sources."""
+    checks = [0]
+
+    def interesting(candidate: str) -> bool:
+        if checks[0] >= max_checks or not candidate.strip():
+            return False
+        checks[0] += 1
+        try:
+            return is_interesting(candidate)
+        except Exception:
+            return False
+
+    lines = source.splitlines()
+    lines = _ddmin(lines, lambda ls: interesting("\n".join(ls)))
+    text = "\n".join(lines)
+    # character-chunk passes at shrinking granularity.
+    granularity = max(1, len(text) // 2)
+    while granularity >= 1:
+        changed = True
+        while changed:
+            changed = False
+            for start in range(0, len(text), granularity):
+                candidate = text[:start] + text[start + granularity :]
+                if interesting(candidate):
+                    text = candidate
+                    changed = True
+                    break
+        if granularity == 1:
+            break
+        granularity //= 2
+    return text
+
+
+def _ddmin(items: List[str], interesting: Callable[[List[str]], bool]) -> List[str]:
+    """Classic ddmin on a list: smallest interesting sublist it can find."""
+    if len(items) <= 1:
+        return items
+    chunks = 2
+    while len(items) >= 2:
+        size = max(1, len(items) // chunks)
+        reduced = False
+        for start in range(0, len(items), size):
+            candidate = items[:start] + items[start + size :]
+            if candidate and interesting(candidate):
+                items = candidate
+                chunks = max(2, chunks - 1)
+                reduced = True
+                break
+        if not reduced:
+            if size <= 1:
+                break
+            chunks = min(len(items), chunks * 2)
+    return items

@@ -467,8 +467,19 @@ def _coerce_number(atom: object, what: str) -> object:
     if isinstance(atom, (int, float, Decimal)):
         return atom
     if isinstance(atom, UntypedAtomic):
-        return float(atom.value)
+        return _untyped_to_double(atom, what)
     raise XQueryTypeError(f"{what}: {atom!r} is not a number")
+
+
+def _untyped_to_double(atom: UntypedAtomic, what: str) -> float:
+    # the fuzzer caught the bare float() here: a non-numeric untyped value
+    # escaped as a raw Python ValueError instead of a spec error code.
+    try:
+        return float(atom.value)
+    except ValueError as exc:
+        raise XQueryDynamicError(
+            f"{what}: cannot cast {atom.value!r} to xs:double", code="FORG0001"
+        ) from exc
 
 
 @builtin("min", 1)
@@ -488,7 +499,7 @@ def _min_max(value: Sequence, what: str, pick_smaller: bool) -> Sequence:
     best = None
     for atom in atoms:
         if isinstance(atom, UntypedAtomic):
-            atom = float(atom.value)
+            atom = _untyped_to_double(atom, what)
         if best is None:
             best = atom
             continue

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: same escape as minmax_untyped_crash via the _coerce_number path shared by fn:avg and fn:sum; pinned separately because the two call sites were fixed separately :)
+avg(<x>et</x>)

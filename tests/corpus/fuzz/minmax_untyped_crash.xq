@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: fn:max over a non-numeric untyped value leaked a raw Python ValueError out of both backends instead of raising FORG0001; found by the first full mixed campaign (budget=1000), shrunk by hand from a generated aggregate over element content :)
+max((<x>et</x>, 1))

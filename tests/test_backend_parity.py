@@ -7,7 +7,14 @@ comparing serialized results, trace output, and error codes.  The corpus
 mirrors the benchmark suite: the e01 sequence-indexing rows, the e02
 attribute-folding programs under every duplicate-attribute mode, the error
 regimes (spec codes and Galax diagnostics), the trace-optimizer deletion
-bug, and the real docgen/querycalc workloads end to end.
+bug, and the real docgen/querycalc workloads end to end — the calculus
+workloads through every implementation, including the query service cold
+and warm (the warm hit must replay the cold result and its traces).
+
+The comparison currency lives in :mod:`repro.testing.oracle`; the fuzzer
+(``python -m repro.testing.fuzz``) drives the same functions over
+generated programs, so a divergence found either way reproduces in both
+harnesses.
 """
 
 import pytest
@@ -15,30 +22,21 @@ import pytest
 from repro.awb import export_model
 from repro.docgen import XQueryDocumentGenerator
 from repro.querycalc import XQueryCalculusBackend, parse_query_xml
+from repro.testing.oracle import (
+    assert_calculus_parity,
+    run_outcome as outcome,  # noqa: F401  (the shared single-backend runner)
+    xquery_outcomes,
+)
 from repro.workloads import make_it_model, system_context_template
 from repro.xmlio import serialize
-from repro.xquery import EngineConfig, TraceLog, XQueryEngine
-from repro.xquery.api import serialize_result
-from repro.xquery.errors import XQueryError
-
-BACKENDS = ("treewalk", "closures")
-
-
-def outcome(query, backend, **run_kwargs):
-    """Run one backend to a comparable value: result+traces, or the error."""
-    trace = TraceLog()
-    try:
-        result = query.run(backend=backend, trace=trace, **run_kwargs)
-    except XQueryError as error:
-        return ("error", type(error).__name__, error.code, error.bare_message)
-    return ("ok", serialize_result(result), tuple(trace.messages))
+from repro.xquery import EngineConfig, XQueryEngine
+from repro.xquery.api import BACKENDS
 
 
 def assert_parity(source, config=None, **run_kwargs):
-    engine = XQueryEngine(config or EngineConfig())
-    query = engine.compile(source)
-    results = {backend: outcome(query, backend, **run_kwargs) for backend in BACKENDS}
+    results = xquery_outcomes(source, config, run_kwargs)
     assert results["treewalk"] == results["closures"], source
+    assert results["treewalk"][0] != "crash", results["treewalk"]
     return results["treewalk"]
 
 
@@ -287,6 +285,43 @@ def test_querycalc_end_to_end_parity():
         for backend in BACKENDS
     }
     assert runs["treewalk"] == runs["closures"]
+
+
+CALCULUS_PARITY_QUERIES = [
+    # fleet-wide parity: native, via-XQuery on both backends, and the
+    # service cold + warm (the warm path must serve from the result cache).
+    '<query><start type="User"/><follow relation="uses"/>'
+    '<collect sort-by="label"/></query>',
+    '<query><start all="true"/><collect sort-by="label" order="descending"'
+    ' distinct="false"/></query>',
+    '<query trace="parity-probe"><start type="Server"/>'
+    '<follow relation="runs" direction="backward"/><collect/></query>',
+    '<query><start type="User"/><filter-property name="label" op="contains"'
+    ' value="user"/><collect sort-by="label"/></query>',
+]
+
+
+@pytest.mark.parametrize("xml", CALCULUS_PARITY_QUERIES)
+def test_querycalc_service_parity(xml):
+    model = make_it_model(scale=5)
+    outcomes = assert_calculus_parity(parse_query_xml(xml), model)
+    cold, warm = outcomes["service-cold"], outcomes["service-warm"]
+    assert cold[0] == "ok" and warm[0] == "ok"
+    assert warm[3], "second identical request must hit the result cache"
+    assert warm[2] == cold[2], "warm hit must replay the cold traces"
+
+
+def test_querycalc_service_trace_replay():
+    # the traced query records fn:trace output cold; the warm cache hit
+    # must replay the identical messages without re-running the program.
+    model = make_it_model(scale=4)
+    query = parse_query_xml(
+        '<query trace="replayed"><start type="User"/><collect/></query>'
+    )
+    outcomes = assert_calculus_parity(query, model)
+    cold = outcomes["service-cold"]
+    assert cold[2], "traced query must record trace output on the cold run"
+    assert outcomes["service-warm"][2] == cold[2]
 
 
 def test_exported_model_query_parity():

@@ -1,0 +1,84 @@
+"""Replay the pinned fuzz corpus: lottery wins become regression tests.
+
+Every file under ``tests/corpus/fuzz/`` is a minimal reproducer for a
+divergence the differential fuzzer once found (or a licensed quirk it
+keeps finding on purpose).  Replaying them asserts the fixed bugs stay
+fixed and the allowlisted quirks stay allowlisted — with the *same* rule
+that licensed them, so an allowlist edit cannot silently absorb a real
+regression.
+
+A short fixed-seed campaign also runs here, so plain ``pytest`` exercises
+the generator/oracle pipeline end to end on every machine.
+"""
+
+import os
+
+import pytest
+
+from repro.testing.corpus import load_corpus, parse_corpus_query
+from repro.testing.models import random_model
+from repro.testing.oracle import CalculusOracle, compare_xquery
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus", "fuzz")
+CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    kinds = {case.kind for case in CASES}
+    assert len(CASES) >= 6, "the pinned corpus went missing"
+    assert kinds == {"xquery", "calculus"}
+
+
+@pytest.mark.parametrize("case", CASES, ids=[case.name for case in CASES])
+def test_corpus_provenance(case):
+    # every pinned case must say where it came from and what it pinned.
+    assert case.note, f"{case.name}: missing provenance note"
+    if case.kind == "xquery":
+        assert case.seed is not None and case.generator_version is not None, (
+            f"{case.name}: missing seed/generator-version provenance"
+        )
+
+
+@pytest.mark.parametrize(
+    "case",
+    [case for case in CASES if case.kind == "xquery"],
+    ids=[case.name for case in CASES if case.kind == "xquery"],
+)
+def test_replay_xquery_case(case):
+    divergence = compare_xquery(case.source, case.engine_config())
+    if case.allow:
+        assert divergence is None or divergence.allowlisted == case.allow, (
+            divergence and divergence.describe()
+        )
+    else:
+        assert divergence is None, divergence and divergence.describe()
+
+
+@pytest.mark.parametrize(
+    "case",
+    [case for case in CASES if case.kind == "calculus"],
+    ids=[case.name for case in CASES if case.kind == "calculus"],
+)
+def test_replay_calculus_case(case):
+    model = random_model(
+        case.model_seed, size=case.model_size, html_properties=case.model_html
+    )
+    divergence = CalculusOracle(model).compare(parse_corpus_query(case))
+    if case.allow:
+        assert divergence is not None, (
+            f"{case.name}: the licensed quirk stopped diverging — either the "
+            "quirk was (wrongly) fixed or the reproducer no longer triggers it"
+        )
+        assert divergence.allowlisted == case.allow, divergence.describe()
+    else:
+        assert divergence is None, divergence and divergence.describe()
+
+
+def test_mini_campaign_is_clean(fuzz_seed):
+    from repro.testing.fuzz import run_campaign
+
+    stats = run_campaign(fuzz_seed, budget=80)
+    assert stats.programs == 80
+    assert not stats.unallowlisted, "\n\n".join(
+        divergence.describe() for divergence in stats.unallowlisted
+    )
