@@ -69,6 +69,15 @@ class QueryPlan:
     source: Optional[str] = None
     #: compiled query, ready to ``run()`` (XQuery backend only).
     compiled: Optional[object] = None
+    #: structural signature of the optimized module (XQuery backend only):
+    #: position-independent, so structurally identical plans share result
+    #: cache entries even when their calculus spellings differ.
+    result_key: Optional[str] = None
+
+    @property
+    def cache_key(self) -> str:
+        """The result-cache key: the optimized plan's signature when known."""
+        return self.result_key if self.result_key is not None else self.key
 
 
 class PlanCache:

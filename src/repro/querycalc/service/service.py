@@ -81,8 +81,9 @@ class QueryService:
     """Serves calculus queries from caches, falling back to a backend.
 
     ``backend`` selects the engine under the caches: ``"xquery"`` (the
-    paper's preposterously inefficient path, compiled via the closures
-    backend by default) or ``"native"`` (the live-graph interpreter).
+    paper's preposterously inefficient path, served by the algebra
+    backend's optimized plans by default) or ``"native"`` (the live-graph
+    interpreter).
     Both share the same plan normalization, result cache, and metrics, so
     E15 can compare them under identical serving conditions.
 
@@ -111,11 +112,19 @@ class QueryService:
         self.default_timeout = default_timeout
         self.faults = fault_injector
         if backend == "xquery":
-            self.engine = engine or XQueryEngine(EngineConfig(backend="closures"))
+            # the algebra backend is the default cold path: set-at-a-time
+            # plans with hash joins, falling back to the reference
+            # evaluator per-subtree (and wholesale, via _execute's retry,
+            # on any internal error).
+            self.engine = engine or XQueryEngine(EngineConfig(backend="algebra"))
             self._backend = XQueryCalculusBackend(model, engine=self.engine)
         else:
             self.engine = engine
             self._backend = None
+        #: batch-level common-subexpression cache for the algebra backend,
+        #: replaced whenever the export generation moves.
+        self._algebra_cache = None
+        self._algebra_cache_generation: Optional[int] = None
         self._plans = PlanCache(maxsize=plan_cache_size)
         self._results = ResultCache(maxsize=result_cache_size)
         self._export_lock = threading.Lock()
@@ -148,7 +157,7 @@ class QueryService:
             plan = self._plan(query)
             plan_key = plan.key
             root, generation = self._snapshot()
-            cached = self._results.get((plan.key, generation))
+            cached = self._results.get((plan.cache_key, generation))
             if cached is not None:
                 ids, traces = cached
                 self._record(1, 0, time.perf_counter() - started)
@@ -157,7 +166,7 @@ class QueryService:
                 )
             executed = 1
             ids, traces = self._execute(plan, root, deadline)
-            self._results.put((plan.key, generation), ids, traces)
+            self._results.put((plan.cache_key, generation), ids, traces)
             self._record(1, 1, time.perf_counter() - started)
             return BatchItem(self._materialize(ids), traces=traces)
         except Exception as exc:
@@ -232,7 +241,7 @@ class QueryService:
         to_run: List[QueryPlan] = []
         if export_error is None:
             for key, plan in plans.items():
-                cached = self._results.get((key, generation))
+                cached = self._results.get((plan.cache_key, generation))
                 if cached is not None:
                     ids, traces = cached
                     outcomes[key] = ("ok", ids, traces, True)
@@ -251,7 +260,7 @@ class QueryService:
                     if deadline is not None:
                         deadline.check("batch queue")
                     ids, traces = self._execute(plan, root, deadline)
-                    self._results.put((plan.key, generation), ids, traces)
+                    self._results.put((plan.cache_key, generation), ids, traces)
                     return plan.key, ("ok", ids, traces, False)
                 except Exception as exc:
                     return plan.key, ("err", classify_error(exc, plan.key))
@@ -318,6 +327,23 @@ class QueryService:
         if self._backend is not None:
             self._backend.invalidate_export()
 
+    def explain(self, query: Query) -> Dict[str, object]:
+        """The optimized plan for one query, as text and a JSON-ready tree.
+
+        For the XQuery backend this is the algebra backend's plan (with
+        cardinalities estimated from the current export's statistics
+        catalog) plus the generated source; the native backend has no plan
+        beyond the normalized query text.
+        """
+        plan = self._plan(query)
+        if plan.backend == "native" or plan.compiled is None:
+            return {"backend": "native", "plan_key": plan.key}
+        self._snapshot()  # refresh the export so statistics are current
+        explanation = plan.compiled.explain(self._backend.statistics)
+        explanation["plan_key"] = plan.key
+        explanation["source"] = plan.source
+        return explanation
+
     # -- observability ----------------------------------------------------------
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
@@ -362,6 +388,14 @@ class QueryService:
             "plan_misses": plan_stats["misses"],
             "p50_ms": _percentile(latencies, 0.50) * 1000.0,
             "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+            # the engine compile LRU (hits/misses/races) for the active
+            # backend; the native backend has no engine, hence no cache.
+            "compile_cache": (
+                self.engine.cache_info() if self.engine is not None else None
+            ),
+            "algebra_cache": (
+                self._algebra_cache.info() if self._algebra_cache is not None else None
+            ),
         }
 
     # -- internals --------------------------------------------------------------
@@ -380,7 +414,14 @@ class QueryService:
                 return QueryPlan(key, "native", query)
             source = self._backend.compile_to_xquery(query)
             compiled = self.engine.compile(source)
-            return QueryPlan(key, "xquery", query, source=source, compiled=compiled)
+            return QueryPlan(
+                key,
+                "xquery",
+                query,
+                source=source,
+                compiled=compiled,
+                result_key=compiled.plan_signature,
+            )
 
         return self._plans.get_or_build(key, build)
 
@@ -394,7 +435,17 @@ class QueryService:
             if self.faults is not None:
                 self.faults.on_export()
             document = self._backend.export
-            return document.document_element(), self._backend.export_generation
+            generation = self._backend.export_generation
+            if self._algebra_cache_generation != generation:
+                from ...xquery.algebra import SharedEvalCache
+
+                self._algebra_cache = SharedEvalCache()
+                self._algebra_cache_generation = generation
+                # collect the statistics catalog here, at export time: the
+                # walk rides the (already O(model)) export refresh instead
+                # of taxing the first query after a mutation.
+                self._backend.statistics
+            return document.document_element(), generation
 
     def _execute(
         self,
@@ -452,11 +503,14 @@ class QueryService:
         if deadline is not None:
             deadline.check("evaluate")
         trace = TraceLog()
+        algebra = backend == "algebra"
         result = plan.compiled.run(
             variables={"model": root},
             trace=trace,
             backend=backend,
             deadline=deadline.at if deadline is not None else None,
+            statistics=self._backend.statistics if algebra else None,
+            algebra_cache=self._algebra_cache if algebra else None,
         )
         if deadline is not None:
             deadline.check("materialize")

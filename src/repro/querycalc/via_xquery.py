@@ -45,6 +45,7 @@ class XQueryCalculusBackend:
         self.metamodel: Metamodel = model.metamodel
         self.engine = engine or XQueryEngine()
         self._exporter = IncrementalExporter(model)
+        self._statistics = None
 
     def invalidate_export(self) -> None:
         """Force a full re-export on next use (normally unnecessary: the
@@ -63,6 +64,24 @@ class XQueryCalculusBackend:
     def export_stats(self) -> dict:
         """Full-vs-subtree export counters from the incremental exporter."""
         return self._exporter.stats()
+
+    @property
+    def statistics(self):
+        """The export's :class:`~repro.xquery.algebra.StatisticsCatalog`.
+
+        Collected in one walk over the current export document and reused
+        until the export generation moves; the algebra backend's cost pass
+        reads per-name counts, fan-out, and attribute selectivity from it.
+        """
+        from ..xquery.algebra import StatisticsCatalog
+
+        document = self._exporter.export()
+        generation = self._exporter.generation
+        if self._statistics is None or self._statistics.generation != generation:
+            self._statistics = StatisticsCatalog.from_root(
+                document.document_element(), generation
+            )
+        return self._statistics
 
     def compile_to_xquery(self, query: Query) -> str:
         """Translate a calculus query into XQuery source text."""
@@ -86,7 +105,9 @@ class XQueryCalculusBackend:
             raise QueryRuntimeError(f"start node {start_id!r} is not in the model")
         source = self.compile_to_xquery(query)
         root = self.export.document_element()
-        result = self.engine.evaluate(source, variables={"model": root})
+        result = self.engine.compile(source).run(
+            variables={"model": root}, statistics=self.statistics
+        )
         nodes: List[ModelNode] = []
         for item in result:
             if not isinstance(item, ElementNode):

@@ -132,6 +132,9 @@ def _random_config(rng: random.Random) -> EngineConfig:
         galax_diagnostics=rng.random() < 0.08,
         optimize=rng.random() < 0.85,
         trace_is_dead_code=rng.random() < 0.15,
+        # the pair oracle runs every backend regardless; drawing a default
+        # here also exercises the algebra plan cache + default dispatch.
+        backend=rng.choice(("treewalk", "treewalk", "closures", "algebra")),
     )
 
 

@@ -36,6 +36,7 @@ CALCULUS_ENGINES = (
     "native",
     "via-treewalk",
     "via-closures",
+    "via-algebra",
     "service-cold",
     "service-warm",
 )

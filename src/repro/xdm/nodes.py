@@ -320,14 +320,20 @@ class ElementNode(Node):
 
         Returns an internal index list; callers must not mutate it.
         """
-        return self._child_element_index().get(name, _NO_NODES)
+        index = self._child_index
+        if index is None:
+            index = self._child_element_index()
+        return index.get(name, _NO_NODES)
 
     def attributes_by_name(self, name: str) -> List["AttributeNode"]:
         """Attribute nodes named *name* (plural only in ``keep`` quirk mode).
 
         Returns an internal index list; callers must not mutate it.
         """
-        return self._attribute_index().get(name, _NO_NODES)
+        index = self._attr_index
+        if index is None:
+            index = self._attribute_index()
+        return index.get(name, _NO_NODES)
 
     # -- convenience -------------------------------------------------------
 

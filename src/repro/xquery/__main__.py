@@ -65,9 +65,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("treewalk", "closures"),
+        choices=("treewalk", "closures", "algebra"),
         default="treewalk",
         help="execution backend (default: treewalk, the reference interpreter)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized algebra plan (with estimated cardinalities) "
+        "instead of running the query",
+    )
+    parser.add_argument(
+        "--explain-format",
+        choices=("text", "json"),
+        default="text",
+        help="plan rendering for --explain (default: text)",
     )
     parser.add_argument(
         "--timing",
@@ -124,11 +136,27 @@ def main(argv=None) -> int:
             context_item = parse_document(handle.read())
 
     trace = TraceLog(echo=(lambda msg: print(f"trace: {msg}", file=sys.stderr)))
+    if args.explain:
+        try:
+            query = engine.compile(source)
+            if args.explain_format == "json":
+                print(query.algebra.explain_json())
+            else:
+                explanation = query.algebra.explain()
+                if explanation["fallback"]:
+                    print("(whole query falls back to the treewalk evaluator)")
+                print(explanation["text"])
+        except XQueryError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        return 0
     try:
         started = time.perf_counter()
         query = engine.compile(source)
         if args.backend == "closures":
             query.closures  # build the closure program inside the compile window
+        elif args.backend == "algebra":
+            query.algebra  # likewise: lowering+optimization is compile work
         compile_seconds = time.perf_counter() - started
         started = time.perf_counter()
         result = query.run(

@@ -1,0 +1,259 @@
+"""Rewrite/cost pass over lowered plans, driven by the statistics catalog.
+
+Every decision made here is semantics-preserving by construction, so the
+pass is free to be wrong about costs without ever being wrong about
+results:
+
+* **predicate ordering** — within a maximal run of *pure, position-free*
+  compiled attribute predicates on one step, filters commute; the most
+  selective one goes first.  Runs never extend across a positional or
+  generic predicate (positions renumber between predicates, so those are
+  sequence points).
+* **join-key choice** — when a scan carries several interchangeable
+  equi-join predicates, hash on the attribute with the most distinct
+  values; the others demote to residual filters (commuting, as above).
+* **cardinality annotation** — every plan node gets an ``est_rows`` for
+  ``--explain``; the estimates come straight from the export-time catalog
+  (per-name counts, fan-out, attribute selectivity).
+
+Positional short-circuiting itself is compiled during lowering
+(:class:`~.plans.PositionalPred` slices instead of iterating); this pass
+only accounts for it in the estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .plans import (
+    AttrExistsPred,
+    AttrMembershipPred,
+    AttrValueEqPred,
+    BuiltinCallPlan,
+    EvalPlan,
+    FilterPlan,
+    FLWORPlan,
+    ForJoinOp,
+    ForOp,
+    GenericPred,
+    InlineCallPlan,
+    LetOp,
+    OrderOp,
+    PathPlan,
+    Plan,
+    PositionalPred,
+    SequencePlan,
+    SetOpPlan,
+    StepPlan,
+    StringFnPlan,
+    VarPlan,
+    WhereOp,
+)
+from .stats import DEFAULT_STATS, StatisticsCatalog
+
+__all__ = ["optimize_plan"]
+
+_REORDERABLE = (AttrMembershipPred, AttrValueEqPred, AttrExistsPred)
+
+
+def optimize_plan(plan: Plan, stats: Optional[StatisticsCatalog] = None) -> Plan:
+    """Annotate and (safely) reorder *plan* in place; returns it."""
+    _Optimizer(stats or DEFAULT_STATS).visit(plan, None)
+    return plan
+
+
+class _Optimizer:
+    def __init__(self, stats: StatisticsCatalog):
+        self.stats = stats
+
+    # -- dispatch ---------------------------------------------------------
+
+    def visit(self, plan: Plan, input_rows: Optional[float]) -> float:
+        """Annotate *plan*, returning its estimated output cardinality."""
+        if isinstance(plan, PathPlan):
+            rows = self._visit_path(plan)
+        elif isinstance(plan, FilterPlan):
+            rows = self.visit(plan.base, input_rows)
+            rows = self._apply_pred_estimates(plan.predicates, None, rows)
+        elif isinstance(plan, FLWORPlan):
+            rows = self._visit_flwor(plan)
+        elif isinstance(plan, SetOpPlan):
+            left = self.visit(plan.left, input_rows)
+            right = self.visit(plan.right, input_rows)
+            rows = left + right if plan.op == "union" else min(left, right)
+        elif isinstance(plan, SequencePlan):
+            rows = sum(self.visit(item, input_rows) for item in plan.items)
+        elif isinstance(plan, StringFnPlan):
+            self.visit(plan.arg, input_rows)
+            rows = 1.0
+        elif isinstance(plan, BuiltinCallPlan):
+            rows = 1.0
+            for arg in plan.args:
+                rows = self.visit(arg, input_rows)
+            # pass-through calls (trace) carry their last argument's rows;
+            # for anything else the estimate is just "a value".
+            if plan.name != "trace":
+                rows = 1.0
+        elif isinstance(plan, InlineCallPlan):
+            for arg in plan.args:
+                self.visit(arg, input_rows)
+            rows = self.visit(plan.body, input_rows)
+        elif isinstance(plan, VarPlan):
+            rows = 1.0
+        elif isinstance(plan, EvalPlan):
+            rows = 1.0
+        else:  # LiteralPlan and friends
+            rows = float(len(getattr(plan, "values", [0])))
+        plan.est_rows = rows
+        return rows
+
+    # -- scans ------------------------------------------------------------
+
+    def _visit_path(self, plan: PathPlan) -> float:
+        if plan.anchor is not None:
+            rows = 1.0
+        elif plan.base is not None:
+            rows = self.visit(plan.base, None)
+        else:
+            rows = 1.0
+        for step in plan.steps:
+            rows = self._visit_step(step, rows)
+        return rows
+
+    def _visit_step(self, step: StepPlan, input_rows: float) -> float:
+        stats = self.stats
+        name = step.test.name if step.test.kind == "name" else None
+        if step.axis in ("child", "descendant", "descendant-or-self"):
+            if name is not None:
+                # a named scan can never yield more than the name's count —
+                # and a single base node may own all of them.
+                total = float(stats.element_count(name))
+                if input_rows <= 1.0:
+                    rows = total
+                else:
+                    per_node = stats.fanout(None) if step.axis == "child" else 10.0
+                    rows = max(min(total, input_rows * per_node), 0.0)
+            else:
+                rows = input_rows * stats.fanout(None)
+        elif step.axis == "attribute":
+            rows = input_rows
+        elif step.axis in ("self", "parent"):
+            rows = input_rows
+        else:
+            rows = input_rows * 2.0
+        self._order_predicates(step, name)
+        return self._apply_pred_estimates(step.predicates, name, rows)
+
+    def _order_predicates(self, step: StepPlan, element: Optional[str]) -> None:
+        """Most-selective-first within runs of commuting attribute filters."""
+        predicates = step.predicates
+        run_start = 0
+        for index in range(len(predicates) + 1):
+            at_end = index == len(predicates)
+            if not at_end and isinstance(predicates[index], _REORDERABLE):
+                continue
+            run = predicates[run_start:index]
+            if len(run) > 1:
+                for pred in run:
+                    pred.selectivity = self._pred_selectivity(pred, element)
+                run.sort(key=lambda pred: pred.selectivity)
+                predicates[run_start:index] = run
+            run_start = index + 1
+
+    def _apply_pred_estimates(self, predicates, element, rows: float) -> float:
+        for pred in predicates:
+            if isinstance(pred, PositionalPred):
+                rows = 1.0 if pred.op in ("eq", "last") else min(rows, float(pred.k))
+            else:
+                pred.selectivity = self._pred_selectivity(pred, element)
+                rows *= pred.selectivity
+        return rows
+
+    def _pred_selectivity(self, pred, element: Optional[str]) -> float:
+        stats = self.stats
+        if isinstance(pred, AttrValueEqPred):
+            return stats.attr_selectivity(element, pred.name)
+        if isinstance(pred, AttrMembershipPred):
+            single = stats.attr_selectivity(element, pred.name)
+            return min(1.0, single * max(len(pred.values), 1))
+        if isinstance(pred, AttrExistsPred):
+            if element is not None:
+                present = stats.attr_present.get((element, pred.name))
+                total = stats.element_count(element)
+                if present is not None and total:
+                    return min(1.0, present / total)
+            return 0.8
+        if isinstance(pred, GenericPred):
+            return 0.5
+        return 1.0
+
+    # -- FLWOR pipelines --------------------------------------------------
+
+    def _visit_flwor(self, plan: FLWORPlan) -> float:
+        tuples = 1.0
+        for op in plan.ops:
+            if isinstance(op, ForJoinOp):
+                self._choose_join_key(op)
+                scan_rows = self.visit(op.scan, None)
+                element = (
+                    op.scan.steps[-1].test.name
+                    if op.scan.steps and op.scan.steps[-1].test.kind == "name"
+                    else None
+                )
+                distinct = self.stats.attr_distinct_count(element, op.build_attr)
+                matches = max(scan_rows / max(distinct, 1), 0.0)
+                matches = self._apply_pred_estimates(op.residual, element, matches)
+                tuples *= max(matches, 0.001)
+            elif isinstance(op, ForOp):
+                tuples *= max(self.visit(op.source, None), 0.001)
+            elif isinstance(op, LetOp):
+                self.visit(op.value, None)
+            elif isinstance(op, WhereOp):
+                self.visit(op.condition, None)
+                tuples *= 0.5
+            elif isinstance(op, OrderOp):
+                for key, _, _ in op.specs:
+                    self.visit(key, None)
+            op.est_rows = tuples
+        result_rows = self.visit(plan.result, tuples)
+        return tuples * max(result_rows, 0.0) if plan.ops else result_rows
+
+    def _choose_join_key(self, op: ForJoinOp) -> None:
+        """Hash on the most distinct attribute among interchangeable keys."""
+        if not op.candidates:
+            return
+        element = (
+            op.scan.steps[-1].test.name
+            if op.scan.steps and op.scan.steps[-1].test.kind == "name"
+            else None
+        )
+        best_attr, best_probe, best_style, best_expr = (
+            op.build_attr,
+            op.probe_expr,
+            op.style,
+            op.join_expr,
+        )
+        best_score = self.stats.attr_distinct_count(element, best_attr)
+        for attr, probe, style, expr in op.candidates:
+            score = self.stats.attr_distinct_count(element, attr)
+            if score > best_score:
+                best_attr, best_probe, best_style, best_expr = attr, probe, style, expr
+                best_score = score
+        if best_expr is op.join_expr:
+            return
+        # demote the old key to a residual filter in the slot the new key
+        # vacates; both are pure and position-free, so filters commute.
+        for index, pred in enumerate(op.residual):
+            if isinstance(pred, GenericPred) and pred.expr is best_expr:
+                op.residual[index] = GenericPred(op.join_expr)
+                break
+        op.build_attr, op.probe_expr, op.style, op.join_expr = (
+            best_attr,
+            best_probe,
+            best_style,
+            best_expr,
+        )
+        if op.scan.cacheable:
+            op.scan.scan_signature = (
+                op.scan.scan_signature.rsplit("|join@", 1)[0] + f"|join@{best_attr}"
+            )

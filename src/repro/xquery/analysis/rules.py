@@ -19,7 +19,11 @@ Each rule encodes one footgun the paper hit in 2004:
   to introduce while "fixing" exactly that);
 * **XQL007 / XQL008** — the name-resolution and arity checks that used to
   live in :mod:`repro.xquery.statictype`, re-homed as lint rules (their
-  W3C codes XPST0008/XPST0017 ride along as ``spec_code``).
+  W3C codes XPST0008/XPST0017 ride along as ``spec_code``);
+* **XQL009** — FLWOR nests that are unconstrained cartesian products: a
+  later ``for`` clause with no join predicate (in its source or a
+  ``where``) tying it to an earlier binding multiplies the tuple stream
+  by its whole source, and a 2004 engine evaluated exactly that.
 """
 
 from __future__ import annotations
@@ -878,6 +882,102 @@ def _rehomed(analysis: ModuleAnalysis, code: str) -> Iterator[Diagnostic]:
             rule=RULES[mapped].slug if mapped in RULES else "",
             spec_code=issue.code,
         )
+
+
+# ---------------------------------------------------------------------------
+# XQL009 — unconstrained cartesian products in FLWOR nests
+# ---------------------------------------------------------------------------
+
+
+def _flatten_flwor_nest(flwor: ast.FLWOR) -> Tuple[List[object], Set[int]]:
+    """The nest's clause list with directly-nested result FLWORs merged in.
+
+    ``for $a in X return for $b in Y return ...`` is the same nest as the
+    two-clause spelling; merging lets the join check look across the seam.
+    Returns ``(clauses, absorbed_flwor_ids)`` so the caller can skip the
+    absorbed inner FLWORs when they come around on their own.
+    """
+    clauses: List[object] = list(flwor.clauses)
+    absorbed: Set[int] = set()
+    result = _unwrap_parens(flwor.result)
+    while isinstance(result, ast.FLWOR):
+        absorbed.add(id(result))
+        clauses.extend(result.clauses)
+        result = _unwrap_parens(result.result)
+    return clauses, absorbed
+
+
+@rule(
+    "XQL009",
+    "cartesian-product",
+    "a later for clause neither references an earlier for binding nor is "
+    "linked to one by a where clause: the nest multiplies out as an "
+    "unconstrained cartesian product",
+    "The nested-for join idiom the document-generation era leaned on was "
+    '"preposterously inefficient" even WITH its equi-join predicate; drop '
+    "the predicate and a 2004 engine silently evaluates |X|×|Y| tuples "
+    "with no diagnostic at all.",
+)
+def check_cartesian_product(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    skip: Set[int] = set()
+    for owner, flwor in _iter_flwors(analysis):
+        if id(flwor) in skip:
+            continue
+        clauses, absorbed = _flatten_flwor_nest(flwor)
+        skip |= absorbed
+        # names whose value varies per-tuple: for bindings (and their
+        # positional vars), plus lets derived from them.
+        tainted: Set[str] = set()
+        # surviving suspects: (clause, names-derived-from-it)
+        candidates: List[Tuple[ast.ForClause, Set[str]]] = []
+        saw_for = False
+        for clause in clauses:
+            if isinstance(clause, ast.ForClause):
+                free = free_variables(clause.source)
+                source = _unwrap_parens(clause.source)
+                singleton = isinstance(source, ast.Literal)
+                if saw_for and not (free & tainted) and not singleton:
+                    names = {clause.var}
+                    if clause.position_var:
+                        names.add(clause.position_var)
+                    candidates.append((clause, names))
+                saw_for = True
+                tainted.add(clause.var)
+                if clause.position_var:
+                    tainted.add(clause.position_var)
+            elif isinstance(clause, ast.LetClause):
+                value_free = free_variables(clause.value)
+                if value_free & tainted:
+                    tainted.add(clause.var)
+                for _clause, names in candidates:
+                    if value_free & names:
+                        names.add(clause.var)
+            elif isinstance(clause, ast.WhereClause):
+                free = free_variables(clause.condition)
+                # a where that mentions a suspect (or a let derived from
+                # it) AND some other tuple-varying name is a join
+                # predicate: the suspect is constrained after all.
+                candidates = [
+                    (clause_, names)
+                    for clause_, names in candidates
+                    if not (free & names and free & (tainted - names))
+                ]
+        for clause, names in candidates:
+            yield Diagnostic(
+                code="XQL009",
+                severity="warning",
+                message=(
+                    f"in {owner}: for ${clause.var} is not joined to any "
+                    f"earlier for binding — the nest multiplies into a "
+                    f"cartesian product over its whole source"
+                ),
+                line=clause.line or clause.source.line,
+                column=clause.column or clause.source.column,
+                rule="cartesian-product",
+                hint="constrain the source with a predicate on an earlier "
+                "binding (e.g. [@ref eq $x/@id]) or add a where clause "
+                "linking the two",
+            )
 
 
 def rule_catalog() -> List[Rule]:

@@ -35,7 +35,7 @@ from .optimizer import OptimizerStats, optimize_module
 from .parser import parse_query
 
 #: Names accepted by ``EngineConfig.backend`` / ``CompiledQuery.run``.
-BACKENDS = ("treewalk", "closures")
+BACKENDS = ("treewalk", "closures", "algebra")
 
 
 class CompiledQuery:
@@ -82,6 +82,9 @@ class CompiledQuery:
             )
         self._closures: Optional[CompiledProgram] = None
         self._closures_lock = threading.Lock()
+        self._algebra: Optional["AlgebraProgram"] = None
+        self._algebra_lock = threading.Lock()
+        self._plan_signature: Optional[str] = None
 
     def _run_lint(self) -> None:
         import warnings
@@ -120,6 +123,49 @@ class CompiledQuery:
         return self._closures
 
     @property
+    def algebra(self) -> "AlgebraProgram":
+        """The algebraic plan for this query, built on first use.
+
+        Like :attr:`closures`, lowering is deferred until the query first
+        runs under ``backend="algebra"`` and the result is shared across
+        threads (one plan, one lock).
+        """
+        if self._algebra is None:
+            with self._algebra_lock:
+                if self._algebra is None:
+                    from .algebra import AlgebraProgram
+
+                    with extended_stack():
+                        self._algebra = AlgebraProgram(
+                            self.module, self.functions, self.config
+                        )
+        return self._algebra
+
+    @property
+    def plan_signature(self) -> str:
+        """A structural key for this query's module, stable across reparses.
+
+        Position information (line/column) is excluded, so two textually
+        different sources with identical structure share a signature; the
+        query service keys its plan/result caches on this.
+
+        Computed once per query; the module is immutable after parse, so
+        the signature never changes. (A racing second computation yields
+        the same string, so no lock is needed.)
+        """
+        signature = self._plan_signature
+        if signature is None:
+            from .algebra import module_signature
+
+            signature = module_signature(self.module)
+            self._plan_signature = signature
+        return signature
+
+    def explain(self, statistics=None) -> dict:
+        """The optimized algebraic plan as a dict (text + JSON-ready tree)."""
+        return self.algebra.explain(statistics)
+
+    @property
     def external_variable_names(self) -> List[str]:
         return [v.name for v in self.module.variables if v.value is None]
 
@@ -132,6 +178,8 @@ class CompiledQuery:
         backend: Optional[str] = None,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        statistics=None,
+        algebra_cache=None,
     ) -> Sequence:
         """Evaluate the query body; returns a flat sequence of items.
 
@@ -143,6 +191,12 @@ class CompiledQuery:
         exceeds it raises :class:`~repro.xquery.errors.XQueryTimeoutError`
         (``XQDY_TIMEOUT``) at the next stage boundary instead of hanging
         the calling thread.
+
+        ``statistics`` and ``algebra_cache`` only affect
+        ``backend="algebra"``: the former is a
+        :class:`~repro.xquery.algebra.StatisticsCatalog` steering the cost
+        pass, the latter a :class:`~repro.xquery.algebra.SharedEvalCache`
+        sharing scan/join work across queries over the same document.
         """
         backend = backend if backend is not None else self.config.backend
         if backend not in BACKENDS:
@@ -169,6 +223,10 @@ class CompiledQuery:
                 ctx = ctx.with_focus(context_item, 1, 1)
             if program is not None:
                 return program.body(ctx)
+            if backend == "algebra":
+                return self.algebra.run(
+                    ctx, statistics=statistics, shared_cache=algebra_cache
+                )
             return evaluate(self.module.body, ctx)
 
     def _bind_globals(

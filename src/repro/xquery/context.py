@@ -33,10 +33,12 @@ class EngineConfig:
         Guard for runaway recursive user functions.
     ``backend``
         Which execution backend ``CompiledQuery.run`` uses by default:
-        ``"treewalk"`` (the period-accurate reference interpreter) or
+        ``"treewalk"`` (the period-accurate reference interpreter),
         ``"closures"`` (the closure-compiling backend, same semantics,
-        several times faster).  Parity between the two is asserted by
-        ``tests/test_backend_parity.py``.
+        several times faster), or ``"algebra"`` (the set-at-a-time plan
+        executor with index scans and hash joins; see
+        :mod:`repro.xquery.algebra`).  Parity across all three is asserted
+        by ``tests/test_backend_parity.py`` and the differential fuzzer.
     ``compile_cache_size``
         Maximum number of compiled queries the engine's LRU compile cache
         retains; ``0`` disables caching entirely.

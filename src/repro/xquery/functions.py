@@ -37,6 +37,7 @@ from ..xdm import (
 )
 from ..xdm.compare import ComparisonTypeError
 from .errors import XQueryDynamicError, XQueryTypeError, XQueryUserError
+from .operators import _promote_pair
 
 _REGISTRY: Dict[Tuple[str, int], Callable] = {}
 _VARIADIC: Dict[str, Tuple[int, Callable]] = {}
@@ -106,7 +107,10 @@ def _numeric(value: Sequence, what: str) -> Optional[object]:
     if isinstance(atom, (int, float, Decimal)):
         return atom
     if isinstance(atom, UntypedAtomic):
-        return float(atom.value)
+        # the fuzzer caught the bare float() here too (cf.
+        # _untyped_to_double): round(text { 's' }) escaped as a raw
+        # Python ValueError instead of a spec error code.
+        return _untyped_to_double(atom, what)
     raise XQueryTypeError(f"{what} requires a numeric argument")
 
 
@@ -443,7 +447,11 @@ def _fn_sum(ctx, args, expr) -> Sequence:
     total = None
     for atom in atoms:
         value = _coerce_number(atom, "sum")
-        total = value if total is None else total + value
+        if total is None:
+            total = value
+        else:
+            left, right = _promote_pair(total, value)
+            total = left + right
     return [total]
 
 
@@ -455,7 +463,11 @@ def _fn_avg(ctx, args, expr) -> Sequence:
     values = [_coerce_number(atom, "avg") for atom in atoms]
     total = values[0]
     for value in values[1:]:
-        total = total + value
+        # mixed float/decimal sequences need the same promotion the
+        # arithmetic operators apply (the fuzzer caught the bare + raising
+        # TypeError on float + Decimal).
+        left, right = _promote_pair(total, value)
+        total = left + right
     if isinstance(total, int):
         total = Decimal(total)
     return [total / len(values)]

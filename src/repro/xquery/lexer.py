@@ -18,7 +18,9 @@ exactly that point.
 
 from __future__ import annotations
 
-from typing import Optional
+import re
+from bisect import bisect_right
+from typing import List, Optional
 
 from .errors import XQueryStaticError
 from .tokens import MULTI_SYMBOLS, SINGLE_SYMBOLS, Token
@@ -27,6 +29,16 @@ _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _NAME_CHARS = _NAME_START | set("0123456789.-")
 _DIGITS = set("0123456789")
 
+#: one NCName run — the paper's quirk characters ``-`` and ``.`` included;
+#: a compiled regex scans the run in C instead of a per-character loop.
+_NCNAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+#: multi-character symbols grouped by first character (longest first within
+#: a group), so scanning tries only the handful that can possibly match.
+_MULTI_BY_FIRST: dict = {}
+for _symbol in MULTI_SYMBOLS:
+    _MULTI_BY_FIRST.setdefault(_symbol[0], []).append(_symbol)
+
 
 class Lexer:
     """Tokenizes XQuery source text with explicit cursor control."""
@@ -34,14 +46,22 @@ class Lexer:
     def __init__(self, text: str):
         self.text = text
         self.pos = 0
+        # offsets where each line starts: location() is a bisect instead of
+        # an O(pos) newline count per token (which made lexing quadratic).
+        starts: List[int] = [0]
+        find = text.find
+        at = find("\n")
+        while at >= 0:
+            starts.append(at + 1)
+            at = find("\n", at + 1)
+        self._line_starts = starts
 
     # -- error reporting ----------------------------------------------------
 
     def location(self, pos: Optional[int] = None) -> tuple:
         pos = self.pos if pos is None else pos
-        line = self.text.count("\n", 0, pos) + 1
-        column = pos - (self.text.rfind("\n", 0, pos) + 1) + 1
-        return line, column
+        line = bisect_right(self._line_starts, pos)
+        return line, pos - self._line_starts[line - 1] + 1
 
     def error(self, message: str, pos: Optional[int] = None) -> XQueryStaticError:
         line, column = self.location(pos)
@@ -68,7 +88,7 @@ class Lexer:
             return self._number(start)
         if char in "\"'":
             return self._string(start)
-        for symbol in MULTI_SYMBOLS:
+        for symbol in _MULTI_BY_FIRST.get(char, ()):
             if text.startswith(symbol, start):
                 self.pos = start + len(symbol)
                 return self._token("symbol", symbol, start)
@@ -79,19 +99,24 @@ class Lexer:
 
     def _token(self, kind: str, value: str, start: Optional[int] = None) -> Token:
         start = self.pos if start is None else start
-        line, column = self.location(start)
-        return Token(kind, value, start, line, column)
+        starts = self._line_starts
+        line = bisect_right(starts, start)
+        return Token(kind, value, start, line, start - starts[line - 1] + 1)
 
     def _skip_space_and_comments(self) -> None:
         text = self.text
-        while self.pos < len(text):
-            char = text[self.pos]
-            if char in " \t\r\n":
-                self.pos += 1
-            elif text.startswith("(:", self.pos):
+        size = len(text)
+        pos = self.pos
+        while True:
+            while pos < size and text[pos] in " \t\r\n":
+                pos += 1
+            if pos < size and text[pos] == "(" and text.startswith("(:", pos):
+                self.pos = pos
                 self._skip_comment()
+                pos = self.pos
             else:
-                return
+                break
+        self.pos = pos
 
     def _skip_comment(self) -> None:
         start = self.pos
@@ -126,8 +151,9 @@ class Lexer:
         """Scan an NCName or a QName (one optional colon)."""
         text = self.text
         start = self.pos
-        while self.pos < len(text) and text[self.pos] in _NAME_CHARS:
-            self.pos += 1
+        match = _NCNAME_RE.match(text, start)
+        if match is not None:
+            self.pos = match.end()
         # one prefix:local colon, but not "::" (axis) and not ":=".
         if (
             self.pos < len(text)
@@ -136,9 +162,8 @@ class Lexer:
             and text[self.pos + 1] in _NAME_START
             and not text.startswith("::", self.pos)
         ):
-            self.pos += 1
-            while self.pos < len(text) and text[self.pos] in _NAME_CHARS:
-                self.pos += 1
+            match = _NCNAME_RE.match(text, self.pos + 1)
+            self.pos = match.end()
         name = text[start : self.pos]
         # names may not end with "." or "-" followed by nothing meaningful;
         # XML allows trailing ones, keep as scanned.

@@ -54,7 +54,7 @@ def _emit(diagnostics: List[Diagnostic], as_json: bool, out) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.xquery.lint",
-        description="Static analyzer for the XQuery subset (rules XQL000-XQL008).",
+        description="Static analyzer for the XQuery subset (rules XQL000-XQL009).",
     )
     parser.add_argument(
         "files", nargs="*", help=".xq files to lint ('-' reads stdin)"

@@ -76,12 +76,25 @@ class Parser:
         self.source = source
         self.token: Token = self.lexer.next_token()
         self._nesting = 0
+        #: lookahead memo: (cursor when peeked, cursor after, token).  Valid
+        #: only while the lexer cursor still sits where the peek happened —
+        #: any direct cursor move (raw XML mode, rewinds) invalidates it by
+        #: construction, so those code paths need no cache management.
+        self._peek: Optional[Tuple[int, int, Token]] = None
 
     # -- token plumbing -----------------------------------------------------
 
     def advance(self) -> Token:
         previous = self.token
-        self.token = self.lexer.next_token()
+        lexer = self.lexer
+        peek = self._peek
+        if peek is not None and peek[0] == lexer.pos:
+            lexer.pos = peek[1]
+            self.token = peek[2]
+            self._peek = None
+        else:
+            self._peek = None
+            self.token = lexer.next_token()
         return previous
 
     def expect_symbol(self, symbol: str) -> Token:
@@ -112,9 +125,14 @@ class Parser:
 
     def _peek_next(self) -> Token:
         """Look one token past the current one without consuming."""
-        saved_pos = self.lexer.pos
-        token = self.lexer.next_token()
-        self.lexer.pos = saved_pos
+        lexer = self.lexer
+        peek = self._peek
+        if peek is not None and peek[0] == lexer.pos:
+            return peek[2]
+        saved_pos = lexer.pos
+        token = lexer.next_token()
+        self._peek = (saved_pos, lexer.pos, token)
+        lexer.pos = saved_pos
         return token
 
     def _peek_two(self) -> Tuple[Token, Token]:
@@ -672,16 +690,15 @@ class Parser:
 
     def _parse_path(self) -> ast.Expr:
         token = self.token
-        if token.is_symbol("/"):
+        if token.kind == "symbol" and (token.value == "/" or token.value == "//"):
             self.advance()
-            if self._starts_step():
-                first, steps = self._parse_relative_path()
-                return ast.at(
-                    ast.PathExpr(anchor="/", first=first, steps=steps), token
-                )
-            return ast.at(ast.PathExpr(anchor="/", first=None, steps=[]), token)
-        if token.is_symbol("//"):
-            self.advance()
+            if token.value == "/":
+                if self._starts_step():
+                    first, steps = self._parse_relative_path()
+                    return ast.at(
+                        ast.PathExpr(anchor="/", first=first, steps=steps), token
+                    )
+                return ast.at(ast.PathExpr(anchor="/", first=None, steps=[]), token)
             first, steps = self._parse_relative_path()
             return ast.at(ast.PathExpr(anchor="//", first=first, steps=steps), token)
         if not self._starts_step():
@@ -694,78 +711,84 @@ class Parser:
     def _parse_relative_path(self) -> Tuple[ast.Expr, List[Tuple[str, ast.Expr]]]:
         first = self._parse_step_expr()
         steps: List[Tuple[str, ast.Expr]] = []
-        while self.token.is_symbol("/", "//"):
+        token = self.token
+        while token.kind == "symbol" and (token.value == "/" or token.value == "//"):
             separator = self.advance().value
             steps.append((separator, self._parse_step_expr()))
+            token = self.token
         return first, steps
+
+    _STEP_SYMBOLS = frozenset(("(", ".", "..", "@", "*", "<", "$"))
 
     def _starts_step(self) -> bool:
         token = self.token
         if token.kind in ("var", "integer", "decimal", "double", "string", "name"):
             return True
-        return token.is_symbol("(", ".", "..", "@", "*", "<", "$")
+        return token.kind == "symbol" and token.value in self._STEP_SYMBOLS
 
     def _parse_step_expr(self) -> ast.Expr:
         token = self.token
-        # reverse step: ".."
-        if token.is_symbol(".."):
-            self.advance()
-            step = ast.at(
-                ast.AxisStep(axis="parent", test=ast.NodeTest("node")), token
-            )
-            step.predicates = self._parse_predicates()
-            return step
-        # attribute abbreviation: @name
-        if token.is_symbol("@"):
-            self.advance()
-            test = self._parse_node_test()
-            step = ast.at(ast.AxisStep(axis="attribute", test=test), token)
-            step.predicates = self._parse_predicates()
-            return step
-        # explicit axis: axisname::test
-        if token.kind == "name" and token.value in AXES and self._peek_next().is_symbol("::"):
-            axis = self.advance().value
-            self.expect_symbol("::")
-            test = self._parse_node_test()
-            step = ast.at(ast.AxisStep(axis=axis, test=test), token)
-            step.predicates = self._parse_predicates()
-            return step
-        # kind test as a child step: text(), node(), element(name)...
-        if (
-            token.kind == "name"
-            and token.value in KIND_TESTS
-            and self._peek_next().is_symbol("(")
-        ):
-            test = self._parse_node_test()
-            axis = "attribute" if token.value == "attribute" else "child"
-            step = ast.at(ast.AxisStep(axis=axis, test=test), token)
-            step.predicates = self._parse_predicates()
-            return step
-        # computed constructors are primaries, not name tests
-        if self._at_computed_constructor():
-            base = self._computed_constructor()
-            predicates = self._parse_predicates()
-            if predicates:
-                return ast.at(ast.FilterExpr(base=base, predicates=predicates), token)
-            return base
-        # name test (child axis), unless it is a function call
-        if token.kind == "name" and not self._peek_next().is_symbol("("):
-            name = self.advance().value
-            if name.endswith(":") and self.token.is_symbol("*"):
+        if token.kind == "symbol":
+            # reverse step: ".."
+            if token.value == "..":
                 self.advance()
-                test = ast.NodeTest("wildcard", name + "*")
-            else:
-                test = ast.NodeTest("name", name)
-            step = ast.at(ast.AxisStep(axis="child", test=test), token)
-            step.predicates = self._parse_predicates()
-            return step
-        if token.is_symbol("*"):
-            self.advance()
-            step = ast.at(
-                ast.AxisStep(axis="child", test=ast.NodeTest("wildcard", "*")), token
-            )
-            step.predicates = self._parse_predicates()
-            return step
+                step = ast.at(
+                    ast.AxisStep(axis="parent", test=ast.NodeTest("node")), token
+                )
+                step.predicates = self._parse_predicates()
+                return step
+            # attribute abbreviation: @name
+            if token.value == "@":
+                self.advance()
+                test = self._parse_node_test()
+                step = ast.at(ast.AxisStep(axis="attribute", test=test), token)
+                step.predicates = self._parse_predicates()
+                return step
+            # wildcard child step (the name-flavored cases cannot apply)
+            if token.value == "*":
+                self.advance()
+                step = ast.at(
+                    ast.AxisStep(axis="child", test=ast.NodeTest("wildcard", "*")),
+                    token,
+                )
+                step.predicates = self._parse_predicates()
+                return step
+        elif token.kind == "name":
+            # explicit axis: axisname::test
+            if token.value in AXES and self._peek_next().is_symbol("::"):
+                axis = self.advance().value
+                self.expect_symbol("::")
+                test = self._parse_node_test()
+                step = ast.at(ast.AxisStep(axis=axis, test=test), token)
+                step.predicates = self._parse_predicates()
+                return step
+            # kind test as a child step: text(), node(), element(name)...
+            if token.value in KIND_TESTS and self._peek_next().is_symbol("("):
+                test = self._parse_node_test()
+                axis = "attribute" if token.value == "attribute" else "child"
+                step = ast.at(ast.AxisStep(axis=axis, test=test), token)
+                step.predicates = self._parse_predicates()
+                return step
+            # computed constructors are primaries, not name tests
+            if self._at_computed_constructor():
+                base = self._computed_constructor()
+                predicates = self._parse_predicates()
+                if predicates:
+                    return ast.at(
+                        ast.FilterExpr(base=base, predicates=predicates), token
+                    )
+                return base
+            # name test (child axis), unless it is a function call
+            if not self._peek_next().is_symbol("("):
+                name = self.advance().value
+                if name.endswith(":") and self.token.is_symbol("*"):
+                    self.advance()
+                    test = ast.NodeTest("wildcard", name + "*")
+                else:
+                    test = ast.NodeTest("name", name)
+                step = ast.at(ast.AxisStep(axis="child", test=test), token)
+                step.predicates = self._parse_predicates()
+                return step
         # otherwise: a filter expression (primary + predicates)
         base = self._parse_primary()
         predicates = self._parse_predicates()
@@ -795,10 +818,12 @@ class Parser:
 
     def _parse_predicates(self) -> List[ast.Expr]:
         predicates: List[ast.Expr] = []
-        while self.token.is_symbol("["):
+        token = self.token
+        while token.kind == "symbol" and token.value == "[":
             self.advance()
             predicates.append(self.parse_expr())
             self.expect_symbol("]")
+            token = self.token
         return predicates
 
     # -- primaries --------------------------------------------------------------------

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=7 gen=1 :)
+(: note: fn:avg/fn:sum accumulated with a bare + and no numeric type promotion, so a mixed float/decimal sequence (number() yields double, div yields decimal) escaped as a raw TypeError in every backend :)
+avg((9, number(2), (1 div 5)))

@@ -1,0 +1,4 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: fn:round / fn:floor / fn:ceiling / fn:abs share _numeric, whose bare float() on an untyped value escaped as a raw ValueError in every backend; found by the 3-way campaign after the algebra backend joined the fleet :)
+declare function local:f($p) { text { 's' } };
+round(local:f(1))

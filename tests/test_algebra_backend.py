@@ -1,0 +1,305 @@
+"""Unit tests for the algebra backend (``EngineConfig(backend="algebra")``).
+
+Result *parity* with the treewalk is enforced wholesale by
+``tests/test_backend_parity.py`` and the differential fuzzer; this file
+tests the machinery itself — what lowering produces, what the statistics
+catalog measures, which choices the cost pass makes, how the shared scan
+cache behaves across runs, and what ``explain`` reports.
+"""
+
+import json
+
+import pytest
+
+from repro.querycalc import QueryService, parse_query_xml
+from repro.workloads import make_it_model
+from repro.xmlio import parse_document
+from repro.xquery import EngineConfig, XQueryEngine
+from repro.xquery.algebra import (
+    DEFAULT_STATS,
+    SharedEvalCache,
+    StatisticsCatalog,
+    module_signature,
+)
+
+DOC = parse_document(
+    """<awb-model>
+  <node id="n1" type="User"><property name="label" type="string">ann</property></node>
+  <node id="n2" type="User"><property name="label" type="string">bob</property></node>
+  <node id="s1" type="Server"><property name="label" type="string">web</property></node>
+  <relation id="r1" type="uses" source="n1" target="s1"/>
+  <relation id="r2" type="uses" source="n2" target="s1"/>
+  <relation id="r3" type="runs" source="s1" target="n1"/>
+</awb-model>"""
+)
+
+JOIN_QUERY = (
+    "declare variable $model external;\n"
+    "for $n in $model/node[@type = (\"User\")]\n"
+    "for $r in root($n)/awb-model/relation[@type = (\"uses\")]"
+    "[@source eq $n/@id]\n"
+    "return root($n)/awb-model/node[@id eq $r/@target]"
+)
+
+
+def compile_algebra(source, config=None):
+    config = config or EngineConfig(backend="algebra")
+    return XQueryEngine(config).compile(source)
+
+
+def run_both(source, **kwargs):
+    results = {}
+    for backend in ("treewalk", "algebra"):
+        engine = XQueryEngine(EngineConfig(backend=backend))
+        results[backend] = engine.compile(source).run(**kwargs)
+    return results
+
+
+# -- lowering shapes ----------------------------------------------------------
+
+
+class TestLowering:
+    def test_follow_join_lowers_to_hash_join(self):
+        query = compile_algebra(JOIN_QUERY)
+        assert not query.algebra.trivial
+        text = query.algebra.explain_text()
+        assert "HashJoin $r on @source eq probe" in text
+        assert "Scan" in text
+
+    def test_whole_body_fallback_is_trivial(self):
+        # quantified expressions are outside the fragment: whole-body fallback
+        query = compile_algebra("some $x in (1,2,3) satisfies $x > 2")
+        assert query.algebra.trivial
+        assert query.algebra.explain()["fallback"] is True
+        assert query.run() == [True]
+
+    def test_constant_body_is_not_a_fallback(self):
+        # constant folding runs before lowering: "1 + 1" is a literal plan
+        query = compile_algebra("1 + 1")
+        assert not query.algebra.trivial
+        assert query.run() == [2]
+
+    def test_builtin_call_is_a_pass_through_plan(self):
+        # trace() wrapping a path must not hide the scan behind a fallback
+        source = 'declare variable $model external; trace("q", $model/node)'
+        text = compile_algebra(source).algebra.explain_text()
+        assert "Call:trace" in text
+        assert "Scan" in text
+
+    def test_positional_predicate_compiles_to_slice(self):
+        source = "declare variable $model external; $model/node[2]"
+        query = compile_algebra(source)
+        assert "position() = 2" in query.algebra.explain_text()
+        root = DOC.document_element()
+        result = query.run(variables={"model": root})
+        assert [item.get_attribute("id") for item in result] == ["n2"]
+
+    def test_join_executes_identically_to_treewalk(self):
+        root = DOC.document_element()
+        results = run_both(JOIN_QUERY, variables={"model": root})
+        assert results["algebra"] == results["treewalk"]
+        assert [n.get_attribute("id") for n in results["algebra"]] == ["s1", "s1"]
+
+
+# -- the statistics catalog ---------------------------------------------------
+
+
+class TestStatisticsCatalog:
+    def test_counts_from_one_walk(self):
+        catalog = StatisticsCatalog.from_root(DOC.document_element(), generation=7)
+        assert catalog.generation == 7
+        assert catalog.element_counts["node"] == 3
+        assert catalog.element_counts["relation"] == 3
+        assert catalog.element_counts["property"] == 3
+        assert catalog.total_elements == 10  # root + 3 + 3 + 3
+        assert catalog.attr_distinct[("relation", "source")] == 3
+        assert catalog.attr_distinct[("relation", "type")] == 2
+        assert catalog.attr_present[("node", "id")] == 3
+
+    def test_estimates(self):
+        catalog = StatisticsCatalog.from_root(DOC.document_element())
+        assert catalog.element_count("node") == 3
+        assert catalog.element_count("missing") == 0
+        assert catalog.fanout("node") == 1.0  # one <property> child each
+        assert catalog.attr_distinct_count("relation", "source") == 3
+        # @id is unique per node: an equality predicate keeps one of three
+        assert catalog.attr_selectivity("node", "id") == pytest.approx(1 / 3)
+
+    def test_default_catalog_has_bland_priors(self):
+        assert DEFAULT_STATS.is_default
+        assert DEFAULT_STATS.element_count("anything") > 0
+        assert 0.0 < DEFAULT_STATS.attr_selectivity(None, "id") <= 1.0
+
+    def test_to_dict_is_json_friendly(self):
+        catalog = StatisticsCatalog.from_root(DOC.document_element(), generation=1)
+        snapshot = json.loads(json.dumps(catalog.to_dict()))
+        assert snapshot["generation"] == 1
+        assert snapshot["element_counts"]["relation"] == 3
+        assert snapshot["attr_distinct"]["relation/@source"] == 3
+
+
+# -- the cost pass ------------------------------------------------------------
+
+
+class TestOptimizer:
+    def test_most_selective_predicate_goes_first(self):
+        # @id (3 distinct) beats @type (2 distinct) — written the other way
+        source = (
+            "declare variable $model external; "
+            '$model/node[@type eq "User"][@id eq "n1"]'
+        )
+        catalog = StatisticsCatalog.from_root(DOC.document_element())
+        text = compile_algebra(source).algebra.explain_text(catalog)
+        assert text.index("@id") < text.index("@type")
+
+    def test_join_key_follows_distinct_counts(self):
+        source = (
+            "declare variable $model external; "
+            "for $n in $model/node "
+            "for $r in root($n)/awb-model/relation"
+            "[@type eq $n/@type][@source eq $n/@id] "
+            "return $r"
+        )
+
+        def keyed(distincts):
+            catalog = StatisticsCatalog()
+            catalog.total_elements = 10
+            catalog.element_counts = {"node": 3, "relation": 3}
+            catalog.attr_distinct = distincts
+            text = compile_algebra(source).algebra.explain_text(catalog)
+            (line,) = [l for l in text.splitlines() if "HashJoin" in l]
+            return line
+
+        # lowering picked @type (first written); more distinct @source wins
+        line = keyed({("relation", "source"): 100, ("relation", "type"): 2})
+        assert "on @source" in line
+        # the old key survives as a residual (generic) filter
+        assert "generic predicate" in line
+        # and with the counts reversed the original key stays
+        line = keyed({("relation", "source"): 2, ("relation", "type"): 100})
+        assert "on @type" in line
+
+    def test_estimates_are_annotated_for_explain(self):
+        catalog = StatisticsCatalog.from_root(DOC.document_element())
+        plan = json.loads(compile_algebra(JOIN_QUERY).algebra.explain_json(catalog))
+        assert plan["backend"] == "algebra"
+        assert plan["fallback"] is False
+
+        def rows(node):
+            yield node.get("est_rows")
+            for child in node.get("children", []):
+                yield from rows(child)
+
+        estimates = [r for r in rows(plan["plan"]) if r is not None]
+        assert estimates, "explain JSON must carry est_rows annotations"
+
+    def test_reoptimizing_for_new_stats_preserves_results(self):
+        query = compile_algebra(JOIN_QUERY)
+        root = DOC.document_element()
+        baseline = query.run(variables={"model": root})
+        catalog = StatisticsCatalog.from_root(root)
+        assert query.run(variables={"model": root}, statistics=catalog) == baseline
+
+
+# -- shared scan/build memoization -------------------------------------------
+
+
+class TestSharedEvalCache:
+    def test_join_builds_are_shared_across_runs(self):
+        query = compile_algebra(JOIN_QUERY)
+        root = DOC.document_element()
+        cache = SharedEvalCache()
+        first = query.run(variables={"model": root}, algebra_cache=cache)
+        after_first = cache.info()
+        assert after_first["entries"] > 0
+        second = query.run(variables={"model": root}, algebra_cache=cache)
+        assert second == first
+        assert cache.info()["hits"] > after_first["hits"]
+
+    def test_runs_without_a_cache_are_isolated(self):
+        query = compile_algebra(JOIN_QUERY)
+        root = DOC.document_element()
+        assert query.run(variables={"model": root}) == query.run(
+            variables={"model": root}
+        )
+
+
+# -- structural signatures ----------------------------------------------------
+
+
+class TestPlanSignature:
+    def test_signature_ignores_positions(self):
+        spread = JOIN_QUERY.replace("\n", "\n\n   ")
+        assert (
+            compile_algebra(JOIN_QUERY).plan_signature
+            == compile_algebra(spread).plan_signature
+        )
+
+    def test_signature_sees_structure(self):
+        changed = JOIN_QUERY.replace('"uses"', '"runs"')
+        assert (
+            compile_algebra(JOIN_QUERY).plan_signature
+            != compile_algebra(changed).plan_signature
+        )
+
+    def test_signature_matches_module_signature(self):
+        query = compile_algebra(JOIN_QUERY)
+        assert query.plan_signature == module_signature(query.module)
+
+
+# -- the service and CLI surfaces --------------------------------------------
+
+
+FOLLOW_XML = (
+    '<query><start type="User"/><follow relation="uses"/>'
+    '<collect sort-by="label"/></query>'
+)
+
+
+class TestServiceIntegration:
+    def test_service_defaults_to_the_algebra_backend(self):
+        service = QueryService(make_it_model(scale=3))
+        assert service.engine.config.backend == "algebra"
+
+    def test_service_explain_shows_the_join(self):
+        service = QueryService(make_it_model(scale=3))
+        explanation = service.explain(parse_query_xml(FOLLOW_XML))
+        assert explanation["backend"] == "algebra"
+        assert "HashJoin" in explanation["text"]
+        assert explanation["plan_key"]
+
+    def test_metrics_expose_compile_and_algebra_caches(self):
+        service = QueryService(make_it_model(scale=3))
+        service.run(parse_query_xml(FOLLOW_XML))
+        metrics = service.metrics()
+        assert metrics["compile_cache"] is not None
+        assert "hits" in metrics["compile_cache"]
+        assert metrics["algebra_cache"] is not None
+
+    def test_native_backend_explain_degrades_gracefully(self):
+        service = QueryService(make_it_model(scale=3), backend="native")
+        explanation = service.explain(parse_query_xml(FOLLOW_XML))
+        assert explanation["backend"] == "native"
+
+
+class TestCli:
+    def test_explain_text(self, capsys):
+        from repro.xquery.__main__ import main
+
+        assert main(["--explain", JOIN_QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "HashJoin" in out
+
+    def test_explain_json(self, capsys):
+        from repro.xquery.__main__ import main
+
+        assert main(["--explain", "--explain-format", "json", JOIN_QUERY]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "algebra"
+        assert payload["plan"]["op"]
+
+    def test_algebra_backend_runs(self, capsys):
+        from repro.xquery.__main__ import main
+
+        assert main(["--backend", "algebra", "1 to 3"]) == 0
+        assert capsys.readouterr().out.strip() == "1 2 3"

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every xqlint rule (XQL000–XQL008)."""
+"""Positive and negative cases for every xqlint rule (XQL000–XQL009)."""
 
 from repro.xquery import EngineConfig, parse_query
 from repro.xquery.analysis import analyze_module, analyze_source
@@ -286,6 +286,82 @@ class TestRehomedChecks:
         found = codes("declare function local:f($x) { $x + 1 }; local:f(2)")
         assert "XQL007" not in found
         assert "XQL008" not in found
+
+
+class TestCartesianProduct:
+    NODES = 'doc("m")/model/node'
+    RELS = 'doc("m")/model/relation'
+
+    def test_unlinked_second_for_fires(self):
+        found = [
+            d
+            for d in analyze_source(
+                f"for $a in {self.NODES} for $b in {self.RELS} return $b"
+            )
+            if d.code == "XQL009"
+        ]
+        assert len(found) == 1
+        assert "$b" in found[0].message
+        assert found[0].severity == "warning"
+
+    def test_join_predicate_in_source_is_clean(self):
+        source = (
+            f"for $a in {self.NODES} "
+            f"for $b in {self.RELS}[@source eq $a/@id] return $b"
+        )
+        assert "XQL009" not in codes(source)
+
+    def test_where_clause_join_is_clean(self):
+        source = (
+            f"for $a in {self.NODES} for $b in {self.RELS} "
+            f"where $b/@source eq $a/@id return $b"
+        )
+        assert "XQL009" not in codes(source)
+
+    def test_where_on_one_side_only_still_fires(self):
+        source = (
+            f"for $a in {self.NODES} for $b in {self.RELS} "
+            f'where $b/@type eq "calls" return $b'
+        )
+        assert "XQL009" in codes(source)
+
+    def test_nested_flwor_spelling_fires_once(self):
+        source = (
+            f"for $a in {self.NODES} return "
+            f"for $b in {self.RELS} return ($a, $b)"
+        )
+        assert codes(source).count("XQL009") == 1
+
+    def test_nested_flwor_with_join_predicate_is_clean(self):
+        source = (
+            f"for $a in {self.NODES} return "
+            f"for $b in {self.RELS}[@target eq $a/@id] return $b"
+        )
+        assert "XQL009" not in codes(source)
+
+    def test_let_mediated_where_join_is_clean(self):
+        # the join goes through a let derived from the suspect binding
+        source = (
+            f"for $a in {self.NODES} for $b in {self.RELS} "
+            f"let $k := $b/@source where $k eq $a/@id return $b"
+        )
+        assert "XQL009" not in codes(source)
+
+    def test_source_through_derived_let_is_clean(self):
+        # root($a) taints $r; $r-based sources are joined via the predicate
+        source = (
+            f"for $a in {self.NODES} let $r := root($a) "
+            f"for $b in $r/model/relation[@source eq $a/@id] return $b"
+        )
+        assert "XQL009" not in codes(source)
+
+    def test_single_for_never_fires(self):
+        assert "XQL009" not in codes(f"for $a in {self.NODES} return $a")
+
+    def test_literal_singleton_source_is_not_flagged(self):
+        assert "XQL009" not in codes(
+            f"for $a in {self.NODES} for $b in 3 return $a"
+        )
 
 
 class TestSelectionAndOrdering:

@@ -1,8 +1,9 @@
-"""Differential parity: the closure backend must match the treewalk exactly.
+"""Differential parity: every backend must match the treewalk exactly.
 
-The closure compiler (:mod:`repro.xquery.compiler`) does not share the
-treewalk's interpreter loop, so its fidelity to the period-accurate quirks
-is asserted *here*, by running the same programs under both backends and
+Neither the closure compiler (:mod:`repro.xquery.compiler`) nor the
+algebra backend (:mod:`repro.xquery.algebra`) shares the treewalk's
+interpreter loop, so their fidelity to the period-accurate quirks is
+asserted *here*, by running the same programs under all backends and
 comparing serialized results, trace output, and error codes.  The corpus
 mirrors the benchmark suite: the e01 sequence-indexing rows, the e02
 attribute-folding programs under every duplicate-attribute mode, the error
@@ -35,7 +36,8 @@ from repro.xquery.api import BACKENDS
 
 def assert_parity(source, config=None, **run_kwargs):
     results = xquery_outcomes(source, config, run_kwargs)
-    assert results["treewalk"] == results["closures"], source
+    for backend in BACKENDS:
+        assert results[backend] == results["treewalk"], (backend, source)
     assert results["treewalk"][0] != "crash", results["treewalk"]
     return results["treewalk"]
 
@@ -268,8 +270,8 @@ def _docgen_fingerprint(backend):
 
 def test_docgen_end_to_end_parity():
     treewalk = _docgen_fingerprint("treewalk")
-    closures = _docgen_fingerprint("closures")
-    assert treewalk == closures
+    for backend in BACKENDS[1:]:
+        assert _docgen_fingerprint(backend) == treewalk, backend
 
 
 def test_querycalc_end_to_end_parity():
@@ -284,7 +286,8 @@ def test_querycalc_end_to_end_parity():
         ).run(query)
         for backend in BACKENDS
     }
-    assert runs["treewalk"] == runs["closures"]
+    for backend in BACKENDS[1:]:
+        assert runs[backend] == runs["treewalk"], backend
 
 
 CALCULUS_PARITY_QUERIES = [
