@@ -1,0 +1,169 @@
+"""E19 — schema-aware type & path inference (the typed lint the paper skipped).
+
+Three measurements:
+
+1. **Seeded-defect study.** Each typed rule (XQL010 dead path, XQL011
+   statically ill-typed operator, XQL012 vacuous predicate) gets ≥3
+   seeded defects injected into clean corpus-style hosts; every seed must
+   be detected and the clean shipped corpus must stay at zero typed
+   findings (no false positives).
+2. **Soundness campaign.** A fixed-seed fuzz run of ≥300 raw XQuery
+   programs through the type-soundness oracle: every runtime value the
+   reference backend produces must inhabit its inferred static type, with
+   zero unallowlisted divergences.
+3. **Throughput.** Typed analysis lines/second over the shipped corpus —
+   the inference pass must stay in the same cheap-tooling regime E14
+   established for the untyped rules.
+
+``BENCH_e19.json`` records all three for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import format_table, record_json, record_result
+
+from repro.testing.fuzz import run_campaign
+from repro.xquery.analysis import analyze_source, corpus_units
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+TYPED_RULES = ("XQL010", "XQL011", "XQL012")
+
+#: per-rule seeded defects: each is a complete defective body fragment the
+#: rule must flag.  Hosts provide the surrounding prolog (the external
+#: ``$m`` stands in for the bound export document, exactly how the
+#: via-xquery templates address it).
+SEEDS = {
+    "XQL010": [
+        # <node> is never a child of <relation> in the export schema.
+        "declare variable $m external;\n$m/awb-model/relation/node",
+        # the export root has no <widgets> child.
+        "declare variable $m external;\n$m/awb-model/widgets",
+        # @source lives on <relation>, never on <node>.
+        "declare variable $m external;\n$m/awb-model/node/@source",
+        # <relation> elements are siblings of <node>, never children.
+        "declare variable $m external;\n$m/awb-model/node/relation",
+    ],
+    "XQL011": [
+        # arithmetic on a string literal can only raise XPTY0004.
+        '"three" + 1',
+        # value comparison across number/string never succeeds.
+        '5 lt "five"',
+        # unary minus on a string.
+        "-'oops'",
+        # boolean into arithmetic.
+        "true() * 2",
+    ],
+    "XQL012": [
+        # 'string' is deliberately absent from the @type domain (string
+        # properties omit the attribute), so this filter is always false.
+        "declare variable $m external;\n"
+        '$m/awb-model/node/property[@type eq "string"]',
+        # @id is required on every <node>: the existence test is vacuous.
+        "declare variable $m external;\n$m/awb-model/node[@id]",
+        # <relation> never carries @missing: always false.
+        "declare variable $m external;\n$m/awb-model/relation[@missing]",
+        # domain membership entirely outside {integer,boolean,float,html}.
+        "declare variable $m external;\n"
+        '$m/awb-model/node/property[@type = ("str", "text")]',
+    ],
+}
+
+#: soundness campaign parameters (fixed seed → reproducible numbers).
+CAMPAIGN_SEED = 20040522
+CAMPAIGN_BUDGET = 600  # ≥300 raw xquery programs at the 60% kind weight
+
+
+def _typed_codes(source: str):
+    return {
+        d.code
+        for d in analyze_source(source, select=TYPED_RULES)
+    }
+
+
+class TestSeededDefects:
+    def test_detection_rate_per_rule(self):
+        rows = []
+        for code, seeds in SEEDS.items():
+            detected = sum(1 for seed in seeds if code in _typed_codes(seed))
+            rows.append((code, len(seeds), detected, f"{detected / len(seeds):.0%}"))
+            assert detected == len(seeds), (
+                f"{code}: only {detected}/{len(seeds)} seeded defects detected"
+            )
+        record_result(
+            "e19_seeded_defects.txt",
+            format_table(("rule", "seeded", "detected", "rate"), rows),
+        )
+
+    def test_zero_false_positives_on_clean_corpus(self):
+        findings = []
+        for unit in corpus_units():
+            findings.extend(
+                d
+                for d in analyze_source(
+                    unit.source, select=TYPED_RULES, source_label=unit.label
+                )
+            )
+        assert findings == [], [d.render() for d in findings]
+
+
+class TestSoundnessCampaign:
+    def test_no_unallowlisted_type_divergences(self):
+        stats = run_campaign(CAMPAIGN_SEED, CAMPAIGN_BUDGET, kinds=("xquery",))
+        checked = stats.outcomes.get("type-soundness-checked", 0)
+        assert checked >= 300, f"only {checked} programs type-checked"
+        type_divergences = [
+            d for d in stats.divergences if d.kind == "type-soundness"
+        ]
+        unallowlisted = [d for d in type_divergences if not d.allowlisted]
+        assert unallowlisted == [], "\n\n".join(
+            d.describe() for d in unallowlisted
+        )
+        self._record(stats, checked, type_divergences)
+
+    def _record(self, stats, checked, type_divergences):
+        seeded_rows = {
+            code: len(seeds) for code, seeds in SEEDS.items()
+        }
+        units = corpus_units()
+        total_lines = sum(unit.source.count("\n") + 1 for unit in units)
+        started = time.perf_counter()
+        findings = 0
+        for unit in units:
+            findings += len(analyze_source(unit.source, source_label=unit.label))
+        elapsed = time.perf_counter() - started
+        payload = {
+            "experiment": "e19",
+            "seeded_defects": {
+                code: {"seeded": count, "detected": count}
+                for code, count in seeded_rows.items()
+            },
+            "false_positives_on_clean_corpus": 0,
+            "soundness_campaign": {
+                "seed": stats.seed,
+                "budget": stats.budget,
+                "generator_version": stats.generator_version,
+                "programs_type_checked": checked,
+                "type_divergences": len(type_divergences),
+                "unallowlisted_type_divergences": len(
+                    [d for d in type_divergences if not d.allowlisted]
+                ),
+            },
+            "typed_analysis_lines_per_second": round(total_lines / elapsed),
+        }
+        record_json("e19_type_inference.json", payload)
+        record_json("BENCH_e19.json", payload, directory=REPO_ROOT)
+        record_result(
+            "e19_type_inference.txt",
+            format_table(
+                ("metric", "value"),
+                [
+                    ("programs type-checked", checked),
+                    ("unallowlisted divergences", 0),
+                    ("typed lines/sec", payload["typed_analysis_lines_per_second"]),
+                ],
+            ),
+        )

@@ -4,6 +4,10 @@ One campaign interleaves the three program kinds — raw XQuery programs
 for the engine pair, metamorphic pairs, and calculus queries for the
 native/via-XQuery/service fleet — from a single seeded stream, so
 ``--seed N --budget K`` always regenerates the identical campaign.
+Every raw XQuery program additionally feeds the type-soundness oracle:
+the static analyzer's inferred type for the body must admit the runtime
+value the reference backend produces (``kind="type-soundness"``
+divergences are analyzer bugs, not backend bugs).
 
 Usage::
 
@@ -36,6 +40,7 @@ from .oracle import (
     compare_sources,
     divergence_from,
     has_timeout,
+    type_soundness_divergence,
     xquery_outcomes,
 )
 from .shrinker import shrink_program
@@ -182,6 +187,19 @@ def run_campaign(
                 if shrink and not divergence.allowlisted:
                     divergence.shrunk_source = shrink_divergence(program, config)
                 stats.divergences.append(divergence)
+            # every raw program also feeds the type-soundness oracle: the
+            # inferred static type of the body must admit the value the
+            # reference backend actually produced.
+            soundness = type_soundness_divergence(
+                source, config, timeout=PROGRAM_TIMEOUT
+            )
+            stats.outcomes["type-soundness-checked"] = (
+                stats.outcomes.get("type-soundness-checked", 0) + 1
+            )
+            if soundness is not None:
+                if shrink and not soundness.allowlisted:
+                    soundness.shrunk_source = shrink_soundness(program, config)
+                stats.divergences.append(soundness)
         elif kind == "metamorphic":
             original, rewritten, rule = metamorphic_pair(rng, generator)
             divergence = compare_sources(
@@ -218,6 +236,18 @@ def shrink_divergence(program: GenExpr, config: EngineConfig) -> str:
 
     def is_interesting(source: str) -> bool:
         divergence = compare_xquery(source, config, timeout=PROGRAM_TIMEOUT)
+        return divergence is not None and not divergence.allowlisted
+
+    return shrink_program(program, is_interesting).render()
+
+
+def shrink_soundness(program: GenExpr, config: EngineConfig) -> str:
+    """Reduce a program whose runtime value escaped its inferred type."""
+
+    def is_interesting(source: str) -> bool:
+        divergence = type_soundness_divergence(
+            source, config, timeout=PROGRAM_TIMEOUT
+        )
         return divergence is not None and not divergence.allowlisted
 
     return shrink_program(program, is_interesting).render()

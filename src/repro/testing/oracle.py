@@ -51,7 +51,7 @@ TIMEOUT_CODE = "XQDY_TIMEOUT"
 class Divergence:
     """One observed disagreement between implementations."""
 
-    kind: str  # "xquery-pair" | "metamorphic" | "calculus"
+    kind: str  # "xquery-pair" | "metamorphic" | "calculus" | "type-soundness"
     source: str  # program text / normalized query text
     outcomes: Dict[str, tuple]
     detail: str = ""
@@ -243,6 +243,75 @@ def compare_sources(
             outcomes[f"{label}-{backend}"] = outcome
     combined = f"(: original :)\n{left}\n(: rewritten :)\n{right}"
     return divergence_from(combined, outcomes, "metamorphic", detail=detail)
+
+
+# -- the type-soundness oracle -------------------------------------------------
+
+
+def type_soundness_divergence(
+    source: str,
+    config: Optional[EngineConfig] = None,
+    timeout: Optional[float] = None,
+) -> Optional[Divergence]:
+    """The type-soundness oracle: runtime values must inhabit static types.
+
+    The static analyzer (:mod:`repro.xquery.analysis.types`) infers an
+    item type and occurrence for the module body.  This oracle runs the
+    program on the reference backend and asserts the observed sequence
+    inhabits that inference — a counterexample is an analyzer *soundness*
+    bug, the class of defect no amount of backend-pair testing can see
+    (both backends agree; the static claim about them is what's wrong).
+
+    Inference runs schema-free (``schema=None``): generated programs
+    construct arbitrary trees, so only the document-independent part of
+    the inference is a universal claim.  Programs that fail to compile,
+    raise dynamic errors, or time out carry no value to check and are
+    skipped, not failed.
+    """
+    from dataclasses import replace
+
+    from ..xquery.analysis.types import check_sequence, infer_body_type
+
+    config = replace(config or EngineConfig(), type_check_calls=True)
+    engine = XQueryEngine(config)
+    try:
+        query = engine.compile(source)
+    except XQueryError:
+        return None  # statically rejected: nothing was claimed about it
+    try:
+        inferred = infer_body_type(query.module)
+    except Exception as error:  # noqa: BLE001 - an analyzer crash IS the finding
+        return apply_allowlist(
+            Divergence(
+                "type-soundness",
+                source,
+                {"analyzer": ("crash", type(error).__name__, str(error))},
+                detail="analyzer-crash",
+            )
+        )
+    if inferred is None:
+        return None
+    run_kwargs = {"timeout": timeout} if timeout is not None else {}
+    try:
+        result = query.run(backend="treewalk", **run_kwargs)
+    except XQueryError:
+        return None  # dynamic errors (incl. timeouts) produce no value
+    except Exception:  # noqa: BLE001 - raw escapes are the pair oracle's job
+        return None
+    violation = check_sequence(inferred, list(result))
+    if violation is None:
+        return None
+    return apply_allowlist(
+        Divergence(
+            "type-soundness",
+            source,
+            {
+                "static": ("inferred", inferred.describe()),
+                "runtime": ("observed", serialize_result(result)),
+            },
+            detail=violation,
+        )
+    )
 
 
 # -- the calculus fleet oracle -------------------------------------------------

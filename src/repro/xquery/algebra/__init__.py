@@ -67,9 +67,50 @@ class AlgebraProgram:
         self.trivial = isinstance(self.plan, EvalPlan)
         self._optimize_lock = threading.Lock()
         self._optimized_for: Optional[StatisticsCatalog] = None
+        self._occurrences: Optional[Dict[int, str]] = None
         self.optimize_for(None)
 
     # -- optimization -----------------------------------------------------
+
+    def occurrence_map(self) -> Dict[int, str]:
+        """``id(ast expr) → occurrence`` for the exprs this plan references.
+
+        Computed once per program from the static-type pass (occurrences
+        never depend on the catalog) and only for the handful of AST nodes
+        the plan tree actually points at, so the cold path stays cheap.
+        """
+        if self._occurrences is None:
+            # lazy: the analysis package import chain reaches back here.
+            from ..analysis.cardinality import iter_scoped, module_environments
+            from ..analysis.types import TypeAnalyzer, occurrence_indicator
+
+            targets = set()
+            stack = [self.plan]
+            while stack:
+                plan = stack.pop()
+                expr = getattr(plan, "expr", None)
+                if expr is not None:
+                    targets.add(id(expr))
+                for op in getattr(plan, "ops", ()):
+                    clause = getattr(op, "clause", None)
+                    for attr in ("source", "value"):
+                        sub = getattr(clause, attr, None)
+                        if sub is not None:
+                            targets.add(id(sub))
+                stack.extend(child for child in plan.children() if child is not None)
+            analyzer = TypeAnalyzer(self.module)
+            body_env, function_envs = module_environments(self.module, analyzer)
+            occurrences: Dict[int, str] = {}
+            units = [(f.body, function_envs[id(f)]) for f in self.module.functions]
+            units.append((self.module.body, body_env))
+            for root, env in units:
+                for expr, scope in iter_scoped(root, env, analyzer):
+                    if id(expr) in targets and id(expr) not in occurrences:
+                        occurrences[id(expr)] = occurrence_indicator(
+                            analyzer.card(expr, scope)
+                        )
+            self._occurrences = occurrences
+        return self._occurrences
 
     def optimize_for(self, statistics: Optional[StatisticsCatalog]) -> Plan:
         """(Re)run the cost pass if *statistics* changed since last time."""
@@ -77,7 +118,7 @@ class AlgebraProgram:
         if self._optimized_for is not catalog:
             with self._optimize_lock:
                 if self._optimized_for is not catalog:
-                    optimize_plan(self.plan, catalog)
+                    optimize_plan(self.plan, catalog, self.occurrence_map())
                     self._optimized_for = catalog
         return self.plan
 

@@ -253,6 +253,10 @@ def _apply_pred_plans(items, predicates, ctx, bindings):
     for pred in predicates:
         if not items:
             return items
+        if pred.skipped:
+            # the optimizer proved (against the catalog's verified schema)
+            # that this predicate keeps every input — don't evaluate it.
+            continue
         if isinstance(pred, PositionalPred):
             items = pred.apply(items)
             continue

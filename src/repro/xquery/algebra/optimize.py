@@ -19,11 +19,31 @@ results:
 Positional short-circuiting itself is compiled during lowering
 (:class:`~.plans.PositionalPred` slices instead of iterating); this pass
 only accounts for it in the estimates.
+
+Two additions ride the static-type pass (PR 7):
+
+* **occurrence annotations** — when the caller supplies the inferred
+  occurrence map (``id(ast expr) → "empty | 1 | ? | + | *"``), plan nodes
+  carry it into ``--explain`` as ``[occ=...]``, and proven-dead schema
+  paths surface as ``occ=empty`` with 0 estimated rows.
+* **schema-licensed pruning** — a catalog that carries a ``schema``
+  (attached by ``StatisticsCatalog.from_root`` only after verifying the
+  walked document conforms) warrants that schema's facts for the
+  document the query runs against.  Under that warrant, an existence
+  check on a required attribute of a schema-anchored step keeps every
+  input, so it is marked ``skipped`` and the executor never evaluates
+  it.  This is the one decision here that leans on more than costs; the
+  warrant is scoped to the catalog's export generation, re-optimizing
+  under a schema-less catalog resets every ``skipped`` flag, and the
+  differential fuzzer holds the backend to bit-identical results as
+  always.  Join-key singletons, by contrast, are pure statistics
+  (``present == count == distinct`` on this generation) and only shape
+  estimates and key choice.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .plans import (
     AttrExistsPred,
@@ -56,20 +76,32 @@ __all__ = ["optimize_plan"]
 _REORDERABLE = (AttrMembershipPred, AttrValueEqPred, AttrExistsPred)
 
 
-def optimize_plan(plan: Plan, stats: Optional[StatisticsCatalog] = None) -> Plan:
-    """Annotate and (safely) reorder *plan* in place; returns it."""
-    _Optimizer(stats or DEFAULT_STATS).visit(plan, None)
+def optimize_plan(
+    plan: Plan,
+    stats: Optional[StatisticsCatalog] = None,
+    occurrences: Optional[Dict[int, str]] = None,
+) -> Plan:
+    """Annotate and (safely) reorder *plan* in place; returns it.
+
+    *occurrences* maps ``id(ast expr)`` to the statically inferred
+    occurrence indicator (from :mod:`..analysis.types`); when given, plan
+    nodes surface it in ``--explain``.
+    """
+    _Optimizer(stats or DEFAULT_STATS, occurrences or {}).visit(plan, None)
     return plan
 
 
 class _Optimizer:
-    def __init__(self, stats: StatisticsCatalog):
+    def __init__(self, stats: StatisticsCatalog, occurrences: Dict[int, str]):
         self.stats = stats
+        self.schema = stats.schema
+        self.occurrences = occurrences
 
     # -- dispatch ---------------------------------------------------------
 
     def visit(self, plan: Plan, input_rows: Optional[float]) -> float:
         """Annotate *plan*, returning its estimated output cardinality."""
+        plan.occ = None  # re-derived below; stale marks must not survive
         if isinstance(plan, PathPlan):
             rows = self._visit_path(plan)
         elif isinstance(plan, FilterPlan):
@@ -105,24 +137,49 @@ class _Optimizer:
         else:  # LiteralPlan and friends
             rows = float(len(getattr(plan, "values", [0])))
         plan.est_rows = rows
+        expr = getattr(plan, "expr", None)
+        if expr is not None and plan.occ is None:
+            plan.occ = self.occurrences.get(id(expr))
         return rows
 
     # -- scans ------------------------------------------------------------
 
     def _visit_path(self, plan: PathPlan) -> float:
+        rows, _ = self._visit_path_anchored(plan)
+        return rows
+
+    def _visit_path_anchored(self, plan: PathPlan) -> Tuple[float, Optional[str]]:
+        """Annotate a scan, threading the schema-anchored element name.
+
+        A path *anchors* to the catalog's schema at a child step that
+        selects the schema's root element; from there each further child
+        step follows (or falls off) the closed parent→child edges.  A
+        provably dead tail zeroes the estimate and marks ``occ=empty``.
+        """
+        plan.occ = None
         if plan.anchor is not None:
             rows = 1.0
         elif plan.base is not None:
             rows = self.visit(plan.base, None)
         else:
             rows = 1.0
+        anchored: Optional[str] = None
+        dead = False
         for step in plan.steps:
-            rows = self._visit_step(step, rows)
-        return rows
+            rows, anchored, step_dead = self._visit_step(step, rows, anchored)
+            dead = dead or step_dead
+        if dead:
+            plan.occ = "empty"
+        return rows, anchored
 
-    def _visit_step(self, step: StepPlan, input_rows: float) -> float:
+    def _visit_step(
+        self, step: StepPlan, input_rows: float, anchored: Optional[str]
+    ) -> Tuple[float, Optional[str], bool]:
         stats = self.stats
+        schema = self.schema
         name = step.test.name if step.test.kind == "name" else None
+        next_anchor: Optional[str] = None
+        dead = False
         if step.axis in ("child", "descendant", "descendant-or-self"):
             if name is not None:
                 # a named scan can never yield more than the name's count —
@@ -133,16 +190,36 @@ class _Optimizer:
                 else:
                     per_node = stats.fanout(None) if step.axis == "child" else 10.0
                     rows = max(min(total, input_rows * per_node), 0.0)
+                if schema is not None and step.axis == "child":
+                    if anchored is not None:
+                        decl = schema.element(anchored)
+                        if decl is not None and not decl.open_content:
+                            if name in decl.children:
+                                next_anchor = name
+                            else:
+                                rows, dead = 0.0, True
+                    elif name == schema.root:
+                        next_anchor = name
             else:
                 rows = input_rows * stats.fanout(None)
         elif step.axis == "attribute":
             rows = input_rows
+            if (
+                schema is not None
+                and anchored is not None
+                and name is not None
+                and not schema.attribute_allowed(anchored, name)
+            ):
+                rows, dead = 0.0, True
         elif step.axis in ("self", "parent"):
             rows = input_rows
         else:
             rows = input_rows * 2.0
         self._order_predicates(step, name)
-        return self._apply_pred_estimates(step.predicates, name, rows)
+        rows = self._apply_pred_estimates(
+            step.predicates, name, rows, anchored=next_anchor
+        )
+        return rows, next_anchor, dead
 
     def _order_predicates(self, step: StepPlan, element: Optional[str]) -> None:
         """Most-selective-first within runs of commuting attribute filters."""
@@ -160,14 +237,65 @@ class _Optimizer:
                 predicates[run_start:index] = run
             run_start = index + 1
 
-    def _apply_pred_estimates(self, predicates, element, rows: float) -> float:
+    def _apply_pred_estimates(
+        self, predicates, element, rows: float, anchored: Optional[str] = None
+    ) -> float:
+        schema = self.schema if anchored is not None else None
         for pred in predicates:
+            pred.skipped = False  # every pass re-proves (or loses) the skip
             if isinstance(pred, PositionalPred):
                 rows = 1.0 if pred.op in ("eq", "last") else min(rows, float(pred.k))
-            else:
-                pred.selectivity = self._pred_selectivity(pred, element)
-                rows *= pred.selectivity
+                continue
+            pred.selectivity = self._pred_selectivity(pred, element)
+            if schema is not None and isinstance(pred, AttrExistsPred):
+                if schema.attribute_required(anchored, pred.name):
+                    # every <anchored> the exporter writes carries the
+                    # attribute: the check keeps all its input.  Skip it.
+                    pred.skipped = True
+                    pred.selectivity = 1.0
+                    continue
+            if schema is not None and isinstance(
+                pred, (AttrValueEqPred, AttrMembershipPred)
+            ):
+                literals = (
+                    {pred.value}
+                    if isinstance(pred, AttrValueEqPred)
+                    else set(pred.values)
+                )
+                if not schema.attribute_allowed(anchored, pred.name):
+                    rows = 0.0
+                    continue
+                domain = schema.attribute_domain(anchored, pred.name)
+                if domain is not None and not (literals & domain):
+                    # provably vacuous (the XQL012 shape): estimate zero.
+                    rows = 0.0
+                    continue
+            if (
+                isinstance(pred, AttrValueEqPred)
+                and element is not None
+                and self._is_unique_key(element, pred.name)
+            ):
+                rows = min(rows, 1.0)
+                continue
+            rows *= pred.selectivity
         return rows
+
+    def _is_unique_key(self, element: str, attribute: str) -> bool:
+        """Every *element* carries *attribute*, all values distinct — a key.
+
+        A pure statistics fact about the walked document (no schema
+        needed), so it may tighten estimates and steer join-key choice on
+        any catalog.
+        """
+        stats = self.stats
+        count = stats.element_counts.get(element)
+        if not count:
+            return False
+        key = (element, attribute)
+        return (
+            stats.attr_present.get(key) == count
+            and stats.attr_distinct.get(key) == count
+        )
 
     def _pred_selectivity(self, pred, element: Optional[str]) -> float:
         stats = self.stats
@@ -192,9 +320,13 @@ class _Optimizer:
     def _visit_flwor(self, plan: FLWORPlan) -> float:
         tuples = 1.0
         for op in plan.ops:
+            op.occ = None
             if isinstance(op, ForJoinOp):
                 self._choose_join_key(op)
-                scan_rows = self.visit(op.scan, None)
+                scan_rows, scan_anchor = self._visit_path_anchored(op.scan)
+                op.scan.est_rows = scan_rows
+                if op.scan.occ is None:
+                    op.scan.occ = self.occurrences.get(id(op.scan.expr))
                 element = (
                     op.scan.steps[-1].test.name
                     if op.scan.steps and op.scan.steps[-1].test.kind == "name"
@@ -202,12 +334,21 @@ class _Optimizer:
                 )
                 distinct = self.stats.attr_distinct_count(element, op.build_attr)
                 matches = max(scan_rows / max(distinct, 1), 0.0)
-                matches = self._apply_pred_estimates(op.residual, element, matches)
+                if element is not None and self._is_unique_key(element, op.build_attr):
+                    # the build side hashes a proven key: at most one match
+                    # per probe value.
+                    matches = min(matches, 1.0)
+                    op.occ = "?"
+                matches = self._apply_pred_estimates(
+                    op.residual, element, matches, anchored=scan_anchor
+                )
                 tuples *= max(matches, 0.001)
             elif isinstance(op, ForOp):
                 tuples *= max(self.visit(op.source, None), 0.001)
+                op.occ = self.occurrences.get(id(op.clause.source))
             elif isinstance(op, LetOp):
                 self.visit(op.value, None)
+                op.occ = self.occurrences.get(id(op.clause.value))
             elif isinstance(op, WhereOp):
                 self.visit(op.condition, None)
                 tuples *= 0.5
@@ -219,7 +360,12 @@ class _Optimizer:
         return tuples * max(result_rows, 0.0) if plan.ops else result_rows
 
     def _choose_join_key(self, op: ForJoinOp) -> None:
-        """Hash on the most distinct attribute among interchangeable keys."""
+        """Hash on the best attribute among interchangeable keys.
+
+        Proven-unique keys (every element carries the attribute, all
+        values distinct) beat everything — a singleton build side means at
+        most one match per probe; among non-keys, most distinct wins.
+        """
         if not op.candidates:
             return
         element = (
@@ -233,9 +379,14 @@ class _Optimizer:
             op.style,
             op.join_expr,
         )
-        best_score = self.stats.attr_distinct_count(element, best_attr)
+
+        def score_of(attr: str) -> tuple:
+            unique = element is not None and self._is_unique_key(element, attr)
+            return (unique, self.stats.attr_distinct_count(element, attr))
+
+        best_score = score_of(best_attr)
         for attr, probe, style, expr in op.candidates:
-            score = self.stats.attr_distinct_count(element, attr)
+            score = score_of(attr)
             if score > best_score:
                 best_attr, best_probe, best_style, best_expr = attr, probe, style, expr
                 best_score = score

@@ -54,11 +54,16 @@ __all__ = [
 class PredPlan:
     """Base class for compiled predicates; ``expr`` is the original AST."""
 
-    __slots__ = ("expr", "selectivity")
+    __slots__ = ("expr", "selectivity", "skipped")
 
     def __init__(self, expr: ast.Expr):
         self.expr = expr
         self.selectivity = 0.5  # refined by the optimizer
+        #: the optimizer proved this predicate keeps every input (e.g. an
+        #: existence check on a schema-required attribute) — the executor
+        #: does not evaluate it.  Reset at the start of every optimize pass
+        #: so re-optimizing under a different catalog stays correct.
+        self.skipped = False
 
     def describe(self) -> str:
         return type(self).__name__
@@ -164,10 +169,13 @@ class GenericPred(PredPlan):
 class Plan:
     """Base class for expression-level plans."""
 
-    __slots__ = ("est_rows",)
+    __slots__ = ("est_rows", "occ")
 
     def __init__(self):
         self.est_rows: Optional[float] = None
+        #: inferred occurrence indicator (``empty | 1 | ? | + | *``) set by
+        #: the optimizer from the static-type pass; display-only.
+        self.occ: Optional[str] = None
 
     # explain -------------------------------------------------------------
 
@@ -181,6 +189,8 @@ class Plan:
         entry = {"op": self.label()}
         if self.est_rows is not None:
             entry["est_rows"] = round(self.est_rows, 2)
+        if self.occ is not None:
+            entry["occ"] = self.occ
         kids = [child.to_dict() for child in self.children() if child is not None]
         if kids:
             entry["children"] = kids
@@ -190,7 +200,8 @@ class Plan:
         if out is None:
             out = []
         rows = "" if self.est_rows is None else f"  (~{self.est_rows:g} rows)"
-        out.append("  " * indent + self.label() + rows)
+        occ = "" if self.occ is None else f"  [occ={self.occ}]"
+        out.append("  " * indent + self.label() + rows + occ)
         for child in self.children():
             if child is not None:
                 child.render(indent + 1, out)
@@ -338,7 +349,10 @@ class StepPlan:
 
     def describe(self) -> str:
         test = self.test.name if self.test.name is not None else self.test.kind + "()"
-        preds = "".join(f"[{p.describe()}]" for p in self.predicates)
+        preds = "".join(
+            f"[pruned: {p.describe()}]" if p.skipped else f"[{p.describe()}]"
+            for p in self.predicates
+        )
         prefix = "//" if self.separator == "//" else "/"
         axis = "" if self.axis == "child" else f"{self.axis}::"
         if self.axis == "attribute":
@@ -434,10 +448,12 @@ class InlineCallPlan(Plan):
 class TupleOp:
     """Base class for FLWOR pipeline operators."""
 
-    __slots__ = ("est_rows",)
+    __slots__ = ("est_rows", "occ")
 
     def __init__(self):
         self.est_rows: Optional[float] = None
+        #: inferred occurrence of the per-tuple binding (display-only).
+        self.occ: Optional[str] = None
 
     def label(self) -> str:
         return type(self).__name__
@@ -624,6 +640,8 @@ class FLWORPlan(Plan):
             op_entry = {"op": op.label()}
             if op.est_rows is not None:
                 op_entry["est_rows"] = round(op.est_rows, 2)
+            if op.occ is not None:
+                op_entry["occ"] = op.occ
             plans = [plan.to_dict() for plan in op.plans() if plan is not None]
             if plans:
                 op_entry["inputs"] = plans
@@ -639,7 +657,8 @@ class FLWORPlan(Plan):
         out.append("  " * indent + "FLWOR" + rows)
         for op in self.ops:
             op_rows = "" if op.est_rows is None else f"  (~{op.est_rows:g} tuples)"
-            out.append("  " * (indent + 1) + op.label() + op_rows)
+            op_occ = "" if op.occ is None else f"  [occ={op.occ}]"
+            out.append("  " * (indent + 1) + op.label() + op_rows + op_occ)
             for plan in op.plans():
                 if plan is not None:
                     plan.render(indent + 2, out)

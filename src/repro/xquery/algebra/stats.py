@@ -15,19 +15,32 @@ consumes:
 * attribute selectivity per ``(element, attribute)`` pair — distinct-value
   counts, which rank candidate equi-join keys and order predicates.
 
+The same walk also records the document's *shape* — parent→child element
+edges and small attribute value domains — and, when the document is an
+AWB export that actually conforms to :func:`~..analysis.schema.awb_export_schema`,
+attaches that schema to the catalog.  A schema-bearing catalog licenses
+the optimizer's semantics-affecting rewrites (pruning provably redundant
+existence checks, singleton join keys); a document that fails conformance
+simply gets ``schema = None`` and the optimizer falls back to pure
+cost decisions.
+
 When no catalog is available (ad-hoc queries against arbitrary documents)
 ``DEFAULT_STATS`` supplies deliberately bland priors; every decision the
-optimizer takes is semantics-preserving, so bad estimates cost time, never
-correctness.
+optimizer takes with bare statistics is semantics-preserving, so bad
+estimates cost time, never correctness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ...xdm import DocumentNode, ElementNode, Node
 
 __all__ = ["StatisticsCatalog", "DEFAULT_STATS"]
+
+#: value-domain sets larger than this are discarded (open domains carry no
+#: pruning power and would bloat the catalog).
+_DOMAIN_CAP = 32
 
 
 class StatisticsCatalog:
@@ -39,6 +52,8 @@ class StatisticsCatalog:
         "child_fanout",
         "attr_distinct",
         "attr_present",
+        "attr_domains",
+        "schema",
         "generation",
     )
 
@@ -52,6 +67,11 @@ class StatisticsCatalog:
         self.attr_distinct: Dict[Tuple[str, str], int] = {}
         #: (element name, attribute name) -> elements carrying the attribute
         self.attr_present: Dict[Tuple[str, str], int] = {}
+        #: (element name, attribute name) -> observed value set, when small
+        self.attr_domains: Dict[Tuple[str, str], frozenset] = {}
+        #: the document's schema, when the walked tree provably conforms to
+        #: one we know (currently: the AWB export schema).  None otherwise.
+        self.schema = None
         self.generation = generation
 
     @classmethod
@@ -62,6 +82,8 @@ class StatisticsCatalog:
         catalog = cls(generation=generation)
         values: Dict[Tuple[str, str], set] = {}
         child_totals: Dict[str, int] = {}
+        edges: Set[Tuple[str, str]] = set()
+        root_names = []
         stack = [root]
         while stack:
             node = stack.pop()
@@ -71,14 +93,17 @@ class StatisticsCatalog:
             if not isinstance(node, ElementNode):
                 continue
             name = node.name
+            if node.parent is root or node.parent is None:
+                root_names.append(name)
             catalog.total_elements += 1
             catalog.element_counts[name] = catalog.element_counts.get(name, 0) + 1
             # Building the lazy name indexes here primes them for the first
             # query against this document — the walk already visits every
             # node, so the executor's cold path never pays for index builds.
             element_children = 0
-            for children in node._child_element_index().values():
+            for child_name, children in node._child_element_index().items():
                 element_children += len(children)
+                edges.add((name, child_name))
                 stack.extend(children)
             child_totals[name] = child_totals.get(name, 0) + element_children
             node._attribute_index()
@@ -91,6 +116,21 @@ class StatisticsCatalog:
             catalog.child_fanout[name] = total / count if count else 0.0
         for key, seen in values.items():
             catalog.attr_distinct[key] = len(seen)
+            if len(seen) <= _DOMAIN_CAP:
+                catalog.attr_domains[key] = frozenset(seen)
+        if root_names == ["awb-model"] or (
+            isinstance(root, ElementNode) and root.name == "awb-model"
+        ):
+            # analysis.schema imports from xdm only, but the analysis
+            # package __init__ pulls in the lint stack (which imports this
+            # module back) — import lazily to stay acyclic.
+            from ..analysis.schema import awb_export_schema
+
+            candidate = awb_export_schema()
+            if candidate.admits_observations(
+                catalog.element_counts, edges, catalog.attr_present, catalog.attr_domains
+            ):
+                catalog.schema = candidate
         return catalog
 
     # -- estimates the optimizer asks for ---------------------------------
@@ -144,6 +184,7 @@ class StatisticsCatalog:
         """JSON-friendly snapshot (used by explain and the service)."""
         return {
             "generation": self.generation,
+            "schema": self.schema.name if self.schema is not None else None,
             "total_elements": self.total_elements,
             "element_counts": dict(self.element_counts),
             "child_fanout": {k: round(v, 3) for k, v in self.child_fanout.items()},

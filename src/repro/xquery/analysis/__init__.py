@@ -7,9 +7,12 @@ unchecked error values, positional-predicate surprises, attribute folding),
 plus ordinary hygiene (dead code, shadowing, name/arity resolution).
 
 Layers: :mod:`.diagnostics` (the finding model), :mod:`.cardinality`
-(occurrence inference — the empty/one/many lattice), :mod:`.rules`
-(XQL001–XQL008 and the registry), :mod:`.driver` (entry points), and
-:mod:`.corpus` (linting the repo's own .xq sources against a baseline).
+(occurrence inference — the empty/one/many lattice), :mod:`.schema`
+(document schemas from the AWB export conventions), :mod:`.types`
+(whole-program item-type + occurrence inference, the typed mode the
+paper skipped), :mod:`.rules` (XQL001–XQL012 and the registry),
+:mod:`.driver` (entry points), and :mod:`.corpus` (linting the repo's
+own .xq sources against a baseline).
 """
 
 from .cardinality import (
@@ -21,6 +24,22 @@ from .cardinality import (
     Binding,
     Card,
     CardinalityAnalyzer,
+)
+from .schema import (
+    AttributeSchema,
+    DocumentSchema,
+    ElementSchema,
+    awb_export_schema,
+)
+from .types import (
+    AbstractItem,
+    Inferred,
+    ModuleTypeAnalysis,
+    TypeAnalyzer,
+    TypeFinding,
+    check_sequence,
+    infer_body_type,
+    occurrence_indicator,
 )
 from .corpus import (
     BASELINE_PATH,
@@ -43,15 +62,21 @@ from .driver import analyze_module, analyze_source, parse_for_lint
 from .rules import RULES, ModuleAnalysis, Rule, rule_catalog
 
 __all__ = [
+    "AbstractItem",
+    "AttributeSchema",
     "BASELINE_PATH",
     "Binding",
     "Card",
     "CardinalityAnalyzer",
     "CorpusUnit",
     "Diagnostic",
+    "DocumentSchema",
     "EMPTY",
+    "ElementSchema",
+    "Inferred",
     "LintWarning",
     "ModuleAnalysis",
+    "ModuleTypeAnalysis",
     "ONE",
     "OPT",
     "PLUS",
@@ -59,6 +84,12 @@ __all__ = [
     "Rule",
     "SEVERITIES",
     "STAR",
+    "TypeAnalyzer",
+    "TypeFinding",
+    "awb_export_schema",
+    "check_sequence",
+    "infer_body_type",
+    "occurrence_indicator",
     "analyze_module",
     "analyze_source",
     "corpus_units",

@@ -20,7 +20,7 @@ attribute of the parent, or a runtime error when it arrives too late).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional, Tuple
 
 from .. import ast
@@ -96,6 +96,12 @@ class Binding:
     card: Card = STAR
     may_be_attribute: bool = False
     attribute_name: Optional[str] = None  # when provably one named attribute
+    #: abstract item type (``analysis.types.AbstractItem``) when the typed
+    #: analyzer produced this binding; plain occurrence passes leave it None.
+    item: Optional[object] = None
+
+    def with_item(self, item) -> "Binding":
+        return replace(self, item=item)
 
 
 Env = Dict[str, Binding]
@@ -187,11 +193,17 @@ class CardinalityAnalyzer:
         if isinstance(expr, ast.FLWOR):
             return self._flwor_card(expr, env)
         if isinstance(expr, ast.FunctionCall):
-            return self._call_card(expr)
+            return self._call_card(expr, env)
+        if isinstance(expr, ast.ComputedText):
+            # ``text { () }`` is the one constructor that maps empty content
+            # to the empty sequence, not an empty node (fuzz-found).
+            if expr.content is None:
+                return EMPTY
+            content = self.card(expr.content, env)
+            return ONE if content.lo >= 1 else OPT
         if isinstance(expr, (ast.DirectElement, ast.DirectComment, ast.DirectPI,
                              ast.ComputedElement, ast.ComputedAttribute,
-                             ast.ComputedText, ast.ComputedComment,
-                             ast.ComputedDocument)):
+                             ast.ComputedComment, ast.ComputedDocument)):
             return ONE
         return STAR
 
@@ -252,22 +264,39 @@ class CardinalityAnalyzer:
             total = Card(0, total.hi)
         return total
 
-    def _call_card(self, expr: ast.FunctionCall) -> Card:
+    def _call_card(self, expr: ast.FunctionCall, env: Env) -> Card:
+        """Mirrors ``_eval_function_call``'s resolution order exactly.
+
+        Two soundness lessons the fuzz oracle taught this function: a
+        declared user function shadows a same-named builtin at *any* call
+        spelling (the runtime keys ``ctx.functions`` by local name), so
+        the builtin result tables only apply when no declaration matches;
+        and ``xs:`` constructors map empty to empty, so their result is
+        optional unless the argument is provably non-empty.
+        """
         name = expr.name
         if name.startswith("fn:"):
             name = name[3:]
         if name.startswith("xs:"):
-            return ONE
-        local = name.split(":")[-1]
+            if len(expr.args) == 1:
+                argument = self.card(expr.args[0], env)
+                return ONE if argument.lo >= 1 else OPT
+            return ONE  # arity error at runtime; card is for success paths
+        local = name.split(":", 1)[1] if name.startswith("local:") else name
+        if local == "trace" and expr.args and (local, len(expr.args)) not in self.functions:
+            # fn:trace returns its last argument verbatim.
+            return self.card(expr.args[-1], env)
+        declaration = self.functions.get((local, len(expr.args)))
+        if declaration is not None:
+            if declaration.return_type is not None:
+                return from_sequence_type(declaration.return_type)
+            return STAR
         if local in _ALWAYS_ONE:
             return ONE
         if local in _AT_MOST_ONE:
             return OPT
         if local == "one-or-more":
             return PLUS
-        declaration = self.functions.get((local, len(expr.args)))
-        if declaration is not None and declaration.return_type is not None:
-            return from_sequence_type(declaration.return_type)
         return STAR
 
     # -- attribute-node inference (for the E2 rules) -----------------------
@@ -328,6 +357,51 @@ class CardinalityAnalyzer:
             attribute_name=self.static_attribute_name(expr, env),
         )
 
+    # -- binding hooks -----------------------------------------------------
+    # One method per binder shape.  ``iter_scoped`` and
+    # ``module_environments`` call these instead of constructing Bindings
+    # inline, so the typed analyzer can enrich every environment with item
+    # types by overriding here — no second traversal.
+
+    def for_binding(self, source, env: Env) -> Binding:
+        """Binding of a ``for $x in source`` variable."""
+        return Binding(
+            card=ONE,
+            may_be_attribute=self.may_construct_attribute(source, env),
+        )
+
+    def quantifier_binding(self, source, env: Env) -> Binding:
+        """Binding of a ``some/every $x in source`` variable."""
+        return Binding(card=ONE)
+
+    def position_binding(self) -> Binding:
+        """Binding of an ``at $pos`` positional variable."""
+        return Binding(card=ONE)
+
+    def case_binding(self, sequence_type) -> Binding:
+        """Binding of a typeswitch ``case $x as T`` variable."""
+        return Binding(card=from_sequence_type(sequence_type))
+
+    def default_case_binding(self, operand, env: Env) -> Binding:
+        """Binding of a typeswitch ``default $x`` variable."""
+        return Binding(card=STAR)
+
+    def catch_binding(self) -> Binding:
+        """Binding of a ``try/catch $err`` variable (the ``<error>`` element)."""
+        return Binding(card=ONE)
+
+    def param_binding(self, param: ast.Param) -> Binding:
+        """Binding of a function parameter, from its declared type."""
+        return Binding(card=from_sequence_type(param.declared_type))
+
+    def global_binding(self, declaration: ast.VariableDecl, env: Env) -> Binding:
+        """Binding of a global ``declare variable``."""
+        if declaration.declared_type is not None:
+            return Binding(card=from_sequence_type(declaration.declared_type))
+        if declaration.value is not None:
+            return self.binding_of(declaration.value, env)
+        return Binding(card=STAR)
+
 
 def positional_index(predicate) -> Optional[int]:
     """N when *predicate* is the positional filter ``[N]`` (or
@@ -375,14 +449,9 @@ def iter_scoped(root, env: Env, analyzer: CardinalityAnalyzer) -> Iterator[Tuple
             if isinstance(clause, ast.ForClause):
                 yield from iter_scoped(clause.source, inner, analyzer)
                 inner = dict(inner)
-                inner[clause.var] = Binding(
-                    card=ONE,
-                    may_be_attribute=analyzer.may_construct_attribute(
-                        clause.source, inner
-                    ),
-                )
+                inner[clause.var] = analyzer.for_binding(clause.source, inner)
                 if clause.position_var:
-                    inner[clause.position_var] = Binding(card=ONE)
+                    inner[clause.position_var] = analyzer.position_binding()
             elif isinstance(clause, ast.LetClause):
                 yield from iter_scoped(clause.value, inner, analyzer)
                 inner = dict(inner)
@@ -399,7 +468,7 @@ def iter_scoped(root, env: Env, analyzer: CardinalityAnalyzer) -> Iterator[Tuple
         for var, source in root.bindings:
             yield from iter_scoped(source, inner, analyzer)
             inner = dict(inner)
-            inner[var] = Binding(card=ONE)
+            inner[var] = analyzer.quantifier_binding(source, inner)
         yield from iter_scoped(root.satisfies, inner, analyzer)
         return
     if isinstance(root, ast.Typeswitch):
@@ -408,12 +477,14 @@ def iter_scoped(root, env: Env, analyzer: CardinalityAnalyzer) -> Iterator[Tuple
             inner = env
             if case.var:
                 inner = dict(env)
-                inner[case.var] = Binding(card=from_sequence_type(case.sequence_type))
+                inner[case.var] = analyzer.case_binding(case.sequence_type)
             yield from iter_scoped(case.result, inner, analyzer)
         inner = env
         if root.default_var:
             inner = dict(env)
-            inner[root.default_var] = Binding(card=STAR)
+            inner[root.default_var] = analyzer.default_case_binding(
+                root.operand, env
+            )
         yield from iter_scoped(root.default, inner, analyzer)
         return
     if isinstance(root, ast.TryCatch):
@@ -421,7 +492,7 @@ def iter_scoped(root, env: Env, analyzer: CardinalityAnalyzer) -> Iterator[Tuple
         inner = env
         if root.catch_var:
             inner = dict(env)
-            inner[root.catch_var] = Binding(card=ONE)
+            inner[root.catch_var] = analyzer.catch_binding()
         yield from iter_scoped(root.handler, inner, analyzer)
         return
     for child in ast.children_of(root):
@@ -434,17 +505,13 @@ def module_environments(module: ast.Module, analyzer: CardinalityAnalyzer):
     ``(body_env, {function_decl: env})``."""
     globals_env: Env = {}
     for declaration in module.variables:
-        if declaration.declared_type is not None:
-            binding = Binding(card=from_sequence_type(declaration.declared_type))
-        elif declaration.value is not None:
-            binding = analyzer.binding_of(declaration.value, globals_env)
-        else:
-            binding = Binding(card=STAR)
-        globals_env[declaration.name] = binding
+        globals_env[declaration.name] = analyzer.global_binding(
+            declaration, globals_env
+        )
     function_envs = {}
     for function in module.functions:
         env = dict(globals_env)
         for param in function.params:
-            env[param.name] = Binding(card=from_sequence_type(param.declared_type))
+            env[param.name] = analyzer.param_binding(param)
         function_envs[id(function)] = env
     return globals_env, function_envs

@@ -49,8 +49,24 @@ class CorpusUnit:
     source: str
 
 
-def corpus_units() -> List[CorpusUnit]:
-    """Every .xq program the repo ships, assembled the way it actually runs."""
+def _xq_units_under(directory: str, label_prefix: str) -> List[CorpusUnit]:
+    units: List[CorpusUnit] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".xq"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            units.append(CorpusUnit(f"{label_prefix}/{filename}", handle.read()))
+    return units
+
+
+def corpus_units(extra_dirs: Optional[Iterable[str]] = None) -> List[CorpusUnit]:
+    """Every .xq program the repo ships, assembled the way it actually runs.
+
+    *extra_dirs* adds further directories of ``.xq`` files (labelled by
+    their repo-relative path) — the CI ``typecheck-corpus`` step uses this
+    to sweep ``tests/corpus/fuzz`` alongside the shipped examples.
+    """
     from ...docgen.xquery_impl.runner import assemble_main_program, read_module
 
     units: List[CorpusUnit] = [
@@ -60,24 +76,36 @@ def corpus_units() -> List[CorpusUnit]:
     for name in _PHASE_MODULES:
         units.append(CorpusUnit(f"docgen:{name}", read_module(name)))
     if os.path.isdir(EXAMPLES_XQ_DIR):
-        for filename in sorted(os.listdir(EXAMPLES_XQ_DIR)):
-            if not filename.endswith(".xq"):
-                continue
-            path = os.path.join(EXAMPLES_XQ_DIR, filename)
-            with open(path, "r", encoding="utf-8") as handle:
-                units.append(CorpusUnit(f"examples/xq/{filename}", handle.read()))
+        units.extend(_xq_units_under(EXAMPLES_XQ_DIR, "examples/xq"))
+    for directory in extra_dirs or ():
+        absolute = os.path.join(REPO_ROOT, directory)
+        if not os.path.isdir(absolute):
+            raise FileNotFoundError(f"--include directory not found: {directory}")
+        label = os.path.relpath(absolute, REPO_ROOT).replace(os.sep, "/")
+        units.extend(_xq_units_under(absolute, label))
     return units
 
 
-def lint_unit(unit: CorpusUnit, config=None) -> List[Diagnostic]:
-    return analyze_source(unit.source, config=config, source_label=unit.label)
+def lint_unit(unit: CorpusUnit, config=None, select=None, ignore=None) -> List[Diagnostic]:
+    return analyze_source(
+        unit.source,
+        config=config,
+        select=select,
+        ignore=ignore,
+        source_label=unit.label,
+    )
 
 
-def lint_corpus(config=None) -> List[Diagnostic]:
+def lint_corpus(
+    config=None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    extra_dirs: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
     """Lint every corpus unit; diagnostics carry the unit label as source."""
     findings: List[Diagnostic] = []
-    for unit in corpus_units():
-        findings.extend(lint_unit(unit, config=config))
+    for unit in corpus_units(extra_dirs):
+        findings.extend(lint_unit(unit, config=config, select=select, ignore=ignore))
     return sort_diagnostics(findings)
 
 

@@ -23,7 +23,12 @@ Each rule encodes one footgun the paper hit in 2004:
 * **XQL009** — FLWOR nests that are unconstrained cartesian products: a
   later ``for`` clause with no join predicate (in its source or a
   ``where``) tying it to an earlier binding multiplies the tuple stream
-  by its whole source, and a 2004 engine evaluated exactly that.
+  by its whole source, and a 2004 engine evaluated exactly that;
+* **XQL010–XQL012** — the schema-aware checks from the typed inference
+  pass (:mod:`.types` against :mod:`.schema`): dead paths that can never
+  match an exportable node, comparisons/arithmetic that can only raise
+  XPTY0004, and predicates provably vacuous against attribute domains
+  (the paper's silently-empty-path failure mode, caught before running).
 """
 
 from __future__ import annotations
@@ -33,16 +38,16 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 
 from .. import ast
 from ..optimizer import contains_trace, free_variables, has_side_effects
-from ..statictype import check_module
 from ...xdm import ItemType
 from .cardinality import (
-    CardinalityAnalyzer,
     Env,
     iter_scoped,
     module_environments,
     positional_index,
 )
 from .diagnostics import Diagnostic
+from .schema import awb_export_schema
+from .types import ModuleTypeAnalysis, TypeAnalyzer
 
 
 @dataclass(frozen=True)
@@ -82,11 +87,22 @@ class ModuleAnalysis:
         self.module = module
         self.config = config
         self.has_body = module.body is not None if has_body is None else has_body
-        self.analyzer = CardinalityAnalyzer(module)
+        schema = None
+        if getattr(config, "lint_schema", "awb") != "off":
+            schema = awb_export_schema()
+        self.analyzer = TypeAnalyzer(module, schema=schema)
         self.body_env, self._function_envs = module_environments(module, self.analyzer)
         self._fallible: Optional[Set[str]] = None
         self._constructors: Optional[Set[str]] = None
         self._checkers: Optional[Set[str]] = None
+        self._types: Optional[ModuleTypeAnalysis] = None
+
+    @property
+    def types(self) -> ModuleTypeAnalysis:
+        """The whole-module typed pass (scope issues + XQL010-012 findings)."""
+        if self._types is None:
+            self._types = ModuleTypeAnalysis(self.module, analyzer=self.analyzer)
+        return self._types
 
     # -- traversal helpers --------------------------------------------------
 
@@ -869,7 +885,7 @@ def check_unknown_functions(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
 
 
 def _rehomed(analysis: ModuleAnalysis, code: str) -> Iterator[Diagnostic]:
-    for issue in check_module(analysis.module):
+    for issue in analysis.types.issues:
         mapped = _SPEC_TO_XQL.get(issue.code)
         if mapped != code:
             continue
@@ -978,6 +994,65 @@ def check_cartesian_product(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
                 "binding (e.g. [@ref eq $x/@id]) or add a where clause "
                 "linking the two",
             )
+
+
+# ---------------------------------------------------------------------------
+# XQL010–XQL012 — schema-aware findings from the typed inference pass
+# ---------------------------------------------------------------------------
+
+
+def _typed_findings(analysis: ModuleAnalysis, code: str) -> Iterator[Diagnostic]:
+    if analysis.analyzer.schema is None:
+        return
+    for finding in analysis.types.findings:
+        if finding.code != code:
+            continue
+        yield Diagnostic(
+            code=finding.code,
+            severity=finding.severity,
+            message=finding.message,
+            line=finding.line,
+            column=finding.column,
+            rule=RULES[code].slug if code in RULES else "",
+            spec_code=finding.spec_code,
+        )
+
+
+@rule(
+    "XQL010",
+    "dead-path",
+    "path step that can never match any node the exporter produces",
+    'The paper\'s queries "silently returned nothing" when a path was '
+    "misspelled or aimed at the wrong level; the 2004 stack had no schema "
+    "to check against, so empty output was the only diagnostic.",
+)
+def check_dead_paths(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    yield from _typed_findings(analysis, "XQL010")
+
+
+@rule(
+    "XQL011",
+    "ill-typed-operands",
+    "comparison or arithmetic whose operand types can only raise XPTY0004",
+    "Running untyped meant XPTY0004 surfaced at runtime, mid-pipeline, "
+    "with Galax's trademark absence of location information; the typed "
+    "pass raises it at lint time instead.",
+)
+def check_ill_typed_operands(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    yield from _typed_findings(analysis, "XQL011")
+
+
+@rule(
+    "XQL012",
+    "vacuous-predicate",
+    "predicate provably always-false (or always-true) against the "
+    "export's attribute domains",
+    'The exporter omits @type for string-valued properties, so the natural '
+    '[@type eq "string"] filter matches nothing, ever — exactly the class '
+    "of silent empty result the paper complains about.",
+)
+def check_vacuous_predicates(analysis: ModuleAnalysis) -> Iterator[Diagnostic]:
+    yield from _typed_findings(analysis, "XQL012")
 
 
 def rule_catalog() -> List[Rule]:

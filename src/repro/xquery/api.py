@@ -162,8 +162,21 @@ class CompiledQuery:
         return signature
 
     def explain(self, statistics=None) -> dict:
-        """The optimized algebraic plan as a dict (text + JSON-ready tree)."""
-        return self.algebra.explain(statistics)
+        """The optimized algebraic plan as a dict (text + JSON-ready tree).
+
+        Includes ``static_type``: the whole query's inferred item type and
+        occurrence from the static-type pass (``None`` for a body-less
+        library module).
+        """
+        explanation = self.algebra.explain(statistics)
+        # deferred: the analysis package's import chain reaches back here.
+        from .analysis.types import infer_body_type
+
+        inferred = infer_body_type(self.module)
+        explanation["static_type"] = (
+            inferred.describe() if inferred is not None else None
+        )
+        return explanation
 
     @property
     def external_variable_names(self) -> List[str]:

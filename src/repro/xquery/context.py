@@ -50,6 +50,13 @@ class EngineConfig:
         :class:`~repro.xquery.errors.XQueryStaticError` on the first such
         finding).  Linting pre-optimization is what lets XQL001 warn about
         the trace the dead-code pass is about to delete.
+    ``lint_schema``
+        Which document schema the lint pass evaluates paths and
+        predicates against: ``"awb"`` (default — the AWB export schema,
+        enabling the typed rules XQL010–XQL012) or ``"off"`` (schema-free
+        linting, XQL001–XQL009 only).  With ``lint="error"`` and the
+        default schema, compilation rejects statically dead paths and
+        ill-typed operators outright — the typed mode the paper skipped.
     """
 
     duplicate_attribute_mode: str = "last"
@@ -61,11 +68,16 @@ class EngineConfig:
     backend: str = "treewalk"
     compile_cache_size: int = 128
     lint: str = "off"
+    lint_schema: str = "awb"
 
     def __post_init__(self) -> None:
         if self.lint not in ("off", "warn", "error"):
             raise ValueError(
                 f"lint must be 'off', 'warn', or 'error', not {self.lint!r}"
+            )
+        if self.lint_schema not in ("awb", "off"):
+            raise ValueError(
+                f"lint_schema must be 'awb' or 'off', not {self.lint_schema!r}"
             )
 
 

@@ -418,16 +418,27 @@ def _fn_abs(ctx, args, expr) -> Sequence:
     return [] if value is None else [abs(value)]
 
 
+def _non_finite(value) -> bool:
+    """NaN and ±INF pass through fn:floor/ceiling/round unchanged, per the
+    spec; feeding them to math.floor/ceil escaped as raw ValueError /
+    OverflowError (a fuzz-found crash on ``ceiling(number(()))``)."""
+    return isinstance(value, float) and not math.isfinite(value)
+
+
 @builtin("floor", 1)
 def _fn_floor(ctx, args, expr) -> Sequence:
     value = _numeric(args[0], "floor")
-    return [] if value is None else [math.floor(value)]
+    if value is None:
+        return []
+    return [value if _non_finite(value) else math.floor(value)]
 
 
 @builtin("ceiling", 1)
 def _fn_ceiling(ctx, args, expr) -> Sequence:
     value = _numeric(args[0], "ceiling")
-    return [] if value is None else [math.ceil(value)]
+    if value is None:
+        return []
+    return [value if _non_finite(value) else math.ceil(value)]
 
 
 @builtin("round", 1)
@@ -435,6 +446,8 @@ def _fn_round(ctx, args, expr) -> Sequence:
     value = _numeric(args[0], "round")
     if value is None:
         return []
+    if _non_finite(value):
+        return [value]
     # XQuery rounds half *up* (towards positive infinity), not banker's.
     return [math.floor(float(value) + 0.5)]
 

@@ -54,7 +54,10 @@ def _emit(diagnostics: List[Diagnostic], as_json: bool, out) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.xquery.lint",
-        description="Static analyzer for the XQuery subset (rules XQL000-XQL009).",
+        description=(
+            "Static analyzer for the XQuery subset (rules XQL000-XQL012, "
+            "including the schema-aware typed rules XQL010-XQL012)."
+        ),
     )
     parser.add_argument(
         "files", nargs="*", help=".xq files to lint ('-' reads stdin)"
@@ -76,6 +79,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--corpus",
         action="store_true",
         help="lint the repo's shipped .xq corpus against the baseline",
+    )
+    parser.add_argument(
+        "--include",
+        metavar="DIR",
+        action="append",
+        default=None,
+        help="with --corpus: also lint .xq files under DIR (repo-relative; repeatable)",
     )
     parser.add_argument(
         "--baseline",
@@ -131,7 +141,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run_corpus(args) -> int:
-    findings = lint_corpus()
+    try:
+        findings = lint_corpus(
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+            extra_dirs=args.include,
+        )
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     baseline_path = args.baseline or BASELINE_PATH
     if args.write_baseline:
         with open(baseline_path, "w", encoding="utf-8") as handle:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from decimal import Decimal, DivisionByZero, InvalidOperation
 from typing import List
 
@@ -89,7 +90,21 @@ def _divide(left, right):
     return Decimal(left) / Decimal(right)
 
 
+def _is_nan(value) -> bool:
+    return isinstance(value, float) and value != value
+
+
+def _is_inf(value) -> bool:
+    return isinstance(value, float) and math.isinf(value)
+
+
 def _integer_divide(left, right) -> int:
+    # the spec makes NaN/INF dividends a dynamic error (FOAR0002); the old
+    # ``int(nan)`` here escaped as a raw ValueError (fuzz-found crash).
+    if _is_nan(left) or _is_nan(right) or _is_inf(left):
+        raise XQueryDynamicError(
+            "idiv with NaN or infinite dividend", code="FOAR0002"
+        )
     if right == 0:
         raise ZeroDivisionError
     quotient = (
@@ -101,6 +116,13 @@ def _integer_divide(left, right) -> int:
 
 
 def _modulo(left, right):
+    # fn-numeric-mod: NaN anywhere (or an infinite dividend) gives NaN; a
+    # finite dividend mod ±INF gives the dividend back.  The fall-through
+    # ``int(nan / 2)`` used to escape as a raw ValueError (fuzz-found).
+    if _is_nan(left) or _is_nan(right) or _is_inf(left):
+        return float("nan")
+    if _is_inf(right):
+        return float(left)
     if right == 0:
         if isinstance(left, float) or isinstance(right, float):
             return float("nan")

@@ -1,218 +1,20 @@
-"""A static checker for the XQuery subset.
+"""Deprecated shim — the checker moved to :mod:`repro.xquery.analysis.types`.
 
-The paper used XQuery "in the untyped mode, avoiding the type system
-entirely" and found that adding annotations made types "metastatize".  This
-module provides both experiences:
-
-* :func:`check_module` — an untyped sanity pass (unknown functions,
-  undefined variables, arity mismatches) that any engine must do;
-* :func:`annotation_pressure` — a measurement of the metastasis: given a
-  module where some functions are annotated, how many *other* functions
-  would need annotations for the typed fragment to check cleanly (i.e. the
-  transitive callers/callees of annotated functions).
+This module used to hold the thin untyped-mode checker (scope and arity
+resolution, the paper's "typed mode not worth the trouble" counterpoint).
+PR 7 absorbed it into the whole-program type inference pass, which does
+the same scope walk once and infers item types and occurrences along the
+way.  The public names are re-exported here so existing imports keep
+working; new code should import from ``repro.xquery.analysis.types``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from .analysis.types import (  # noqa: F401
+    StaticIssue,
+    annotation_pressure,
+    call_graph,
+    check_module,
+)
 
-from . import ast
-from .functions import lookup_builtin
-
-
-@dataclass
-class StaticIssue:
-    """One problem found by the checker."""
-
-    code: str
-    message: str
-    line: int = 0
-    column: int = 0
-
-    def __str__(self) -> str:
-        return f"[{self.code}] {self.message} (line {self.line}, column {self.column})"
-
-
-def check_module(module: ast.Module) -> List[StaticIssue]:
-    """Check name resolution and arities across the whole module."""
-    checker = _Checker(module)
-    issues: List[StaticIssue] = []
-    global_names = {decl.name for decl in module.variables}
-    for function in module.functions:
-        scope = set(global_names)
-        scope.update(param.name for param in function.params)
-        issues.extend(checker.check_expr(function.body, scope))
-    declared_so_far: Set[str] = set()
-    for declaration in module.variables:
-        if declaration.value is not None:
-            issues.extend(checker.check_expr(declaration.value, set(declared_so_far)))
-        declared_so_far.add(declaration.name)
-    if module.body is not None:
-        issues.extend(checker.check_expr(module.body, set(global_names)))
-    return issues
-
-
-class _Checker:
-    def __init__(self, module: ast.Module):
-        self.functions: Dict[Tuple[str, int], ast.FunctionDecl] = {}
-        for declaration in module.functions:
-            name = declaration.name
-            if name.startswith("local:"):
-                name = name[len("local:") :]
-            self.functions[(name, declaration.arity)] = declaration
-
-    def check_expr(self, expr, scope: Set[str]) -> List[StaticIssue]:
-        issues: List[StaticIssue] = []
-        self._walk(expr, scope, issues)
-        return issues
-
-    def _walk(self, expr, scope: Set[str], issues: List[StaticIssue]) -> None:
-        if expr is None:
-            return
-        if isinstance(expr, ast.VarRef):
-            if expr.name not in scope:
-                issues.append(
-                    StaticIssue(
-                        "XPST0008",
-                        f"undefined variable ${expr.name}",
-                        expr.line,
-                        expr.column,
-                    )
-                )
-            return
-        if isinstance(expr, ast.FunctionCall):
-            self._check_call(expr, issues)
-            for arg in expr.args:
-                self._walk(arg, scope, issues)
-            return
-        if isinstance(expr, ast.FLWOR):
-            inner = set(scope)
-            for clause in expr.clauses:
-                if isinstance(clause, ast.ForClause):
-                    self._walk(clause.source, inner, issues)
-                    inner.add(clause.var)
-                    if clause.position_var:
-                        inner.add(clause.position_var)
-                elif isinstance(clause, ast.LetClause):
-                    self._walk(clause.value, inner, issues)
-                    inner.add(clause.var)
-                elif isinstance(clause, ast.WhereClause):
-                    self._walk(clause.condition, inner, issues)
-                elif isinstance(clause, ast.OrderByClause):
-                    for spec in clause.specs:
-                        self._walk(spec.key, inner, issues)
-            self._walk(expr.result, inner, issues)
-            return
-        if isinstance(expr, ast.Quantified):
-            inner = set(scope)
-            for var, source in expr.bindings:
-                self._walk(source, inner, issues)
-                inner.add(var)
-            self._walk(expr.satisfies, inner, issues)
-            return
-        if isinstance(expr, ast.TryCatch):
-            self._walk(expr.body, scope, issues)
-            inner = set(scope)
-            if expr.catch_var:
-                inner.add(expr.catch_var)
-            self._walk(expr.handler, inner, issues)
-            return
-        if isinstance(expr, ast.Typeswitch):
-            self._walk(expr.operand, scope, issues)
-            for case in expr.cases:
-                inner = set(scope)
-                if case.var:
-                    inner.add(case.var)
-                self._walk(case.result, inner, issues)
-            inner = set(scope)
-            if expr.default_var:
-                inner.add(expr.default_var)
-            self._walk(expr.default, inner, issues)
-            return
-        for child in ast.children_of(expr):
-            self._walk(child, scope, issues)
-
-    def _check_call(self, expr: ast.FunctionCall, issues: List[StaticIssue]) -> None:
-        name = expr.name
-        if name.startswith("fn:"):
-            name = name[3:]
-        if name.startswith("xs:"):
-            if len(expr.args) != 1:
-                issues.append(
-                    StaticIssue(
-                        "XPST0017",
-                        f"{name} expects exactly one argument",
-                        expr.line,
-                        expr.column,
-                    )
-                )
-            return
-        local = name[len("local:") :] if name.startswith("local:") else name
-        if (local, len(expr.args)) in self.functions:
-            return
-        if lookup_builtin(name, len(expr.args)) is not None:
-            return
-        issues.append(
-            StaticIssue(
-                "XPST0017",
-                f"unknown function {expr.name}() with {len(expr.args)} argument(s)",
-                expr.line,
-                expr.column,
-            )
-        )
-
-
-def call_graph(module: ast.Module) -> Dict[str, Set[str]]:
-    """User-function call graph: declared name → called user-function names."""
-    declared = {f.name.split(":")[-1] for f in module.functions}
-    graph: Dict[str, Set[str]] = {name: set() for name in declared}
-    for function in module.functions:
-        callee_names: Set[str] = set()
-
-        def visit(node) -> None:
-            if isinstance(node, ast.FunctionCall):
-                local = node.name.split(":")[-1]
-                if local in declared:
-                    callee_names.add(local)
-
-        ast.walk(function.body, visit)
-        graph[function.name.split(":")[-1]] = callee_names
-    return graph
-
-
-def annotation_pressure(module: ast.Module) -> Dict[str, object]:
-    """Measure the paper's type "metastasis".
-
-    Given which functions already carry type annotations, compute the set
-    of functions transitively connected to them in the call graph — the
-    functions the project "had to spend a couple of days" annotating.
-    Returns counts and the ratio of dragged-in functions to annotated ones.
-    """
-    annotated = {
-        f.name.split(":")[-1]
-        for f in module.functions
-        if f.return_type is not None or any(p.declared_type for p in f.params)
-    }
-    graph = call_graph(module)
-    undirected: Dict[str, Set[str]] = {name: set() for name in graph}
-    for caller, callees in graph.items():
-        for callee in callees:
-            undirected[caller].add(callee)
-            undirected.setdefault(callee, set()).add(caller)
-    reached: Set[str] = set()
-    frontier = list(annotated)
-    while frontier:
-        name = frontier.pop()
-        if name in reached:
-            continue
-        reached.add(name)
-        frontier.extend(undirected.get(name, ()))
-    dragged_in = reached - annotated
-    return {
-        "functions": len(graph),
-        "annotated": len(annotated),
-        "dragged_in": len(dragged_in),
-        "touched": len(reached),
-        "pressure": (len(reached) / len(annotated)) if annotated else 0.0,
-    }
+__all__ = ["StaticIssue", "annotation_pressure", "call_graph", "check_module"]

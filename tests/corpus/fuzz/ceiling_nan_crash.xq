@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=99 gen=1 :)
+(: note: fn:ceiling fed NaN into math.ceil and escaped as a raw ValueError in every backend; the spec passes NaN and +-INF through floor/ceiling/round unchanged :)
+ceiling(number(()))

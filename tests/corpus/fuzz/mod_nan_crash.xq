@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=777777 gen=1 :)
+(: note: the mod operator's truncating division called int(nan / 2) and escaped as a raw ValueError in every backend; fn-numeric-mod gives NaN for NaN operands or an infinite dividend, and returns the dividend for an infinite divisor :)
+(number(()) mod 2)

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: type-soundness: the computed text constructor is the one constructor that maps empty content to the empty sequence rather than an empty node; the analyzer inferred exactly-one text() for a zero-item result :)
+text { () }

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: type-soundness: a named attribute step carries at most one node per base element, but //@x reaches every descendant, so Card(0, base.hi) undercounted: two x attributes came back against an inferred attribute(x)? :)
+(<r><b x='0'>0</b><a>1</a><b x='0'><c>2</c></b><a>3</a></r>)//@x

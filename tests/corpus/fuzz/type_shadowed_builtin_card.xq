@@ -1,0 +1,4 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: type-soundness: analyzer consulted the builtin always-one table before declared functions, so a user local:count shadowing fn:count inferred exactly-one for a three-item body; found by directed probing with the soundness oracle, fixed by mirroring the runtime's declaration-first resolution in _call_card :)
+declare function local:count($x) { (1, 2, 3) };
+local:count(0)

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: type-soundness: fn:trace returns its last argument (the value) but the analyzer's passthrough table drew the item type from the first (the label), inferring xs:string* for an integer result :)
+trace('t1', 1)

@@ -1,0 +1,3 @@
+(: fuzz-case kind=xquery seed=20040522 gen=1 :)
+(: note: type-soundness: xs: constructor functions map the empty sequence to the empty sequence, but the analyzer inferred exactly-one for every xs: call; found by directed probing with the soundness oracle, fixed to infer ? unless the argument is provably non-empty :)
+xs:integer(())

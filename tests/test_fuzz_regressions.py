@@ -17,7 +17,11 @@ import pytest
 
 from repro.testing.corpus import load_corpus, parse_corpus_query
 from repro.testing.models import random_model
-from repro.testing.oracle import CalculusOracle, compare_xquery
+from repro.testing.oracle import (
+    CalculusOracle,
+    compare_xquery,
+    type_soundness_divergence,
+)
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus", "fuzz")
 CASES = load_corpus(CORPUS_DIR)
@@ -52,6 +56,12 @@ def test_replay_xquery_case(case):
         )
     else:
         assert divergence is None, divergence and divergence.describe()
+    # every xquery pin also replays through the type-soundness oracle, so
+    # pins for fixed analyzer bugs stay fixed (and pair pins get the
+    # static/runtime check for free).
+    soundness = type_soundness_divergence(case.source, case.engine_config())
+    if not case.allow:
+        assert soundness is None, soundness and soundness.describe()
 
 
 @pytest.mark.parametrize(

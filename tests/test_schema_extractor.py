@@ -1,0 +1,85 @@
+"""The AWB export schema: hand-written declaration vs. the real exporter.
+
+The whole static-analysis tentpole leans on one claim: every document
+``export_model`` can produce is admitted by ``awb_export_schema()``.  If
+the exporter drifts (a new child element, a new attribute, a widened
+property-type vocabulary) these tests fail before any lint rule or
+optimizer rewrite can go wrong on real exports.
+
+The property test drives the claim with the same random models the fuzz
+campaign uses, plus hypothesis-chosen seeds/sizes, including the html
+property quirk (open-content ``html-value`` children).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awb.xml_io import export_model
+from repro.testing.models import random_model
+from repro.xquery.algebra.stats import StatisticsCatalog
+from repro.xquery.analysis.schema import awb_export_schema
+
+SCHEMA = awb_export_schema()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=0, max_value=40),
+    html=st.booleans(),
+)
+def test_every_export_is_admitted(seed, size, html):
+    model = random_model(seed, size=size, html_properties=html)
+    document = export_model(model)
+    violations = SCHEMA.violations(document)
+    assert not violations, violations[:5]
+    assert SCHEMA.admits(document)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    html=st.booleans(),
+)
+def test_catalog_attaches_schema_on_exports(seed, html):
+    # the statistics walk verifies the schema against the observed
+    # document and only then attaches it — the warrant for every
+    # schema-licensed optimizer rewrite.
+    model = random_model(seed, size=12, html_properties=html)
+    catalog = StatisticsCatalog.from_root(export_model(model))
+    assert catalog.schema is not None
+    assert catalog.schema.name == SCHEMA.name
+
+
+def test_catalog_withholds_schema_from_non_exports():
+    from repro.xmlio import parse_document
+
+    impostor = parse_document(
+        "<awb-model name='x' metamodel='y'><intruder/></awb-model>"
+    )
+    catalog = StatisticsCatalog.from_root(impostor)
+    assert catalog.schema is None
+
+
+def test_catalog_withholds_schema_from_unrelated_documents():
+    from repro.xmlio import parse_document
+
+    catalog = StatisticsCatalog.from_root(parse_document("<report><row/></report>"))
+    assert catalog.schema is None
+
+
+def test_schema_shape_matches_exporter_vocabulary():
+    # spot checks the hand-written declaration against facts the rest of
+    # the suite relies on.
+    assert SCHEMA.root == "awb-model"
+    assert SCHEMA.child_allowed("awb-model", "node")
+    assert SCHEMA.child_allowed("awb-model", "relation")
+    assert not SCHEMA.child_allowed("relation", "node")
+    assert SCHEMA.attribute_required("node", "id")
+    assert SCHEMA.attribute_required("relation", "source")
+    assert not SCHEMA.attribute_allowed("node", "source")
+    domain = SCHEMA.attribute_domain("property", "type")
+    assert domain is not None and "integer" in domain and "string" not in domain
+    # html-value is open content: the exporter copies arbitrary markup.
+    html_value = SCHEMA.element("html-value")
+    assert html_value is not None and html_value.open_content
