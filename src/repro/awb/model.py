@@ -223,9 +223,16 @@ class Model:
         type_name: str,
         label: Optional[str] = None,
         node_id: Optional[str] = None,
+        apply_defaults: bool = True,
         **properties,
     ) -> ModelNode:
-        """Create a node.  Unknown types are allowed, with a warning."""
+        """Create a node.  Unknown types are allowed, with a warning.
+
+        ``apply_defaults=False`` skips seeding declared property defaults;
+        importers rebuilding a node from a faithful export use it so a
+        property the user *deleted* from the live node does not resurrect
+        as its metamodel default in the replica.
+        """
         if node_id is None:
             node_id = f"N{next(self._node_counter)}"
         if node_id in self.nodes:
@@ -244,9 +251,10 @@ class Model:
             if self.metamodel.node_type(type_name)
             else {}
         )
-        for declaration in declared.values():
-            if declaration.default is not None:
-                node.properties[declaration.name] = declaration.default
+        if apply_defaults:
+            for declaration in declared.values():
+                if declaration.default is not None:
+                    node.properties[declaration.name] = declaration.default
         if label is not None:
             node.label = label
         for name, value in properties.items():

@@ -296,8 +296,17 @@ class ModelImportError(ValueError):
     """The XML is not a well-formed AWB model export."""
 
 
-def import_model(document: Node, metamodel: Metamodel) -> Model:
-    """Rebuild a model from its XML export."""
+def import_model(
+    document: Node, metamodel: Metamodel, apply_defaults: bool = True
+) -> Model:
+    """Rebuild a model from its XML export.
+
+    ``apply_defaults=False`` makes the import *faithful* rather than
+    constructive: nodes carry exactly the properties the export recorded,
+    and declared defaults deleted from the source model stay deleted.  The
+    serving tier's worker replicas import this way so their query results
+    match the front-end's live model byte for byte.
+    """
     root = (
         document.document_element()
         if isinstance(document, DocumentNode)
@@ -311,7 +320,9 @@ def import_model(document: Node, metamodel: Metamodel) -> Model:
         type_name = node_element.get_attribute("type")
         if node_id is None or type_name is None:
             raise ModelImportError("<node> requires id and type attributes")
-        node = model.create_node(type_name, node_id=node_id)
+        node = model.create_node(
+            type_name, node_id=node_id, apply_defaults=apply_defaults
+        )
         for name, value in _read_properties(node_element):
             node.set(name, value)
     for relation_element in root.child_elements("relation"):
@@ -334,8 +345,10 @@ def import_model(document: Node, metamodel: Metamodel) -> Model:
     return model
 
 
-def import_model_text(text: str, metamodel: Metamodel) -> Model:
-    return import_model(parse_document(text), metamodel)
+def import_model_text(
+    text: str, metamodel: Metamodel, apply_defaults: bool = True
+) -> Model:
+    return import_model(parse_document(text), metamodel, apply_defaults=apply_defaults)
 
 
 def _read_properties(parent: ElementNode):

@@ -8,6 +8,7 @@ from .service import (
     FaultConfig,
     FaultInjector,
     QueryError,
+    QueryOverloadError,
     QueryService,
     normalize_query,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "Follow",
     "Query",
     "QueryError",
+    "QueryOverloadError",
     "QueryParseError",
     "QueryRuntimeError",
     "QueryService",

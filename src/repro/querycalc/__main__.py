@@ -78,6 +78,29 @@ def main(argv=None) -> int:
         help="chaos-test the serving path, e.g. 'eval=0.1,stall=0.05,"
         "stall-ms=40,seed=7' (service backend only)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="service execution mode: 'thread' (in-process caches+dedup) "
+        "or 'process' (the shared-nothing worker-process tier; service "
+        "backend only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="service worker count; 0 means one per CPU core (service "
+        "backend only)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="after the initial --query, keep serving: read query XML "
+        "file paths from stdin (one per line) until EOF (service "
+        "backend only)",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
@@ -85,6 +108,10 @@ def main(argv=None) -> int:
         parser.error("--timeout requires --backend service")
     if args.backend != "service" and args.inject_faults is not None:
         parser.error("--inject-faults requires --backend service")
+    if args.backend != "service" and (
+        args.serve or args.mode != "thread" or args.workers != 4
+    ):
+        parser.error("--serve/--mode/--workers require --backend service")
 
     with open(args.model, "r", encoding="utf-8") as handle:
         model = import_model_text(handle.read(), load_metamodel(args.metamodel))
@@ -101,7 +128,11 @@ def main(argv=None) -> int:
             except ValueError as exc:
                 parser.error(str(exc))
         service = QueryService(
-            model, default_timeout=args.timeout, fault_injector=injector
+            model,
+            default_timeout=args.timeout,
+            fault_injector=injector,
+            mode=args.mode,
+            workers=args.workers,
         )
     elif args.backend == "xquery":
         backend = XQueryCalculusBackend(model)
@@ -161,6 +192,33 @@ def main(argv=None) -> int:
                 f"p50 {metrics['p50_ms']:.2f}ms p95 {metrics['p95_ms']:.2f}ms",
                 file=sys.stderr,
             )
+    if args.serve and service is not None:
+        print(
+            "serving: one query XML path per line (EOF to stop)",
+            file=sys.stderr,
+        )
+        for line in sys.stdin:
+            path = line.strip()
+            if not path:
+                continue
+            started = time.perf_counter()
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    served = service.run(parse_query_xml(handle.read()))
+            except Exception as exc:  # keep serving: failures are per-request
+                print(f"{path}: failed — {classify_error(exc)}", file=sys.stderr)
+                continue
+            elapsed = (time.perf_counter() - started) * 1000.0
+            source = " (cache)" if served.served_from_cache else ""
+            print(
+                f"# {path}: {len(served)} result(s) in {elapsed:.2f}ms{source}",
+                file=sys.stderr,
+            )
+            for node in served:
+                print(f"{node.id}\t{node.type_name}\t{node.label}")
+
+    if service is not None:
+        service.close()
     if failures:
         print(
             f"{failures}/{args.repeat} run(s) failed; last: {last_error}",

@@ -5,23 +5,33 @@ See :mod:`repro.querycalc.service.service` for the architecture story,
 :mod:`repro.querycalc.service.faults` for the chaos-testing harness.
 """
 
-from .errors import ERROR_KINDS, Deadline, QueryError, classify_error
+from .errors import (
+    ERROR_KINDS,
+    Deadline,
+    QueryError,
+    QueryOverloadError,
+    RemoteQueryError,
+    classify_error,
+)
 from .faults import FaultConfig, FaultInjector, InjectedFault
 from .plans import PlanCache, QueryPlan, normalize_query
 from .results import BatchItem, ResultCache
-from .service import QueryService
+from .service import SERVICE_MODES, QueryService
 
 __all__ = [
     "BatchItem",
     "Deadline",
     "ERROR_KINDS",
+    "SERVICE_MODES",
     "FaultConfig",
     "FaultInjector",
     "InjectedFault",
     "PlanCache",
     "QueryError",
+    "QueryOverloadError",
     "QueryPlan",
     "QueryService",
+    "RemoteQueryError",
     "ResultCache",
     "classify_error",
     "normalize_query",

@@ -21,6 +21,11 @@ Kinds:
     evaluation raised a spec dynamic/type error (XPDY/XPTY/FO…);
 ``timeout``
     the query ran past its wall-clock deadline (``XQDY_TIMEOUT``);
+``overload``
+    admission control shed the query before execution: the serving
+    tier's bounded queue was full (``XQDY_OVERLOAD``).  Shedding is the
+    load-time analogue of the deadline — the tier degrades by refusing
+    work it cannot finish in time, never by falling over;
 ``internal``
     anything else — an engine bug, an injected fault, a failure that is
     not the query's fault.
@@ -40,7 +45,42 @@ from ...xquery.errors import (
 )
 
 #: the closed vocabulary of failure kinds.
-ERROR_KINDS = ("compile", "lint", "dynamic", "timeout", "internal")
+ERROR_KINDS = ("compile", "lint", "dynamic", "timeout", "overload", "internal")
+
+#: the spec-style code admission control sheds with.
+OVERLOAD_CODE = "XQDY_OVERLOAD"
+
+
+class QueryOverloadError(RuntimeError):
+    """Admission control refused the query: the serving tier is saturated.
+
+    Carries the attributes :func:`classify_error` reads, so a shed query
+    becomes a structured ``kind="overload"`` :class:`QueryError` through
+    the same pipeline every other failure takes.
+    """
+
+    code = OVERLOAD_CODE
+    query_error_kind = "overload"
+
+
+class RemoteQueryError(RuntimeError):
+    """A structured failure relayed from a worker process.
+
+    The worker classifies its own exception (it has the original object);
+    the front-end re-raises this carrier, which advertises the original
+    kind/code/exception-class so :func:`classify_error` — and every caller
+    pattern-matching on ``code`` — sees the worker's truth, not the
+    transport's.
+    """
+
+    def __init__(self, error: "QueryError"):
+        super().__init__(str(error))
+        self.query_error = error
+        self.query_error_kind = error.kind
+        self.code = error.code
+        self.bare_message = error.message
+        #: class name of the exception the worker originally raised.
+        self.remote_exception = error.exception
 
 
 @dataclass
@@ -70,6 +110,17 @@ class QueryError:
 
 def classify_error(error: BaseException, plan_key: Optional[str] = None) -> QueryError:
     """Map a raised exception onto the serving taxonomy."""
+    if isinstance(error, RemoteQueryError):
+        # the worker already classified the original exception; preserve
+        # its verdict (including the original exception class name).
+        remote = error.query_error
+        return QueryError(
+            kind=remote.kind,
+            message=remote.message,
+            code=remote.code,
+            plan_key=plan_key if plan_key is not None else remote.plan_key,
+            exception=remote.exception,
+        )
     kind = "internal"
     code = getattr(error, "code", None)
     message = getattr(error, "bare_message", None) or str(error) or type(error).__name__

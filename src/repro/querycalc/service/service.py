@@ -42,6 +42,7 @@ code runs — and, now, what happens when it fails.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -54,10 +55,15 @@ from ...xquery.errors import XQueryError, XQueryTimeoutError
 from ..ast import Query
 from ..native import QueryRuntimeError, run_query
 from ..via_xquery import XQueryCalculusBackend
-from .errors import Deadline, QueryError, classify_error
+from .errors import Deadline, QueryError, QueryOverloadError, classify_error
 from .faults import FaultInjector
 from .plans import PlanCache, QueryPlan, normalize_query
 from .results import BatchItem, ResultCache
+
+#: the service's execution modes: a thread pool in this process (threads
+#: only help via dedup+caching — the GIL serializes evaluation), or a
+#: shared-nothing pool of worker processes (see :mod:`repro.serving`).
+SERVICE_MODES = ("thread", "process")
 
 #: Latency samples kept for the p50/p95 metrics (oldest evicted first).
 MAX_LATENCY_SAMPLES = 2048
@@ -103,12 +109,26 @@ class QueryService:
         workers: int = 4,
         default_timeout: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
+        mode: str = "thread",
+        partition: str = "type",
+        max_pending: Optional[int] = None,
     ):
         if backend not in ("xquery", "native"):
             raise ValueError(f"unknown backend {backend!r}")
+        if mode not in SERVICE_MODES:
+            raise ValueError(f"mode must be one of {SERVICE_MODES}, not {mode!r}")
+        if mode == "process" and backend != "xquery":
+            raise ValueError("mode='process' serves the XQuery backend only")
         self.model = model
         self.backend = backend
+        if workers == 0:
+            # "as many as the machine has": meaningful parallelism in
+            # process mode; in thread mode extra workers only widen the
+            # dedup window (the GIL serializes actual evaluation — use
+            # mode="process" for real scaling).
+            workers = os.cpu_count() or 1
         self.workers = workers
+        self.mode = mode
         self.default_timeout = default_timeout
         self.faults = fault_injector
         if backend == "xquery":
@@ -138,6 +158,30 @@ class QueryService:
         self._timeouts = 0
         self._fallbacks = 0
         self._errors_by_kind: Dict[str, int] = {}
+        self._shed = 0
+        self._routes: Dict[str, int] = {}
+        # -- the shared-nothing serving tier (mode="process") --------------
+        self._pool = None
+        self.partition = partition
+        if max_pending is None and mode == "process":
+            max_pending = workers * 4
+        self.max_pending = max_pending
+        self._admission = (
+            threading.BoundedSemaphore(max_pending)
+            if max_pending is not None
+            else None
+        )
+        if mode == "process":
+            # imported lazily: repro.serving imports this package's errors
+            # module, so a top-level import would be circular.
+            from ...serving.pool import ProcessPool
+
+            self._pool = ProcessPool(
+                model,
+                shards=workers,
+                scheme=partition,
+                plan_cache_size=plan_cache_size,
+            )
 
     # -- public API -------------------------------------------------------------
 
@@ -165,7 +209,12 @@ class QueryService:
                     self._materialize(ids), served_from_cache=True, traces=traces
                 )
             executed = 1
-            ids, traces = self._execute(plan, root, deadline)
+            admitted = self._admit()
+            try:
+                ids, traces = self._execute(plan, root, deadline)
+            finally:
+                if admitted:
+                    self._admission.release()
             self._results.put((plan.cache_key, generation), ids, traces)
             self._record(1, 1, time.perf_counter() - started)
             return BatchItem(self._materialize(ids), traces=traces)
@@ -203,6 +252,11 @@ class QueryService:
         if not queries:
             return []
         workers = self.workers if workers is None else workers
+        if workers == 0:
+            # "one per core" — see the constructor note: in thread mode
+            # this only widens the dedup window (GIL); real scaling needs
+            # mode="process", where each worker is its own interpreter.
+            workers = os.cpu_count() or 1
         per_query = timeout if timeout is not None else self.default_timeout
         batch_deadline = (
             Deadline.after(batch_timeout) if batch_timeout is not None else None
@@ -259,7 +313,12 @@ class QueryService:
                 try:
                     if deadline is not None:
                         deadline.check("batch queue")
-                    ids, traces = self._execute(plan, root, deadline)
+                    admitted = self._admit()
+                    try:
+                        ids, traces = self._execute(plan, root, deadline)
+                    finally:
+                        if admitted:
+                            self._admission.release()
                     self._results.put((plan.cache_key, generation), ids, traces)
                     return plan.key, ("ok", ids, traces, False)
                 except Exception as exc:
@@ -336,15 +395,48 @@ class QueryService:
         beyond the normalized query text.
         """
         plan = self._plan(query)
-        if plan.backend == "native" or plan.compiled is None:
+        if plan.backend == "native":
             return {"backend": "native", "plan_key": plan.key}
         self._snapshot()  # refresh the export so statistics are current
-        explanation = plan.compiled.explain(self._backend.statistics)
+        # process-mode plans carry no parent-side compilation; explain is a
+        # diagnostic, so compiling here on demand is fine (the engine's
+        # compile LRU keeps repeats cheap).
+        compiled = plan.compiled or self.engine.compile(plan.source)
+        explanation = compiled.explain(self._backend.statistics)
         explanation["plan_key"] = plan.key
         explanation["source"] = plan.source
+        if self._pool is not None:
+            route = self._route(query)
+            explanation["route"] = {
+                "kind": route.kind,
+                "shard": route.shard,
+                "reason": route.reason,
+            }
         return explanation
 
+    def close(self) -> None:
+        """Shut down the worker-process pool (no-op in thread mode).
+
+        Thread-mode services need no teardown; process-mode services own
+        real OS processes, and tests/benchmarks that create many services
+        should close them (or use the service as a context manager).
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- observability ----------------------------------------------------------
+
+    def serving_stats(self) -> Optional[Dict[str, object]]:
+        """Synchronous per-worker counters (process mode; worker round-trips)."""
+        if self._pool is None:
+            return None
+        return self._pool.stats()
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-layer cache counters: plans, results, engine compile, export."""
@@ -370,10 +462,31 @@ class QueryService:
             timeouts = self._timeouts
             fallbacks = self._fallbacks
             by_kind = dict(self._errors_by_kind)
+            shed = self._shed
+            routes = dict(self._routes)
         plan_stats = self._plans.stats()
         result_stats = self._results.stats()
+        serving = None
+        if self._pool is not None:
+            # pool-level counters only — per-worker counters require a
+            # round-trip; see :meth:`serving_stats`.
+            serving = {
+                "scheme": self._pool.scheme,
+                "shards": self._pool.shards,
+                "generation": self._pool.generation,
+                "refreshes": self._pool.refreshes,
+                "plan_blobs": self._pool.blob_stats(),
+                "restarts": sum(h.restarts for h in self._pool.handles),
+                "routes": routes,
+                "shed": shed,
+                "max_pending": self.max_pending,
+            }
         return {
             "backend": self.backend,
+            "mode": self.mode,
+            "shed": shed,
+            "routes": routes,
+            "serving": serving,
             "queries": queries,
             "batches": batches,
             "executed": executed,
@@ -388,6 +501,7 @@ class QueryService:
             "plan_misses": plan_stats["misses"],
             "p50_ms": _percentile(latencies, 0.50) * 1000.0,
             "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+            "p99_ms": _percentile(latencies, 0.99) * 1000.0,
             # the engine compile LRU (hits/misses/races) for the active
             # backend; the native backend has no engine, hence no cache.
             "compile_cache": (
@@ -413,6 +527,12 @@ class QueryService:
             if self.backend == "native":
                 return QueryPlan(key, "native", query)
             source = self._backend.compile_to_xquery(query)
+            if self.mode == "process":
+                # the front-end never compiles in process mode: workers own
+                # the compile LRUs, and the plan's structural signature
+                # (this plan's cross-process result key) is learned from
+                # the first worker reply.
+                return QueryPlan(key, "xquery", query, source=source)
             compiled = self.engine.compile(source)
             return QueryPlan(
                 key,
@@ -445,6 +565,10 @@ class QueryService:
                 # walk rides the (already O(model)) export refresh instead
                 # of taxing the first query after a mutation.
                 self._backend.statistics
+            if self._pool is not None:
+                # broadcast the new generation to the worker replicas
+                # before any query of this generation is dispatched.
+                self._pool.ensure_generation(generation)
             return document.document_element(), generation
 
     def _execute(
@@ -474,6 +598,8 @@ class QueryService:
             if deadline is not None:
                 deadline.check("evaluate")
             return [node.id for node in run_query(plan.query, self.model)], ()
+        if self._pool is not None:
+            return self._process_execute(plan, deadline)
         primary_backend = self.engine.config.backend
         try:
             return self._evaluate_plan(plan, root, deadline, primary_backend)
@@ -490,6 +616,83 @@ class QueryService:
                 raise  # the budget ran out during the retry: that is a timeout
             except Exception:
                 raise primary
+
+    def _admit(self) -> bool:
+        """Reserve an execution slot, or shed with ``XQDY_OVERLOAD``.
+
+        Returns False when admission control is off (``max_pending=None``);
+        cache hits never reach this point, so a saturated tier still
+        answers everything it has already computed.
+        """
+        if self._admission is None:
+            return False
+        if not self._admission.acquire(blocking=False):
+            with self._metrics_lock:
+                self._shed += 1
+            raise QueryOverloadError(
+                f"serving tier saturated: {self.max_pending} requests "
+                "already in flight"
+            )
+        return True
+
+    def _route(self, query: Query):
+        """The serving tier's routing decision for one query."""
+        from ...serving.partition import route_query
+
+        pool = self._pool
+        domain = self._backend.statistics.attribute_domain("node", "type")
+
+        def owner_of_id(node_id: str) -> Optional[int]:
+            node = self.model.nodes.get(node_id)
+            if node is None:
+                return None
+            return pool.partitioner.shard_of(node_id, node.type_name)
+
+        return route_query(
+            query,
+            pool.partitioner,
+            domain,
+            self.model.metamodel.node_subtype_names,
+            owner_of_id,
+        )
+
+    def _process_execute(
+        self, plan: QueryPlan, deadline: Optional[Deadline]
+    ) -> Tuple[List[str], Tuple[str, ...]]:
+        """Serve one plan from the worker-process pool (scatter or single)."""
+        from ...serving.pool import PlanBlob
+
+        pool = self._pool
+
+        def build() -> PlanBlob:
+            query = plan.query
+            return PlanBlob(
+                key=plan.key,
+                source_full=plan.source
+                or self._backend.compile_to_xquery(query),
+                source_shard=self._backend.compile_to_xquery(
+                    query, shard_variable=pool.partitioner.shard_variable()
+                ),
+                sort_property=self._backend.sort_property(query),
+                descending=query.collect.descending,
+                distinct=query.collect.distinct,
+            )
+
+        blob = pool.blob(plan.key, build)
+        route = self._route(plan.query)
+        with self._metrics_lock:
+            self._routes[route.kind] = self._routes.get(route.kind, 0) + 1
+        if self.faults is not None:
+            self.faults.on_evaluate(plan.key, deadline, backend="process")
+        if deadline is not None:
+            deadline.check("dispatch")
+        remaining = deadline.remaining() if deadline is not None else None
+        ids, traces = pool.execute(blob, route, remaining)
+        if blob.signature is not None and plan.result_key is None:
+            # upgrade the plan's result-cache key to the structural
+            # signature the worker reported, matching thread mode.
+            plan.result_key = blob.signature
+        return ids, traces
 
     def _evaluate_plan(
         self,

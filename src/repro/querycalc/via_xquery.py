@@ -83,10 +83,23 @@ class XQueryCalculusBackend:
             )
         return self._statistics
 
-    def compile_to_xquery(self, query: Query) -> str:
-        """Translate a calculus query into XQuery source text."""
+    def compile_to_xquery(self, query: Query, shard_variable: Optional[str] = None) -> str:
+        """Translate a calculus query into XQuery source text.
+
+        ``shard_variable`` names an external variable restricting the start
+        set (the serving tier's scatter plan): the generated program
+        declares it and filters the start expression with
+        ``[@type = $var]`` / ``[@id = $var]``.  The filter is an external
+        variable rather than a literal list, so every worker process
+        compiles the *same* source (one plan signature tier-wide) and binds
+        its own ownership list at run time.
+        """
         lines: List[str] = ['declare variable $model external;']
         start = self._compile_start(query)
+        if shard_variable is not None:
+            lines.append(f"declare variable ${shard_variable} external;")
+            attribute = "@id" if shard_variable.endswith("ids") else "@type"
+            start = f"({start})[{attribute} = ${shard_variable}]"
         pipeline = start
         for index, step in enumerate(query.steps, start=1):
             function_name = f"local:step{index}"
@@ -94,6 +107,10 @@ class XQueryCalculusBackend:
             pipeline = f"{function_name}({pipeline})"
         lines.append(self._compile_collect(query.collect, pipeline, query.trace))
         return "\n".join(lines)
+
+    def sort_property(self, query: Query) -> str:
+        """The property name the query's collect clause orders by."""
+        return query.collect.sort_by or self.metamodel.label_property
 
     def run(self, query: Query) -> List[ModelNode]:
         """Compile, evaluate, and map results back to live model nodes."""

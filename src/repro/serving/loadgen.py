@@ -1,0 +1,305 @@
+"""The load generator: N concurrent clients against one QueryService.
+
+``python -m repro.serving.loadgen`` boots a service over a seeded random
+model, drives it with concurrent client threads for a wall-clock window,
+and reports sustained QPS, p50/p95/p99 latency, shed rate, and
+availability.  The client threads are *callers*, not the unit of
+parallelism under test — in process mode the service fans their queries
+out to worker processes; in thread mode the GIL serializes evaluation and
+the numbers show it.
+
+Query mixes:
+
+``cold``
+    every request is a freshly generated query — distinct plans, so the
+    result cache can't answer and every request pays real evaluation
+    (the workload where worker processes beat threads);
+``warm``
+    requests draw from a small fixed query set — steady state is all
+    result-cache hits, the tier's best case;
+``mixed``
+    80% cold / 20% warm.
+
+**Availability** counts a request as served when it returned a result or
+was *deliberately* shed by admission control (a structured
+``XQDY_OVERLOAD`` answer).  Timeouts, worker crashes, and any other error
+count against it — so availability 1.0 under a saturating burst means the
+tier degraded only by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..querycalc.service import QueryService
+from ..querycalc.service.errors import QueryOverloadError, classify_error
+from ..querycalc.service.service import _percentile
+from ..testing.models import random_calculus_query, random_model
+
+__all__ = ["run_load", "main"]
+
+MIXES = ("cold", "warm", "mixed")
+
+#: size of the fixed query set the warm mix draws from.
+WARM_SET = 16
+
+
+class _ClientStats:
+    """One client thread's tallies (merged single-threaded afterwards)."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.shed = 0
+        self.errors_by_kind: Dict[str, int] = {}
+        self.latencies: List[float] = []
+
+
+def _client_loop(
+    service: QueryService,
+    stats: _ClientStats,
+    stop_box: List[float],
+    rng: random.Random,
+    warm_queries: List,
+    mix: str,
+    timeout: Optional[float],
+    barrier: threading.Barrier,
+) -> None:
+    try:
+        barrier.wait(timeout=30.0)
+    except threading.BrokenBarrierError:
+        return
+    model = service.model
+    stop_at = stop_box[0]
+    while time.perf_counter() < stop_at:
+        if mix == "warm" or (mix == "mixed" and rng.random() < 0.2):
+            query = rng.choice(warm_queries)
+        else:
+            query = random_calculus_query(rng, model)
+        stats.requests += 1
+        started = time.perf_counter()
+        try:
+            service.run(query, timeout=timeout)
+        except QueryOverloadError:
+            stats.shed += 1
+            # client-side retry backoff: a shed answer arrives in
+            # microseconds, and a closed-loop client that immediately
+            # re-requests turns saturation into a GIL-burning spin that
+            # starves the very requests the tier admitted.
+            time.sleep(0.005)
+            continue
+        except Exception as exc:
+            kind = classify_error(exc).kind
+            stats.errors_by_kind[kind] = stats.errors_by_kind.get(kind, 0) + 1
+            continue
+        stats.ok += 1
+        stats.latencies.append(time.perf_counter() - started)
+
+
+def run_load(
+    service: QueryService,
+    clients: int = 100,
+    duration: float = 5.0,
+    mix: str = "cold",
+    seed: int = 0,
+    timeout: Optional[float] = None,
+) -> Dict[str, object]:
+    """Drive *service* with concurrent clients; return the report dict."""
+    if mix not in MIXES:
+        raise ValueError(f"mix must be one of {MIXES}, not {mix!r}")
+    warm_rng = random.Random(seed)
+    warm_queries = [
+        random_calculus_query(warm_rng, service.model) for _ in range(WARM_SET)
+    ]
+    barrier = threading.Barrier(clients + 1)
+    # the stop time is set right before the barrier opens, so thread
+    # startup cost never dilutes the measurement window; clients read it
+    # from the shared box after they clear the barrier.
+    stop_box = [0.0]
+    per_client = [_ClientStats() for _ in range(clients)]
+    threads = []
+    for index, stats in enumerate(per_client):
+        thread = threading.Thread(
+            target=_client_loop,
+            args=(
+                service,
+                stats,
+                stop_box,
+                random.Random(seed * 100003 + index),
+                warm_queries,
+                mix,
+                timeout,
+                barrier,
+            ),
+            daemon=True,
+        )
+        threads.append(thread)
+        thread.start()
+    started = time.perf_counter()
+    stop_box[0] = started + duration
+    barrier.wait(timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=duration + 60.0)
+    elapsed = time.perf_counter() - started
+
+    requests = sum(s.requests for s in per_client)
+    ok = sum(s.ok for s in per_client)
+    shed = sum(s.shed for s in per_client)
+    errors_by_kind: Dict[str, int] = {}
+    for s in per_client:
+        for kind, count in s.errors_by_kind.items():
+            errors_by_kind[kind] = errors_by_kind.get(kind, 0) + count
+    errors = sum(errors_by_kind.values())
+    latencies: List[float] = []
+    for s in per_client:
+        latencies.extend(s.latencies)
+    return {
+        "clients": clients,
+        "duration_s": round(elapsed, 3),
+        "mix": mix,
+        "mode": service.mode,
+        "workers": service.workers,
+        "partition": service.partition,
+        "max_pending": service.max_pending,
+        "cpu_count": os.cpu_count(),
+        "requests": requests,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "errors_by_kind": errors_by_kind,
+        "qps": round(ok / elapsed, 1) if elapsed > 0 else 0.0,
+        "shed_rate": round(shed / requests, 4) if requests else 0.0,
+        "availability": round((ok + shed) / requests, 4) if requests else 1.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+    }
+
+
+def parity_sweep(
+    model, process_service: QueryService, seed: int, count: int = 24
+) -> int:
+    """Compare the process tier against a thread-mode twin; mismatch count.
+
+    Run post-burst as the loadgen's correctness gate: whatever state the
+    burst drove the workers into, scatter/gather answers must still be
+    byte-identical to single-process answers.
+    """
+    reference = QueryService(model)
+    rng = random.Random(seed + 7)
+    mismatches = 0
+    for _ in range(count):
+        query = random_calculus_query(rng, model)
+        try:
+            expect = [node.id for node in reference.run(query)]
+            expect_err = None
+        except Exception as exc:
+            expect, expect_err = None, classify_error(exc).kind
+        try:
+            got = [node.id for node in process_service.run(query)]
+            got_err = None
+        except QueryOverloadError:
+            continue  # a saturated tier refusing is not a parity failure
+        except Exception as exc:
+            got, got_err = None, classify_error(exc).kind
+        if expect != got or expect_err != got_err:
+            mismatches += 1
+    return mismatches
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.loadgen",
+        description="Load-test the AWB query serving tier.",
+    )
+    parser.add_argument("--mode", choices=("thread", "process"), default="process")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count (0 = one per CPU core)")
+    parser.add_argument("--partition", choices=("type", "hash"), default="type")
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="measurement window in seconds")
+    parser.add_argument("--mix", choices=MIXES, default="cold")
+    parser.add_argument("--model-size", type=int, default=60,
+                        help="nodes in the generated model")
+    parser.add_argument("--seed", type=int, default=20040522)
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-query wall-clock budget in seconds")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="admission-control bound (default: workers*4)")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless availability is 100%% and "
+                             "a post-burst scatter/gather parity sweep passes")
+    args = parser.parse_args(argv)
+
+    model = random_model(args.seed, size=args.model_size)
+    service = QueryService(
+        model,
+        mode=args.mode,
+        workers=args.workers,
+        partition=args.partition,
+        max_pending=args.max_pending,
+    )
+    try:
+        report = run_load(
+            service,
+            clients=args.clients,
+            duration=args.duration,
+            mix=args.mix,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+        mismatches = None
+        if args.mode == "process":
+            mismatches = parity_sweep(model, service, args.seed)
+            report["parity_mismatches"] = mismatches
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{report['mode']} mode, {report['workers']} workers, "
+                f"{report['clients']} clients, {report['duration_s']}s, "
+                f"mix={report['mix']}"
+            )
+            print(
+                f"  {report['requests']} requests: {report['ok']} ok, "
+                f"{report['shed']} shed ({report['shed_rate']:.1%}), "
+                f"{report['errors']} errors -> availability "
+                f"{report['availability']:.1%}"
+            )
+            print(
+                f"  {report['qps']} qps sustained; latency p50 "
+                f"{report['p50_ms']}ms / p95 {report['p95_ms']}ms / "
+                f"p99 {report['p99_ms']}ms"
+            )
+            if mismatches is not None:
+                print(f"  parity sweep: {mismatches} mismatches")
+        if args.check:
+            if report["availability"] < 1.0:
+                print(
+                    f"CHECK FAILED: availability {report['availability']:.2%} < 100%",
+                    file=sys.stderr,
+                )
+                return 1
+            if mismatches:
+                print(
+                    f"CHECK FAILED: {mismatches} scatter/gather parity mismatches",
+                    file=sys.stderr,
+                )
+                return 1
+            print("check passed: availability 100%, parity clean")
+        return 0
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

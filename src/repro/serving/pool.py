@@ -1,0 +1,368 @@
+"""The process pool: worker lifecycle, scatter/gather, and the plan-blob store.
+
+The front-end owns one :class:`ProcessPool`.  Each worker is a real OS
+process (fork where available) holding a full model replica and its own
+engine compile LRU — shared-nothing, so N workers really do evaluate N
+plans concurrently instead of time-slicing one GIL.
+
+The pool also owns the **cross-process plan story**: compiled closures
+don't pickle, so the parent never ships plans.  It builds the *source*
+variants once per normalized query (a cheap string build), stores them in
+a :class:`PlanBlob`, and lets each worker compile on first use (its LRU
+makes every later use a hit — re-compile-on-miss, compile-once-per-worker
+amortized).  Workers report the plan's structural signature back, and the
+blob records it: the signature is the cross-process plan identity the
+front-end's result cache keys on, so two textually different queries with
+the same optimized plan share cached results exactly as they do in thread
+mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from ..awb.model import Model
+from ..awb.xml_io import export_model_text
+from ..querycalc.service.errors import RemoteQueryError
+from ..xquery.errors import XQueryTimeoutError
+from .partition import Partitioner, Route
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["PlanBlob", "ProcessPool", "merge_partials"]
+
+#: hard ceiling on one worker round-trip when no query deadline is set.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+#: wall-clock grace added to a query's own budget before the parent
+#: declares the worker unresponsive and respawns it.
+REQUEST_GRACE = 5.0
+
+#: how long a worker may take to import its replica and report ready.
+BOOT_TIMEOUT = 120.0
+
+
+@dataclass
+class PlanBlob:
+    """One normalized query's shareable plan material.
+
+    ``source_full`` is the ordinary generated program (single-shard
+    route); ``source_shard`` filters the start set by the partition
+    scheme's external variable (scatter route).  ``signature`` is learned
+    from the first worker reply — the structural plan identity used as
+    the result-cache key across processes.
+    """
+
+    key: str
+    source_full: str
+    source_shard: str
+    sort_property: str
+    descending: bool
+    distinct: bool
+    signature: Optional[str] = None
+
+
+class WorkerUnresponsiveError(XQueryTimeoutError):
+    """The worker missed the parent-side deadline and was respawned."""
+
+
+def merge_partials(
+    partials: List[dict], descending: bool, distinct: bool
+) -> Tuple[List[str], Tuple[str, ...]]:
+    """Gather: merge per-shard partials into the global result order.
+
+    Each partial's rows are ``(sort_key, node_id)`` pairs where the key is
+    exactly the string the per-shard ``order by`` sorted on.  The global
+    sort therefore orders by the same ``(key, id)`` tuple — with the id
+    tie-break taking the sort's direction, matching both engines — and is
+    independent of arrival order.  Under ``distinct`` a node reachable
+    from start nodes on several shards appears in several partials;
+    duplicates sort adjacent (same key, same id) and collapse here.
+    """
+    rows: List[Tuple[str, str]] = []
+    traces: List[str] = []
+    for partial in partials:
+        rows.extend(partial["rows"])
+        traces.extend(partial["traces"])
+    rows.sort(key=lambda row: (row[0], row[1]), reverse=descending)
+    ids: List[str] = []
+    for _, node_id in rows:
+        if distinct and ids and ids[-1] == node_id:
+            continue
+        ids.append(node_id)
+    return ids, tuple(traces)
+
+
+class WorkerHandle:
+    """One worker process plus the parent's end of its pipe.
+
+    A lock is held across each send+recv pair, so the pipe never carries
+    interleaved conversations.  A request that misses its deadline kills
+    and respawns the worker (the pipe would otherwise hold a stale reply),
+    surfacing as ``XQDY_TIMEOUT``.
+    """
+
+    def __init__(self, shard: int, pool: "ProcessPool"):
+        self.shard = shard
+        self._pool = pool
+        self._lock = threading.Lock()
+        self._req_ids = count()
+        self.restarts = 0
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        ctx = self._pool._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        config = WorkerConfig(
+            shard=self.shard,
+            shards=self._pool.shards,
+            scheme=self._pool.scheme,
+            metamodel=self._pool.metamodel,
+            export_text=self._pool.export_text,
+            generation=self._pool.generation,
+            plan_cache_size=self._pool.plan_cache_size,
+        )
+        process = ctx.Process(
+            target=worker_main, args=(child_conn, config), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(BOOT_TIMEOUT):
+            process.terminate()
+            raise RuntimeError(f"worker {self.shard} failed to boot in time")
+        status, _, payload = parent_conn.recv()
+        if status != "ok":
+            process.join(timeout=5.0)
+            raise RemoteQueryError(payload)
+        self.process = process
+        self.conn = parent_conn
+
+    def _respawn(self) -> None:
+        self.restarts += 1
+        self._kill()
+        self._spawn()
+
+    def _kill(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self.process = None
+        self.conn = None
+
+    def request(self, op: str, payload: dict, timeout: Optional[float] = None):
+        """One round-trip; raises the worker's structured error on failure."""
+        wait = (
+            timeout + REQUEST_GRACE
+            if timeout is not None
+            else self._pool.request_timeout
+        )
+        with self._lock:
+            req_id = next(self._req_ids)
+            try:
+                self.conn.send((op, req_id, payload))
+                if not self.conn.poll(wait):
+                    self._respawn()
+                    raise WorkerUnresponsiveError(
+                        f"worker {self.shard} missed its {wait:.1f}s deadline "
+                        "and was respawned"
+                    )
+                status, reply_id, body = self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                # the worker died mid-request (crash, OOM kill): bring a
+                # fresh one up before surfacing the failure.
+                self._respawn()
+                raise RuntimeError(
+                    f"worker {self.shard} died mid-request and was respawned"
+                )
+        if reply_id != req_id:
+            # a stale reply on a fresh pipe cannot happen (respawn drops the
+            # pipe), so this is a protocol bug worth failing loudly on.
+            raise RuntimeError(
+                f"worker {self.shard} answered request {reply_id}, expected {req_id}"
+            )
+        if status == "err":
+            raise RemoteQueryError(body)
+        return body
+
+    def close(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.send(("shutdown", -1, {}))
+                self.conn.poll(2.0)
+            except (BrokenPipeError, OSError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+        self._kill()
+
+
+class ProcessPool:
+    """N shard workers plus the scatter/gather and plan-blob machinery."""
+
+    def __init__(
+        self,
+        model: Model,
+        shards: int,
+        scheme: str = "type",
+        plan_cache_size: int = 128,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
+        self.model = model
+        self.metamodel = model.metamodel
+        self.shards = shards
+        self.scheme = scheme
+        self.partitioner = Partitioner(scheme, shards)
+        self.plan_cache_size = plan_cache_size
+        self.request_timeout = request_timeout
+        self.generation = model.generation
+        self.export_text = export_model_text(model, indent=False)
+        self.refreshes = 0
+        self._blobs: Dict[str, PlanBlob] = {}
+        self._blob_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            self._ctx = multiprocessing.get_context("spawn")
+        self.handles = [WorkerHandle(shard, self) for shard in range(shards)]
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="awb-scatter"
+        )
+        self._closed = False
+
+    # -- plan blobs --------------------------------------------------------
+
+    def blob(self, key: str, build) -> PlanBlob:
+        """The shared plan material for one normalized query key."""
+        with self._blob_lock:
+            existing = self._blobs.get(key)
+        if existing is not None:
+            return existing
+        built = build()
+        with self._blob_lock:
+            # lost race: keep the first build (it may already carry a
+            # learned signature).
+            return self._blobs.setdefault(key, built)
+
+    def learn_signature(self, blob: PlanBlob, signature: Optional[str]) -> None:
+        if signature and blob.signature is None:
+            blob.signature = signature
+
+    def blob_stats(self) -> Dict[str, int]:
+        with self._blob_lock:
+            blobs = list(self._blobs.values())
+        return {
+            "blobs": len(blobs),
+            "signed": sum(1 for blob in blobs if blob.signature is not None),
+        }
+
+    # -- replica refresh ---------------------------------------------------
+
+    def ensure_generation(self, generation: int) -> None:
+        """Broadcast a replica refresh if the model moved past the pool."""
+        if generation == self.generation:
+            return
+        with self._refresh_lock:
+            if generation == self.generation:
+                return
+            export_text = export_model_text(self.model, indent=False)
+            payload = {"export_text": export_text, "generation": generation}
+            for handle in self.handles:
+                handle.request("refresh", dict(payload))
+            self.export_text = export_text
+            self.generation = generation
+            self.refreshes += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, blob: PlanBlob, route: Route, remaining: Optional[float]
+    ) -> Tuple[List[str], Tuple[str, ...]]:
+        """Run one routed query, returning (ordered node ids, traces)."""
+        if route.kind == "single":
+            payload = {
+                "key": blob.key,
+                "source": blob.source_full,
+                "variant": "full",
+                "sort_property": blob.sort_property,
+                "remaining": remaining,
+            }
+            reply = self.handles[route.shard].request("run", payload, remaining)
+            self.learn_signature(blob, reply.get("signature"))
+            return [node_id for _, node_id in reply["rows"]], tuple(reply["traces"])
+        payload = {
+            "key": blob.key,
+            "source": blob.source_shard,
+            "variant": "shard",
+            "sort_property": blob.sort_property,
+            "remaining": remaining,
+        }
+
+        def one(handle: WorkerHandle) -> dict:
+            return handle.request("run", dict(payload), remaining)
+
+        futures = [self._scatter_pool.submit(one, handle) for handle in self.handles]
+        partials: List[dict] = []
+        failure: Optional[BaseException] = None
+        for future in futures:
+            try:
+                partials.append(future.result())
+            except BaseException as exc:  # keep draining: siblings must finish
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        for partial in partials:
+            self.learn_signature(blob, partial.get("signature"))
+        return merge_partials(partials, blob.descending, blob.distinct)
+
+    # -- observability / lifecycle ----------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Synchronous per-worker counters plus pool-level aggregates."""
+        workers = []
+        for handle in self.handles:
+            try:
+                entry = handle.request("stats", {})
+            except Exception as exc:
+                entry = {"shard": handle.shard, "error": str(exc)}
+            entry["restarts"] = handle.restarts
+            workers.append(entry)
+        return {
+            "mode": "process",
+            "scheme": self.scheme,
+            "shards": self.shards,
+            "generation": self.generation,
+            "refreshes": self.refreshes,
+            "plan_blobs": self.blob_stats(),
+            "workers": workers,
+            "runs": sum(w.get("runs", 0) for w in workers),
+            "fallbacks": sum(w.get("fallbacks", 0) for w in workers),
+            "restarts": sum(h.restarts for h in self.handles),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._scatter_pool.shutdown(wait=False)
+        for handle in self.handles:
+            handle.close()
+
+    def __del__(self):  # best-effort: daemon workers die with the parent anyway
+        try:
+            self.close()
+        except Exception:
+            pass
+

@@ -1,0 +1,260 @@
+"""The shard worker: one process, one full model replica, one start partition.
+
+Each worker imports the model from the front-end's XML export (faithfully:
+``apply_defaults=False``, so deleted default-valued properties stay
+deleted), owns its own :class:`XQueryCalculusBackend` + engine compile LRU,
+and answers two kinds of evaluation request:
+
+``full``
+    evaluate the unsharded plan over the whole replica — exact
+    single-process semantics.  The front-end routes here when the
+    statistics catalog *proves* the query touches one partition.
+``shard``
+    evaluate the sharded plan (start set filtered by an external
+    variable) bound to this worker's ownership list.  The front-end
+    merges the per-shard partials by ``(sort key, id)``.
+
+Everything the parent needs for the merge rides back in the reply:
+``(sort_key, node_id)`` pairs in the worker's result order, trace
+messages, and the plan's structural signature (the cross-process plan
+identity used by the blob store and result cache).
+
+The module pre-imports every dependency at top level: under the ``fork``
+start method a lazily-imported module could otherwise deadlock on an
+import lock the parent held at fork time, and under ``spawn`` the child
+needs them anyway.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..awb.metamodel import Metamodel
+from ..awb.xml_io import import_model_text
+from ..querycalc.service.errors import Deadline, classify_error
+from ..querycalc.service.plans import PlanCache
+from ..querycalc.via_xquery import XQueryCalculusBackend
+from ..xdm import ElementNode
+from ..xquery import EngineConfig, TraceLog, XQueryEngine
+from ..xquery.errors import XQueryError, XQueryTimeoutError
+from .partition import Partitioner
+
+__all__ = ["WorkerConfig", "ShardWorker", "worker_main"]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker process needs to build its replica (picklable)."""
+
+    shard: int
+    shards: int
+    scheme: str
+    metamodel: Metamodel
+    export_text: str
+    generation: int
+    plan_cache_size: int = 128
+
+
+class ShardWorker:
+    """The in-process half of one worker: replica, backend, plan cache."""
+
+    def __init__(self, config: WorkerConfig):
+        self.shard = config.shard
+        self.partitioner = Partitioner(config.scheme, config.shards)
+        self.metamodel = config.metamodel
+        self.plan_cache_size = config.plan_cache_size
+        self._plans = PlanCache(maxsize=config.plan_cache_size)
+        self.runs = 0
+        self.fallbacks = 0
+        self.errors = 0
+        self._load(config.export_text, config.generation)
+
+    # -- replica lifecycle -------------------------------------------------
+
+    def _load(self, export_text: str, generation: int) -> None:
+        self.model = import_model_text(
+            export_text, self.metamodel, apply_defaults=False
+        )
+        self.engine = XQueryEngine(EngineConfig(backend="algebra"))
+        self.backend = XQueryCalculusBackend(self.model, engine=self.engine)
+        self.generation = generation
+        self.owned = self.partitioner.owned_values(
+            self.shard,
+            node_ids=list(self.model.nodes),
+            type_names=[node.type_name for node in self.model.nodes.values()],
+        )
+
+    def refresh(self, export_text: str, generation: int) -> Dict[str, int]:
+        """Swap in a new export generation (a full replica rebuild)."""
+        # the plan cache survives: generated source depends only on the
+        # metamodel, not the instance data.  Only the replica moves.
+        plans = self._plans
+        self._load(export_text, generation)
+        self._plans = plans
+        return {"generation": self.generation, "owned": len(self.owned)}
+
+    # -- evaluation --------------------------------------------------------
+
+    def run(self, payload: Dict) -> Dict:
+        """Evaluate one request; see the protocol note in :func:`worker_main`.
+
+        ``payload`` carries: ``key`` (normalized plan key), ``source``
+        (XQuery text — full or sharded variant), ``variant`` ("full" |
+        "shard"), ``sort_property`` (for merge-key extraction), and
+        ``remaining`` (seconds of wall-clock budget left, or None).
+        """
+        self.runs += 1
+        key = payload["key"]
+        variant = payload["variant"]
+        deadline = (
+            Deadline.after(payload["remaining"])
+            if payload.get("remaining") is not None
+            else None
+        )
+        plan_key = f"{variant}:{key}"
+        compiled = self._plans.get_or_build(
+            plan_key, lambda: self.engine.compile(payload["source"])
+        )
+        variables: Dict[str, object] = {
+            "model": self.backend.export.document_element()
+        }
+        if variant == "shard":
+            variables[self.partitioner.shard_variable()] = list(self.owned)
+        primary = self.engine.config.backend
+        try:
+            result, traces = self._evaluate(compiled, variables, deadline, primary)
+        except XQueryError:
+            raise
+        except Exception as first:
+            if primary == "treewalk":
+                raise
+            self.fallbacks += 1
+            try:
+                result, traces = self._evaluate(
+                    compiled, variables, deadline, "treewalk"
+                )
+            except XQueryTimeoutError:
+                raise
+            except Exception:
+                raise first
+        rows = self._rows(result, payload.get("sort_property", ""))
+        return {
+            "rows": rows,
+            "traces": traces,
+            "signature": compiled.plan_signature,
+            "shard": self.shard,
+            "generation": self.generation,
+        }
+
+    def _evaluate(
+        self,
+        compiled,
+        variables: Dict[str, object],
+        deadline: Optional[Deadline],
+        backend: str,
+    ) -> Tuple[List, Tuple[str, ...]]:
+        if deadline is not None:
+            deadline.check("worker evaluate")
+        trace = TraceLog()
+        algebra = backend == "algebra"
+        result = compiled.run(
+            variables=variables,
+            trace=trace,
+            backend=backend,
+            deadline=deadline.at if deadline is not None else None,
+            statistics=self.backend.statistics if algebra else None,
+        )
+        if deadline is not None:
+            deadline.check("worker materialize")
+        return result, tuple(trace.messages)
+
+    def _rows(self, result, sort_property: str) -> List[Tuple[str, str]]:
+        """(sort key, node id) pairs, in the engine's result order.
+
+        The sort key is exactly what the generated ``order by`` computed —
+        ``string($result/property[@name eq "<prop>"])`` — so the
+        front-end's merge sorts per-shard partials by the same key the
+        per-shard sort used.
+        """
+        rows: List[Tuple[str, str]] = []
+        for item in result:
+            if not isinstance(item, ElementNode):
+                continue
+            node_id = item.get_attribute("id")
+            if node_id is None:
+                continue
+            key = ""
+            for child in item.child_elements("property"):
+                if child.get_attribute("name") == sort_property:
+                    key = child.string_value()
+                    break
+            rows.append((key, node_id))
+        return rows
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "generation": self.generation,
+            "owned": len(self.owned),
+            "runs": self.runs,
+            "fallbacks": self.fallbacks,
+            "errors": self.errors,
+            "plans": self._plans.stats(),
+            "compile_cache": self.engine.cache_info(),
+            "export": self.backend.export_stats(),
+        }
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """The worker process entry point: a request loop over one Pipe end.
+
+    Protocol: the parent sends ``(op, req_id, payload)`` tuples and the
+    worker replies ``("ok", req_id, result)`` or ``("err", req_id,
+    QueryError)``.  Ops: ``run`` (evaluate), ``refresh`` (new export
+    generation), ``stats`` (counters), ``ping`` (liveness), ``shutdown``.
+    Every reply carries the request id, so a parent that timed out one
+    request and kept the pipe can discard stale replies instead of
+    desynchronizing.
+    """
+    worker = None
+    try:
+        worker = ShardWorker(config)
+        conn.send(("ok", "boot", {"shard": worker.shard, "owned": len(worker.owned)}))
+    except Exception as exc:  # a broken boot must still answer the parent
+        conn.send(("err", "boot", classify_error(exc)))
+        conn.close()
+        return
+    while True:
+        try:
+            op, req_id, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "run":
+                conn.send(("ok", req_id, worker.run(payload)))
+            elif op == "refresh":
+                result = worker.refresh(
+                    payload["export_text"], payload["generation"]
+                )
+                conn.send(("ok", req_id, result))
+            elif op == "stats":
+                conn.send(("ok", req_id, worker.stats()))
+            elif op == "ping":
+                conn.send(("ok", req_id, {"time": time.monotonic()}))
+            elif op == "shutdown":
+                conn.send(("ok", req_id, {}))
+                break
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+        except Exception as exc:
+            worker.errors += 1
+            try:
+                conn.send(
+                    ("err", req_id, classify_error(exc, payload.get("key")
+                                                   if isinstance(payload, dict) else None))
+            )
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()

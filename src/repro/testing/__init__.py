@@ -34,6 +34,7 @@ from .oracle import (
     ALLOWLIST,
     CalculusOracle,
     Divergence,
+    ServingOracle,
     assert_calculus_parity,
     compare_xquery,
     run_outcome,
@@ -61,6 +62,7 @@ __all__ = [
     "GenExpr",
     "METAMORPHIC_RULES",
     "ProgramGenerator",
+    "ServingOracle",
     "assert_calculus_parity",
     "compare_xquery",
     "metamorphic_pair",

@@ -159,8 +159,17 @@ def run_campaign(
     kinds: Sequence[str] = KINDS,
     max_fuel: int = 14,
     time_limit: Optional[float] = None,
+    serving: bool = True,
 ) -> CampaignStats:
-    """Run one seeded campaign of ``budget`` generated programs."""
+    """Run one seeded campaign of ``budget`` generated programs.
+
+    ``serving=True`` (the default) adds the sharded process-pool service
+    to the calculus fleet: every calculus draw also runs through real
+    worker processes with scatter/gather, alternating the partition
+    scheme per model (odd model index → ``type``, even → ``hash``) so
+    both schemes see every campaign.  The flag draws nothing from the
+    RNG, so campaigns with and without it generate identical programs.
+    """
     rng = random.Random(seed)
     stats = CampaignStats(seed=seed, budget=budget)
     generator = ProgramGenerator(rng, max_fuel=max_fuel, coverage=stats.coverage)
@@ -216,7 +225,13 @@ def run_campaign(
         else:
             if oracle is None or model_queries >= QUERIES_PER_MODEL:
                 model_index += 1
-                oracle = CalculusOracle(random_model(seed * 1000 + model_index))
+                if oracle is not None:
+                    oracle.close()
+                oracle = CalculusOracle(
+                    random_model(seed * 1000 + model_index),
+                    serving=serving,
+                    serving_scheme="type" if model_index % 2 else "hash",
+                )
                 model_queries = 0
             query = random_calculus_query(rng, oracle.model)
             model_queries += 1
@@ -226,6 +241,8 @@ def run_campaign(
             )
             if divergence is not None:
                 stats.divergences.append(divergence)
+    if oracle is not None:
+        oracle.close()
     stats.elapsed = time.perf_counter() - started
     return stats
 
@@ -325,6 +342,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--time-limit", type=float, default=None, help="stop after N seconds"
     )
     parser.add_argument("--max-fuel", type=int, default=14, help="program size budget")
+    parser.add_argument(
+        "--no-serving",
+        action="store_true",
+        help="skip the sharded process-pool oracle on calculus draws "
+             "(the generated program stream is identical either way)",
+    )
     parser.add_argument("--json", default=None, help="write stats JSON to this path")
     parser.add_argument(
         "--pin",
@@ -344,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         kinds=kinds,
         max_fuel=args.max_fuel,
         time_limit=args.time_limit,
+        serving=not args.no_serving,
     )
     print(stats.summary())
     if args.json:

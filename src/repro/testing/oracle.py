@@ -31,7 +31,8 @@ from ..xquery import EngineConfig, TraceLog, XQueryEngine
 from ..xquery.api import BACKENDS, serialize_result
 from ..xquery.errors import XQueryError
 
-#: engine names the calculus oracle reports.
+#: engine names the calculus oracle reports.  ``sharded-cold``/``-warm``
+#: join the fleet when the oracle is built with ``serving=True``.
 CALCULUS_ENGINES = (
     "native",
     "via-treewalk",
@@ -39,6 +40,8 @@ CALCULUS_ENGINES = (
     "via-algebra",
     "service-cold",
     "service-warm",
+    "sharded-cold",
+    "sharded-warm",
 )
 
 #: the spec code the engines raise at a wall-clock deadline; a timeout in
@@ -317,6 +320,45 @@ def type_soundness_divergence(
 # -- the calculus fleet oracle -------------------------------------------------
 
 
+class ServingOracle:
+    """The sharded-service member of the calculus fleet.
+
+    Wraps a ``mode="process"`` :class:`QueryService` — real worker
+    processes, scatter/gather, admission control — and reports outcomes in
+    the fleet's comparison currency.  Worker failures travel as
+    :class:`~repro.querycalc.service.errors.RemoteQueryError` carriers, so
+    outcomes name the *original* exception class (via ``classify_error``):
+    a worker raising ``XQueryDynamicError`` must compare equal to the
+    thread service raising it directly.  Nothing is allowlisted for this
+    oracle — a sharded divergence is always a bug.
+    """
+
+    def __init__(self, model: Model, scheme: str = "type", workers: int = 2):
+        from ..querycalc.service import QueryService
+
+        self.scheme = scheme
+        self.service = QueryService(
+            model, mode="process", workers=workers, partition=scheme
+        )
+
+    def outcome(self, query: Query) -> tuple:
+        from ..querycalc.service.errors import classify_error
+
+        try:
+            item = self.service.run(query)
+        except Exception as error:
+            return ("error", classify_error(error).exception)
+        return (
+            "ok",
+            tuple(node.id for node in item),
+            tuple(item.traces),
+            item.served_from_cache,
+        )
+
+    def close(self) -> None:
+        self.service.close()
+
+
 class CalculusOracle:
     """Runs calculus queries under every implementation over one model.
 
@@ -324,9 +366,21 @@ class CalculusOracle:
     are part of what is being tested (a result served from the warm cache
     must be indistinguishable — ids *and* replayed traces — from the cold
     execution that populated it).
+
+    ``serving=True`` adds the sharded process-pool service to the fleet
+    (``sharded-cold``/``sharded-warm`` outcomes, via :class:`ServingOracle`
+    with ``serving_scheme`` partitioning).  Worker processes are real OS
+    processes — call :meth:`close` (or use the oracle as a context
+    manager) when done.
     """
 
-    def __init__(self, model: Model):
+    def __init__(
+        self,
+        model: Model,
+        serving: bool = False,
+        serving_scheme: str = "type",
+        serving_workers: int = 2,
+    ):
         self.model = model
         self.via = {
             backend: XQueryCalculusBackend(
@@ -337,6 +391,22 @@ class CalculusOracle:
         from ..querycalc.service import QueryService
 
         self.service = QueryService(model)
+        self.serving: Optional[ServingOracle] = (
+            ServingOracle(model, scheme=serving_scheme, workers=serving_workers)
+            if serving
+            else None
+        )
+
+    def close(self) -> None:
+        """Reap the sharded service's worker processes, if any."""
+        if self.serving is not None:
+            self.serving.close()
+
+    def __enter__(self) -> "CalculusOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def outcomes(self, query: Query) -> Dict[str, tuple]:
         outcomes: Dict[str, tuple] = {"native": self._native(query)}
@@ -345,6 +415,9 @@ class CalculusOracle:
         cold, warm = self._service(query)
         outcomes["service-cold"] = cold
         outcomes["service-warm"] = warm
+        if self.serving is not None:
+            outcomes["sharded-cold"] = self.serving.outcome(query)
+            outcomes["sharded-warm"] = self.serving.outcome(query)
         return outcomes
 
     def compare(self, query: Query) -> Optional[Divergence]:
@@ -360,17 +433,35 @@ class CalculusOracle:
             return apply_allowlist(
                 Divergence("calculus", normalize_query(query), outcomes, detail=detail)
             )
-        cold, warm = outcomes["service-cold"], outcomes["service-warm"]
-        if cold[0] == "ok" and (cold[2] != warm[2] or not warm[3]):
-            return apply_allowlist(
-                Divergence(
-                    "calculus",
-                    normalize_query(query),
-                    outcomes,
-                    detail=(detail + " service-replay: warm hit did not replay "
-                            "the cold result/traces").strip(),
+        pairs = [("service-cold", "service-warm")]
+        if "sharded-cold" in outcomes:
+            pairs.append(("sharded-cold", "sharded-warm"))
+        for cold_name, warm_name in pairs:
+            cold, warm = outcomes[cold_name], outcomes[warm_name]
+            if cold[0] == "ok" and (cold[2] != warm[2] or not warm[3]):
+                return apply_allowlist(
+                    Divergence(
+                        "calculus",
+                        normalize_query(query),
+                        outcomes,
+                        detail=(detail + f" {cold_name.split('-')[0]}-replay: warm "
+                                "hit did not replay the cold result/traces").strip(),
+                    )
                 )
-            )
+        if "sharded-cold" in outcomes:
+            svc, shd = outcomes["service-cold"], outcomes["sharded-cold"]
+            if svc[0] == "ok" and shd[0] == "ok" and svc[2] != shd[2]:
+                # the ids matched, but fn:trace output differed — the
+                # router must have scattered a traced query.
+                return apply_allowlist(
+                    Divergence(
+                        "calculus",
+                        normalize_query(query),
+                        outcomes,
+                        detail=(detail + " sharded-traces: process tier's trace "
+                                "output differs from the thread service").strip(),
+                    )
+                )
         return None
 
     def _detail(self, query: Query) -> str:

