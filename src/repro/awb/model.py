@@ -51,6 +51,14 @@ class PropertyBag(dict):
         self._owner._mark_changed()
 
     def __setitem__(self, key, value):
+        # Value-unchanged writes are generation-neutral: they cannot move
+        # the export a byte, so they must not flush warm caches.  The type
+        # check keeps the comparison honest — ``True == 1`` and
+        # ``1 == 1.0`` are Python-equal but export differently.
+        if key in self:
+            current = super().__getitem__(key)
+            if type(current) is type(value) and current == value:
+                return
         super().__setitem__(key, value)
         self._touched()
 
@@ -59,8 +67,10 @@ class PropertyBag(dict):
         self._touched()
 
     def pop(self, *args):
+        existed = bool(args) and args[0] in self
         result = super().pop(*args)
-        self._touched()
+        if existed:
+            self._touched()
         return result
 
     def popitem(self):
@@ -69,12 +79,14 @@ class PropertyBag(dict):
         return result
 
     def clear(self):
-        super().clear()
-        self._touched()
+        if self:
+            super().clear()
+            self._touched()
 
     def update(self, *args, **kwargs):
-        super().update(*args, **kwargs)
-        self._touched()
+        # Route through __setitem__ so no-op suppression applies per key.
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
 
     def setdefault(self, key, default=None):
         if key in self:
@@ -309,6 +321,52 @@ class Model:
         self._outgoing[source.id][relation_id] = relation
         self._incoming[target.id][relation_id] = relation
         self._notify("relation-added", relation_id)
+        return relation
+
+    def retype_node(self, node: ModelNode, type_name: str) -> ModelNode:
+        """Change a node's type in place (the update language's ``rename``).
+
+        Relations keep their endpoints; properties are untouched (ad-hoc
+        properties are allowed, so nothing needs dropping).  Unknown new
+        types warn, like :meth:`create_node`.  Renaming a node to its
+        current type is a no-op and generation-neutral.
+        """
+        if self.nodes.get(node.id) is not node:
+            raise ValueError(f"node {node.id!r} does not belong to this model")
+        if node.type_name == type_name:
+            return node
+        if self.metamodel.node_type(type_name) is None:
+            self.warnings.append(
+                ModelWarning(
+                    "unknown-node-type",
+                    f"node type {type_name!r} is not in the metamodel",
+                    node.id,
+                )
+            )
+        node.type_name = type_name
+        self._notify("node-changed", node.id)
+        return node
+
+    def retype_relation(
+        self, relation: RelationObject, relation_name: str
+    ) -> RelationObject:
+        """Change a relation's type in place."""
+        if self.relations.get(relation.id) is not relation:
+            raise ValueError(
+                f"relation {relation.id!r} does not belong to this model"
+            )
+        if relation.relation_name == relation_name:
+            return relation
+        if self.metamodel.relation_type(relation_name) is None:
+            self.warnings.append(
+                ModelWarning(
+                    "unknown-relation-type",
+                    f"relation type {relation_name!r} is not in the metamodel",
+                    relation.id,
+                )
+            )
+        relation.relation_name = relation_name
+        self._notify("relation-changed", relation.id)
         return relation
 
     def remove_relation(self, relation: RelationObject) -> None:

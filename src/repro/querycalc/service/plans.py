@@ -73,6 +73,9 @@ class QueryPlan:
     #: position-independent, so structurally identical plans share result
     #: cache entries even when their calculus spellings differ.
     result_key: Optional[str] = None
+    #: the plan's :class:`~repro.querycalc.service.deps.DependencySet`,
+    #: derived at build time — what its cached answers can depend on.
+    deps: Optional[object] = None
 
     @property
     def cache_key(self) -> str:

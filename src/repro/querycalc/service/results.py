@@ -103,6 +103,43 @@ class ResultCache:
             while len(self._results) > self.maxsize:
                 self._results.popitem(last=False)
 
+    def propagate(
+        self,
+        old_generation: int,
+        new_generation: int,
+        decide,
+    ) -> Dict[str, int]:
+        """Carry entries of *old_generation* across a model update.
+
+        ``decide(plan_key, ids)`` returns ``("keep", None)`` when the
+        update provably cannot have changed the answer (the entry is
+        re-keyed to *new_generation* verbatim, traces included),
+        ``("patch", new_ids)`` when inserted/deleted rows were spliced in
+        (traces ride along only for keep — patch is only ever chosen for
+        untraced plans), or ``("drop", None)``.  Entries of other
+        generations are already unservable and are left to age out.
+        """
+        kept = patched = invalidated = 0
+        with self._lock:
+            for key in [k for k in self._results if k[1] == old_generation]:
+                plan_key = key[0]
+                ids, traces = self._results.pop(key)
+                action, new_ids = decide(plan_key, ids)
+                if action == "keep":
+                    self._results[(plan_key, new_generation)] = (ids, traces)
+                    kept += 1
+                elif action == "patch":
+                    self._results[(plan_key, new_generation)] = (
+                        list(new_ids),
+                        traces,
+                    )
+                    patched += 1
+                else:
+                    invalidated += 1
+            while len(self._results) > self.maxsize:
+                self._results.popitem(last=False)
+        return {"kept": kept, "patched": patched, "invalidated": invalidated}
+
     def clear(self) -> None:
         with self._lock:
             self._results.clear()

@@ -55,6 +55,7 @@ from ...xquery.errors import XQueryError, XQueryTimeoutError
 from ..ast import Query
 from ..native import QueryRuntimeError, run_query
 from ..via_xquery import XQueryCalculusBackend
+from .deps import DependencyIndex, derive_dependencies, patch_result
 from .errors import Deadline, QueryError, QueryOverloadError, classify_error
 from .faults import FaultInjector
 from .plans import PlanCache, QueryPlan, normalize_query
@@ -147,6 +148,14 @@ class QueryService:
         self._algebra_cache_generation: Optional[int] = None
         self._plans = PlanCache(maxsize=plan_cache_size)
         self._results = ResultCache(maxsize=result_cache_size)
+        self._deps = DependencyIndex()
+        self._updates = 0
+        self._propagations: Dict[str, int] = {
+            "kept": 0,
+            "patched": 0,
+            "invalidated": 0,
+            "skipped": 0,
+        }
         self._export_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
         self._latencies: List[float] = []
@@ -215,7 +224,7 @@ class QueryService:
             finally:
                 if admitted:
                     self._admission.release()
-            self._results.put((plan.cache_key, generation), ids, traces)
+            self._store(plan, generation, ids, traces)
             self._record(1, 1, time.perf_counter() - started)
             return BatchItem(self._materialize(ids), traces=traces)
         except Exception as exc:
@@ -319,7 +328,7 @@ class QueryService:
                     finally:
                         if admitted:
                             self._admission.release()
-                    self._results.put((plan.cache_key, generation), ids, traces)
+                    self._store(plan, generation, ids, traces)
                     return plan.key, ("ok", ids, traces, False)
                 except Exception as exc:
                     return plan.key, ("err", classify_error(exc, plan.key))
@@ -374,6 +383,104 @@ class QueryService:
             self._batch_deduped += len(queries) - len(set(plan_keys))
         self._record(len(queries), len(to_run), elapsed, errors=errors)
         return items
+
+    def apply_update(self, script, check: str = "error") -> Dict[str, object]:
+        """Apply an update-language script and *maintain* the caches.
+
+        ``script`` is update-language text (or a parsed
+        :class:`~repro.xquery.updates.ast.UpdateScript`).  The script is
+        statically checked against the live model (``check="error"``
+        rejects error-severity findings before any statement executes),
+        applied through the model API, and its exact footprint is then
+        intersected with every warm result-cache entry's dependency set:
+
+        * disjoint entries are **re-keyed** to the new generation — a
+          repeat of that query stays a cache hit;
+        * membership-only changes to patchable scans are **patched**
+          (inserted/deleted rows spliced at their sorted position);
+        * everything else is invalidated, never served stale.
+
+        In process mode the resolved script is broadcast to the worker
+        replicas as a delta instead of a full re-export.  Propagation is
+        skipped (entries simply age out, exactly the old behavior) when
+        foreign mutations — raw ``model`` writes that bypassed this
+        method — have already moved the generation past the export.
+
+        Returns a summary: statements applied, the footprint, per-entry
+        propagation counts, and the new generation.
+        """
+        from ...xquery.updates.apply import apply_script
+
+        with self._export_lock:
+            old_generation = self.model.generation
+            export_generation = (
+                self._backend.export_generation
+                if self._backend is not None
+                else old_generation
+            )
+            in_sync = old_generation == export_generation
+            result = apply_script(script, self.model, check=check)
+            new_generation = self.model.generation
+            propagation = {"kept": 0, "patched": 0, "invalidated": 0, "skipped": 0}
+            if new_generation == old_generation:
+                # every statement was a no-op: generation-neutral, every
+                # cache entry still keyed to the live generation.
+                pass
+            elif in_sync:
+                footprint = result.footprint
+                deps_index = self._deps
+                model = self.model
+
+                def decide(plan_key, ids):
+                    deps = deps_index.get(plan_key)
+                    if deps is None:
+                        return ("drop", None)
+                    reasons = deps.affected_by(footprint)
+                    if not reasons:
+                        return ("keep", None)
+                    if reasons == {"membership"} and deps.patchable:
+                        patched = patch_result(ids, footprint, deps, model)
+                        if patched is not None:
+                            return ("patch", patched)
+                    return ("drop", None)
+
+                propagation = self._results.propagate(
+                    export_generation, new_generation, decide
+                )
+                propagation["skipped"] = 0
+            else:
+                # foreign mutations already orphaned the warm entries;
+                # footprint-based carry-over would be unsound here.
+                propagation["skipped"] = self._results.stats()["currsize"]
+            if self._backend is not None and new_generation != old_generation:
+                # fold the script's subtree patches into the export now:
+                # the next apply_update (or query) then sees
+                # export_generation == model.generation, so back-to-back
+                # updates keep propagating instead of being mistaken for
+                # foreign mutations and falling into the skip path.
+                self._backend.export
+            if (
+                self._pool is not None
+                and new_generation != old_generation
+            ):
+                self._pool.apply_delta(
+                    result.text,
+                    base_generation=export_generation,
+                    new_generation=new_generation,
+                    in_sync=in_sync,
+                )
+            with self._metrics_lock:
+                self._updates += 1
+                for key in ("kept", "patched", "invalidated", "skipped"):
+                    self._propagations[key] += propagation[key]
+            return {
+                "applied": result.applied,
+                "generation": new_generation,
+                "footprint": result.footprint.describe(),
+                "propagation": propagation,
+                "diagnostics": [d.to_json() for d in result.diagnostics],
+                "script": result.text,
+            }
 
     def invalidate(self) -> None:
         """Drop cached results and force a full re-export.
@@ -464,6 +571,8 @@ class QueryService:
             by_kind = dict(self._errors_by_kind)
             shed = self._shed
             routes = dict(self._routes)
+            updates = self._updates
+            propagations = dict(self._propagations)
         plan_stats = self._plans.stats()
         result_stats = self._results.stats()
         serving = None
@@ -475,6 +584,7 @@ class QueryService:
                 "shards": self._pool.shards,
                 "generation": self._pool.generation,
                 "refreshes": self._pool.refreshes,
+                "deltas": self._pool.deltas,
                 "plan_blobs": self._pool.blob_stats(),
                 "restarts": sum(h.restarts for h in self._pool.handles),
                 "routes": routes,
@@ -495,6 +605,8 @@ class QueryService:
             "timeouts": timeouts,
             "fallbacks": fallbacks,
             "errors_by_kind": by_kind,
+            "updates": updates,
+            "propagations": propagations,
             "hits": result_stats["hits"],
             "misses": result_stats["misses"],
             "plan_hits": plan_stats["hits"],
@@ -524,15 +636,16 @@ class QueryService:
         def build() -> QueryPlan:
             if self.faults is not None:
                 self.faults.on_compile(key)
+            deps = derive_dependencies(query, self.model.metamodel)
             if self.backend == "native":
-                return QueryPlan(key, "native", query)
+                return QueryPlan(key, "native", query, deps=deps)
             source = self._backend.compile_to_xquery(query)
             if self.mode == "process":
                 # the front-end never compiles in process mode: workers own
                 # the compile LRUs, and the plan's structural signature
                 # (this plan's cross-process result key) is learned from
                 # the first worker reply.
-                return QueryPlan(key, "xquery", query, source=source)
+                return QueryPlan(key, "xquery", query, source=source, deps=deps)
             compiled = self.engine.compile(source)
             return QueryPlan(
                 key,
@@ -541,9 +654,16 @@ class QueryService:
                 source=source,
                 compiled=compiled,
                 result_key=compiled.plan_signature,
+                deps=deps,
             )
 
-        return self._plans.get_or_build(key, build)
+        plan = self._plans.get_or_build(key, build)
+        if plan.deps is not None:
+            # idempotent; registered under the *current* cache key, which
+            # process mode may upgrade after the first worker reply (the
+            # upgrade site re-registers under the new key).
+            self._deps.register(plan.cache_key, plan.deps)
+        return plan
 
     def _snapshot(self) -> Tuple[Optional[ElementNode], int]:
         """The (export root, generation) pair queries should run against."""
@@ -692,6 +812,8 @@ class QueryService:
             # upgrade the plan's result-cache key to the structural
             # signature the worker reported, matching thread mode.
             plan.result_key = blob.signature
+            if plan.deps is not None:
+                self._deps.register(plan.cache_key, plan.deps)
         return ids, traces
 
     def _evaluate_plan(
@@ -725,6 +847,25 @@ class QueryService:
             if node_id is not None and node_id in self.model.nodes:
                 ids.append(node_id)
         return ids, tuple(trace.messages)
+
+    def _store(
+        self,
+        plan: QueryPlan,
+        generation: int,
+        ids: List[str],
+        traces: Tuple[str, ...],
+    ) -> None:
+        """Cache a computed result — unless the model has moved on.
+
+        A mutation landing between :meth:`_snapshot` and here means the
+        evaluation may have read post-mutation state (the native backend
+        reads the live graph); storing that under the pre-mutation
+        generation would let :meth:`apply_update`'s carry-over re-key a
+        torn result into the new generation.  The entry is simply not
+        cached; the next request recomputes against a clean snapshot.
+        """
+        if self.model.generation == generation:
+            self._results.put((plan.cache_key, generation), ids, traces)
 
     def _materialize(self, ids: List[str]) -> List[ModelNode]:
         nodes = self.model.nodes

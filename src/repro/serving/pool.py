@@ -124,7 +124,11 @@ class WorkerHandle:
             shards=self._pool.shards,
             scheme=self._pool.scheme,
             metamodel=self._pool.metamodel,
-            export_text=self._pool.export_text,
+            # current_export_text regenerates lazily: after delta
+            # broadcasts the stored text is stale, and a respawned worker
+            # must boot from the live model's state, not the last full
+            # export.
+            export_text=self._pool.current_export_text(),
             generation=self._pool.generation,
             plan_cache_size=self._pool.plan_cache_size,
         )
@@ -228,9 +232,15 @@ class ProcessPool:
         self.generation = model.generation
         self.export_text = export_model_text(model, indent=False)
         self.refreshes = 0
+        self.deltas = 0
         self._blobs: Dict[str, PlanBlob] = {}
         self._blob_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
+        #: set when delta broadcasts outran the stored ``export_text``;
+        #: guarded by its own lock so a worker respawn (which regenerates
+        #: lazily) cannot deadlock against an in-flight broadcast.
+        self._export_dirty = False
+        self._export_text_lock = threading.Lock()
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
@@ -269,6 +279,24 @@ class ProcessPool:
 
     # -- replica refresh ---------------------------------------------------
 
+    def current_export_text(self) -> str:
+        """The export text matching the pool's generation, regenerated
+        lazily when delta broadcasts have outrun the stored copy."""
+        with self._export_text_lock:
+            if self._export_dirty:
+                self.export_text = export_model_text(self.model, indent=False)
+                self._export_dirty = False
+            return self.export_text
+
+    def _set_export_text(self, text: str) -> None:
+        with self._export_text_lock:
+            self.export_text = text
+            self._export_dirty = False
+
+    def _mark_export_dirty(self) -> None:
+        with self._export_text_lock:
+            self._export_dirty = True
+
     def ensure_generation(self, generation: int) -> None:
         """Broadcast a replica refresh if the model moved past the pool."""
         if generation == self.generation:
@@ -280,9 +308,50 @@ class ProcessPool:
             payload = {"export_text": export_text, "generation": generation}
             for handle in self.handles:
                 handle.request("refresh", dict(payload))
-            self.export_text = export_text
+            self._set_export_text(export_text)
             self.generation = generation
             self.refreshes += 1
+
+    def apply_delta(
+        self,
+        script_text: str,
+        base_generation: int,
+        new_generation: int,
+        in_sync: bool = True,
+    ) -> bool:
+        """Broadcast one resolved update script instead of a full re-export.
+
+        Workers replay the script against their live replicas (O(delta)
+        per worker, versus the O(model) serialize + reparse of
+        :meth:`ensure_generation`).  Preconditions for soundness: the pool
+        must currently be at *base_generation* and the caller's model must
+        have been in sync with its export when the script was applied —
+        otherwise the replicas would replay the delta on top of state the
+        primary never had.  When the preconditions fail, or any worker's
+        replay fails, the pool falls back to the full-refresh path: the
+        stored export text is marked stale and the generation is reset so
+        the next :meth:`ensure_generation` rebuilds every replica.
+
+        Returns True when the delta path was used.
+        """
+        with self._refresh_lock:
+            if not in_sync or self.generation != base_generation:
+                self._mark_export_dirty()
+                return False
+            payload = {"script": script_text, "generation": new_generation}
+            try:
+                for handle in self.handles:
+                    handle.request("delta", dict(payload))
+            except Exception:
+                # a partial broadcast leaves the replicas mixed: poison the
+                # pool generation so the next snapshot refreshes them all.
+                self.generation = -1
+                self._mark_export_dirty()
+                return False
+            self.generation = new_generation
+            self._mark_export_dirty()
+            self.deltas += 1
+            return True
 
     # -- execution ---------------------------------------------------------
 
@@ -345,6 +414,7 @@ class ProcessPool:
             "shards": self.shards,
             "generation": self.generation,
             "refreshes": self.refreshes,
+            "deltas": self.deltas,
             "plan_blobs": self.blob_stats(),
             "workers": workers,
             "runs": sum(w.get("runs", 0) for w in workers),

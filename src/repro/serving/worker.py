@@ -36,6 +36,7 @@ from ..awb.xml_io import import_model_text
 from ..querycalc.service.errors import Deadline, classify_error
 from ..querycalc.service.plans import PlanCache
 from ..querycalc.via_xquery import XQueryCalculusBackend
+from ..xquery.updates.apply import apply_script
 from ..xdm import ElementNode
 from ..xquery import EngineConfig, TraceLog, XQueryEngine
 from ..xquery.errors import XQueryError, XQueryTimeoutError
@@ -69,6 +70,7 @@ class ShardWorker:
         self.runs = 0
         self.fallbacks = 0
         self.errors = 0
+        self.deltas = 0
         self._load(config.export_text, config.generation)
 
     # -- replica lifecycle -------------------------------------------------
@@ -93,6 +95,28 @@ class ShardWorker:
         plans = self._plans
         self._load(export_text, generation)
         self._plans = plans
+        return {"generation": self.generation, "owned": len(self.owned)}
+
+    def delta(self, script_text: str, generation: int) -> Dict[str, int]:
+        """Replay one resolved update script against the live replica.
+
+        The primary already checked the script and resolved auto-assigned
+        ids, so the replay is ``check="off"`` and deterministic: the same
+        create/connect/remove/retype calls land here as landed on the
+        primary, the replica's incremental exporter patches the same
+        subtrees, and the next query sees a byte-identical export —
+        without the O(model) serialize/reparse of a full refresh.
+        """
+        apply_script(script_text, self.model, check="off")
+        self.generation = generation
+        # membership may have moved (inserts/deletes/renames): recompute
+        # this shard's ownership the same way a full load would.
+        self.owned = self.partitioner.owned_values(
+            self.shard,
+            node_ids=list(self.model.nodes),
+            type_names=[node.type_name for node in self.model.nodes.values()],
+        )
+        self.deltas += 1
         return {"generation": self.generation, "owned": len(self.owned)}
 
     # -- evaluation --------------------------------------------------------
@@ -201,6 +225,7 @@ class ShardWorker:
             "runs": self.runs,
             "fallbacks": self.fallbacks,
             "errors": self.errors,
+            "deltas": self.deltas,
             "plans": self._plans.stats(),
             "compile_cache": self.engine.cache_info(),
             "export": self.backend.export_stats(),
@@ -213,7 +238,8 @@ def worker_main(conn, config: WorkerConfig) -> None:
     Protocol: the parent sends ``(op, req_id, payload)`` tuples and the
     worker replies ``("ok", req_id, result)`` or ``("err", req_id,
     QueryError)``.  Ops: ``run`` (evaluate), ``refresh`` (new export
-    generation), ``stats`` (counters), ``ping`` (liveness), ``shutdown``.
+    generation), ``delta`` (replay one resolved update script in place),
+    ``stats`` (counters), ``ping`` (liveness), ``shutdown``.
     Every reply carries the request id, so a parent that timed out one
     request and kept the pipe can discard stale replies instead of
     desynchronizing.
@@ -238,6 +264,9 @@ def worker_main(conn, config: WorkerConfig) -> None:
                 result = worker.refresh(
                     payload["export_text"], payload["generation"]
                 )
+                conn.send(("ok", req_id, result))
+            elif op == "delta":
+                result = worker.delta(payload["script"], payload["generation"])
                 conn.send(("ok", req_id, result))
             elif op == "stats":
                 conn.send(("ok", req_id, worker.stats()))

@@ -140,6 +140,78 @@ def _sample_value(rng: random.Random, model: Model, name: str) -> str:
     return rng.choice(_LABELS)
 
 
+def random_update_script(rng: random.Random, model: Model) -> str:
+    """A random update-language script that passes the static checker.
+
+    Targets are drawn from the live model (and from ids already deleted
+    earlier in the same script are excluded, so UPD008 never fires);
+    property literals match the metamodel's declared types (label/tag as
+    strings, rank/birthYear as integers), so UPD003 never fires either.
+    Unknown-type warnings and no-op infos are allowed — they are
+    advisory, exactly like the model API's own warnings.
+    """
+    statements: List[str] = []
+    dead: set = set()
+
+    def live_nodes() -> List[str]:
+        return [node_id for node_id in model.nodes if node_id not in dead]
+
+    def live_relations() -> List[str]:
+        return [rel_id for rel_id in model.relations if rel_id not in dead]
+
+    for _ in range(rng.randrange(1, 4)):
+        nodes = live_nodes()
+        roll = rng.random()
+        if roll < 0.25:
+            type_name = rng.choice(NODE_TYPES)
+            if rng.random() < 0.7:
+                props = (
+                    f' with (label "{rng.choice(_LABELS)}",'
+                    f" rank {rng.randrange(0, 40)})"
+                )
+            else:
+                props = ""
+            statements.append(f"insert node {type_name}{props}")
+        elif roll < 0.40 and len(nodes) >= 2:
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            statements.append(
+                f"insert relation {rng.choice(RELATIONS)} from {source} to {target}"
+            )
+        elif roll < 0.52 and nodes:
+            victim = rng.choice(nodes)
+            dead.add(victim)
+            node = model.nodes[victim]
+            for relation in model.outgoing(node) + model.incoming(node):
+                dead.add(relation.id)  # cascades die with the node
+            statements.append(f"delete node {victim}")
+        elif roll < 0.62 and live_relations():
+            victim = rng.choice(live_relations())
+            dead.add(victim)
+            statements.append(f"delete relation {victim}")
+        elif roll < 0.80 and nodes:
+            target = rng.choice(nodes)
+            name, literal = rng.choice(
+                [
+                    ("label", f'"{rng.choice(_LABELS)}"'),
+                    ("rank", str(rng.randrange(0, 40))),
+                    ("tag", f'"{rng.choice(_LABELS)}{rng.randrange(0, 5)}"'),
+                    ("birthYear", str(1950 + rng.randrange(0, 50))),
+                ]
+            )
+            statements.append(f"replace value of {target}.{name} with {literal}")
+        elif roll < 0.90 and nodes:
+            statements.append(
+                f"delete property {rng.choice(('tag', 'rank'))} of {rng.choice(nodes)}"
+            )
+        elif nodes:
+            statements.append(
+                f"rename node {rng.choice(nodes)} as {rng.choice(NODE_TYPES)}"
+            )
+    if not statements:
+        statements.append(f"insert node {rng.choice(NODE_TYPES)}")
+    return "\n".join(statement + ";" for statement in statements)
+
+
 def describe_query(query: Query) -> str:
     """Human-readable one-liner (the normalized plan text)."""
     from ..querycalc.service.plans import normalize_query

@@ -507,6 +507,148 @@ class CalculusOracle:
         )
 
 
+# -- the update / view-maintenance oracle --------------------------------------
+
+
+class UpdateOracle:
+    """Differential oracle for the update language's view maintenance.
+
+    One long-lived :class:`QueryService` takes random update-language
+    scripts through :meth:`~repro.querycalc.service.QueryService.apply_update`
+    — so its warm result-cache entries are carried, patched, and
+    selectively invalidated by footprint/dependency reasoning — while the
+    native interpreter re-evaluates every panel query from scratch over
+    the same live model.  After every script, the maintained service and
+    the fresh evaluation must agree on every panel query's ordered ids;
+    a disagreement means a cache entry survived (or was patched) when the
+    update actually changed its answer — precisely the bug class
+    invalidate-everything never had and incremental maintenance risks.
+    """
+
+    def __init__(self, model: Model, seed: int = 0, backend: str = "xquery"):
+        import random as _random
+
+        from ..querycalc.service import QueryService
+
+        self.model = model
+        self.rng = _random.Random(seed)
+        self.service = QueryService(model, backend=backend)
+        #: resolved script texts, in application order (the repro trail).
+        self.scripts: List[str] = []
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __enter__(self) -> "UpdateOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def panel(self) -> List[Query]:
+        """Queries spanning the propagation outcomes: patchable scans,
+        follow pipelines, property filters, id starts, descending sorts."""
+        from ..querycalc.ast import (
+            Collect,
+            FilterProperty,
+            FilterType,
+            Follow,
+            Query as Q,
+            Start,
+        )
+
+        queries = [
+            Q(start=Start(type="User"), steps=[], collect=Collect()),
+            Q(
+                start=Start(type="Person"),
+                steps=[],
+                collect=Collect(sort_by="rank", descending=True),
+            ),
+            Q(start=Start(all_nodes=True), steps=[], collect=Collect()),
+            Q(
+                start=Start(type="Person"),
+                steps=[Follow(relation="likes", include_subrelations=True)],
+                collect=Collect(),
+            ),
+            Q(
+                start=Start(type="Server"),
+                steps=[FilterType(type="Server")],
+                collect=Collect(),
+            ),
+            Q(
+                start=Start(type="Element"),
+                steps=[FilterProperty(name="rank", op="ge", value="10")],
+                collect=Collect(),
+            ),
+        ]
+        node_ids = list(self.model.nodes)
+        if node_ids:
+            queries.append(
+                Q(
+                    start=Start(node_id=self.rng.choice(node_ids)),
+                    steps=[],
+                    collect=Collect(),
+                )
+            )
+        return queries
+
+    def warm(self) -> None:
+        """Prime the service's result cache with the whole panel."""
+        for query in self.panel():
+            try:
+                self.service.run(query)
+            except Exception:
+                pass  # id-start queries may dangle after deletes; fine
+
+    def step(self) -> Optional[Divergence]:
+        """Apply one random script, then compare maintained vs fresh."""
+        from .models import random_update_script
+
+        self.warm()
+        script = random_update_script(self.rng, self.model)
+        summary = self.service.apply_update(script)
+        self.scripts.append(summary["script"])
+        return self.check()
+
+    def check(self) -> Optional[Divergence]:
+        """Compare every panel query: maintained service vs native."""
+        from ..querycalc.service.plans import normalize_query
+
+        for query in self.panel():
+            outcomes = {
+                "maintained": self._service_outcome(query),
+                "fresh": self._native_outcome(query),
+            }
+            if self._ids(outcomes["maintained"]) != self._ids(outcomes["fresh"]):
+                return Divergence(
+                    "update-maintenance",
+                    "\n".join(self.scripts[-3:])
+                    + "\n(: panel query :)\n"
+                    + normalize_query(query),
+                    outcomes,
+                    detail="maintained cache disagrees with fresh evaluation",
+                )
+        return None
+
+    @staticmethod
+    def _ids(outcome: tuple):
+        return outcome[1] if outcome[0] == "ok" else outcome
+
+    def _service_outcome(self, query: Query) -> tuple:
+        try:
+            item = self.service.run(query)
+        except Exception as error:
+            return ("error", type(error).__name__)
+        return ("ok", tuple(node.id for node in item), item.served_from_cache)
+
+    def _native_outcome(self, query: Query) -> tuple:
+        try:
+            nodes = run_query(query, self.model)
+        except Exception as error:
+            return ("error", type(error).__name__)
+        return ("ok", tuple(node.id for node in nodes))
+
+
 def assert_calculus_parity(query: Query, model: Model, oracle: Optional[CalculusOracle] = None):
     """Assert every calculus implementation agrees; returns the outcomes.
 

@@ -32,7 +32,7 @@ estimates cost time, never correctness.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from ...xdm import DocumentNode, ElementNode, Node
 
@@ -55,6 +55,10 @@ class StatisticsCatalog:
         "attr_domains",
         "schema",
         "generation",
+        "_child_totals",
+        "_attr_values",
+        "_edge_counts",
+        "_root_name",
     )
 
     def __init__(self, generation: Optional[int] = None):
@@ -73,6 +77,17 @@ class StatisticsCatalog:
         #: one we know (currently: the AWB export schema).  None otherwise.
         self.schema = None
         self.generation = generation
+        # exact underlying state the derived estimates are computed from —
+        # persisted (not discarded after the walk) so apply_delta can
+        # add/subtract subtree contributions instead of re-walking.
+        #: element name -> total element children across all instances
+        self._child_totals: Dict[str, int] = {}
+        #: (element name, attribute name) -> attribute value -> count
+        self._attr_values: Dict[Tuple[str, str], Dict[str, int]] = {}
+        #: (parent name, child name) -> occurrence count
+        self._edge_counts: Dict[Tuple[str, str], int] = {}
+        #: the document root's element name (the parent of delta subtrees)
+        self._root_name: Optional[str] = None
 
     @classmethod
     def from_root(
@@ -80,58 +95,167 @@ class StatisticsCatalog:
     ) -> "StatisticsCatalog":
         """Collect statistics from a document (or element subtree) root."""
         catalog = cls(generation=generation)
-        values: Dict[Tuple[str, str], set] = {}
-        child_totals: Dict[str, int] = {}
-        edges: Set[Tuple[str, str]] = set()
         root_names = []
-        stack = [root]
+        tops = (
+            [child for child in root.children if isinstance(child, ElementNode)]
+            if isinstance(root, DocumentNode)
+            else [root]
+            if isinstance(root, ElementNode)
+            else []
+        )
+        for top in tops:
+            root_names.append(top.name)
+            catalog._add_subtree(top)
+        if root_names:
+            catalog._root_name = root_names[0]
+        catalog._refresh_derived()
+        if root_names == ["awb-model"]:
+            catalog._check_schema()
+        return catalog
+
+    # -- exact maintenance --------------------------------------------------
+
+    def _add_subtree(self, element: ElementNode) -> None:
+        """Add one element subtree's contributions, in one O(subtree) walk."""
+        stack = [element]
         while stack:
             node = stack.pop()
-            if isinstance(node, DocumentNode):
-                stack.extend(node.children)
-                continue
-            if not isinstance(node, ElementNode):
-                continue
             name = node.name
-            if node.parent is root or node.parent is None:
-                root_names.append(name)
-            catalog.total_elements += 1
-            catalog.element_counts[name] = catalog.element_counts.get(name, 0) + 1
+            self.total_elements += 1
+            self.element_counts[name] = self.element_counts.get(name, 0) + 1
             # Building the lazy name indexes here primes them for the first
             # query against this document — the walk already visits every
             # node, so the executor's cold path never pays for index builds.
             element_children = 0
             for child_name, children in node._child_element_index().items():
                 element_children += len(children)
-                edges.add((name, child_name))
+                key = (name, child_name)
+                self._edge_counts[key] = self._edge_counts.get(key, 0) + len(children)
                 stack.extend(children)
-            child_totals[name] = child_totals.get(name, 0) + element_children
+            self._child_totals[name] = (
+                self._child_totals.get(name, 0) + element_children
+            )
             node._attribute_index()
             for attribute in node.attributes:
                 key = (name, attribute.name)
-                values.setdefault(key, set()).add(attribute.value)
-                catalog.attr_present[key] = catalog.attr_present.get(key, 0) + 1
-        for name, total in child_totals.items():
-            count = catalog.element_counts.get(name, 1)
-            catalog.child_fanout[name] = total / count if count else 0.0
-        for key, seen in values.items():
-            catalog.attr_distinct[key] = len(seen)
-            if len(seen) <= _DOMAIN_CAP:
-                catalog.attr_domains[key] = frozenset(seen)
-        if root_names == ["awb-model"] or (
-            isinstance(root, ElementNode) and root.name == "awb-model"
-        ):
-            # analysis.schema imports from xdm only, but the analysis
-            # package __init__ pulls in the lint stack (which imports this
-            # module back) — import lazily to stay acyclic.
-            from ..analysis.schema import awb_export_schema
+                self.attr_present[key] = self.attr_present.get(key, 0) + 1
+                counts = self._attr_values.setdefault(key, {})
+                counts[attribute.value] = counts.get(attribute.value, 0) + 1
 
-            candidate = awb_export_schema()
-            if candidate.admits_observations(
-                catalog.element_counts, edges, catalog.attr_present, catalog.attr_domains
-            ):
-                catalog.schema = candidate
-        return catalog
+    def _remove_subtree(self, element: ElementNode) -> None:
+        """Subtract one element subtree's contributions (inverse of add)."""
+        stack = [element]
+        while stack:
+            node = stack.pop()
+            name = node.name
+            self.total_elements -= 1
+            count = self.element_counts.get(name, 0) - 1
+            if count > 0:
+                self.element_counts[name] = count
+            else:
+                self.element_counts.pop(name, None)
+            element_children = 0
+            for child_name, children in node._child_element_index().items():
+                element_children += len(children)
+                key = (name, child_name)
+                left = self._edge_counts.get(key, 0) - len(children)
+                if left > 0:
+                    self._edge_counts[key] = left
+                else:
+                    self._edge_counts.pop(key, None)
+                stack.extend(children)
+            total = self._child_totals.get(name, 0) - element_children
+            if total > 0 or name in self.element_counts:
+                self._child_totals[name] = max(total, 0)
+            else:
+                self._child_totals.pop(name, None)
+            for attribute in node.attributes:
+                key = (name, attribute.name)
+                present = self.attr_present.get(key, 0) - 1
+                if present > 0:
+                    self.attr_present[key] = present
+                else:
+                    self.attr_present.pop(key, None)
+                counts = self._attr_values.get(key)
+                if counts is not None:
+                    left = counts.get(attribute.value, 0) - 1
+                    if left > 0:
+                        counts[attribute.value] = left
+                    else:
+                        counts.pop(attribute.value, None)
+                    if not counts:
+                        self._attr_values.pop(key, None)
+
+    def _refresh_derived(self) -> None:
+        """Recompute the estimate maps from the exact underlying state.
+
+        O(names + attribute keys + small-domain values) — independent of
+        document size, so cheap enough to run after every delta batch.
+        """
+        self.child_fanout = {}
+        for name, count in self.element_counts.items():
+            total = self._child_totals.get(name, 0)
+            self.child_fanout[name] = total / count if count else 0.0
+        self.attr_distinct = {}
+        self.attr_domains = {}
+        for key, values in self._attr_values.items():
+            self.attr_distinct[key] = len(values)
+            if len(values) <= _DOMAIN_CAP:
+                self.attr_domains[key] = frozenset(values)
+
+    def _check_schema(self) -> None:
+        # analysis.schema imports from xdm only, but the analysis
+        # package __init__ pulls in the lint stack (which imports this
+        # module back) — import lazily to stay acyclic.
+        from ..analysis.schema import awb_export_schema
+
+        candidate = awb_export_schema()
+        if candidate.admits_observations(
+            self.element_counts,
+            set(self._edge_counts),
+            self.attr_present,
+            self.attr_domains,
+        ):
+            self.schema = candidate
+        else:
+            self.schema = None
+
+    def apply_delta(self, pairs, generation: Optional[int] = None) -> None:
+        """Maintain the catalog across subtree replacements.
+
+        *pairs* is the incremental exporter's delta log: ``(old_element,
+        new_element)`` tuples (``None`` for pure inserts/removals), every
+        element a direct child of the document root.  Old contributions
+        are subtracted and new ones added exactly, the root's own
+        fan-out/edges move by the net change, the derived estimates are
+        recomputed, and schema conformance is re-checked — so downstream
+        proofs (the serving router's ``attribute_domain("node", "type")``)
+        stay sound without an O(document) recollection.
+        """
+        for old, new in pairs:
+            if old is not None:
+                self._remove_subtree(old)
+                self._shift_root_edge(old.name, -1)
+            if new is not None:
+                self._add_subtree(new)
+                self._shift_root_edge(new.name, +1)
+        self._refresh_derived()
+        if self._root_name == "awb-model":
+            self._check_schema()
+        if generation is not None:
+            self.generation = generation
+
+    def _shift_root_edge(self, child_name: str, delta: int) -> None:
+        root = self._root_name
+        if root is None:
+            return
+        self._child_totals[root] = self._child_totals.get(root, 0) + delta
+        key = (root, child_name)
+        left = self._edge_counts.get(key, 0) + delta
+        if left > 0:
+            self._edge_counts[key] = left
+        else:
+            self._edge_counts.pop(key, None)
 
     # -- estimates the optimizer asks for ---------------------------------
 

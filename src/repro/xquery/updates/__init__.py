@@ -1,0 +1,72 @@
+"""A FLUX-style update sublanguage over AWB models.
+
+The paper's serving story (PRs 3-8) made *reads* fast: plan caches, an
+incrementally maintained XML export, a result cache keyed by export
+generation.  Writes stayed primitive — any mutation bumps the model
+generation and silently orphans every warm cache entry, so the 0.01x
+warm path collapses to the cold path under even a trickle of writes.
+
+Cheney's FLUX (PAPERS.md) shows the way out: make updates a *language*,
+not ad-hoc property pokes.  A typed update program has a statically
+analyzable **footprint** — which types it touches, which properties it
+writes, which ids it inserts or deletes — and a footprint can be
+intersected with each cached query's **dependency set** to decide, per
+entry, whether the write could possibly have changed that answer.
+Entries whose footprint is disjoint survive the write; the rest are
+patched or selectively invalidated.  See
+:mod:`repro.querycalc.service.deps` for the read side of the bargain.
+
+The language itself borrows the XQuery Update Facility's spellings
+(``insert node``, ``delete node``, ``replace value of``, ``rename``)
+applied to AWB's universe of nodes, relations, and property bags::
+
+    insert node Program id P9 with (label "LedgerD", version "2.0");
+    insert relation uses from N3 to P9 with (since 2004);
+    replace value of N3.birthYear with 1971;
+    delete property version of P9;
+    rename node N3 as Superuser;
+    delete relation R12;
+    delete node P9;
+
+Execution goes through the :class:`~repro.awb.model.Model` API, so the
+:class:`~repro.awb.xml_io.IncrementalExporter` sees the same structured
+mutation events it always has — the update layer adds meaning (the
+footprint), it never bypasses the dirty tracking.
+"""
+
+from .ast import (
+    DeleteNode,
+    DeleteProperty,
+    DeleteRelation,
+    InsertNode,
+    InsertRelation,
+    RenameNode,
+    RenameRelation,
+    ReplaceValue,
+    UpdateScript,
+)
+from .apply import UpdateError, UpdateResult, apply_script
+from .check import UpdateCheckError, check_script
+from .footprint import Footprint
+from .parser import UpdateParseError, parse_update_script, render_script
+
+__all__ = [
+    "DeleteNode",
+    "DeleteProperty",
+    "DeleteRelation",
+    "Footprint",
+    "InsertNode",
+    "InsertRelation",
+    "RenameNode",
+    "RenameRelation",
+    "ReplaceValue",
+    "UpdateCheckError",
+    "UpdateError",
+    "UpdateParseError",
+    "UpdateResult",
+    "UpdateScript",
+    "apply_script",
+    "check_script",
+    "parse_update_script",
+    "render_script",
+]

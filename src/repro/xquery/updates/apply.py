@@ -1,0 +1,286 @@
+"""Execute update scripts against a live model, recording the footprint.
+
+Execution goes entity by entity through the :class:`~repro.awb.model.Model`
+API (``create_node``/``connect``/``remove_node``/``retype_node``/property
+bag writes), so the :class:`~repro.awb.xml_io.IncrementalExporter` and any
+other listener see the usual structured mutation events.  While executing,
+the applier records the exact :class:`~repro.xquery.updates.footprint.Footprint`
+— types are read off the live entities, cascade-deleted relations are
+enumerated before the delete lands — and resolves auto-assigned ids into
+the returned script, which renders to the canonical text the serving tier
+broadcasts to replicas.
+
+Statements that provably change nothing (replacing a value with itself,
+deleting an absent property, renaming to the current type) are suppressed
+before touching the model, so they contribute nothing to the footprint
+and leave ``model.generation`` unmoved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Union
+
+from ...awb.model import Model
+from ..analysis.diagnostics import Diagnostic
+from ..errors import XQueryError
+from .ast import (
+    DeleteNode,
+    DeleteProperty,
+    DeleteRelation,
+    InsertNode,
+    InsertRelation,
+    RenameNode,
+    RenameRelation,
+    ReplaceValue,
+    Statement,
+    UpdateScript,
+)
+from .check import UpdateCheckError, check_errors, check_script
+from .footprint import Footprint
+from .parser import parse_update_script, render_script
+
+
+class UpdateError(XQueryError):
+    """A statement could not be applied (missing target, duplicate id)."""
+
+    default_code = "UPDY0001"
+
+
+@dataclass
+class UpdateResult:
+    """What applying a script did.
+
+    ``script`` is the *resolved* script: auto-assigned ids filled in, so
+    replaying its canonical text on a faithful replica reproduces the
+    primary's mutations byte for byte regardless of the replica's own id
+    counters.  ``applied`` counts statements that actually mutated the
+    model (no-ops are excluded).
+    """
+
+    script: UpdateScript
+    footprint: Footprint
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    applied: int = 0
+
+    @property
+    def text(self) -> str:
+        """Canonical text of the resolved script (the delta broadcast)."""
+        return render_script(self.script)
+
+
+def apply_script(
+    script: Union[str, UpdateScript],
+    model: Model,
+    check: str = "error",
+) -> UpdateResult:
+    """Apply *script* (text or parsed) to *model*.
+
+    ``check="error"`` (the default) runs :func:`check_script` against the
+    live model first and raises :class:`UpdateCheckError` — before any
+    statement executes — if an error-severity diagnostic fires; warnings
+    and infos ride along on the result.  ``check="off"`` skips straight
+    to execution (replica replay uses this: the primary already checked),
+    where missing targets raise :class:`UpdateError` mid-script.
+    """
+    if isinstance(script, str):
+        script = parse_update_script(script)
+    diagnostics: List[Diagnostic] = []
+    if check != "off":
+        diagnostics = check_script(script, model.metamodel, model)
+        errors = check_errors(diagnostics)
+        if errors:
+            raise UpdateCheckError(errors)
+    applier = _Applier(model)
+    for statement in script:
+        applier.apply(statement)
+    return UpdateResult(
+        script=UpdateScript(applier.resolved),
+        footprint=applier.footprint,
+        diagnostics=diagnostics,
+        applied=applier.applied,
+    )
+
+
+class _Applier:
+    def __init__(self, model: Model):
+        self.model = model
+        self.footprint = Footprint()
+        self.resolved: List[Statement] = []
+        self.applied = 0
+
+    def _node(self, node_id: str, statement: Statement):
+        node = self.model.nodes.get(node_id)
+        if node is None:
+            raise UpdateError(
+                f"node {node_id!r} is not in the model",
+                line=statement.line,
+                column=statement.column,
+            )
+        return node
+
+    def _relation(self, relation_id: str, statement: Statement):
+        relation = self.model.relations.get(relation_id)
+        if relation is None:
+            raise UpdateError(
+                f"relation {relation_id!r} is not in the model",
+                line=statement.line,
+                column=statement.column,
+            )
+        return relation
+
+    def _target(self, target_id: str, statement: Statement):
+        """A property statement's target: relation when the id names one,
+        else a node (ids are unique across both namespaces in practice)."""
+        relation = self.model.relations.get(target_id)
+        if relation is not None:
+            return relation
+        return self._node(target_id, statement)
+
+    def apply(self, statement: Statement) -> None:
+        handler = {
+            InsertNode: self._insert_node,
+            InsertRelation: self._insert_relation,
+            DeleteNode: self._delete_node,
+            DeleteRelation: self._delete_relation,
+            DeleteProperty: self._delete_property,
+            ReplaceValue: self._replace_value,
+            RenameNode: self._rename_node,
+            RenameRelation: self._rename_relation,
+        }.get(type(statement))
+        if handler is None:
+            raise UpdateError(f"unknown statement {type(statement).__name__}")
+        handler(statement)
+
+    # -- inserts -----------------------------------------------------------
+
+    def _insert_node(self, statement: InsertNode) -> None:
+        if statement.node_id is not None and statement.node_id in self.model.nodes:
+            raise UpdateError(
+                f"duplicate node id {statement.node_id!r}",
+                line=statement.line,
+                column=statement.column,
+            )
+        node = self.model.create_node(statement.type_name, node_id=statement.node_id)
+        for name, value in statement.properties:
+            # no prop-write footprint: a fresh node's properties are part
+            # of the insert, and the membership rule covers the insert.
+            node.set(name, value)
+        self.footprint.inserted_nodes[node.id] = node.type_name
+        self.footprint.touched_node_ids.add(node.id)
+        self.resolved.append(replace(statement, node_id=node.id))
+        self.applied += 1
+
+    def _insert_relation(self, statement: InsertRelation) -> None:
+        if (
+            statement.relation_id is not None
+            and statement.relation_id in self.model.relations
+        ):
+            raise UpdateError(
+                f"duplicate relation id {statement.relation_id!r}",
+                line=statement.line,
+                column=statement.column,
+            )
+        source = self._node(statement.source_id, statement)
+        target = self._node(statement.target_id, statement)
+        relation = self.model.connect(
+            source,
+            statement.relation_name,
+            target,
+            relation_id=statement.relation_id,
+        )
+        for name, value in statement.properties:
+            relation.set(name, value)
+            self.footprint.relation_prop_writes.add(
+                (relation.relation_name, name)
+            )
+        self.footprint.relation_names.add(relation.relation_name)
+        self.resolved.append(replace(statement, relation_id=relation.id))
+        self.applied += 1
+
+    # -- deletes -----------------------------------------------------------
+
+    def _delete_node(self, statement: DeleteNode) -> None:
+        node = self._node(statement.node_id, statement)
+        # cascades: every relation touching the node dies with it, and
+        # queries following those relation types must see the change.
+        for relation in self.model.outgoing(node) + self.model.incoming(node):
+            self.footprint.relation_names.add(relation.relation_name)
+        if node.id in self.footprint.inserted_nodes:
+            # inserted and deleted within one script: no generation ever
+            # observes the node, so its membership never changed.
+            del self.footprint.inserted_nodes[node.id]
+        else:
+            self.footprint.deleted_nodes[node.id] = node.type_name
+        self.footprint.touched_node_ids.add(node.id)
+        self.model.remove_node(node)
+        self.resolved.append(statement)
+        self.applied += 1
+
+    def _delete_relation(self, statement: DeleteRelation) -> None:
+        relation = self._relation(statement.relation_id, statement)
+        self.footprint.relation_names.add(relation.relation_name)
+        self.model.remove_relation(relation)
+        self.resolved.append(statement)
+        self.applied += 1
+
+    def _delete_property(self, statement: DeleteProperty) -> None:
+        target = self._target(statement.target_id, statement)
+        if statement.name not in target.properties:
+            self.resolved.append(statement)  # no-op; replays as a no-op too
+            return
+        del target.properties[statement.name]
+        self._record_prop_write(target, statement.name)
+        self.resolved.append(statement)
+        self.applied += 1
+
+    # -- value and type edits ---------------------------------------------
+
+    def _replace_value(self, statement: ReplaceValue) -> None:
+        target = self._target(statement.target_id, statement)
+        if statement.name in target.properties:
+            current = target.properties[statement.name]
+            if type(current) is type(statement.value) and current == statement.value:
+                self.resolved.append(statement)  # value-unchanged no-op
+                return
+        target.properties[statement.name] = statement.value
+        self._record_prop_write(target, statement.name)
+        self.resolved.append(statement)
+        self.applied += 1
+
+    def _record_prop_write(self, target, name: str) -> None:
+        if hasattr(target, "relation_name"):
+            self.footprint.relation_prop_writes.add((target.relation_name, name))
+        elif target.id in self.footprint.inserted_nodes:
+            pass  # writes to a script-fresh node ride on its insert
+        else:
+            self.footprint.node_prop_writes.add((target.type_name, name))
+            self.footprint.touched_node_ids.add(target.id)
+
+    def _rename_node(self, statement: RenameNode) -> None:
+        node = self._node(statement.node_id, statement)
+        if node.type_name == statement.new_type:
+            self.resolved.append(statement)
+            return
+        old_type = node.type_name
+        self.model.retype_node(node, statement.new_type)
+        if node.id in self.footprint.inserted_nodes:
+            # a script-fresh node was only ever observable as its final
+            # type: fold the rename into the insert.
+            self.footprint.inserted_nodes[node.id] = statement.new_type
+        else:
+            self.footprint.linked_types.update((old_type, statement.new_type))
+        self.footprint.touched_node_ids.add(node.id)
+        self.resolved.append(statement)
+        self.applied += 1
+
+    def _rename_relation(self, statement: RenameRelation) -> None:
+        relation = self._relation(statement.relation_id, statement)
+        if relation.relation_name == statement.new_type:
+            self.resolved.append(statement)
+            return
+        old_name = relation.relation_name
+        self.model.retype_relation(relation, statement.new_type)
+        self.footprint.relation_names.update((old_name, statement.new_type))
+        self.resolved.append(statement)
+        self.applied += 1

@@ -1,0 +1,115 @@
+"""AST of the update sublanguage.
+
+Statements are deliberately first-order: every target is a literal id,
+every value a literal scalar.  That is what makes the footprint *exact*
+rather than estimated — FLUX's insight is that an update language you
+can type is an update language whose effects you can name statically.
+Property values are plain Python scalars (``str``/``int``/``float``/
+``bool``), matching what :class:`~repro.awb.model.PropertyBag` stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: a (property name, scalar value) pair as written in a ``with (...)`` clause.
+Property = Tuple[str, object]
+
+
+@dataclass
+class Statement:
+    """Base class carrying the source location for diagnostics."""
+
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
+
+
+@dataclass
+class InsertNode(Statement):
+    """``insert node <type> [id <id>] [with (<props>)]``.
+
+    Without an explicit id the executor asks the model for one and
+    records it in the *resolved* script, so replicas replaying the
+    broadcast create byte-identical nodes.
+    """
+
+    type_name: str = ""
+    node_id: Optional[str] = None
+    properties: List[Property] = field(default_factory=list)
+
+
+@dataclass
+class InsertRelation(Statement):
+    """``insert relation <type> [id <id>] from <id> to <id> [with (...)]``."""
+
+    relation_name: str = ""
+    source_id: str = ""
+    target_id: str = ""
+    relation_id: Optional[str] = None
+    properties: List[Property] = field(default_factory=list)
+
+
+@dataclass
+class DeleteNode(Statement):
+    """``delete node <id>`` — cascades to every touching relation."""
+
+    node_id: str = ""
+
+
+@dataclass
+class DeleteRelation(Statement):
+    """``delete relation <id>``."""
+
+    relation_id: str = ""
+
+
+@dataclass
+class DeleteProperty(Statement):
+    """``delete property <name> of <id>`` — node or relation target."""
+
+    name: str = ""
+    target_id: str = ""
+
+
+@dataclass
+class ReplaceValue(Statement):
+    """``replace value of <id>.<name> with <literal>``."""
+
+    target_id: str = ""
+    name: str = ""
+    value: object = None
+
+
+@dataclass
+class RenameNode(Statement):
+    """``rename node <id> as <type>`` — retype in place.
+
+    XQuery Update's ``rename`` changes an element's name; over the AWB
+    export every node element is literally named ``node``, so the
+    meaningful analogue is the ``@type`` attribute — the node's type.
+    """
+
+    node_id: str = ""
+    new_type: str = ""
+
+
+@dataclass
+class RenameRelation(Statement):
+    """``rename relation <id> as <type>``."""
+
+    relation_id: str = ""
+    new_type: str = ""
+
+
+@dataclass
+class UpdateScript:
+    """A parsed update program: an ordered list of statements."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)

@@ -1,0 +1,452 @@
+"""Static checking of update scripts — the PR 7 lint pass, pointed at writes.
+
+The rules (UPD001–UPD009) mirror the model's own advisory philosophy:
+unknown types and undeclared properties *warn* (AWB allows user
+inventions), but statements that can be proven wrong before execution —
+ill-typed values, references to entities that do not exist or that the
+script itself already deleted — are errors.  Checking happens before the
+first statement executes, so a rejected script leaves the model (and
+its generation counter) untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...awb.metamodel import Metamodel, PropertyDecl
+from ...awb.model import Model
+from ..analysis.diagnostics import Diagnostic, severity_at_least, sort_diagnostics
+from ..errors import XQueryError
+from .ast import (
+    DeleteNode,
+    DeleteProperty,
+    DeleteRelation,
+    InsertNode,
+    InsertRelation,
+    RenameNode,
+    RenameRelation,
+    ReplaceValue,
+    Statement,
+    UpdateScript,
+)
+
+#: declared property type → Python types an update literal may carry.
+#: Exact on purpose: an ``integer`` literal stored into a ``float``-declared
+#: property would export as ``5`` and re-import as ``5.0``, silently
+#: diverging replicas from the primary (the fuzzer's ``declared-type-store``
+#: allowlist documents this hazard for raw API writes; the update language
+#: refuses to create new instances of it).
+_LITERAL_TYPES = {
+    "string": (str,),
+    "html": (str,),
+    "integer": (int,),
+    "boolean": (bool,),
+    "float": (float,),
+}
+
+
+class UpdateCheckError(XQueryError):
+    """The script failed static checking; no statement was applied."""
+
+    default_code = "UPTY0001"
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        first = diagnostics[0]
+        super().__init__(
+            f"{len(diagnostics)} update check error(s); first: {first.message}",
+            line=first.line,
+            column=first.column,
+        )
+
+
+def _diag(
+    code: str,
+    severity: str,
+    message: str,
+    statement: Statement,
+    rule: str,
+    hint: str = "",
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        line=statement.line,
+        column=statement.column,
+        rule=rule,
+        source="<update>",
+        hint=hint,
+    )
+
+
+def _relation_property_decl(
+    metamodel: Metamodel, relation_name: str, prop: str
+) -> Optional[PropertyDecl]:
+    relation_type = metamodel.relation_type(relation_name)
+    if relation_type is None:
+        return None
+    for ancestor in relation_type.ancestors():
+        for declaration in ancestor.properties:
+            if declaration.name == prop:
+                return declaration
+    return None
+
+
+class _Checker:
+    """Walks the script front to back, simulating id liveness.
+
+    ``node_types``/``relation_types`` track every id the checker knows
+    about (seeded from the live model when given) so later statements
+    can be checked against the ids earlier statements created or
+    deleted.  Without a model, existence checks degrade gracefully:
+    only script-local knowledge (created/deleted ids) is enforced.
+    """
+
+    def __init__(self, metamodel: Metamodel, model: Optional[Model]):
+        self.metamodel = metamodel
+        self.model = model
+        self.diagnostics: List[Diagnostic] = []
+        self.node_types: Dict[str, str] = (
+            {node.id: node.type_name for node in model.nodes.values()}
+            if model is not None
+            else {}
+        )
+        self.relation_types: Dict[str, str] = (
+            {rel.id: rel.relation_name for rel in model.relations.values()}
+            if model is not None
+            else {}
+        )
+        self.deleted: Set[str] = set()
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _check_node_ref(self, node_id: str, statement: Statement) -> Optional[str]:
+        """Returns the node's type name when known, reporting UPD006/008."""
+        if node_id in self.deleted:
+            self.diagnostics.append(
+                _diag(
+                    "UPD008",
+                    "error",
+                    f"node {node_id!r} was deleted earlier in this script",
+                    statement,
+                    rule="write-after-delete",
+                )
+            )
+            return None
+        if node_id in self.node_types:
+            return self.node_types[node_id]
+        if self.model is not None:
+            self.diagnostics.append(
+                _diag(
+                    "UPD006",
+                    "error",
+                    f"node {node_id!r} is not in the model",
+                    statement,
+                    rule="unknown-target",
+                )
+            )
+        return None
+
+    def _check_relation_ref(
+        self, relation_id: str, statement: Statement
+    ) -> Optional[str]:
+        if relation_id in self.deleted:
+            self.diagnostics.append(
+                _diag(
+                    "UPD008",
+                    "error",
+                    f"relation {relation_id!r} was deleted earlier in this script",
+                    statement,
+                    rule="write-after-delete",
+                )
+            )
+            return None
+        if relation_id in self.relation_types:
+            return self.relation_types[relation_id]
+        if self.model is not None:
+            self.diagnostics.append(
+                _diag(
+                    "UPD006",
+                    "error",
+                    f"relation {relation_id!r} is not in the model",
+                    statement,
+                    rule="unknown-target",
+                )
+            )
+        return None
+
+    def _check_property(
+        self,
+        declaration: Optional[PropertyDecl],
+        owner_desc: str,
+        name: str,
+        value: object,
+        statement: Statement,
+        declared_owner: bool,
+    ) -> None:
+        if declaration is None:
+            if declared_owner:
+                self.diagnostics.append(
+                    _diag(
+                        "UPD004",
+                        "info",
+                        f"property {name!r} is not declared on {owner_desc}"
+                        " (ad-hoc properties are allowed)",
+                        statement,
+                        rule="undeclared-property",
+                    )
+                )
+            return
+        allowed = _LITERAL_TYPES[declaration.type]
+        # bool is an int subclass; keep boolean literals out of integers.
+        if not isinstance(value, allowed) or (
+            declaration.type == "integer" and isinstance(value, bool)
+        ):
+            self.diagnostics.append(
+                _diag(
+                    "UPD003",
+                    "error",
+                    f"property {name!r} of {owner_desc} is declared "
+                    f"{declaration.type!r} but the value is "
+                    f"{type(value).__name__} {value!r}",
+                    statement,
+                    rule="ill-typed-property-value",
+                    hint=f"write a {declaration.type} literal",
+                )
+            )
+
+    # -- per-statement rules -----------------------------------------------
+
+    def check(self, statement: Statement) -> None:
+        if isinstance(statement, InsertNode):
+            self._insert_node(statement)
+        elif isinstance(statement, InsertRelation):
+            self._insert_relation(statement)
+        elif isinstance(statement, DeleteNode):
+            if self._check_node_ref(statement.node_id, statement) is not None:
+                self.node_types.pop(statement.node_id, None)
+                self.deleted.add(statement.node_id)
+                if self.model is not None:
+                    # cascade: relations touching the node die with it.
+                    node = self.model.nodes.get(statement.node_id)
+                    if node is not None:
+                        for relation in self.model.outgoing(
+                            node
+                        ) + self.model.incoming(node):
+                            self.relation_types.pop(relation.id, None)
+                            self.deleted.add(relation.id)
+        elif isinstance(statement, DeleteRelation):
+            if self._check_relation_ref(statement.relation_id, statement) is not None:
+                self.relation_types.pop(statement.relation_id, None)
+                self.deleted.add(statement.relation_id)
+        elif isinstance(statement, DeleteProperty):
+            self._property_target(statement.target_id, statement)
+        elif isinstance(statement, ReplaceValue):
+            self._replace(statement)
+        elif isinstance(statement, RenameNode):
+            if self._check_node_ref(statement.node_id, statement) is not None:
+                self.node_types[statement.node_id] = statement.new_type
+            if self.metamodel.node_type(statement.new_type) is None:
+                self.diagnostics.append(
+                    _diag(
+                        "UPD001",
+                        "warning",
+                        f"node type {statement.new_type!r} is not in the metamodel",
+                        statement,
+                        rule="unknown-node-type",
+                    )
+                )
+        elif isinstance(statement, RenameRelation):
+            if (
+                self._check_relation_ref(statement.relation_id, statement)
+                is not None
+            ):
+                self.relation_types[statement.relation_id] = statement.new_type
+            if self.metamodel.relation_type(statement.new_type) is None:
+                self.diagnostics.append(
+                    _diag(
+                        "UPD002",
+                        "warning",
+                        f"relation type {statement.new_type!r} is not in the "
+                        "metamodel",
+                        statement,
+                        rule="unknown-relation-type",
+                    )
+                )
+
+    def _insert_node(self, statement: InsertNode) -> None:
+        node_type = self.metamodel.node_type(statement.type_name)
+        if node_type is None:
+            self.diagnostics.append(
+                _diag(
+                    "UPD001",
+                    "warning",
+                    f"node type {statement.type_name!r} is not in the metamodel",
+                    statement,
+                    rule="unknown-node-type",
+                )
+            )
+        if statement.node_id is not None:
+            if (
+                statement.node_id in self.node_types
+                or statement.node_id in self.relation_types
+            ):
+                self.diagnostics.append(
+                    _diag(
+                        "UPD007",
+                        "error",
+                        f"id {statement.node_id!r} already exists",
+                        statement,
+                        rule="duplicate-id",
+                    )
+                )
+                return
+            self.deleted.discard(statement.node_id)
+            self.node_types[statement.node_id] = statement.type_name
+        owner = f"node type {statement.type_name!r}"
+        for name, value in statement.properties:
+            declaration = node_type.property_decl(name) if node_type else None
+            self._check_property(
+                declaration, owner, name, value, statement, node_type is not None
+            )
+
+    def _insert_relation(self, statement: InsertRelation) -> None:
+        relation_type = self.metamodel.relation_type(statement.relation_name)
+        if relation_type is None:
+            self.diagnostics.append(
+                _diag(
+                    "UPD002",
+                    "warning",
+                    f"relation type {statement.relation_name!r} is not in the "
+                    "metamodel",
+                    statement,
+                    rule="unknown-relation-type",
+                )
+            )
+        source_type = self._check_node_ref(statement.source_id, statement)
+        target_type = self._check_node_ref(statement.target_id, statement)
+        if (
+            relation_type is not None
+            and source_type is not None
+            and target_type is not None
+            and not self.metamodel.endpoint_allowed(
+                statement.relation_name, source_type, target_type
+            )
+        ):
+            self.diagnostics.append(
+                _diag(
+                    "UPD005",
+                    "warning",
+                    f"{statement.relation_name!r} between {source_type} and "
+                    f"{target_type} is not what the metamodel intends",
+                    statement,
+                    rule="advisory-endpoint-violation",
+                )
+            )
+        if statement.relation_id is not None:
+            if (
+                statement.relation_id in self.relation_types
+                or statement.relation_id in self.node_types
+            ):
+                self.diagnostics.append(
+                    _diag(
+                        "UPD007",
+                        "error",
+                        f"id {statement.relation_id!r} already exists",
+                        statement,
+                        rule="duplicate-id",
+                    )
+                )
+                return
+            self.deleted.discard(statement.relation_id)
+            self.relation_types[statement.relation_id] = statement.relation_name
+        owner = f"relation type {statement.relation_name!r}"
+        for name, value in statement.properties:
+            declaration = _relation_property_decl(
+                self.metamodel, statement.relation_name, name
+            )
+            self._check_property(
+                declaration, owner, name, value, statement, relation_type is not None
+            )
+
+    def _property_target(self, target_id: str, statement: Statement):
+        """Resolve a property statement's target: relation ids are known
+        exactly; anything else is treated as (and checked as) a node."""
+        if target_id in self.deleted:
+            self.diagnostics.append(
+                _diag(
+                    "UPD008",
+                    "error",
+                    f"{target_id!r} was deleted earlier in this script",
+                    statement,
+                    rule="write-after-delete",
+                )
+            )
+            return (None, None)
+        if target_id in self.relation_types:
+            return ("relation", self.relation_types[target_id])
+        return ("node", self._check_node_ref(target_id, statement))
+
+    def _replace(self, statement: ReplaceValue) -> None:
+        kind, type_name = self._property_target(statement.target_id, statement)
+        if type_name is None:
+            return
+        if kind == "node":
+            node_type = self.metamodel.node_type(type_name)
+            declaration = (
+                node_type.property_decl(statement.name) if node_type else None
+            )
+            declared_owner = node_type is not None
+            owner = f"node type {type_name!r}"
+        else:
+            declaration = _relation_property_decl(
+                self.metamodel, type_name, statement.name
+            )
+            declared_owner = self.metamodel.relation_type(type_name) is not None
+            owner = f"relation type {type_name!r}"
+        self._check_property(
+            declaration,
+            owner,
+            statement.name,
+            statement.value,
+            statement,
+            declared_owner,
+        )
+        if self.model is not None and kind == "node":
+            node = self.model.nodes.get(statement.target_id)
+            if node is not None and statement.name in node.properties:
+                current = node.properties[statement.name]
+                if type(current) is type(statement.value) and current == statement.value:
+                    self.diagnostics.append(
+                        _diag(
+                            "UPD009",
+                            "info",
+                            f"replacing {statement.target_id}.{statement.name} "
+                            f"with its current value {statement.value!r} is a no-op",
+                            statement,
+                            rule="no-op-replace",
+                        )
+                    )
+
+
+def check_script(
+    script: UpdateScript,
+    metamodel: Metamodel,
+    model: Optional[Model] = None,
+) -> List[Diagnostic]:
+    """Statically check *script*, optionally against a live *model*.
+
+    With a model, id existence (UPD006), duplicate ids (UPD007), and
+    no-op replaces (UPD009) are checked exactly; without one, only
+    metamodel conformance and script-local liveness are enforced.
+    """
+    checker = _Checker(metamodel, model)
+    for statement in script:
+        checker.check(statement)
+    return sort_diagnostics(checker.diagnostics)
+
+
+def check_errors(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Just the ``error``-severity findings."""
+    return [d for d in diagnostics if severity_at_least(d, "error")]

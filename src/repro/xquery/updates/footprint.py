@@ -1,0 +1,87 @@
+"""The footprint of an update: exactly which reads it could perturb.
+
+FLUX's central observation is that a *typed* update language admits
+static effect analysis.  Here the analysis is even better than static —
+:func:`~repro.xquery.updates.apply.apply_script` records the footprint
+while executing, so types of renamed nodes and cascade-deleted relations
+are exact, not estimated.  The footprint is intersected with each cached
+query's :class:`~repro.querycalc.service.deps.DependencySet` to decide,
+per entry, whether a write could possibly have changed that answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+
+@dataclass
+class Footprint:
+    """What one applied update script touched, named exactly.
+
+    ``inserted_nodes``/``deleted_nodes`` map node id → concrete type name
+    (the type at insertion/deletion time).  ``linked_types`` holds the
+    old *and* new types of renamed nodes — a rename changes membership
+    for any query whose pipeline can pass through either type.
+    ``relation_names`` holds every concrete relation type inserted,
+    deleted (including cascades from ``delete node``), or renamed
+    (old and new names).  Property writes are ``(concrete type, property
+    name)`` pairs, split by target kind because no query in the calculus
+    reads relation properties.  ``touched_node_ids`` names every node id
+    the script referenced, for id-rooted queries.
+    """
+
+    inserted_nodes: Dict[str, str] = field(default_factory=dict)
+    deleted_nodes: Dict[str, str] = field(default_factory=dict)
+    linked_types: Set[str] = field(default_factory=set)
+    relation_names: Set[str] = field(default_factory=set)
+    node_prop_writes: Set[Tuple[str, str]] = field(default_factory=set)
+    relation_prop_writes: Set[Tuple[str, str]] = field(default_factory=set)
+    touched_node_ids: Set[str] = field(default_factory=set)
+
+    def member_types(self) -> FrozenSet[str]:
+        """Concrete types whose *membership* (the set of nodes of that
+        type) changed: the types of inserted and deleted nodes."""
+        return frozenset(self.inserted_nodes.values()) | frozenset(
+            self.deleted_nodes.values()
+        )
+
+    def is_empty(self) -> bool:
+        """True when the script changed nothing observable (every
+        statement was suppressed as a no-op)."""
+        return not (
+            self.inserted_nodes
+            or self.deleted_nodes
+            or self.linked_types
+            or self.relation_names
+            or self.node_prop_writes
+            or self.relation_prop_writes
+            or self.touched_node_ids
+        )
+
+    def merge(self, other: "Footprint") -> None:
+        """Fold *other* into this footprint (script concatenation)."""
+        self.inserted_nodes.update(other.inserted_nodes)
+        self.deleted_nodes.update(other.deleted_nodes)
+        self.linked_types |= other.linked_types
+        self.relation_names |= other.relation_names
+        self.node_prop_writes |= other.node_prop_writes
+        self.relation_prop_writes |= other.relation_prop_writes
+        self.touched_node_ids |= other.touched_node_ids
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly summary (for ``explain``/metrics surfaces)."""
+        return {
+            "inserted_nodes": dict(self.inserted_nodes),
+            "deleted_nodes": dict(self.deleted_nodes),
+            "linked_types": sorted(self.linked_types),
+            "relation_names": sorted(self.relation_names),
+            "node_prop_writes": sorted(
+                f"{type_name}.{prop}" for type_name, prop in self.node_prop_writes
+            ),
+            "relation_prop_writes": sorted(
+                f"{type_name}.{prop}"
+                for type_name, prop in self.relation_prop_writes
+            ),
+            "touched_node_ids": sorted(self.touched_node_ids),
+        }

@@ -1,0 +1,414 @@
+"""Tokenizer, recursive-descent parser, and canonical renderer.
+
+The grammar is regular enough to read aloud::
+
+    script    := (statement ';')* [statement [';']]
+    statement := 'insert' 'node' name [idclause] [props]
+               | 'insert' 'relation' name [idclause] 'from' ref 'to' ref [props]
+               | 'delete' 'node' ref
+               | 'delete' 'relation' ref
+               | 'delete' 'property' name 'of' ref
+               | 'replace' 'value' 'of' ref '.' name 'with' literal
+               | 'rename' ('node' | 'relation') ref 'as' name
+    idclause  := 'id' ref
+    props     := 'with' '(' [name literal (',' name literal)*] ')'
+    literal   := STRING | NUMBER | 'true' | 'false'
+
+Names and refs are bare words (``N3``, ``Superuser``) or quoted strings
+(``"needs spaces"``); string literals support ``\\"`` and ``\\\\`` escapes.
+:func:`render_script` emits canonical text that re-parses to an equal
+AST — the serving tier broadcasts *resolved* scripts (auto-assigned ids
+filled in) in exactly this form.
+
+Errors carry line/column, per the repo's no-``Index out of bounds`` rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import XQueryError
+from .ast import (
+    DeleteNode,
+    DeleteProperty,
+    DeleteRelation,
+    InsertNode,
+    InsertRelation,
+    Property,
+    RenameNode,
+    RenameRelation,
+    ReplaceValue,
+    Statement,
+    UpdateScript,
+)
+
+
+class UpdateParseError(XQueryError):
+    """The update script is not well-formed."""
+
+    default_code = "UPST0001"
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\(:.*?:\))
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_-]*)
+  | (?P<punct>[;(),.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+#: statement-introducing and clause keywords (matched case-sensitively,
+#: lowercase, like XQuery's).
+KEYWORDS = frozenset(
+    "insert delete replace rename node relation property value of id from to with as true false".split()
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind  # "string" | "number" | "name" | "punct" | "eof"
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, column, pos = 1, 1, 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise UpdateParseError(
+                f"unexpected character {text[pos]!r}", line, column
+            )
+        kind = match.lastgroup
+        lexeme = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, lexeme, line, column))
+        newlines = lexeme.count("\n")
+        if newlines:
+            line += newlines
+            column = len(lexeme) - lexeme.rfind("\n")
+        else:
+            column += len(lexeme)
+        pos = match.end()
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return re.sub(r"\\(.)", r"\1", body)
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _fail(self, expected: str) -> "UpdateParseError":
+        token = self.current
+        got = repr(token.text) if token.kind != "eof" else "end of script"
+        return UpdateParseError(
+            f"expected {expected}, got {got}", token.line, token.column
+        )
+
+    def _keyword(self, word: str) -> Token:
+        token = self.current
+        if token.kind == "name" and token.text == word:
+            return self._advance()
+        raise self._fail(f"keyword {word!r}")
+
+    def _punct(self, char: str) -> Token:
+        token = self.current
+        if token.kind == "punct" and token.text == char:
+            return self._advance()
+        raise self._fail(repr(char))
+
+    def _at_keyword(self, word: str) -> bool:
+        return self.current.kind == "name" and self.current.text == word
+
+    def _name(self, what: str) -> str:
+        """A name or ref: a bare word (keywords excluded) or a string."""
+        token = self.current
+        if token.kind == "string":
+            self._advance()
+            return _unquote(token.text)
+        if token.kind == "name" and token.text not in KEYWORDS:
+            self._advance()
+            return token.text
+        raise self._fail(what)
+
+    def _literal(self) -> object:
+        token = self.current
+        if token.kind == "string":
+            self._advance()
+            return _unquote(token.text)
+        if token.kind == "number":
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "name" and token.text in ("true", "false"):
+            self._advance()
+            return token.text == "true"
+        raise self._fail("a literal (string, number, true, false)")
+
+    # -- grammar -----------------------------------------------------------
+
+    def script(self) -> UpdateScript:
+        statements: List[Statement] = []
+        while self.current.kind != "eof":
+            statements.append(self.statement())
+            if self.current.kind == "punct" and self.current.text == ";":
+                self._advance()
+            elif self.current.kind != "eof":
+                raise self._fail("';' or end of script")
+        return UpdateScript(statements)
+
+    def statement(self) -> Statement:
+        token = self.current
+        if self._at_keyword("insert"):
+            return self._insert()
+        if self._at_keyword("delete"):
+            return self._delete()
+        if self._at_keyword("replace"):
+            return self._replace()
+        if self._at_keyword("rename"):
+            return self._rename()
+        raise UpdateParseError(
+            f"expected a statement (insert/delete/replace/rename), got {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _props(self) -> List[Property]:
+        properties: List[Property] = []
+        if not self._at_keyword("with"):
+            return properties
+        self._advance()
+        self._punct("(")
+        while not (self.current.kind == "punct" and self.current.text == ")"):
+            name = self._name("a property name")
+            value = self._literal()
+            properties.append((name, value))
+            if self.current.kind == "punct" and self.current.text == ",":
+                self._advance()
+            else:
+                break
+        self._punct(")")
+        return properties
+
+    def _insert(self) -> Statement:
+        opener = self._keyword("insert")
+        if self._at_keyword("node"):
+            self._advance()
+            type_name = self._name("a node type")
+            node_id = None
+            if self._at_keyword("id"):
+                self._advance()
+                node_id = self._name("a node id")
+            return InsertNode(
+                line=opener.line,
+                column=opener.column,
+                type_name=type_name,
+                node_id=node_id,
+                properties=self._props(),
+            )
+        self._keyword("relation")
+        relation_name = self._name("a relation type")
+        relation_id = None
+        if self._at_keyword("id"):
+            self._advance()
+            relation_id = self._name("a relation id")
+        self._keyword("from")
+        source_id = self._name("a source node id")
+        self._keyword("to")
+        target_id = self._name("a target node id")
+        return InsertRelation(
+            line=opener.line,
+            column=opener.column,
+            relation_name=relation_name,
+            source_id=source_id,
+            target_id=target_id,
+            relation_id=relation_id,
+            properties=self._props(),
+        )
+
+    def _delete(self) -> Statement:
+        opener = self._keyword("delete")
+        if self._at_keyword("node"):
+            self._advance()
+            return DeleteNode(
+                line=opener.line,
+                column=opener.column,
+                node_id=self._name("a node id"),
+            )
+        if self._at_keyword("relation"):
+            self._advance()
+            return DeleteRelation(
+                line=opener.line,
+                column=opener.column,
+                relation_id=self._name("a relation id"),
+            )
+        self._keyword("property")
+        name = self._name("a property name")
+        self._keyword("of")
+        return DeleteProperty(
+            line=opener.line,
+            column=opener.column,
+            name=name,
+            target_id=self._name("a node or relation id"),
+        )
+
+    def _replace(self) -> Statement:
+        opener = self._keyword("replace")
+        self._keyword("value")
+        self._keyword("of")
+        target_id = self._name("a node or relation id")
+        self._punct(".")
+        name = self._name("a property name")
+        self._keyword("with")
+        return ReplaceValue(
+            line=opener.line,
+            column=opener.column,
+            target_id=target_id,
+            name=name,
+            value=self._literal(),
+        )
+
+    def _rename(self) -> Statement:
+        opener = self._keyword("rename")
+        if self._at_keyword("node"):
+            self._advance()
+            node_id = self._name("a node id")
+            self._keyword("as")
+            return RenameNode(
+                line=opener.line,
+                column=opener.column,
+                node_id=node_id,
+                new_type=self._name("a node type"),
+            )
+        self._keyword("relation")
+        relation_id = self._name("a relation id")
+        self._keyword("as")
+        return RenameRelation(
+            line=opener.line,
+            column=opener.column,
+            relation_id=relation_id,
+            new_type=self._name("a relation type"),
+        )
+
+
+def parse_update_script(text: str) -> UpdateScript:
+    """Parse update-language text into an :class:`UpdateScript`."""
+    return _Parser(text).script()
+
+
+# -- canonical rendering -------------------------------------------------------
+
+
+def _render_name(name: str) -> str:
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_-]*", name) and name not in KEYWORDS:
+        return name
+    return _quote(name)
+
+
+def _render_literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return _quote(str(value))
+
+
+def _render_props(properties: List[Property]) -> str:
+    if not properties:
+        return ""
+    body = ", ".join(
+        f"{_render_name(name)} {_render_literal(value)}" for name, value in properties
+    )
+    return f" with ({body})"
+
+
+def render_statement(statement: Statement) -> str:
+    if isinstance(statement, InsertNode):
+        id_clause = f" id {_render_name(statement.node_id)}" if statement.node_id else ""
+        return (
+            f"insert node {_render_name(statement.type_name)}{id_clause}"
+            f"{_render_props(statement.properties)}"
+        )
+    if isinstance(statement, InsertRelation):
+        id_clause = (
+            f" id {_render_name(statement.relation_id)}" if statement.relation_id else ""
+        )
+        return (
+            f"insert relation {_render_name(statement.relation_name)}{id_clause}"
+            f" from {_render_name(statement.source_id)}"
+            f" to {_render_name(statement.target_id)}"
+            f"{_render_props(statement.properties)}"
+        )
+    if isinstance(statement, DeleteNode):
+        return f"delete node {_render_name(statement.node_id)}"
+    if isinstance(statement, DeleteRelation):
+        return f"delete relation {_render_name(statement.relation_id)}"
+    if isinstance(statement, DeleteProperty):
+        return (
+            f"delete property {_render_name(statement.name)}"
+            f" of {_render_name(statement.target_id)}"
+        )
+    if isinstance(statement, ReplaceValue):
+        return (
+            f"replace value of {_render_name(statement.target_id)}"
+            f".{_render_name(statement.name)} with {_render_literal(statement.value)}"
+        )
+    if isinstance(statement, RenameNode):
+        return (
+            f"rename node {_render_name(statement.node_id)}"
+            f" as {_render_name(statement.new_type)}"
+        )
+    if isinstance(statement, RenameRelation):
+        return (
+            f"rename relation {_render_name(statement.relation_id)}"
+            f" as {_render_name(statement.new_type)}"
+        )
+    raise TypeError(f"unknown statement {type(statement).__name__}")
+
+
+def render_script(script: UpdateScript) -> str:
+    """Canonical text for a script: one statement per line, ``;``-terminated.
+
+    ``parse_update_script(render_script(s))`` is structurally equal to
+    ``s`` (modulo source locations) — the round-trip the delta broadcast
+    relies on.
+    """
+    return "\n".join(render_statement(statement) + ";" for statement in script)

@@ -230,3 +230,106 @@ class TestIncrementalExportProperties:
             if data.draw(st.booleans()):
                 assert incremental_text(exporter) == full_text(model)
         assert incremental_text(exporter) == full_text(model)
+
+
+# -- update-language-driven programs (the write path queries actually take) ----
+
+
+class TestUpdateScriptDrivenExport:
+    """The same byte-identity invariant, but driven through the update
+    sublanguage — the path :meth:`QueryService.apply_update` takes — with
+    delete-heavy and insert-then-delete-interleaved shapes the raw random
+    mutation suite reaches only rarely."""
+
+    def test_delete_heavy_sequence(self, model, exporter):
+        from repro.xquery.updates import apply_script
+
+        for index, user in enumerate(list(model.nodes_of_type("User"))):
+            apply_script(f"delete node {user.id}", model)
+            if index % 2:  # batched and step-by-step application both
+                assert incremental_text(exporter) == full_text(model)
+        for document in list(model.nodes_of_type("Document")):
+            apply_script(f"delete node {document.id}", model)
+        assert incremental_text(exporter) == full_text(model)
+
+    def test_insert_delete_interleaved_in_one_script(self, model, exporter):
+        from repro.xquery.updates import apply_script
+
+        apply_script(
+            'insert node User id T1 with (label "transient");'
+            " insert relation likes from T1 to N2;"
+            ' replace value of T1.label with "still transient";'
+            " delete node T1;"
+            ' insert node Server id T2 with (label "survivor")',
+            model,
+        )
+        text = incremental_text(exporter)
+        assert text == full_text(model)
+        assert "transient" not in text and "survivor" in text
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scripts=st.integers(min_value=1, max_value=6),
+    )
+    def test_random_update_scripts_keep_export_identical(self, seed, scripts):
+        import random
+
+        from repro.testing.models import random_model, random_update_script
+        from repro.xquery.updates import apply_script
+
+        model = random_model(seed, size=10)
+        exporter = IncrementalExporter(model)
+        exporter.export()
+        rng = random.Random(seed * 7 + 1)
+        for index in range(scripts):
+            apply_script(random_update_script(rng, model), model)
+            if index % 2:
+                assert incremental_text(exporter) == full_text(model)
+        assert incremental_text(exporter) == full_text(model)
+
+
+# -- the subtree-delta log feeding statistics maintenance ----------------------
+
+
+class TestDeltaLog:
+    def test_property_write_yields_a_replace_pair(self, model, exporter):
+        cursor = exporter.delta_cursor()
+        node = model.nodes_of_type("User")[0]
+        node.set("label", "patched")
+        exporter.export()
+        [(old, new)] = exporter.delta_since(cursor)
+        assert old.get_attribute("id") == new.get_attribute("id") == node.id
+        assert old is not new
+
+    def test_cursor_taken_midstream_sees_only_the_suffix(self, model, exporter):
+        model.create_node("User", label="first")
+        exporter.export()
+        cursor = exporter.delta_cursor()
+        second = model.create_node("Server", label="second")
+        exporter.export()
+        delta = exporter.delta_since(cursor)
+        assert [pair[1].get_attribute("id") for pair in delta] == [second.id]
+
+    def test_log_cap_overflow_breaks_the_epoch(self, model, exporter):
+        from repro.awb.xml_io import _DELTA_LOG_CAP
+
+        cursor = exporter.delta_cursor()
+        for index in range(_DELTA_LOG_CAP + 10):
+            model.create_node("User", label=f"bulk-{index}")
+        exporter.export()
+        assert exporter.delta_since(cursor) is None
+        assert exporter.delta_since(exporter.delta_cursor()) == []
+
+    def test_model_rename_breaks_the_epoch(self, model, exporter):
+        cursor = exporter.delta_cursor()
+        model.name = "renamed-model"
+        model.create_node("User", label="trigger")
+        exporter.export()
+        assert exporter.delta_since(cursor) is None
+
+    def test_full_rebuild_breaks_the_epoch(self, model, exporter):
+        cursor = exporter.delta_cursor()
+        exporter.invalidate()
+        exporter.export()
+        assert exporter.delta_since(cursor) is None

@@ -1,0 +1,386 @@
+"""The FLUX-style update sublanguage: parse, check, apply, footprint.
+
+Three layers under test: the parser's canonical round-trip (the serving
+tier broadcasts rendered scripts, so render → parse must be lossless),
+the static checker's UPD001–UPD009 rules (errors reject the script
+*before* any statement executes), and the applier's semantics — every
+mutation goes through the Model API, the recorded footprint is exact,
+and statements that provably change nothing leave ``model.generation``
+unmoved (the regression anchor for no-op property writes).
+"""
+
+import pytest
+
+from repro.awb import Model, load_metamodel
+from repro.awb.xml_io import export_model_text
+from repro.workloads import make_it_model
+from repro.xquery.updates import (
+    UpdateCheckError,
+    UpdateError,
+    UpdateParseError,
+    apply_script,
+    check_script,
+    parse_update_script,
+    render_script,
+)
+
+
+@pytest.fixture()
+def metamodel():
+    return load_metamodel("it-architecture")
+
+
+@pytest.fixture()
+def model():
+    return make_it_model(scale=4)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestParser:
+    ROUNDTRIP = [
+        'insert node User with (label "ada", birthYear 1970)',
+        "insert node Server id S9",
+        'insert relation uses id R9 from N1 to N2 with (note "x")',
+        "delete node N1",
+        "delete relation R1",
+        "delete property label of N1",
+        'replace value of N1.label with "renamed"',
+        "replace value of N1.rank with 5",
+        "replace value of N1.weight with 2.5",
+        "replace value of N1.active with true",
+        "rename node N1 as Superuser",
+        "rename relation R1 as favors",
+    ]
+
+    @pytest.mark.parametrize("text", ROUNDTRIP)
+    def test_render_parse_roundtrip(self, text):
+        script = parse_update_script(text)
+        rendered = render_script(script)
+        assert parse_update_script(rendered) == script
+        # canonical text is a fixed point: render(parse(render)) == render
+        assert render_script(parse_update_script(rendered)) == rendered
+
+    def test_multi_statement_script_with_semicolons(self):
+        script = parse_update_script(
+            'insert node User; delete node N1;\nreplace value of N2.label with "x"'
+        )
+        assert len(script) == 3
+
+    def test_quoted_names_carry_spaces(self):
+        script = parse_update_script('insert node "Odd Type" id "id with spaces"')
+        statement = script.statements[0]
+        assert statement.type_name == "Odd Type"
+        assert statement.node_id == "id with spaces"
+        assert parse_update_script(render_script(script)) == script
+
+    def test_string_escapes_roundtrip(self):
+        script = parse_update_script(r'replace value of N1.label with "a \"b\" \\c"')
+        assert script.statements[0].value == 'a "b" \\c'
+        assert parse_update_script(render_script(script)) == script
+
+    def test_integer_vs_float_literals_stay_distinct(self):
+        as_int = parse_update_script("replace value of N1.x with 5").statements[0]
+        as_float = parse_update_script("replace value of N1.x with 5.0").statements[0]
+        assert type(as_int.value) is int
+        assert type(as_float.value) is float
+
+    def test_comments_are_skipped(self):
+        script = parse_update_script("(: add one :) insert node User")
+        assert len(script) == 1
+
+    def test_parse_error_carries_position_and_code(self):
+        with pytest.raises(UpdateParseError) as info:
+            parse_update_script("insert node User\nfrobnicate N1")
+        assert info.value.code == "UPST0001"
+        assert info.value.line == 2
+
+    def test_missing_keyword_is_an_error(self):
+        with pytest.raises(UpdateParseError):
+            parse_update_script("insert relation uses from N1")  # no 'to'
+
+
+class TestChecker:
+    def test_unknown_node_type_warns_upd001(self, metamodel):
+        script = parse_update_script("insert node Zeppelin")
+        diagnostics = check_script(script, metamodel)
+        assert codes(diagnostics) == ["UPD001"]
+        assert diagnostics[0].severity == "warning"
+
+    def test_unknown_relation_type_warns_upd002(self, metamodel):
+        script = parse_update_script("insert relation frobs from A to B")
+        diagnostics = check_script(script, metamodel)
+        assert "UPD002" in codes(diagnostics)
+
+    def test_ill_typed_property_value_is_error_upd003(self, metamodel):
+        script = parse_update_script('insert node Person with (birthYear "soon")')
+        diagnostics = check_script(script, metamodel)
+        assert codes(diagnostics) == ["UPD003"]
+        assert diagnostics[0].severity == "error"
+
+    def test_integer_literal_refused_for_float_decl(self, metamodel):
+        # int-for-float would export "5" and re-import 5.0 on a replica —
+        # the checker refuses to create that divergence.
+        metamodel.node_type("Server").properties.append(
+            __import__("repro.awb.metamodel", fromlist=["PropertyDecl"]).PropertyDecl(
+                "loadFactor", "float"
+            )
+        )
+        script = parse_update_script("insert node Server with (loadFactor 5)")
+        assert "UPD003" in codes(check_script(script, metamodel))
+
+    def test_boolean_literal_refused_for_integer_decl(self, metamodel):
+        script = parse_update_script("insert node Person with (birthYear true)")
+        assert "UPD003" in codes(check_script(script, metamodel))
+
+    def test_undeclared_property_is_info_upd004(self, metamodel):
+        script = parse_update_script('insert node Person with (shoeSize "44")')
+        diagnostics = check_script(script, metamodel)
+        assert codes(diagnostics) == ["UPD004"]
+        assert diagnostics[0].severity == "info"
+
+    def test_endpoint_advisory_warns_upd005(self, model):
+        server = model.nodes_of_type("Server")[0]
+        person = model.nodes_of_type("User")[0]
+        script = parse_update_script(f"insert relation likes from {server.id} to {person.id}")
+        diagnostics = check_script(script, model.metamodel, model)
+        assert "UPD005" in codes(diagnostics)
+        assert all(d.severity != "error" for d in diagnostics)
+
+    def test_unknown_target_is_error_upd006_with_model_only(self, model):
+        script = parse_update_script("delete node NOPE")
+        assert codes(check_script(script, model.metamodel, model)) == ["UPD006"]
+        # without a model, existence cannot be decided: no diagnostic.
+        assert check_script(script, model.metamodel) == []
+
+    def test_duplicate_id_is_error_upd007(self, model):
+        existing = next(iter(model.nodes))
+        script = parse_update_script(f"insert node User id {existing}")
+        assert codes(check_script(script, model.metamodel, model)) == ["UPD007"]
+
+    def test_script_local_duplicate_id_upd007(self, metamodel):
+        script = parse_update_script("insert node User id X; insert node User id X")
+        assert "UPD007" in codes(check_script(script, metamodel))
+
+    def test_write_after_delete_is_error_upd008(self, model):
+        victim = next(iter(model.nodes))
+        script = parse_update_script(
+            f'delete node {victim}; replace value of {victim}.label with "ghost"'
+        )
+        assert "UPD008" in codes(check_script(script, model.metamodel, model))
+
+    def test_cascaded_relation_is_dead_for_later_statements(self, model):
+        node = next(
+            node for node in model.nodes.values() if model.outgoing(node)
+        )
+        relation = model.outgoing(node)[0]
+        script = parse_update_script(
+            f"delete node {node.id}; delete relation {relation.id}"
+        )
+        assert "UPD008" in codes(check_script(script, model.metamodel, model))
+
+    def test_no_op_replace_is_info_upd009(self, model):
+        node = model.nodes_of_type("User")[0]
+        label = node.get("label")
+        script = parse_update_script(f'replace value of {node.id}.label with "{label}"')
+        diagnostics = check_script(script, model.metamodel, model)
+        assert codes(diagnostics) == ["UPD009"]
+
+    def test_reusing_a_deleted_id_is_allowed(self, model):
+        victim = next(iter(model.nodes))
+        script = parse_update_script(
+            f"delete node {victim}; insert node User id {victim}"
+        )
+        assert not any(
+            d.severity == "error"
+            for d in check_script(script, model.metamodel, model)
+        )
+
+
+class TestApply:
+    def test_insert_resolves_auto_id(self, model):
+        result = apply_script('insert node User with (label "fresh")', model)
+        resolved_id = result.script.statements[0].node_id
+        assert resolved_id is not None
+        assert model.nodes[resolved_id].get("label") == "fresh"
+        assert result.footprint.inserted_nodes == {resolved_id: "User"}
+        assert result.applied == 1
+        # the resolved text replays the same id.
+        assert f"id {resolved_id}" in result.text
+
+    def test_check_error_rejects_before_any_statement_runs(self, model):
+        generation = model.generation
+        count = len(model.nodes)
+        with pytest.raises(UpdateCheckError):
+            apply_script(
+                'insert node User with (label "a"); insert node Person with (birthYear "x")',
+                model,
+            )
+        assert model.generation == generation
+        assert len(model.nodes) == count
+
+    def test_check_off_raises_update_error_on_missing_target(self, model):
+        with pytest.raises(UpdateError):
+            apply_script("delete node NOPE", model, check="off")
+
+    def test_delete_node_footprint_records_cascaded_relations(self, model):
+        node = next(node for node in model.nodes.values() if model.outgoing(node))
+        names = {r.relation_name for r in model.outgoing(node) + model.incoming(node)}
+        result = apply_script(f"delete node {node.id}", model)
+        assert result.footprint.deleted_nodes == {node.id: node.type_name}
+        assert names <= result.footprint.relation_names
+
+    def test_insert_then_delete_cancels_membership(self, model):
+        result = apply_script(
+            "insert node User id TMP; delete node TMP", model
+        )
+        assert result.footprint.inserted_nodes == {}
+        assert "TMP" not in result.footprint.deleted_nodes
+        assert "TMP" not in model.nodes
+
+    def test_fresh_node_property_writes_ride_on_the_insert(self, model):
+        result = apply_script(
+            'insert node User id F1 with (label "a");'
+            ' replace value of F1.label with "b"',
+            model,
+        )
+        assert result.footprint.node_prop_writes == set()
+        assert model.nodes["F1"].get("label") == "b"
+
+    def test_rename_node_retypes_in_place(self, model):
+        node = model.nodes_of_type("User")[0]
+        relations_before = len(model.outgoing(node)) + len(model.incoming(node))
+        result = apply_script(f"rename node {node.id} as Superuser", model)
+        assert node.type_name == "Superuser"
+        assert len(model.outgoing(node)) + len(model.incoming(node)) == relations_before
+        assert result.footprint.linked_types == {"User", "Superuser"}
+
+    def test_rename_of_fresh_node_folds_into_insert(self, model):
+        result = apply_script(
+            "insert node User id F2; rename node F2 as Server", model
+        )
+        assert result.footprint.inserted_nodes == {"F2": "Server"}
+        assert result.footprint.linked_types == set()
+
+    def test_rename_relation_records_both_names(self, model):
+        relation = next(
+            r for r in model.relations.values() if r.relation_name == "likes"
+        )
+        result = apply_script(f"rename relation {relation.id} as favors", model)
+        assert relation.relation_name == "favors"
+        assert {"likes", "favors"} <= result.footprint.relation_names
+
+    def test_resolved_script_replays_byte_identically(self, model):
+        """The delta-broadcast guarantee: replaying the resolved text on a
+        faithful replica reproduces the primary's export byte for byte."""
+        from repro.awb.xml_io import import_model_text
+
+        replica = import_model_text(
+            export_model_text(model), model.metamodel, apply_defaults=False
+        )
+        result = apply_script(
+            'insert node User with (label "zz", rank 7);'
+            " insert relation likes from N1 to N2;"
+            ' replace value of N3.label with "patched";'
+            " delete node N4",
+            model,
+        )
+        apply_script(result.text, replica, check="off")
+        assert export_model_text(replica) == export_model_text(model)
+
+
+class TestNoOpNeutrality:
+    """Satellite regression: writes that change nothing must not move the
+    generation (each one used to orphan every warm cache entry)."""
+
+    def test_replace_with_current_value_is_generation_neutral(self, model):
+        node = model.nodes_of_type("User")[0]
+        label = node.get("label")
+        generation = model.generation
+        result = apply_script(
+            f'replace value of {node.id}.label with "{label}"', model
+        )
+        assert model.generation == generation
+        assert result.applied == 0
+        assert result.footprint.is_empty()
+
+    def test_delete_absent_property_is_generation_neutral(self, model):
+        node = model.nodes_of_type("User")[0]
+        generation = model.generation
+        result = apply_script(f"delete property nonexistent of {node.id}", model)
+        assert model.generation == generation
+        assert result.applied == 0
+
+    def test_rename_to_current_type_is_generation_neutral(self, model):
+        node = model.nodes_of_type("User")[0]
+        generation = model.generation
+        apply_script(f"rename node {node.id} as User", model)
+        assert model.generation == generation
+
+    def test_raw_set_of_same_value_is_generation_neutral(self, model):
+        node = model.nodes_of_type("User")[0]
+        node.set("rank", 5)
+        generation = model.generation
+        node.set("rank", 5)
+        node.properties["rank"] = 5
+        node.properties.update(rank=5)
+        assert model.generation == generation
+
+    def test_same_value_different_type_still_counts_as_a_write(self, model):
+        # True == 1 == 1.0 in Python but they export differently; the
+        # no-op suppression must compare types, not just values.
+        node = model.nodes_of_type("User")[0]
+        node.set("flag", 1)
+        generation = model.generation
+        node.set("flag", True)
+        assert model.generation > generation
+        generation = model.generation
+        node.set("flag", 1.0)
+        assert model.generation > generation
+
+    def test_pop_and_clear_only_touch_when_they_change_something(self, model):
+        node = model.nodes_of_type("User")[0]
+        generation = model.generation
+        node.properties.pop("nonexistent", None)
+        assert model.generation == generation
+        node.properties.clear()
+        assert model.generation > generation
+        generation = model.generation
+        node.properties.clear()  # already empty: no event
+        assert model.generation == generation
+
+
+class TestRetypeAPI:
+    def test_retype_node_same_type_is_no_op(self, model):
+        node = model.nodes_of_type("User")[0]
+        generation = model.generation
+        model.retype_node(node, "User")
+        assert model.generation == generation
+
+    def test_retype_node_unknown_type_warns(self, model):
+        node = model.nodes_of_type("User")[0]
+        before = len(model.warnings)
+        model.retype_node(node, "Blimp")
+        assert node.type_name == "Blimp"
+        assert len(model.warnings) == before + 1
+        assert model.warnings[-1].kind == "unknown-node-type"
+
+    def test_retype_foreign_node_is_rejected(self, model):
+        foreign = Model(load_metamodel("it-architecture"))
+        node = foreign.create_node("User")
+        with pytest.raises(ValueError):
+            model.retype_node(node, "Server")
+
+    def test_retype_keeps_export_identical_to_full(self, model):
+        from repro.awb import IncrementalExporter, export_model
+        from repro.xmlio import serialize
+
+        exporter = IncrementalExporter(model)
+        exporter.export()
+        node = model.nodes_of_type("User")[0]
+        model.retype_node(node, "Superuser")
+        assert serialize(exporter.export(), indent=True) == serialize(
+            export_model(model), indent=True
+        )
