@@ -1,0 +1,47 @@
+"""Multi-document collections with full-text search.
+
+The paper's engine queries exactly one exported AWB document; this package
+is the repository's next scenario class — a persisted store of *many*
+documents (AWB exports plus generated XDM documents), addressable from
+queries through ``fn:doc($uri)`` / ``fn:collection($uri)``, with an
+inverted full-text index behind ``ft:search`` / ``ft:score`` / ``ft:kwic``
+builtins modeled on eXist-db's keyword-search-with-KWIC idiom.
+
+Layout:
+
+* :mod:`.fulltext` — unicode tokenizer, positional inverted index with
+  incremental maintenance, and the brute-force phrase scan the index is
+  differentially pinned against;
+* :mod:`.kwic` — keyword-in-context snippet extraction;
+* :mod:`.store` — :class:`DocumentStore`: the persisted uri → document
+  map with per-collection generations and index maintenance hooked into
+  the update pipeline;
+* :mod:`.partition` — crc32 document partitioning and routing proofs
+  (uri-addressed ``fn:doc`` is provably single-shard, ``fn:collection``
+  and ``ft:search`` scatter);
+* :mod:`.service` — :class:`SearchService`: the request-level front-end
+  with a result cache keyed on collection generation, thread- or
+  process-sharded execution, and scatter/gather merge;
+* :mod:`.worker` — the shard worker process for ``mode="process"``.
+"""
+
+from __future__ import annotations
+
+from .fulltext import InvertedIndex, count_phrase, tokenize
+from .kwic import kwic_snippets
+from .partition import SearchRoute, doc_shard, route_request
+from .service import SearchRequest, SearchService
+from .store import DocumentStore
+
+__all__ = [
+    "DocumentStore",
+    "InvertedIndex",
+    "SearchRequest",
+    "SearchRoute",
+    "SearchService",
+    "count_phrase",
+    "doc_shard",
+    "kwic_snippets",
+    "route_request",
+    "tokenize",
+]

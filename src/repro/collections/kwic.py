@@ -1,0 +1,70 @@
+"""Keyword-in-context snippet extraction.
+
+Modeled on eXist-db's ``kwic`` module as used by the exemplar
+``search.xql``: every match renders as a fixed-width window — up to
+``width`` characters of preceding text, the matched phrase, up to
+``width`` characters of following text.  eXist's defaults (40 chars per
+side for table display, 120 for summaries) are kept.
+
+Matches are found over the *tokenized* text (the same tokenizer the
+index uses), so a snippet exists exactly when ``ft:search`` would count
+an occurrence — including overlapping and adjacent matches, each of
+which gets its own snippet.  Offsets are character offsets on the
+Python string, so multi-byte characters never split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .fulltext import tokenize, tokens_of
+
+__all__ = ["CHARS_KWIC", "CHARS_SUMMARY", "kwic_snippets"]
+
+#: eXist-db's display widths (characters of context on each side).
+CHARS_KWIC = 40
+CHARS_SUMMARY = 120
+
+#: snippet delimiters: unlikely in document text, stable to serialize.
+_OPEN, _CLOSE = "«", "»"  # « »
+_ELLIPSIS = "…"  # …
+
+
+def kwic_snippets(text: str, phrase: str, width: int = CHARS_KWIC) -> List[str]:
+    """One ``before«match»after`` string per occurrence of *phrase*.
+
+    ``before``/``after`` are at most *width* characters, with an ellipsis
+    marking truncation; a match at the document start or end simply has
+    an empty (un-ellipsized) side.  Zero occurrences — including an
+    empty or token-free phrase — yield an empty list.
+    """
+    spans = match_spans(text, phrase)
+    snippets = []
+    for start, end in spans:
+        before = text[max(0, start - width) : start]
+        if start - width > 0:
+            before = _ELLIPSIS + before
+        after = text[end : end + width]
+        if end + width < len(text):
+            after = after + _ELLIPSIS
+        snippets.append(f"{before}{_OPEN}{text[start:end]}{_CLOSE}{after}")
+    return snippets
+
+
+def match_spans(text: str, phrase: str) -> List[Tuple[int, int]]:
+    """Character ``(start, end)`` spans of every phrase occurrence.
+
+    The span runs from the first phrase token's start to the last one's
+    end, so whatever separated the tokens in the document (spaces,
+    newlines, punctuation) is preserved inside the highlighted match.
+    """
+    phrase_tokens = tokens_of(phrase)
+    if not phrase_tokens:
+        return []
+    doc_tokens = tokenize(text)
+    k = len(phrase_tokens)
+    spans = []
+    for i in range(len(doc_tokens) - k + 1):
+        if [token for token, _, _ in doc_tokens[i : i + k]] == phrase_tokens:
+            spans.append((doc_tokens[i][1], doc_tokens[i + k - 1][2]))
+    return spans

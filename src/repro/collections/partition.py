@@ -1,0 +1,64 @@
+"""Document partitioning and routing proofs for the search tier.
+
+The serving tier's :mod:`repro.serving.partition` proves routing
+decisions for *calculus* queries; this module is the same discipline for
+the collection workload.  Documents partition by ``crc32(uri) % shards``
+(the same stable hash family the node-id partitioner uses), so:
+
+* a uri-addressed ``fn:doc`` request is *provably* single-shard — the
+  owner is a pure function of the uri, no catalog needed;
+* ``fn:collection`` and ``ft:search`` requests touch an unknowable
+  subset of members and must scatter, with the front-end merging the
+  per-shard partials by ``(score desc, uri)``.
+
+Every :class:`SearchRoute` carries a human-auditable ``reason`` string,
+mirroring the serving tier's ``Route`` proofs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SearchRoute", "doc_shard", "route_request"]
+
+
+def doc_shard(uri: str, shards: int) -> int:
+    """The shard owning *uri*: stable, spread, and python-version-proof."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(uri.encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class SearchRoute:
+    """A routing decision plus the proof it rests on."""
+
+    kind: str  # "single" | "scatter"
+    shard: Optional[int]  # set iff kind == "single"
+    reason: str
+
+    def describe(self) -> str:
+        target = f"shard {self.shard}" if self.kind == "single" else "all shards"
+        return f"{self.kind} -> {target} ({self.reason})"
+
+
+def route_request(request, shards: int) -> SearchRoute:
+    """Route one :class:`~repro.collections.service.SearchRequest`.
+
+    ``doc`` requests go to the uri's owner; everything else scatters —
+    unless the tier has one shard, where every request is trivially
+    single-shard.
+    """
+    if shards <= 1:
+        return SearchRoute("single", 0, "one-shard-tier")
+    if request.kind == "doc":
+        return SearchRoute(
+            "single",
+            doc_shard(request.uri, shards),
+            f"doc-uri-owner crc32({request.uri!r}) % {shards}",
+        )
+    return SearchRoute(
+        "scatter", None, f"{request.kind}-over-collection {request.collection!r}"
+    )

@@ -1,0 +1,444 @@
+"""The search front-end: requests, routing, caching, scatter/gather.
+
+A :class:`SearchRequest` is the service's little language — ``doc``
+fetches, ``collection`` listings, ``search`` hit lists, and ``kwic``
+snippet pages — and each request *compiles to an XQuery program* over
+the collection builtins (mirroring how the calculus service compiles
+queries to XQuery).  The engine is the only evaluator; the service adds
+the serving-tier concerns:
+
+* **routing with proofs** — uri-addressed ``doc`` requests go to the
+  crc32 owner shard, ``collection``/``search``/``kwic`` scatter, and
+  every decision carries its reason (:mod:`.partition`);
+* **scatter/gather** — per-shard partials are merge-sorted by
+  ``(score desc, uri asc)``, the same key the per-shard ``ft:search``
+  ordered by, so sharded bytes equal unsharded bytes;
+* **a result cache keyed on collection generation** — the cache key is
+  ``(request key, generation of the touched scope)``, where a ``doc``
+  request's scope is its document and anything else's is its collection.
+  A write under ``docs/a/`` therefore leaves cached answers about
+  ``notes/`` warm, which is what keeps the E22 95/5 read/write mix
+  warm without an invalidation sweep;
+* **process isolation** (``mode="process"``) — real shard workers behind
+  pipes, with worker failures crossing back as structured
+  ``RemoteQueryError`` (``FODC0002`` included).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from ..querycalc.service.errors import RemoteQueryError
+from ..xquery import EngineConfig, XQueryEngine, serialize_result
+from ..xquery.algebra import StatisticsCatalog
+from .kwic import CHARS_KWIC
+from .partition import SearchRoute, doc_shard, route_request
+from .store import DocumentStore, normalize_collection
+from .worker import (
+    CollectionWorkerConfig,
+    collection_worker_main,
+    extract_rows,
+    merge_rows,
+)
+
+__all__ = ["SearchRequest", "SearchResult", "SearchService"]
+
+REQUEST_KINDS = ("doc", "collection", "search", "kwic")
+
+_BOOT_TIMEOUT = 30.0
+_REQUEST_TIMEOUT = 60.0
+
+
+def _lit(value: str) -> str:
+    """An XQuery string literal (quotes escape by doubling)."""
+    return '"' + value.replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One request in the service's little language."""
+
+    kind: str
+    uri: str = ""
+    collection: str = ""
+    phrase: str = ""
+    width: int = CHARS_KWIC
+    limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}"
+            )
+
+    def key(self) -> str:
+        """The normalized cache/diagnostic key."""
+        if self.kind == "doc":
+            return f"doc:{self.uri}"
+        collection = normalize_collection(self.collection)
+        if self.kind == "collection":
+            return f"collection:{collection}:{self.limit}"
+        if self.kind == "search":
+            return f"search:{collection}:{self.phrase}:{self.limit}"
+        return f"kwic:{collection}:{self.phrase}:{self.width}:{self.limit}"
+
+    def source(self) -> str:
+        """The XQuery program this request compiles to.
+
+        Hit elements carry ``uri`` and ``score`` attributes so the
+        scatter merge can re-sort partials by the exact key the
+        per-shard ``ft:search`` ordered by.
+        """
+        if self.kind == "doc":
+            return f"fn:doc({_lit(self.uri)})"
+        collection = _lit(normalize_collection(self.collection))
+        if self.kind == "collection":
+            hits = f"fn:collection({collection})"
+            if self.limit:
+                hits = f"subsequence({hits}, 1, {self.limit})"
+            return (
+                f"for $d in {hits}\n"
+                "return element member {\n"
+                "  attribute uri { ft:uri($d) },\n"
+                "  $d\n"
+                "}"
+            )
+        phrase = _lit(self.phrase)
+        hits = f"ft:search({collection}, {phrase})"
+        if self.limit:
+            hits = f"subsequence({hits}, 1, {self.limit})"
+        if self.kind == "search":
+            return (
+                f"for $d in {hits}\n"
+                "return element hit {\n"
+                "  attribute uri { ft:uri($d) },\n"
+                f"  attribute score {{ ft:score($d, {phrase}) }}\n"
+                "}"
+            )
+        return (
+            f"for $d in {hits}\n"
+            "return element kwic {\n"
+            "  attribute uri { ft:uri($d) },\n"
+            f"  attribute score {{ ft:score($d, {phrase}) }},\n"
+            f"  for $s in ft:kwic($d, {phrase}, {self.width})\n"
+            "  return element snippet { $s }\n"
+            "}"
+        )
+
+
+@dataclass
+class SearchResult:
+    """One answered request: payload text plus serving metadata."""
+
+    text: str
+    cached: bool
+    route: SearchRoute
+    generation: int
+
+
+class _WorkerHandle:
+    """One shard worker process plus the parent end of its pipe."""
+
+    def __init__(self, ctx, config: CollectionWorkerConfig):
+        self.shard = config.shard
+        self._lock = threading.Lock()
+        self._req_ids = count()
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=collection_worker_main, args=(child_conn, config), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        if not self.conn.poll(_BOOT_TIMEOUT):
+            self.process.terminate()
+            raise RuntimeError(f"collection worker {self.shard} failed to boot")
+        status, _, payload = self.conn.recv()
+        if status != "ok":
+            self.process.join(timeout=5.0)
+            raise RemoteQueryError(payload)
+
+    def request(self, op: str, payload: dict, timeout: float = _REQUEST_TIMEOUT):
+        with self._lock:
+            req_id = next(self._req_ids)
+            self.conn.send((op, req_id, payload))
+            if not self.conn.poll(timeout):
+                raise RuntimeError(
+                    f"collection worker {self.shard} missed its {timeout:.1f}s deadline"
+                )
+            status, reply_id, body = self.conn.recv()
+        if reply_id != req_id:
+            raise RuntimeError(
+                f"collection worker {self.shard} answered {reply_id}, expected {req_id}"
+            )
+        if status == "err":
+            raise RemoteQueryError(body)
+        return body
+
+    def close(self) -> None:
+        try:
+            self.request("shutdown", {}, timeout=5.0)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+
+
+class SearchService:
+    """Request-level front-end over one authoritative DocumentStore.
+
+    ``mode="thread"`` keeps shard replicas in-process (sub-stores of the
+    authoritative store); ``mode="process"`` runs each shard in a real
+    worker process.  Either way the authoritative store takes every
+    write first — single-writer, shared-nothing readers — and replicas
+    see the write as a per-document index patch, never a rebuild.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        shards: int = 1,
+        mode: str = "thread",
+        backend: str = "algebra",
+        result_cache_size: int = 512,
+    ):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
+        self.store = store
+        self.shards = max(1, shards)
+        self.mode = mode
+        self.backend = backend
+        self.engine = XQueryEngine(EngineConfig(backend=backend))
+        self._lock = threading.RLock()
+        self._results: "OrderedDict[Tuple[str, int], str]" = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self._statistics = self._fresh_statistics()
+        self.metrics: Dict[str, int] = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "executed": 0,
+            "errors": 0,
+            "single": 0,
+            "scatter": 0,
+            "writes": 0,
+        }
+        shard_uris: List[List[str]] = [[] for _ in range(self.shards)]
+        for uri in store.uris():
+            shard_uris[doc_shard(uri, self.shards)].append(uri)
+        self._workers: List[_WorkerHandle] = []
+        self._shard_stores: List[DocumentStore] = []
+        if mode == "process":
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - platform without fork
+                ctx = multiprocessing.get_context("spawn")
+            known = store.known_collections()
+            for shard in range(self.shards):
+                config = CollectionWorkerConfig(
+                    shard=shard,
+                    shards=self.shards,
+                    texts=[(uri, store.text_of(uri)) for uri in shard_uris[shard]],
+                    collections=known,
+                    use_index=store.use_index,
+                    backend=backend,
+                )
+                self._workers.append(_WorkerHandle(ctx, config))
+        elif self.shards == 1:
+            # one shard in thread mode is the store itself: no replica copy.
+            self._shard_stores = [store]
+        else:
+            self._shard_stores = [store.subset(uris) for uris in shard_uris]
+        self._closed = False
+
+    # -- statistics --------------------------------------------------------
+
+    def _fresh_statistics(self) -> StatisticsCatalog:
+        catalog = StatisticsCatalog()
+        catalog.set_fulltext(self.store.fulltext_stats())
+        return catalog
+
+    # -- reads -------------------------------------------------------------
+
+    def scope_generation(self, request: SearchRequest) -> int:
+        """The generation of the state this request can observe.
+
+        ``doc`` requests depend only on their document; everything else
+        depends on the touched collection.  This is the cache key's
+        freshness half: a write bumps exactly the scopes it changed.
+        """
+        if request.kind == "doc":
+            return self.store.document_generation(request.uri)
+        return self.store.collection_generation(request.collection)
+
+    def run(self, request: SearchRequest) -> SearchResult:
+        """Answer one request (cache → route → execute → cache)."""
+        with self._lock:
+            self.metrics["requests"] += 1
+            generation = self.scope_generation(request)
+            route = route_request(request, self.shards)
+            key = (request.key(), generation)
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                self.metrics["cache_hits"] += 1
+                return SearchResult(cached, True, route, generation)
+            self.metrics[route.kind] += 1
+            try:
+                if route.kind == "single":
+                    text = self._run_single(request, route.shard)
+                else:
+                    text = self._run_scatter(request)
+            except Exception:
+                self.metrics["errors"] += 1
+                raise
+            self.metrics["cache_misses"] += 1
+            self.metrics["executed"] += 1
+            self._results[key] = text
+            if len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+            return SearchResult(text, False, route, generation)
+
+    def _run_single(self, request: SearchRequest, shard: int) -> str:
+        if self.mode == "process":
+            body = self._workers[shard].request(
+                "run",
+                {"source": request.source(), "structured": False, "key": request.key()},
+            )
+            return body["text"]
+        result = self._execute(request, self._shard_stores[shard])
+        return serialize_result(result)
+
+    def _run_scatter(self, request: SearchRequest) -> str:
+        partials: List[List[Tuple[int, str, str]]] = []
+        if self.mode == "process":
+            payload = {
+                "source": request.source(),
+                "structured": True,
+                "key": request.key(),
+            }
+            for worker in self._workers:
+                partials.append(
+                    [tuple(row) for row in worker.request("run", payload)["rows"]]
+                )
+        else:
+            for shard_store in self._shard_stores:
+                partials.append(extract_rows(self._execute(request, shard_store)))
+        return merge_rows(partials, limit=request.limit)
+
+    def _execute(self, request: SearchRequest, store: DocumentStore):
+        compiled = self.engine.compile(request.source())
+        return compiled.run(collections=store, statistics=self._statistics)
+
+    def evaluate_fresh(
+        self, request: SearchRequest, use_index: Optional[bool] = None
+    ) -> str:
+        """Bypass cache and shards: one unsharded run over the live store.
+
+        ``use_index=False`` is the brute-force parity reference the
+        oracle and E22 compare every served byte against.
+        """
+        with self._lock:
+            previous = self.store.use_index
+            if use_index is not None:
+                self.store.use_index = use_index
+            try:
+                result = self.engine.compile(request.source()).run(
+                    collections=self.store, statistics=self._statistics
+                )
+            finally:
+                self.store.use_index = previous
+            return serialize_result(result)
+
+    # -- writes ------------------------------------------------------------
+
+    def put_text(self, uri: str, text: str) -> None:
+        """Write one document; replicas patch that document only."""
+        with self._lock:
+            self.store.put_text(uri, text)
+            self._replicate_put(uri)
+            self._after_write()
+
+    def delete(self, uri: str) -> None:
+        with self._lock:
+            self.store.remove(uri)
+            if self.mode == "process":
+                self._owner(uri).request("delete", {"uri": uri})
+            elif self._shard_stores and self._shard_stores[0] is not self.store:
+                self._shard_stores[doc_shard(uri, self.shards)].remove(uri)
+            self._after_write()
+
+    def apply_update(self, uri: str, script: str):
+        """Run an update-language script against a model-backed document.
+
+        The authoritative store applies it through the incremental
+        update/export pipeline; replicas replay the *result* (the
+        patched document text), so their index maintenance is the same
+        per-document patch.
+        """
+        with self._lock:
+            result = self.store.apply_update(uri, script)
+            self._replicate_put(uri)
+            self._after_write()
+            return result
+
+    def _replicate_put(self, uri: str) -> None:
+        if self.mode == "process":
+            self._owner(uri).request(
+                "put", {"uri": uri, "text": self.store.text_of(uri)}
+            )
+        elif self._shard_stores and self._shard_stores[0] is not self.store:
+            self._shard_stores[doc_shard(uri, self.shards)].put_text(
+                uri, self.store.text_of(uri)
+            )
+
+    def _owner(self, uri: str) -> _WorkerHandle:
+        return self._workers[doc_shard(uri, self.shards)]
+
+    def _after_write(self) -> None:
+        self.metrics["writes"] += 1
+        # generation-keyed cache entries for the touched scopes are now
+        # unreachable; they age out of the LRU instead of being swept.
+        self._statistics = self._fresh_statistics()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            payload: Dict[str, object] = {
+                "metrics": dict(self.metrics),
+                "mode": self.mode,
+                "shards": self.shards,
+                "result_cache": len(self._results),
+                "store": self.store.stats(),
+                "compile_cache": self.engine.cache_info(),
+            }
+            if self.mode == "process":
+                payload["workers"] = [
+                    worker.request("stats", {}) for worker in self._workers
+                ]
+            return payload
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                worker.close()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,207 @@
+"""The collection shard worker: one process, one document-shard replica.
+
+``SearchService(mode="process")`` spawns one of these per shard.  Each
+worker rebuilds its shard's :class:`~repro.collections.store.DocumentStore`
+from the picklable ``(uri, raw xml)`` payload, owns its own engine (plan
+LRU included), and serves the same pipe protocol the calculus serving
+tier uses: the parent sends ``(op, req_id, payload)`` and the worker
+answers ``("ok", req_id, result)`` or ``("err", req_id, QueryError)``.
+
+Failures cross the pipe *classified*: a missing or unparseable document
+raises ``FODC0002`` inside the worker, :func:`classify_error` wraps it
+into a structured :class:`~repro.querycalc.service.errors.QueryError`,
+and the front-end re-raises it as a ``RemoteQueryError`` that still
+advertises ``kind="dynamic"`` / ``code="FODC0002"`` — the error taxonomy
+does not degrade at the process boundary.
+
+Ops: ``run`` (evaluate one request program, serialized or as merge
+rows), ``put`` / ``delete`` / ``update`` (replica maintenance; the index
+patch is per-document, never a rebuild), ``stats``, ``ping``,
+``shutdown``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..querycalc.service.errors import classify_error
+from ..xdm import ElementNode
+from ..xmlio import serialize
+from ..xquery import EngineConfig, XQueryEngine, serialize_result
+from ..xquery.algebra import StatisticsCatalog
+from .store import DocumentStore
+
+__all__ = [
+    "CollectionWorker",
+    "CollectionWorkerConfig",
+    "collection_worker_main",
+    "extract_rows",
+]
+
+
+def extract_rows(result) -> List[Tuple[int, str, str]]:
+    """``(score, uri, serialized fragment)`` merge rows from a result.
+
+    Request programs emit elements carrying ``uri`` and ``score``
+    attributes precisely so the scatter/gather merge can re-sort partials
+    by the same ``(score desc, uri asc)`` key the per-shard ``ft:search``
+    used — making the merged bytes identical to an unsharded run.
+    """
+    rows: List[Tuple[int, str, str]] = []
+    for item in result:
+        if not isinstance(item, ElementNode):
+            continue
+        uri = item.get_attribute("uri") or ""
+        score_text = item.get_attribute("score")
+        try:
+            score = int(score_text) if score_text else 0
+        except ValueError:
+            score = 0
+        rows.append((score, uri, serialize(item)))
+    return rows
+
+
+def merge_rows(
+    partials: List[List[Tuple[int, str, str]]], limit: int = 0
+) -> str:
+    """Merge per-shard rows by ``(score desc, uri asc)`` into one payload."""
+    merged = sorted(
+        (row for rows in partials for row in rows),
+        key=lambda row: (-row[0], row[1]),
+    )
+    if limit:
+        merged = merged[:limit]
+    return "".join(fragment for _score, _uri, fragment in merged)
+
+
+@dataclass
+class CollectionWorkerConfig:
+    """Everything a worker process needs to build its replica (picklable)."""
+
+    shard: int
+    shards: int
+    texts: List[Tuple[str, str]] = field(default_factory=list)
+    #: every collection the tier knows, so a shard holding no member of
+    #: one still answers ``()`` instead of FODC0002.
+    collections: List[str] = field(default_factory=list)
+    use_index: bool = True
+    backend: str = "algebra"
+
+
+class CollectionWorker:
+    """The in-process half of one worker: replica store + engine."""
+
+    def __init__(self, config: CollectionWorkerConfig):
+        self.shard = config.shard
+        self.store = DocumentStore(use_index=config.use_index)
+        for uri, text in config.texts:
+            self.store.put_text(uri, text)
+        for prefix in config.collections:
+            self.store._collection_gens.setdefault(prefix, 0)
+        self.engine = XQueryEngine(EngineConfig(backend=config.backend))
+        self.runs = 0
+        self.writes = 0
+        self.errors = 0
+        self._statistics = self._fresh_statistics()
+
+    def _fresh_statistics(self) -> StatisticsCatalog:
+        catalog = StatisticsCatalog()
+        catalog.set_fulltext(self.store.fulltext_stats())
+        return catalog
+
+    # -- evaluation --------------------------------------------------------
+
+    def run(self, payload: Dict) -> Dict:
+        """Evaluate one request program over the shard replica.
+
+        ``payload``: ``source`` (the XQuery text), ``structured`` (True →
+        reply with merge rows for scatter/gather, False → the serialized
+        result for a single-shard answer), ``key`` (cache/diagnostic key).
+        """
+        self.runs += 1
+        compiled = self.engine.compile(payload["source"])
+        result = compiled.run(
+            collections=self.store, statistics=self._statistics
+        )
+        if payload.get("structured"):
+            return {"rows": extract_rows(result), "shard": self.shard}
+        return {"text": serialize_result(result), "shard": self.shard}
+
+    # -- replica maintenance ----------------------------------------------
+
+    def put(self, payload: Dict) -> Dict:
+        self.store.put_text(payload["uri"], payload["text"])
+        self.writes += 1
+        self._statistics = self._fresh_statistics()
+        return {"documents": len(self.store)}
+
+    def delete(self, payload: Dict) -> Dict:
+        self.store.remove(payload["uri"])
+        self.writes += 1
+        self._statistics = self._fresh_statistics()
+        return {"documents": len(self.store)}
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "runs": self.runs,
+            "writes": self.writes,
+            "errors": self.errors,
+            "store": self.store.stats(),
+            "compile_cache": self.engine.cache_info(),
+        }
+
+
+def collection_worker_main(conn, config: CollectionWorkerConfig) -> None:
+    """Worker process entry point — a request loop over one Pipe end."""
+    worker = None
+    try:
+        worker = CollectionWorker(config)
+        conn.send(
+            ("ok", "boot", {"shard": worker.shard, "documents": len(worker.store)})
+        )
+    except Exception as exc:  # a broken boot must still answer the parent
+        conn.send(("err", "boot", classify_error(exc)))
+        conn.close()
+        return
+    while True:
+        try:
+            op, req_id, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "run":
+                conn.send(("ok", req_id, worker.run(payload)))
+            elif op == "put":
+                conn.send(("ok", req_id, worker.put(payload)))
+            elif op == "delete":
+                conn.send(("ok", req_id, worker.delete(payload)))
+            elif op == "stats":
+                conn.send(("ok", req_id, worker.stats()))
+            elif op == "ping":
+                conn.send(("ok", req_id, {"time": time.monotonic()}))
+            elif op == "shutdown":
+                conn.send(("ok", req_id, {}))
+                break
+            else:
+                raise ValueError(f"unknown collection worker op {op!r}")
+        except Exception as exc:
+            worker.errors += 1
+            try:
+                conn.send(
+                    (
+                        "err",
+                        req_id,
+                        classify_error(
+                            exc,
+                            payload.get("key")
+                            if isinstance(payload, dict)
+                            else None,
+                        ),
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()

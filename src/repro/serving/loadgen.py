@@ -45,10 +45,14 @@ from ..testing.models import random_calculus_query, random_model
 
 __all__ = ["run_load", "main"]
 
-MIXES = ("cold", "warm", "mixed")
+MIXES = ("cold", "warm", "mixed", "search")
 
 #: size of the fixed query set the warm mix draws from.
 WARM_SET = 16
+
+#: the search mix's read/write split: 5% of requests are writes (a
+#: fresh document under ``docs/``), the rest full-text reads.
+SEARCH_WRITE_RATE = 0.05
 
 
 class _ClientStats:
@@ -183,6 +187,168 @@ def run_load(
     }
 
 
+def _search_request(rng: random.Random, uris: List[str], collections: List[str]):
+    """One random full-text read against the document tier."""
+    from ..collections import SearchRequest
+    from ..testing.models import random_phrase
+
+    roll = rng.random()
+    if roll < 0.15 and uris:
+        return SearchRequest(kind="doc", uri=rng.choice(uris))
+    if roll < 0.3:
+        return SearchRequest(kind="collection", collection=rng.choice(collections))
+    kind = "kwic" if roll < 0.45 else "search"
+    return SearchRequest(
+        kind=kind,
+        collection=rng.choice(collections),
+        phrase=random_phrase(rng),
+        limit=rng.choice((0, 0, 5)),
+    )
+
+
+def _search_client_loop(
+    service,
+    stats: _ClientStats,
+    stop_box: List[float],
+    rng: random.Random,
+    warm_requests: List,
+    barrier: threading.Barrier,
+) -> None:
+    from ..testing.models import random_phrase
+
+    try:
+        barrier.wait(timeout=30.0)
+    except threading.BrokenBarrierError:
+        return
+    uris = service.store.uris()
+    collections = list(service.store.known_collections())
+    stop_at = stop_box[0]
+    while time.perf_counter() < stop_at:
+        stats.requests += 1
+        started = time.perf_counter()
+        try:
+            if rng.random() < SEARCH_WRITE_RATE:
+                words = " ".join(random_phrase(rng, 1) for _ in range(6))
+                service.put_text(
+                    f"docs/hot{rng.randrange(0, 8)}.xml", f"<doc>{words}</doc>"
+                )
+            elif rng.random() < 0.8:
+                service.run(rng.choice(warm_requests))
+            else:
+                service.run(_search_request(rng, uris, collections))
+        except Exception as exc:
+            kind = classify_error(exc).kind
+            stats.errors_by_kind[kind] = stats.errors_by_kind.get(kind, 0) + 1
+            continue
+        stats.ok += 1
+        stats.latencies.append(time.perf_counter() - started)
+
+
+def run_search_load(
+    service,
+    clients: int = 16,
+    duration: float = 5.0,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Drive a :class:`~repro.collections.SearchService` with a 95/5
+    read/write full-text mix; return the report dict.
+
+    80% of reads draw from a fixed warm set, so the steady state shows
+    whether the generation-keyed result cache keeps unrelated
+    collections warm across the 5% write stream.
+    """
+    warm_rng = random.Random(seed)
+    uris = service.store.uris()
+    collections = list(service.store.known_collections())
+    warm_requests = [
+        _search_request(warm_rng, uris, collections) for _ in range(WARM_SET)
+    ]
+    barrier = threading.Barrier(clients + 1)
+    stop_box = [0.0]
+    per_client = [_ClientStats() for _ in range(clients)]
+    threads = []
+    for index, stats in enumerate(per_client):
+        thread = threading.Thread(
+            target=_search_client_loop,
+            args=(
+                service,
+                stats,
+                stop_box,
+                random.Random(seed * 100003 + index),
+                warm_requests,
+                barrier,
+            ),
+            daemon=True,
+        )
+        threads.append(thread)
+        thread.start()
+    started = time.perf_counter()
+    stop_box[0] = started + duration
+    barrier.wait(timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=duration + 60.0)
+    elapsed = time.perf_counter() - started
+
+    requests = sum(s.requests for s in per_client)
+    ok = sum(s.ok for s in per_client)
+    errors_by_kind: Dict[str, int] = {}
+    for s in per_client:
+        for kind, count in s.errors_by_kind.items():
+            errors_by_kind[kind] = errors_by_kind.get(kind, 0) + count
+    errors = sum(errors_by_kind.values())
+    latencies: List[float] = []
+    for s in per_client:
+        latencies.extend(s.latencies)
+    metrics = service.stats()["metrics"]
+    reads = metrics["cache_hits"] + metrics["cache_misses"]
+    return {
+        "clients": clients,
+        "duration_s": round(elapsed, 3),
+        "mix": "search",
+        "mode": service.mode,
+        "shards": service.shards,
+        "cpu_count": os.cpu_count(),
+        "requests": requests,
+        "ok": ok,
+        "shed": 0,
+        "errors": errors,
+        "errors_by_kind": errors_by_kind,
+        "writes": metrics["writes"],
+        "cache_hit_rate": round(metrics["cache_hits"] / reads, 4) if reads else 0.0,
+        "qps": round(ok / elapsed, 1) if elapsed > 0 else 0.0,
+        "availability": round(ok / requests, 4) if requests else 1.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+    }
+
+
+def search_parity_sweep(service, seed: int, count: int = 24) -> int:
+    """Post-burst gate for the search tier: whatever state the burst left
+    the shards and caches in, every served answer must be byte-identical
+    to an unsharded brute-force (index-off) evaluation over the live
+    authoritative store."""
+    rng = random.Random(seed + 7)
+    uris = service.store.uris()
+    collections = list(service.store.known_collections())
+    mismatches = 0
+    for _ in range(count):
+        request = _search_request(rng, uris, collections)
+        try:
+            served = service.run(request).text
+            served_err = None
+        except Exception as exc:
+            served, served_err = None, classify_error(exc).kind
+        try:
+            fresh = service.evaluate_fresh(request, use_index=False)
+            fresh_err = None
+        except Exception as exc:
+            fresh, fresh_err = None, classify_error(exc).kind
+        if served != fresh or served_err != fresh_err:
+            mismatches += 1
+    return mismatches
+
+
 def parity_sweep(
     model, process_service: QueryService, seed: int, count: int = 24
 ) -> int:
@@ -229,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--mix", choices=MIXES, default="cold")
     parser.add_argument("--model-size", type=int, default=60,
                         help="nodes in the generated model")
+    parser.add_argument("--docs", type=int, default=60,
+                        help="documents in the generated store (search mix)")
     parser.add_argument("--seed", type=int, default=20040522)
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-query wall-clock budget in seconds")
@@ -239,6 +407,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="exit nonzero unless availability is 100%% and "
                              "a post-burst scatter/gather parity sweep passes")
     args = parser.parse_args(argv)
+
+    if args.mix == "search":
+        return _search_main(args)
 
     model = random_model(args.seed, size=args.model_size)
     service = QueryService(
@@ -292,6 +463,62 @@ def main(argv: Optional[List[str]] = None) -> int:
             if mismatches:
                 print(
                     f"CHECK FAILED: {mismatches} scatter/gather parity mismatches",
+                    file=sys.stderr,
+                )
+                return 1
+            print("check passed: availability 100%, parity clean")
+        return 0
+    finally:
+        service.close()
+
+
+def _search_main(args) -> int:
+    """The ``--mix search`` path: a full-text document tier under load."""
+    from ..collections import SearchService
+    from ..testing.models import random_document_store
+
+    store = random_document_store(args.seed, docs=args.docs)
+    service = SearchService(
+        store, shards=max(1, args.workers), mode=args.mode
+    )
+    try:
+        report = run_search_load(
+            service,
+            clients=args.clients,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        mismatches = search_parity_sweep(service, args.seed)
+        report["parity_mismatches"] = mismatches
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"search mix, {report['mode']} mode, {report['shards']} shards, "
+                f"{report['clients']} clients, {report['duration_s']}s"
+            )
+            print(
+                f"  {report['requests']} requests: {report['ok']} ok, "
+                f"{report['errors']} errors -> availability "
+                f"{report['availability']:.1%}; {report['writes']} writes, "
+                f"cache hit rate {report['cache_hit_rate']:.1%}"
+            )
+            print(
+                f"  {report['qps']} qps sustained; latency p50 "
+                f"{report['p50_ms']}ms / p95 {report['p95_ms']}ms / "
+                f"p99 {report['p99_ms']}ms"
+            )
+            print(f"  parity sweep: {mismatches} mismatches")
+        if args.check:
+            if report["availability"] < 1.0:
+                print(
+                    f"CHECK FAILED: availability {report['availability']:.2%} < 100%",
+                    file=sys.stderr,
+                )
+                return 1
+            if mismatches:
+                print(
+                    f"CHECK FAILED: {mismatches} search parity mismatches",
                     file=sys.stderr,
                 )
                 return 1

@@ -33,9 +33,15 @@ from ..xquery import EngineConfig
 from ..xquery.errors import XQueryStaticError  # noqa: F401  (re-export for tests)
 from .generator import GENERATOR_VERSION, GenExpr, ProgramGenerator, atom
 from .metamorphic import metamorphic_pair
-from .models import random_calculus_query, random_model
+from .models import (
+    random_calculus_query,
+    random_document_store,
+    random_model,
+    random_phrase,
+)
 from .oracle import (
     CalculusOracle,
+    CollectionOracle,
     Divergence,
     compare_sources,
     divergence_from,
@@ -52,7 +58,13 @@ PROGRAM_TIMEOUT = 2.0
 #: how many calculus queries share one random model before a fresh one.
 QUERIES_PER_MODEL = 25
 
-KINDS = ("xquery", "metamorphic", "calculus")
+KINDS = ("xquery", "metamorphic", "calculus", "collection")
+
+#: how many collection programs share one seeded document store.  The
+#: store is occasionally mutated between draws (an update script against
+#: a model-backed document), so the incrementally-maintained index is
+#: part of what every subsequent program differentially tests.
+PROGRAMS_PER_STORE = 40
 
 
 @dataclass
@@ -177,7 +189,10 @@ def run_campaign(
     oracle: Optional[CalculusOracle] = None
     model_queries = 0
     model_index = 0
-    weights = {"xquery": 60, "metamorphic": 20, "calculus": 20}
+    coll_oracle: Optional[CollectionOracle] = None
+    store_programs = 0
+    store_index = 0
+    weights = {"xquery": 50, "metamorphic": 15, "calculus": 20, "collection": 15}
     active = [k for k in KINDS if k in kinds]
     for _ in range(budget):
         if time_limit is not None and time.perf_counter() - started > time_limit:
@@ -222,6 +237,24 @@ def run_campaign(
             )
             if divergence is not None:
                 stats.divergences.append(divergence)
+        elif kind == "collection":
+            if coll_oracle is None or store_programs >= PROGRAMS_PER_STORE:
+                store_index += 1
+                if coll_oracle is not None:
+                    coll_oracle.close()
+                coll_oracle = CollectionOracle(
+                    random_document_store(seed * 777 + store_index),
+                    timeout=PROGRAM_TIMEOUT,
+                    serving=serving,
+                )
+                store_programs = 0
+            store_programs += 1
+            divergence = _collection_draw(rng, generator, coll_oracle, serving)
+            stats.outcomes["collection-program"] = (
+                stats.outcomes.get("collection-program", 0) + 1
+            )
+            if divergence is not None:
+                stats.divergences.append(divergence)
         else:
             if oracle is None or model_queries >= QUERIES_PER_MODEL:
                 model_index += 1
@@ -243,8 +276,68 @@ def run_campaign(
                 stats.divergences.append(divergence)
     if oracle is not None:
         oracle.close()
+    if coll_oracle is not None:
+        coll_oracle.close()
     stats.elapsed = time.perf_counter() - started
     return stats
+
+
+def _collection_draw(
+    rng: random.Random,
+    generator: ProgramGenerator,
+    oracle: CollectionOracle,
+    serving: bool,
+) -> Optional[Divergence]:
+    """One collection-kind draw against a shared seeded store.
+
+    Occasionally mutates the store first — a write through every serving
+    tier, so replicas patch incrementally and generation-keyed cache
+    entries go cold — then compares either a generated program (all
+    backends, indexed vs scan) or a structured request (direct engine vs
+    service cold/warm vs sharded scatter/gather).  The RNG draws are
+    identical with and without ``serving``: when the process/thread tiers
+    are absent, the same generated request still runs as its source
+    program under the six-way program oracle.
+    """
+    from ..collections import SearchRequest
+    from ..collections.service import REQUEST_KINDS
+    from .models import FT_COLLECTIONS
+
+    store = oracle.store
+    roll = rng.random()
+    if roll < 0.12:
+        uri = f"docs/w{rng.randrange(0, 5)}.xml"
+        if rng.random() < 0.25 and uri in store:
+            if oracle.services:
+                oracle.sharded.delete(uri)
+            else:
+                store.remove(uri)
+        else:
+            words = " ".join(random_phrase(rng, 1) for _ in range(rng.randrange(2, 9)))
+            text = f"<doc>{words}</doc>"
+            if oracle.services:
+                for service in oracle.services:
+                    service.put_text(uri, text)
+            else:
+                store.put_text(uri, text)
+    uris = store.uris()
+    collections = store.known_collections() or list(FT_COLLECTIONS)
+    phrases = [random_phrase(rng) for _ in range(4)]
+    if rng.random() < 0.25:
+        kind = rng.choice([k for k in REQUEST_KINDS if k != "doc"] + ["doc"] * 2)
+        request = SearchRequest(
+            kind=kind,
+            uri=rng.choice(uris) if uris else "missing.xml",
+            collection=rng.choice(list(collections)),
+            phrase=random_phrase(rng),
+            width=rng.choice((10, 20, 40)),
+            limit=rng.choice((0, 0, 1, 3)),
+        )
+        if oracle.services:
+            return oracle.compare_request(request)
+        return oracle.compare(request.source())
+    program = generator.collection_program(uris, list(collections), phrases)
+    return oracle.compare(program.render())
 
 
 def shrink_divergence(program: GenExpr, config: EngineConfig) -> str:

@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 #: bumped whenever the grammar changes shape enough that a recorded
 #: (seed, version) pair would regenerate a different program.  Stored in
 #: corpus provenance headers.
-GENERATOR_VERSION = 1
+GENERATOR_VERSION = 2
 
 Part = Union[str, "GenExpr"]
 
@@ -194,6 +194,11 @@ class ProgramGenerator:
         "err-user-error",
         "err-bad-cast",
         "err-cardinality",
+        "fn-doc",
+        "fn-collection",
+        "ft-search",
+        "ft-score",
+        "ft-kwic",
     )
 
     def __init__(
@@ -242,6 +247,109 @@ class ProgramGenerator:
         body = self._expr(env, self.max_fuel)
         parts.append(body)
         return GenExpr("program", parts, flavor=body.flavor)
+
+    def collection_program(
+        self,
+        uris: Sequence[str],
+        collections: Sequence[str],
+        phrases: Sequence[str],
+    ) -> GenExpr:
+        """A program over a document store's corpus (the "collection" kind).
+
+        Draws uris, collection prefixes, and search phrases from the
+        supplied corpus so most programs hit real documents; a rare draw
+        of a uri that is *not* in the corpus exercises the ``FODC0002``
+        path, which every backend must classify identically (no
+        allowlisting for collection divergences).
+        """
+        self._functions = []
+        self._trace_counter = 0
+
+        def lit(value: str) -> str:
+            return '"' + value.replace('"', '""') + '"'
+
+        def a_uri() -> str:
+            if uris and self.rng.random() < 0.92:
+                return self.rng.choice(list(uris))
+            return f"missing/u{self.rng.randrange(0, 100)}.xml"
+
+        def a_coll() -> str:
+            return self.rng.choice(list(collections) or [""])
+
+        def a_phrase() -> str:
+            return self.rng.choice(list(phrases) or ["alpha"])
+
+        production = self._choice(
+            [
+                ("fn-doc", 18),
+                ("fn-collection", 22),
+                ("ft-search", 30),
+                ("ft-score", 14),
+                ("ft-kwic", 16),
+            ]
+        )
+        self._hit(production)
+        if production == "fn-doc":
+            uri = a_uri()
+            shape = self.rng.random()
+            if shape < 0.4:
+                body = f"fn:doc({lit(uri)})"
+            elif shape < 0.7:
+                body = f"count(fn:doc({lit(uri)})//*)"
+            else:
+                body = (
+                    f"if (fn:doc-available({lit(uri)})) "
+                    f"then string-length(string(fn:doc({lit(uri)}))) else -1"
+                )
+            return GenExpr("fn-doc", [body], flavor="any")
+        if production == "fn-collection":
+            coll = a_coll()
+            shape = self.rng.random()
+            if shape < 0.35:
+                body = f"count(fn:collection({lit(coll)}))"
+            elif shape < 0.7:
+                body = (
+                    f"for $d in fn:collection({lit(coll)}) "
+                    f"return element member {{ attribute uri {{ ft:uri($d) }} }}"
+                )
+            else:
+                body = (
+                    f"sum(for $d in fn:collection({lit(coll)}) "
+                    f"return string-length(string($d)))"
+                )
+            return GenExpr("fn-collection", [body], flavor="any")
+        if production == "ft-search":
+            coll, phrase = a_coll(), a_phrase()
+            shape = self.rng.random()
+            if shape < 0.5:
+                body = (
+                    f"for $d in ft:search({lit(coll)}, {lit(phrase)}) "
+                    f"return element hit {{ attribute uri {{ ft:uri($d) }}, "
+                    f"attribute score {{ ft:score($d, {lit(phrase)}) }} }}"
+                )
+            elif shape < 0.75:
+                body = f"count(ft:search({lit(coll)}, {lit(phrase)}))"
+            else:
+                body = (
+                    f"for $d in ft:search({lit(phrase)}) "
+                    f"return element hit {{ attribute uri {{ ft:uri($d) }} }}"
+                )
+            return GenExpr("ft-search", [body], flavor="any")
+        if production == "ft-score":
+            phrase = a_phrase()
+            body = (
+                f"for $d in fn:collection({lit(a_coll())}) "
+                f"return ft:score($d, {lit(phrase)})"
+            )
+            return GenExpr("ft-score", [body], flavor="sequence")
+        phrase = a_phrase()
+        width = self.rng.choice((10, 20, 40))
+        body = (
+            f"for $d in ft:search({lit(a_coll())}, {lit(phrase)}) "
+            f"return for $s in ft:kwic($d, {lit(phrase)}, {width}) "
+            f"return element snippet {{ $s }}"
+        )
+        return GenExpr("ft-kwic", [body], flavor="any")
 
     def _declaration(self, env: List[_Binding]) -> GenExpr:
         roll = self.rng.random()

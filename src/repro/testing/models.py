@@ -212,6 +212,51 @@ def random_update_script(rng: random.Random, model: Model) -> str:
     return "\n".join(statement + ";" for statement in statements)
 
 
+#: full-text vocabulary for generated documents.  Deliberately includes
+#: multi-byte words (combining-free but non-ASCII) so tokenization, KWIC
+#: offsets, and the index round-trip are exercised outside ASCII.
+FT_WORDS = [
+    "alpha", "beta", "gamma", "delta", "omega", "kappa", "zeta",
+    "čaj", "füße", "京都", "naïve", "señor",
+]
+
+#: collection prefixes the generated store writes under.
+FT_COLLECTIONS = ["docs/", "notes/", "models/"]
+
+
+def random_document_store(seed: int, docs: int = 12):
+    """A seeded :class:`repro.collections.DocumentStore` for fuzzing.
+
+    Mostly plain-text documents over :data:`FT_WORDS` spread across
+    ``docs/`` and ``notes/``; a few entries under ``models/`` are live AWB
+    models wired through :meth:`DocumentStore.put_model`, so incremental
+    update scripts (:func:`random_update_script`) have real targets and
+    the index-maintenance path through the exporter gets exercised.
+    """
+    from ..collections import DocumentStore
+
+    rng = random.Random(seed)
+    store = DocumentStore()
+    for index in range(docs):
+        if index % 5 == 4:
+            model = random_model(seed * 1000 + index, size=8)
+            store.put_model(f"models/m{index}.xml", model)
+            continue
+        prefix = "docs/" if index % 2 == 0 else "notes/"
+        paragraphs = []
+        for _ in range(rng.randrange(1, 4)):
+            words = " ".join(rng.choice(FT_WORDS) for _ in range(rng.randrange(3, 12)))
+            paragraphs.append(f"<p>{words}</p>")
+        store.put_text(f"{prefix}d{index}.xml", f"<doc>{''.join(paragraphs)}</doc>")
+    return store
+
+
+def random_phrase(rng: random.Random, max_tokens: int = 3) -> str:
+    """A 1..``max_tokens``-word phrase over the full-text vocabulary."""
+    count = rng.randrange(1, max_tokens + 1)
+    return " ".join(rng.choice(FT_WORDS) for _ in range(count))
+
+
 def describe_query(query: Query) -> str:
     """Human-readable one-liner (the normalized plan text)."""
     from ..querycalc.service.plans import normalize_query

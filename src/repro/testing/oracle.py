@@ -507,6 +507,133 @@ class CalculusOracle:
         )
 
 
+# -- the collection / full-text oracle -----------------------------------------
+
+
+class CollectionOracle:
+    """Differential oracle for ``fn:doc``/``fn:collection``/``ft:*`` programs.
+
+    One program runs under every engine backend **twice** — once with the
+    store's inverted index answering ``ft:search`` and once with the index
+    disabled (brute-force document scan) — six outcomes that must agree
+    byte-for-byte.  Nothing here is ever allowlisted: the allowlist's
+    rules all match kind ``"calculus"``, and a collection divergence
+    (indexed vs scan, or backend vs backend) is always a bug.
+
+    ``serving=True`` adds the request-level facet: a
+    :class:`~repro.collections.SearchRequest` is answered by the direct
+    engine (indexed and scan), a one-shard :class:`SearchService` cold and
+    warm (the warm hit must replay the cold text from the generation-keyed
+    cache), and a sharded thread-tier service whose scatter/gather merge
+    must be byte-identical to the unsharded answer.
+    """
+
+    def __init__(
+        self,
+        store,
+        config: Optional[EngineConfig] = None,
+        timeout: Optional[float] = None,
+        serving: bool = False,
+        shards: int = 2,
+    ):
+        self.store = store
+        self.config = config or EngineConfig()
+        self.engine = XQueryEngine(self.config)
+        self.timeout = timeout
+        self.services: List[object] = []
+        if serving:
+            from ..collections import SearchService
+
+            self.single = SearchService(store, shards=1, mode="thread")
+            self.sharded = SearchService(store, shards=shards, mode="thread")
+            self.services = [self.single, self.sharded]
+
+    def close(self) -> None:
+        for service in self.services:
+            service.close()
+
+    def __enter__(self) -> "CollectionOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def outcomes(self, source: str) -> Dict[str, tuple]:
+        run_kwargs: dict = {"collections": self.store}
+        if self.timeout is not None:
+            run_kwargs["timeout"] = self.timeout
+        try:
+            query = self.engine.compile(source)
+        except XQueryError as error:
+            outcome = ("error", type(error).__name__, error.code, error.bare_message)
+            return {
+                f"{backend}-{mode}": outcome
+                for backend in BACKENDS
+                for mode in ("indexed", "scan")
+            }
+        outcomes: Dict[str, tuple] = {}
+        was_indexed = self.store.use_index
+        try:
+            for mode, use_index in (("indexed", True), ("scan", False)):
+                self.store.use_index = use_index
+                for backend in BACKENDS:
+                    outcomes[f"{backend}-{mode}"] = run_outcome(
+                        query, backend, **run_kwargs
+                    )
+        finally:
+            self.store.use_index = was_indexed
+        return outcomes
+
+    def compare(self, source: str) -> Optional[Divergence]:
+        return divergence_from(source, self.outcomes(source), "collection")
+
+    def request_outcomes(self, request) -> Dict[str, tuple]:
+        """The request-level facet's comparison map (needs ``serving``)."""
+        outcomes: Dict[str, tuple] = {
+            "direct-indexed": self._direct(request, use_index=True),
+            "direct-scan": self._direct(request, use_index=False),
+        }
+        for name, service in (("service", self.single), ("sharded", self.sharded)):
+            outcomes[f"{name}-cold"] = self._service(service, request)
+            outcomes[f"{name}-warm"] = self._service(service, request)
+        return outcomes
+
+    def compare_request(self, request) -> Optional[Divergence]:
+        outcomes = self.request_outcomes(request)
+        texts = {
+            name: outcome[1] if outcome[0] == "ok" else outcome
+            for name, outcome in outcomes.items()
+        }
+        if len({repr(text) for text in texts.values()}) > 1:
+            return Divergence(
+                "collection", request.source(), outcomes, detail="request-facet"
+            )
+        cold, warm = outcomes["service-cold"], outcomes["service-warm"]
+        if cold[0] == "ok" and warm[0] == "ok" and not warm[2]:
+            return Divergence(
+                "collection",
+                request.source(),
+                outcomes,
+                detail="request-facet: warm hit missed the generation-keyed cache",
+            )
+        return None
+
+    def _direct(self, request, use_index: bool) -> tuple:
+        try:
+            text = self.single.evaluate_fresh(request, use_index=use_index)
+        except Exception as error:  # noqa: BLE001 - classified below
+            return ("error", type(error).__name__)
+        return ("ok", text)
+
+    @staticmethod
+    def _service(service, request) -> tuple:
+        try:
+            result = service.run(request)
+        except Exception as error:  # noqa: BLE001 - classified below
+            return ("error", type(error).__name__)
+        return ("ok", result.text, result.cached)
+
+
 # -- the update / view-maintenance oracle --------------------------------------
 
 

@@ -56,6 +56,7 @@ from .plans import (
     FLWORPlan,
     ForJoinOp,
     ForOp,
+    FullTextScanPlan,
     GenericPred,
     InlineCallPlan,
     LetOp,
@@ -203,6 +204,15 @@ def _exec_builtin_call(plan: BuiltinCallPlan, ctx, bindings, state):
         result = plan.builtin(ctx, args, plan.expr)
         state.roots[id(node)] = (node, result)
         return list(result)
+    return plan.builtin(ctx, args, plan.expr)
+
+
+def _exec_full_text_scan(plan: FullTextScanPlan, ctx, bindings, state):
+    # a pure pass-through to the ft:search builtin: the store behind the
+    # dynamic context picks indexed postings or the brute-force document
+    # scan, and both are pinned byte-identical.  The operator exists for
+    # the optimizer's catalog-backed estimate and the explain output.
+    args = [execute_plan(arg, ctx, bindings, state) for arg in plan.args]
     return plan.builtin(ctx, args, plan.expr)
 
 
@@ -892,6 +902,7 @@ _EXEC = {
     SequencePlan: _exec_sequence,
     StringFnPlan: _exec_string_fn,
     BuiltinCallPlan: _exec_builtin_call,
+    FullTextScanPlan: _exec_full_text_scan,
     SetOpPlan: _exec_set_op,
     InlineCallPlan: _exec_inline_call,
     PathPlan: _exec_path,

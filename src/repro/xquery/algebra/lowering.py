@@ -45,6 +45,7 @@ from .plans import (
     FLWORPlan,
     ForJoinOp,
     ForOp,
+    FullTextScanPlan,
     GenericPred,
     InlineCallPlan,
     LetOp,
@@ -391,6 +392,22 @@ class Lowerer:
         from ..functions import lookup_builtin  # deferred: functions imports evaluator
 
         builtin = lookup_builtin(name, len(expr.args))
+        if name == "ft:search" and builtin is not None and len(expr.args) in (1, 2):
+            # the indexed full-text scan: same builtin, surfaced as a scan
+            # operator so the optimizer can estimate hits from the
+            # collection catalog (df of the rarest phrase token).
+            args = [self.lower(arg) for arg in expr.args]
+            literals = [
+                arg.value
+                if isinstance(arg, ast.Literal) and isinstance(arg.value, str)
+                else None
+                for arg in expr.args
+            ]
+            if len(expr.args) == 1:
+                collection, phrase = "", literals[0]
+            else:
+                collection, phrase = literals
+            return FullTextScanPlan(expr, name, builtin, args, collection, phrase)
         if builtin is not None and expr.args:
             args = [self.lower(arg) for arg in expr.args]
             if any(not isinstance(arg, EvalPlan) for arg in args):

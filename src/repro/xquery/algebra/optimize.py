@@ -55,6 +55,7 @@ from .plans import (
     FLWORPlan,
     ForJoinOp,
     ForOp,
+    FullTextScanPlan,
     GenericPred,
     InlineCallPlan,
     LetOp,
@@ -118,6 +119,10 @@ class _Optimizer:
         elif isinstance(plan, StringFnPlan):
             self.visit(plan.arg, input_rows)
             rows = 1.0
+        elif isinstance(plan, FullTextScanPlan):
+            for arg in plan.args:
+                self.visit(arg, input_rows)
+            rows = self.stats.fulltext_estimate(plan.collection, plan.phrase)
         elif isinstance(plan, BuiltinCallPlan):
             rows = 1.0
             for arg in plan.args:

@@ -28,6 +28,7 @@ __all__ = [
     "SequencePlan",
     "StringFnPlan",
     "BuiltinCallPlan",
+    "FullTextScanPlan",
     "SetOpPlan",
     "StepPlan",
     "PathPlan",
@@ -302,6 +303,47 @@ class BuiltinCallPlan(Plan):
 
     def label(self) -> str:
         return f"Call:{self.name}"
+
+    def children(self) -> List[Plan]:
+        return list(self.args)
+
+
+class FullTextScanPlan(Plan):
+    """``ft:search($collection, $phrase)`` as a first-class scan operator.
+
+    Execution is a pure pass-through to the builtin (the store decides
+    indexed postings vs the brute-force document scan), but surfacing the
+    call as an operator gives the optimizer a catalog-backed cardinality
+    — ``min(document frequency)`` over the phrase tokens, clamped by the
+    collection size — and gives ``--explain`` an honest scan node instead
+    of an opaque builtin call.  ``collection``/``phrase`` hold the
+    argument strings when they are literals (the estimable case), else
+    None.
+    """
+
+    __slots__ = ("expr", "name", "builtin", "args", "collection", "phrase")
+
+    def __init__(
+        self,
+        expr: ast.FunctionCall,
+        name: str,
+        builtin,
+        args: List[Plan],
+        collection: Optional[str],
+        phrase: Optional[str],
+    ):
+        super().__init__()
+        self.expr = expr
+        self.name = name
+        self.builtin = builtin
+        self.args = args
+        self.collection = collection
+        self.phrase = phrase
+
+    def label(self) -> str:
+        where = "?" if self.collection is None else (self.collection or "*")
+        what = "?" if self.phrase is None else self.phrase
+        return f"FullTextScan[{where} ~ {what!r}]"
 
     def children(self) -> List[Plan]:
         return list(self.args)

@@ -55,6 +55,7 @@ class StatisticsCatalog:
         "attr_domains",
         "schema",
         "generation",
+        "fulltext",
         "_child_totals",
         "_attr_values",
         "_edge_counts",
@@ -77,6 +78,9 @@ class StatisticsCatalog:
         #: one we know (currently: the AWB export schema).  None otherwise.
         self.schema = None
         self.generation = generation
+        #: collection/full-text statistics (see :meth:`set_fulltext`), or
+        #: None when no document store feeds this catalog.
+        self.fulltext: Optional[Dict[str, object]] = None
         # exact underlying state the derived estimates are computed from —
         # persisted (not discarded after the walk) so apply_delta can
         # add/subtract subtree contributions instead of re-walking.
@@ -328,6 +332,55 @@ class StatisticsCatalog:
                 for (element, attribute), count in sorted(self.attr_distinct.items())
             },
         }
+
+    # -- collection / full-text statistics ---------------------------------
+
+    def set_fulltext(self, stats: Dict[str, object]) -> None:
+        """Attach collection statistics for ``FullTextScan`` estimation.
+
+        *stats* is a :meth:`repro.collections.DocumentStore.fulltext_stats`
+        payload: ``total_docs``, ``collection_docs`` (prefix → member
+        count), and ``doc_frequency`` (token → documents containing it).
+        """
+        self.fulltext = stats
+
+    def fulltext_doc_count(self, collection: Optional[str]) -> Optional[int]:
+        """Members of *collection* (None → the whole store), if known."""
+        if self.fulltext is None:
+            return None
+        if collection is None:
+            return int(self.fulltext.get("total_docs", 0))
+        per_collection = self.fulltext.get("collection_docs", {})
+        prefix = collection if collection in ("",) or collection.endswith("/") else collection + "/"
+        if prefix in per_collection:
+            return int(per_collection[prefix])
+        return None
+
+    def fulltext_estimate(
+        self, collection: Optional[str], phrase: Optional[str]
+    ) -> float:
+        """Estimated hits for ``ft:search(collection, phrase)``.
+
+        A phrase cannot match more documents than its rarest token's
+        document frequency, so the estimate is ``min(df)`` over the
+        phrase tokens, clamped by the collection's member count.  With
+        no catalog data the prior is a small constant — enough to rank a
+        FullTextScan far below an unindexed document scan.
+        """
+        members = self.fulltext_doc_count(collection)
+        if self.fulltext is None or phrase is None:
+            fallback = 8.0
+            return float(min(members, fallback)) if members is not None else fallback
+        from ...collections.fulltext import tokens_of  # deferred: no cycle at import
+
+        tokens = tokens_of(phrase)
+        if not tokens:
+            return 0.0
+        frequencies = self.fulltext.get("doc_frequency", {})
+        rarest = min(int(frequencies.get(token, 0)) for token in tokens)
+        if members is not None:
+            rarest = min(rarest, members)
+        return float(rarest)
 
 
 _DEFAULT_COUNT = 100

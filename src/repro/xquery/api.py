@@ -193,6 +193,7 @@ class CompiledQuery:
         deadline: Optional[float] = None,
         statistics=None,
         algebra_cache=None,
+        collections=None,
     ) -> Sequence:
         """Evaluate the query body; returns a flat sequence of items.
 
@@ -204,6 +205,10 @@ class CompiledQuery:
         exceeds it raises :class:`~repro.xquery.errors.XQueryTimeoutError`
         (``XQDY_TIMEOUT``) at the next stage boundary instead of hanging
         the calling thread.
+
+        ``collections`` supplies a :class:`repro.collections.DocumentStore`
+        backing ``fn:doc``/``fn:collection`` and the ``ft:*`` full-text
+        builtins, in every backend.
 
         ``statistics`` and ``algebra_cache`` only affect
         ``backend="algebra"``: the former is a
@@ -225,6 +230,7 @@ class CompiledQuery:
             config=self.config,
             trace=trace,
             deadline=deadline,
+            collections=collections,
         )
         provided = {
             name: _coerce_sequence(value) for name, value in (variables or {}).items()
@@ -374,6 +380,7 @@ class XQueryEngine:
         documents: Optional[Dict[str, DocumentNode]] = None,
         trace: Optional[TraceLog] = None,
         timeout: Optional[float] = None,
+        collections=None,
     ) -> Sequence:
         """One-shot compile-and-run."""
         return self.compile(source).run(
@@ -382,6 +389,7 @@ class XQueryEngine:
             documents=documents,
             trace=trace,
             timeout=timeout,
+            collections=collections,
         )
 
     def evaluate_to_string(self, source: str, **kwargs) -> str:

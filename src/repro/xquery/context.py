@@ -123,6 +123,7 @@ class DynamicContext:
         "size",
         "functions",
         "documents",
+        "collections",
         "config",
         "trace",
         "depth",
@@ -137,6 +138,7 @@ class DynamicContext:
         config: Optional[EngineConfig] = None,
         trace: Optional[TraceLog] = None,
         deadline: Optional[float] = None,
+        collections=None,
     ):
         self.variables: Dict[str, Sequence] = variables if variables is not None else {}
         #: module-level (prolog-declared and external) variables; visible in
@@ -147,6 +149,10 @@ class DynamicContext:
         self.size = 0
         self.functions = functions if functions is not None else {}
         self.documents = documents if documents is not None else {}
+        #: a :class:`repro.collections.DocumentStore` (or None): the
+        #: uri-addressed multi-document store behind ``fn:doc``,
+        #: ``fn:collection``, and the ``ft:*`` builtins.
+        self.collections = collections
         self.config = config if config is not None else EngineConfig()
         self.trace = trace if trace is not None else TraceLog()
         self.depth = 0
@@ -199,6 +205,7 @@ class DynamicContext:
         child.size = self.size
         child.functions = self.functions
         child.documents = self.documents
+        child.collections = self.collections
         child.config = self.config
         child.trace = self.trace
         child.depth = self.depth

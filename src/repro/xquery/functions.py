@@ -685,6 +685,8 @@ def _fn_root(ctx, args, expr) -> Sequence:
 def _fn_doc(ctx, args, expr) -> Sequence:
     uri = _string_of(args[0], "doc")
     document = ctx.documents.get(uri)
+    if document is None and ctx.collections is not None:
+        document = ctx.collections.get(uri)
     if document is None:
         raise XQueryDynamicError(f"document {uri!r} is not available", code="FODC0002")
     return [document]
@@ -692,4 +694,120 @@ def _fn_doc(ctx, args, expr) -> Sequence:
 
 @builtin("doc-available", 1)
 def _fn_doc_available(ctx, args, expr) -> Sequence:
-    return [_string_of(args[0], "doc-available") in ctx.documents]
+    uri = _string_of(args[0], "doc-available")
+    if uri in ctx.documents:
+        return [True]
+    return [ctx.collections is not None and uri in ctx.collections]
+
+
+# -- collections + full-text search (repro.collections) ------------------------
+#
+# These builtins are thin glue over the collection store carried by the
+# dynamic context (``CompiledQuery.run(collections=...)``); the logic —
+# inverted index, brute-force scan, KWIC extraction — lives in
+# :mod:`repro.collections`.  Registering them here (not in that package)
+# guarantees they exist whenever the function registry is imported, for
+# all three backends and for the typed lint pass, with no circular import.
+
+
+def _collection_store(ctx, what: str):
+    store = ctx.collections
+    if store is None:
+        raise XQueryDynamicError(
+            f"{what}: no collection store in the dynamic context", code="FODC0002"
+        )
+    return store
+
+
+def _stored_document(ctx, value: Sequence, what: str):
+    """Resolve a node (its containing document) or a uri string to a stored doc."""
+    store = _collection_store(ctx, what)
+    if not value:
+        raise XQueryTypeError(f"{what} requires a node or uri argument")
+    if len(value) > 1:
+        raise XQueryTypeError(f"{what} requires a singleton argument")
+    item = value[0]
+    if is_node(item):
+        return store, item.root()
+    return store, store.resolve(string_value_of_atomic(item))
+
+
+@builtin("collection", 0, 1)
+def _fn_collection(ctx, args, expr) -> Sequence:
+    store = _collection_store(ctx, "collection")
+    uri = _string_of(args[0], "collection") if args else ""
+    return [document for _uri, document in store.collection(uri)]
+
+
+@builtin("ft:search", 1, 2)
+def _ft_search(ctx, args, expr) -> Sequence:
+    """Documents containing the phrase, ordered by (score desc, uri asc).
+
+    ``ft:search($phrase)`` searches the whole store;
+    ``ft:search($collection, $phrase)`` one collection.  The store's
+    ``use_index`` flag selects postings vs brute-force scan — the result
+    is byte-identical either way (the oracle and E22 pin this).
+    """
+    store = _collection_store(ctx, "ft:search")
+    if len(args) == 2:
+        collection = _string_of(args[0], "ft:search")
+        phrase = _string_of(args[1], "ft:search")
+    else:
+        collection = ""
+        phrase = _string_of(args[0], "ft:search")
+    return [store.resolve(uri) for uri, _score in store.search(collection, phrase)]
+
+
+@builtin("ft:score", 2)
+def _ft_score(ctx, args, expr) -> Sequence:
+    """Phrase occurrence count in a node's string value (or a stored uri).
+
+    Purely document-local (no idf), so the score a shard computes equals
+    the score the unsharded engine computes — the property scatter/gather
+    and the indexed/brute parity both rely on.
+    """
+    from ..collections.fulltext import count_phrase
+
+    phrase = _string_of(args[1], "ft:score")
+    if not args[0]:
+        return [0]
+    if len(args[0]) > 1:
+        raise XQueryTypeError("ft:score requires a singleton first argument")
+    item = args[0][0]
+    if is_node(item):
+        text = item.string_value()
+    else:
+        store = _collection_store(ctx, "ft:score")
+        text = store.resolve(string_value_of_atomic(item)).string_value()
+    return [count_phrase(text, phrase)]
+
+
+@builtin("ft:kwic", 2, 3)
+def _ft_kwic(ctx, args, expr) -> Sequence:
+    """KWIC snippets (``before«match»after``), one per occurrence."""
+    from ..collections.kwic import CHARS_KWIC, kwic_snippets
+
+    phrase = _string_of(args[1], "ft:kwic")
+    width = CHARS_KWIC
+    if len(args) == 3:
+        number = _numeric(args[2], "ft:kwic")
+        if number is not None:
+            width = max(0, int(number))
+    if not args[0]:
+        return []
+    if len(args[0]) > 1:
+        raise XQueryTypeError("ft:kwic requires a singleton first argument")
+    item = args[0][0]
+    if is_node(item):
+        text = item.string_value()
+    else:
+        store = _collection_store(ctx, "ft:kwic")
+        text = store.resolve(string_value_of_atomic(item)).string_value()
+    return list(kwic_snippets(text, phrase, width))
+
+
+@builtin("ft:uri", 1)
+def _ft_uri(ctx, args, expr) -> Sequence:
+    """The store URI of the document containing the argument node."""
+    store, document = _stored_document(ctx, args[0], "ft:uri")
+    return [store.uri_of(document)]

@@ -1,0 +1,84 @@
+"""KWIC snippet extraction: the edge cases the eXist-db shape implies.
+
+A snippet exists exactly when ``ft:search`` would count an occurrence, so
+these tests double as the occurrence semantics spec: matches at the
+document boundaries keep empty (un-ellipsized) sides, overlapping and
+adjacent matches each get their own snippet, offsets are character
+offsets so multi-byte text never splits, and zero hits mean zero
+snippets — not an error.
+"""
+
+from repro.collections.kwic import CHARS_KWIC, CHARS_SUMMARY, kwic_snippets
+from repro.collections.fulltext import count_phrase
+
+
+def test_match_at_document_start():
+    snippets = kwic_snippets("alpha beta follows after", "alpha beta", width=10)
+    assert snippets == ["«alpha beta» follows a…"]
+
+
+def test_match_at_document_end():
+    snippets = kwic_snippets("it all ends with alpha beta", "alpha beta", width=10)
+    assert snippets == ["…ends with «alpha beta»"]
+
+
+def test_match_is_whole_document():
+    assert kwic_snippets("alpha", "alpha") == ["«alpha»"]
+
+
+def test_short_sides_are_not_ellipsized():
+    # both sides fit inside the width: no ellipsis anywhere.
+    assert kwic_snippets("a alpha z", "alpha", width=10) == ["a «alpha» z"]
+
+
+def test_overlapping_matches_each_get_a_snippet():
+    # "a a a" contains "a a" twice (overlapping occurrences all count).
+    snippets = kwic_snippets("a a a", "a a", width=5)
+    assert len(snippets) == 2
+    assert snippets[0] == "«a a» a"
+    assert snippets[1] == "a «a a»"
+    assert count_phrase("a a a", "a a") == 2
+
+
+def test_adjacent_matches():
+    snippets = kwic_snippets("alpha beta alpha beta", "alpha beta", width=6)
+    assert len(snippets) == 2
+    assert snippets[0].startswith("«alpha beta»")
+    assert snippets[1].endswith("«alpha beta»")
+
+
+def test_multi_token_phrase_spans_original_separators():
+    # whatever separated the tokens in the document stays inside « ».
+    snippets = kwic_snippets("x alpha,  beta y", "alpha beta", width=3)
+    assert snippets == ["x «alpha,  beta» y"]
+
+
+def test_multibyte_characters_do_not_split():
+    text = "京都 čaj füße 京都 čaj"
+    snippets = kwic_snippets(text, "čaj", width=4)
+    assert len(snippets) == 2
+    for snippet in snippets:
+        assert "«čaj»" in snippet
+    # casefolded matching still finds the multi-byte token.
+    assert kwic_snippets("das FÜSSE wort", "füße", width=5) == ["das «FÜSSE» wort"]
+
+
+def test_zero_hit_queries_yield_no_snippets():
+    assert kwic_snippets("alpha beta", "gamma") == []
+    assert kwic_snippets("alpha beta", "") == []
+    assert kwic_snippets("alpha beta", " ,;") == []  # token-free phrase
+    assert kwic_snippets("", "alpha") == []
+
+
+def test_width_truncation_and_defaults():
+    text = "x" * 100 + " alpha " + "y" * 100
+    (snippet,) = kwic_snippets(text, "alpha")
+    # default width is eXist's CHARS_KWIC on each side, plus the two
+    # ellipses and the delimited match.
+    assert CHARS_KWIC == 40 and CHARS_SUMMARY == 120
+    assert snippet == "…" + "x" * 39 + " " + "«alpha»" + " " + "y" * 39 + "…"
+
+
+def test_case_insensitive_matching_preserves_original_text():
+    (snippet,) = kwic_snippets("say Alpha BETA now", "alpha beta", width=5)
+    assert snippet == "say «Alpha BETA» now"

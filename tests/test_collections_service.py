@@ -1,0 +1,201 @@
+"""The search service tier: routing proofs, generation-keyed cache,
+scatter/gather byte-identity, and structured errors across the pipe.
+
+The cache invariant under test: keys carry the *collection generation*
+(document generation for uri-addressed reads), so a write to ``docs/``
+cold-starts exactly the ``docs/`` answers while ``notes/`` stays warm —
+no sweep, no global flush.
+"""
+
+import pytest
+
+from repro.collections import (
+    DocumentStore,
+    SearchRequest,
+    SearchService,
+    doc_shard,
+    route_request,
+)
+from repro.querycalc.service.errors import RemoteQueryError, classify_error
+from repro.testing.models import random_document_store
+from repro.xquery.errors import XQueryDynamicError
+
+
+def make_store(docs=8):
+    store = DocumentStore()
+    for index in range(docs):
+        prefix = "docs/" if index % 2 == 0 else "notes/"
+        words = ["alpha beta", "beta gamma", "alpha beta alpha beta"][index % 3]
+        store.put_text(f"{prefix}d{index}.xml", f"<doc>{words} w{index}</doc>")
+    return store
+
+
+SEARCH = SearchRequest(kind="search", collection="docs/", phrase="alpha beta")
+NOTES = SearchRequest(kind="search", collection="notes/", phrase="beta gamma")
+
+
+# -- routing proofs ------------------------------------------------------------
+
+
+def test_route_proofs():
+    doc = SearchRequest(kind="doc", uri="docs/d0.xml")
+    one = route_request(doc, 1)
+    assert (one.kind, one.shard, one.reason) == ("single", 0, "one-shard-tier")
+    many = route_request(doc, 4)
+    assert many.kind == "single"
+    assert many.shard == doc_shard("docs/d0.xml", 4)
+    assert "crc32" in many.reason and "% 4" in many.reason
+    scatter = route_request(SEARCH, 4)
+    assert scatter.kind == "scatter"
+    assert "search-over-collection" in scatter.reason
+
+
+def test_doc_requests_prove_single_shard():
+    with SearchService(make_store(), shards=3, mode="thread") as service:
+        result = service.run(SearchRequest(kind="doc", uri="docs/d0.xml"))
+        assert result.route.kind == "single"
+        assert service.metrics["single"] == 1 and service.metrics["scatter"] == 0
+        service.run(SEARCH)
+        assert service.metrics["scatter"] == 1
+
+
+# -- the generation-keyed result cache -----------------------------------------
+
+
+def test_warm_hit_replays_cold_text():
+    with SearchService(make_store(), shards=1) as service:
+        cold = service.run(SEARCH)
+        warm = service.run(SEARCH)
+        assert not cold.cached and warm.cached
+        assert warm.text == cold.text
+        assert warm.generation == cold.generation
+
+
+def test_write_to_one_collection_keeps_others_warm():
+    with SearchService(make_store(), shards=1) as service:
+        service.run(SEARCH)
+        service.run(NOTES)
+        service.put_text("docs/new.xml", "<doc>alpha beta fresh</doc>")
+        # the touched collection misses (its generation moved)...
+        after = service.run(SEARCH)
+        assert not after.cached
+        assert "docs/new.xml" in after.text
+        # ...the untouched collection still hits its old generation key.
+        assert service.run(NOTES).cached
+
+
+def test_doc_request_keys_on_document_generation():
+    with SearchService(make_store(), shards=1) as service:
+        doc = SearchRequest(kind="doc", uri="docs/d0.xml")
+        service.run(doc)
+        # a write to a *different* document in the same collection does
+        # not disturb the uri-addressed entry.
+        service.put_text("docs/other.xml", "<doc>gamma</doc>")
+        assert service.run(doc).cached
+        service.put_text("docs/d0.xml", "<doc>rewritten alpha</doc>")
+        fresh = service.run(doc)
+        assert not fresh.cached and "rewritten" in fresh.text
+
+
+# -- scatter/gather byte-identity ----------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+@pytest.mark.parametrize("shards", [1, 3])
+def test_sharded_answers_are_byte_identical_to_brute_force(mode, shards):
+    store = random_document_store(41, docs=12)
+    requests = [
+        SearchRequest(kind="search", collection="", phrase="alpha"),
+        SearchRequest(kind="search", collection="docs/", phrase="beta"),
+        SearchRequest(kind="search", collection="notes/", phrase="京都", limit=2),
+        SearchRequest(kind="kwic", collection="", phrase="gamma", width=12),
+        SearchRequest(kind="collection", collection="models/"),
+        SearchRequest(kind="doc", uri=store.uris()[0]),
+    ]
+    with SearchService(store, shards=shards, mode=mode) as service:
+        for request in requests:
+            served = service.run(request).text
+            fresh = service.evaluate_fresh(request, use_index=False)
+            assert served == fresh, (mode, shards, request.key())
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_writes_reach_replicas_incrementally(mode):
+    store = make_store()
+    with SearchService(store, shards=2, mode=mode) as service:
+        before = service.run(SEARCH).text
+        service.put_text("docs/zz.xml", "<doc>alpha beta alpha beta alpha beta</doc>")
+        after = service.run(SEARCH)
+        assert not after.cached
+        assert after.text != before
+        # the new top-scoring document leads the merged ranking.
+        assert after.text.index("docs/zz.xml") < after.text.index("docs/d0.xml")
+        assert after.text == service.evaluate_fresh(SEARCH, use_index=False)
+        service.delete("docs/zz.xml")
+        assert service.run(SEARCH).text == before
+
+
+def test_model_backed_update_through_service():
+    store = random_document_store(13, docs=10)
+    uri = next(u for u in store.uris() if u.startswith("models/"))
+    request = SearchRequest(kind="search", collection="models/", phrase="zzyzx")
+    with SearchService(store, shards=2, mode="process") as service:
+        assert service.run(request).text == ""
+        service.apply_update(uri, 'insert node Document with (label "pad zzyzx pad");')
+        after = service.run(request)
+        assert uri in after.text
+        assert after.text == service.evaluate_fresh(request, use_index=False)
+
+
+# -- structured errors across the pipe -----------------------------------------
+
+
+def test_missing_doc_is_fodc0002_in_thread_mode():
+    with SearchService(make_store(), shards=1) as service:
+        with pytest.raises(XQueryDynamicError) as caught:
+            service.run(SearchRequest(kind="doc", uri="missing.xml"))
+        assert caught.value.code == "FODC0002"
+        assert service.metrics["errors"] == 1
+
+
+def test_fodc0002_crosses_the_worker_pipe_structured():
+    """A worker's FODC0002 must arrive as a RemoteQueryError that the
+    taxonomy classifies identically to the in-process error: the PR 4
+    structured-error contract, now for document retrieval."""
+    with SearchService(make_store(), shards=2, mode="process") as service:
+        with pytest.raises(RemoteQueryError) as caught:
+            service.run(SearchRequest(kind="doc", uri="missing.xml"))
+        error = classify_error(caught.value)
+        assert error.kind == "dynamic"
+        assert error.code == "FODC0002"
+        assert caught.value.remote_exception == "XQueryDynamicError"
+        # the tier survives the error: the next request still answers.
+        assert service.run(SEARCH).text
+
+
+def test_unknown_collection_crosses_the_pipe_too():
+    with SearchService(make_store(), shards=2, mode="process") as service:
+        with pytest.raises(RemoteQueryError) as caught:
+            service.run(SearchRequest(kind="collection", collection="never/"))
+        assert classify_error(caught.value).code == "FODC0002"
+
+
+# -- request validation and loadgen surface ------------------------------------
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        SearchRequest(kind="bogus")
+    assert 'ft:search' in SEARCH.source()
+    assert SEARCH.key() != NOTES.key()
+
+
+def test_search_loadgen_smoke():
+    from repro.serving.loadgen import run_search_load, search_parity_sweep
+
+    store = random_document_store(99, docs=16)
+    with SearchService(store, shards=2, mode="thread") as service:
+        report = run_search_load(service, clients=4, duration=0.5, seed=99)
+        assert report["requests"] > 0
+        assert report["availability"] == 1.0
+        assert search_parity_sweep(service, 99, count=8) == 0

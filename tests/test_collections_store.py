@@ -1,0 +1,148 @@
+"""The document store: addressing, generations, persistence, FODC0002.
+
+Every failure mode here must surface as a *structured* ``FODC0002``
+dynamic error — the PR 4 taxonomy classifies it as ``kind="dynamic"`` —
+so the service tier (and its worker pipe) can relay it without losing
+the code.
+"""
+
+import pytest
+
+from repro.collections import DocumentStore
+from repro.collections.store import collection_prefixes, normalize_collection
+from repro.querycalc.service.errors import classify_error
+from repro.xquery.errors import XQueryDynamicError
+
+
+def make_store():
+    store = DocumentStore()
+    store.put_text("docs/a.xml", "<doc>alpha beta</doc>")
+    store.put_text("docs/deep/b.xml", "<doc>beta gamma</doc>")
+    store.put_text("notes/c.xml", "<note>delta</note>")
+    return store
+
+
+def test_normalize_and_prefixes():
+    assert normalize_collection("") == ""
+    assert normalize_collection("/") == ""
+    assert normalize_collection("docs") == "docs/"
+    assert normalize_collection("docs/") == "docs/"
+    assert collection_prefixes("a/b/c.xml") == ["", "a/", "a/b/"]
+    assert collection_prefixes("flat.xml") == [""]
+
+
+def test_membership_and_collections():
+    store = make_store()
+    assert "docs/a.xml" in store and len(store) == 3
+    assert store.collection_uris("docs/") == ["docs/a.xml", "docs/deep/b.xml"]
+    assert store.collection_uris("docs/deep/") == ["docs/deep/b.xml"]
+    assert store.collection_uris("") == sorted(store.uris())
+    assert store.uri_of(store.resolve("notes/c.xml")) == "notes/c.xml"
+
+
+def test_missing_document_is_structured_fodc0002():
+    store = make_store()
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.resolve("missing.xml")
+    assert caught.value.code == "FODC0002"
+    error = classify_error(caught.value)
+    assert error.kind == "dynamic" and error.code == "FODC0002"
+
+
+def test_unparseable_document_is_structured_fodc0002():
+    store = make_store()
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.put_text("docs/bad.xml", "<doc>never closed")
+    assert caught.value.code == "FODC0002"
+    assert "not parseable" in str(caught.value)
+    assert classify_error(caught.value).kind == "dynamic"
+    assert "docs/bad.xml" not in store  # the failed write left no trace
+
+
+def test_unknown_collection_is_fodc0002_but_emptied_collection_is_not():
+    store = make_store()
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.collection_uris("never/")
+    assert caught.value.code == "FODC0002"
+    store.remove("notes/c.xml")
+    # the collection was known; deleting its last member empties it.
+    assert store.collection_uris("notes/") == []
+
+
+def test_remove_missing_and_foreign_node_are_fodc0002():
+    store = make_store()
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.remove("missing.xml")
+    assert caught.value.code == "FODC0002"
+    foreign = DocumentStore().put_text("x.xml", "<x/>")
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.uri_of(foreign)
+    assert caught.value.code == "FODC0002"
+
+
+def test_generations_bump_ancestors_only():
+    store = make_store()
+    docs_gen = store.collection_generation("docs/")
+    notes_gen = store.collection_generation("notes/")
+    root_gen = store.collection_generation("")
+    store.put_text("docs/deep/new.xml", "<doc>omega</doc>")
+    # the written path and every ancestor move...
+    assert store.collection_generation("docs/deep/") > docs_gen
+    assert store.collection_generation("docs/") > docs_gen
+    assert store.collection_generation("") > root_gen
+    # ...while the unrelated collection's generation holds still (this is
+    # what keeps its cached results warm across the write).
+    assert store.collection_generation("notes/") == notes_gen
+    assert store.document_generation("docs/deep/new.xml") == store.generation
+
+
+def test_save_open_roundtrip(tmp_path):
+    store = make_store()
+    directory = str(tmp_path / "corpus")
+    store.save(directory)
+    loaded = DocumentStore.open(directory)
+    assert loaded.uris() == store.uris()
+    assert loaded.known_collections() == store.known_collections()
+    assert loaded.generation >= store.generation
+    for uri in store.uris():
+        assert loaded.text_of(uri) == store.text_of(uri)
+    assert loaded.index.snapshot() == store.index.snapshot()
+
+
+def test_open_without_manifest_scans_xml_files(tmp_path):
+    directory = tmp_path / "bare"
+    (directory / "docs").mkdir(parents=True)
+    (directory / "docs" / "a.xml").write_text("<doc>alpha</doc>", encoding="utf-8")
+    loaded = DocumentStore.open(str(directory))
+    assert loaded.uris() == ["docs/a.xml"]
+    assert loaded.search("", "alpha") == [("docs/a.xml", 1)]
+
+
+def test_open_with_unparseable_file_is_fodc0002(tmp_path):
+    directory = tmp_path / "broken"
+    directory.mkdir()
+    (directory / "bad.xml").write_text("<doc>", encoding="utf-8")
+    with pytest.raises(XQueryDynamicError) as caught:
+        DocumentStore.open(str(directory))
+    assert caught.value.code == "FODC0002"
+    assert "bad.xml" in str(caught.value)
+
+
+def test_subset_keeps_collections_known():
+    store = make_store()
+    shard = store.subset(["docs/a.xml"])
+    assert shard.uris() == ["docs/a.xml"]
+    # a collection with no members on this shard answers empty, not
+    # FODC0002 — scatter must not flicker errors on partial shards.
+    assert shard.collection_uris("notes/") == []
+    assert shard.search("notes/", "delta") == []
+
+
+def test_search_indexed_equals_brute_force():
+    store = make_store()
+    store.put_text("docs/two.xml", "<doc>alpha beta alpha beta</doc>")
+    indexed = store.search("", "alpha beta")
+    store.use_index = False
+    brute = store.search("", "alpha beta")
+    store.use_index = True
+    assert indexed == brute == [("docs/two.xml", 2), ("docs/a.xml", 1)]
