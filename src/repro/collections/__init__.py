@@ -31,10 +31,11 @@ from .fulltext import InvertedIndex, count_phrase, tokenize
 from .kwic import kwic_snippets
 from .partition import SearchRoute, doc_shard, route_request
 from .service import SearchRequest, SearchService
-from .store import DocumentStore
+from .store import DocumentStore, validate_uri
 
 __all__ = [
     "DocumentStore",
+    "validate_uri",
     "InvertedIndex",
     "SearchRequest",
     "SearchRoute",

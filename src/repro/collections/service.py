@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import count
@@ -38,7 +39,7 @@ from ..xquery import EngineConfig, XQueryEngine, serialize_result
 from ..xquery.algebra import StatisticsCatalog
 from .kwic import CHARS_KWIC
 from .partition import SearchRoute, doc_shard, route_request
-from .store import DocumentStore, normalize_collection
+from .store import DocumentStore, collection_prefixes, normalize_collection
 from .worker import (
     CollectionWorkerConfig,
     collection_worker_main,
@@ -148,6 +149,7 @@ class _WorkerHandle:
         self.shard = config.shard
         self._lock = threading.Lock()
         self._req_ids = count()
+        self._poisoned = False
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=collection_worker_main, args=(child_conn, config), daemon=True
@@ -165,17 +167,33 @@ class _WorkerHandle:
 
     def request(self, op: str, payload: dict, timeout: float = _REQUEST_TIMEOUT):
         with self._lock:
+            if self._poisoned:
+                raise RuntimeError(
+                    f"collection worker {self.shard} broke protocol; restart the service"
+                )
             req_id = next(self._req_ids)
             self.conn.send((op, req_id, payload))
-            if not self.conn.poll(timeout):
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.conn.poll(remaining):
+                    # the worker may still answer after the deadline; that
+                    # stale reply is drained (reply_id < expected) by the
+                    # next request instead of wedging the handle.
+                    raise RuntimeError(
+                        f"collection worker {self.shard} missed its "
+                        f"{timeout:.1f}s deadline"
+                    )
+                status, reply_id, body = self.conn.recv()
+                if reply_id == req_id:
+                    break
+                if isinstance(reply_id, int) and reply_id < req_id:
+                    continue  # late answer to a request that timed out
+                self._poisoned = True
                 raise RuntimeError(
-                    f"collection worker {self.shard} missed its {timeout:.1f}s deadline"
+                    f"collection worker {self.shard} answered {reply_id!r}, "
+                    f"expected {req_id}"
                 )
-            status, reply_id, body = self.conn.recv()
-        if reply_id != req_id:
-            raise RuntimeError(
-                f"collection worker {self.shard} answered {reply_id}, expected {req_id}"
-            )
         if status == "err":
             raise RemoteQueryError(body)
         return body
@@ -219,7 +237,19 @@ class SearchService:
         self.mode = mode
         self.backend = backend
         self.engine = XQueryEngine(EngineConfig(backend=backend))
+        #: guards service bookkeeping only — result cache, metrics,
+        #: statistics reference.  Never held across an evaluation, so
+        #: concurrent reads overlap instead of queueing on the service.
         self._lock = threading.RLock()
+        #: serializes writers (and ``evaluate_fresh``, which temporarily
+        #: reconfigures the authoritative store) against each other.
+        self._write_gate = threading.RLock()
+        #: writes bump this (under ``_lock``) once when they start and
+        #: once when they finish; a read that overlaps a write — odd
+        #: epoch at start, or any movement by the end — returns its text
+        #: but skips the cache insert, so a half-replicated state can
+        #: never be cached under the post-write generation.
+        self._write_epoch = 0
         self._results: "OrderedDict[Tuple[str, int], str]" = OrderedDict()
         self._result_cache_size = result_cache_size
         self._statistics = self._fresh_statistics()
@@ -259,6 +289,15 @@ class SearchService:
             self._shard_stores = [store]
         else:
             self._shard_stores = [store.subset(uris) for uris in shard_uris]
+        #: per-replica locks (thread mode): a read of shard *i* and the
+        #: write patching shard *i* serialize, different shards overlap.
+        self._replica_locks = [threading.Lock() for _ in self._shard_stores]
+        #: guards direct evaluation over the authoritative store; when
+        #: shard 0 *is* the store (one-shard thread mode) they share a lock.
+        if self._shard_stores and self._shard_stores[0] is store:
+            self._authoritative_lock = self._replica_locks[0]
+        else:
+            self._authoritative_lock = threading.Lock()
         self._closed = False
 
     # -- statistics --------------------------------------------------------
@@ -282,7 +321,13 @@ class SearchService:
         return self.store.collection_generation(request.collection)
 
     def run(self, request: SearchRequest) -> SearchResult:
-        """Answer one request (cache → route → execute → cache)."""
+        """Answer one request (cache → route → execute → cache).
+
+        The service lock covers only the cache probe and the post-run
+        insert; the evaluation itself runs unlocked, so N clients drive
+        N shard pipes (or replica locks) concurrently instead of
+        queueing behind one global lock.
+        """
         with self._lock:
             self.metrics["requests"] += 1
             generation = self.scope_generation(request)
@@ -294,32 +339,44 @@ class SearchService:
                 self.metrics["cache_hits"] += 1
                 return SearchResult(cached, True, route, generation)
             self.metrics[route.kind] += 1
-            try:
-                if route.kind == "single":
-                    text = self._run_single(request, route.shard)
-                else:
-                    text = self._run_scatter(request)
-            except Exception:
+            epoch = self._write_epoch
+            statistics = self._statistics
+        try:
+            if route.kind == "single":
+                text = self._run_single(request, route.shard, statistics)
+            else:
+                text = self._run_scatter(request, statistics)
+        except Exception:
+            with self._lock:
                 self.metrics["errors"] += 1
-                raise
+            raise
+        with self._lock:
             self.metrics["cache_misses"] += 1
             self.metrics["executed"] += 1
-            self._results[key] = text
-            if len(self._results) > self._result_cache_size:
-                self._results.popitem(last=False)
+            # cache only write-quiescent runs: an evaluation that
+            # overlapped a write may have seen a half-replicated state.
+            if epoch % 2 == 0 and self._write_epoch == epoch:
+                self._results[key] = text
+                if len(self._results) > self._result_cache_size:
+                    self._results.popitem(last=False)
             return SearchResult(text, False, route, generation)
 
-    def _run_single(self, request: SearchRequest, shard: int) -> str:
+    def _run_single(
+        self, request: SearchRequest, shard: int, statistics: StatisticsCatalog
+    ) -> str:
         if self.mode == "process":
             body = self._workers[shard].request(
                 "run",
                 {"source": request.source(), "structured": False, "key": request.key()},
             )
             return body["text"]
-        result = self._execute(request, self._shard_stores[shard])
+        with self._replica_locks[shard]:
+            result = self._execute(request, self._shard_stores[shard], statistics)
         return serialize_result(result)
 
-    def _run_scatter(self, request: SearchRequest) -> str:
+    def _run_scatter(
+        self, request: SearchRequest, statistics: StatisticsCatalog
+    ) -> str:
         partials: List[List[Tuple[int, str, str]]] = []
         if self.mode == "process":
             payload = {
@@ -332,13 +389,25 @@ class SearchService:
                     [tuple(row) for row in worker.request("run", payload)["rows"]]
                 )
         else:
-            for shard_store in self._shard_stores:
-                partials.append(extract_rows(self._execute(request, shard_store)))
+            for shard, shard_store in enumerate(self._shard_stores):
+                with self._replica_locks[shard]:
+                    rows = extract_rows(
+                        self._execute(request, shard_store, statistics)
+                    )
+                partials.append(rows)
         return merge_rows(partials, limit=request.limit)
 
-    def _execute(self, request: SearchRequest, store: DocumentStore):
+    def _execute(
+        self,
+        request: SearchRequest,
+        store: DocumentStore,
+        statistics: Optional[StatisticsCatalog] = None,
+    ):
         compiled = self.engine.compile(request.source())
-        return compiled.run(collections=store, statistics=self._statistics)
+        return compiled.run(
+            collections=store,
+            statistics=statistics if statistics is not None else self._statistics,
+        )
 
     def evaluate_fresh(
         self, request: SearchRequest, use_index: Optional[bool] = None
@@ -348,7 +417,7 @@ class SearchService:
         ``use_index=False`` is the brute-force parity reference the
         oracle and E22 compare every served byte against.
         """
-        with self._lock:
+        with self._write_gate, self._authoritative_lock:
             previous = self.store.use_index
             if use_index is not None:
                 self.store.use_index = use_index
@@ -364,19 +433,34 @@ class SearchService:
 
     def put_text(self, uri: str, text: str) -> None:
         """Write one document; replicas patch that document only."""
-        with self._lock:
-            self.store.put_text(uri, text)
-            self._replicate_put(uri)
-            self._after_write()
+        with self._write_gate:
+            self._begin_write()
+            ok = False
+            try:
+                new_prefixes = self._new_prefixes(uri)
+                with self._authoritative_lock:
+                    self.store.put_text(uri, text)
+                self._replicate_put(uri, new_prefixes)
+                ok = True
+            finally:
+                self._end_write(ok)
 
     def delete(self, uri: str) -> None:
-        with self._lock:
-            self.store.remove(uri)
-            if self.mode == "process":
-                self._owner(uri).request("delete", {"uri": uri})
-            elif self._shard_stores and self._shard_stores[0] is not self.store:
-                self._shard_stores[doc_shard(uri, self.shards)].remove(uri)
-            self._after_write()
+        with self._write_gate:
+            self._begin_write()
+            ok = False
+            try:
+                with self._authoritative_lock:
+                    self.store.remove(uri)
+                if self.mode == "process":
+                    self._owner(uri).request("delete", {"uri": uri})
+                elif self._shard_stores and self._shard_stores[0] is not self.store:
+                    shard = doc_shard(uri, self.shards)
+                    with self._replica_locks[shard]:
+                        self._shard_stores[shard].remove(uri)
+                ok = True
+            finally:
+                self._end_write(ok)
 
     def apply_update(self, uri: str, script: str):
         """Run an update-language script against a model-backed document.
@@ -386,30 +470,68 @@ class SearchService:
         patched document text), so their index maintenance is the same
         per-document patch.
         """
-        with self._lock:
-            result = self.store.apply_update(uri, script)
-            self._replicate_put(uri)
-            self._after_write()
-            return result
+        with self._write_gate:
+            self._begin_write()
+            ok = False
+            try:
+                new_prefixes = self._new_prefixes(uri)
+                with self._authoritative_lock:
+                    result = self.store.apply_update(uri, script)
+                self._replicate_put(uri, new_prefixes)
+                ok = True
+                return result
+            finally:
+                self._end_write(ok)
 
-    def _replicate_put(self, uri: str) -> None:
+    def _new_prefixes(self, uri: str) -> List[str]:
+        """The collection prefixes this write is about to create."""
+        return [
+            prefix
+            for prefix in collection_prefixes(uri)
+            if prefix not in self.store._collection_gens
+        ]
+
+    def _replicate_put(self, uri: str, new_prefixes: List[str]) -> None:
+        """Patch the owner replica; tell *every* replica about new prefixes.
+
+        Only the owner shard holds the document, but a collection created
+        by this write must become *known* tier-wide, or scatter requests
+        over it would raise FODC0002 from every non-owner shard.
+        """
         if self.mode == "process":
-            self._owner(uri).request(
+            owner = doc_shard(uri, self.shards)
+            self._workers[owner].request(
                 "put", {"uri": uri, "text": self.store.text_of(uri)}
             )
+            if new_prefixes:
+                for shard, worker in enumerate(self._workers):
+                    if shard != owner:
+                        worker.request("register", {"collections": new_prefixes})
         elif self._shard_stores and self._shard_stores[0] is not self.store:
-            self._shard_stores[doc_shard(uri, self.shards)].put_text(
-                uri, self.store.text_of(uri)
-            )
+            owner = doc_shard(uri, self.shards)
+            with self._replica_locks[owner]:
+                self._shard_stores[owner].put_text(uri, self.store.text_of(uri))
+            if new_prefixes:
+                for shard, shard_store in enumerate(self._shard_stores):
+                    if shard != owner:
+                        with self._replica_locks[shard]:
+                            shard_store.register_collections(new_prefixes)
 
     def _owner(self, uri: str) -> _WorkerHandle:
         return self._workers[doc_shard(uri, self.shards)]
 
-    def _after_write(self) -> None:
-        self.metrics["writes"] += 1
-        # generation-keyed cache entries for the touched scopes are now
-        # unreachable; they age out of the LRU instead of being swept.
-        self._statistics = self._fresh_statistics()
+    def _begin_write(self) -> None:
+        with self._lock:
+            self._write_epoch += 1
+
+    def _end_write(self, ok: bool = True) -> None:
+        with self._lock:
+            self._write_epoch += 1
+            if ok:
+                self.metrics["writes"] += 1
+                # generation-keyed cache entries for the touched scopes are
+                # now unreachable; they age out of the LRU, never swept.
+                self._statistics = self._fresh_statistics()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -423,11 +545,11 @@ class SearchService:
                 "store": self.store.stats(),
                 "compile_cache": self.engine.cache_info(),
             }
-            if self.mode == "process":
-                payload["workers"] = [
-                    worker.request("stats", {}) for worker in self._workers
-                ]
-            return payload
+        if self.mode == "process":
+            payload["workers"] = [
+                worker.request("stats", {}) for worker in self._workers
+            ]
+        return payload
 
     def close(self) -> None:
         with self._lock:

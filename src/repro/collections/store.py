@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..awb import Model
 from ..awb.xml_io import IncrementalExporter
@@ -41,11 +41,43 @@ from ..xdm import DocumentNode
 from ..xmlio import parse_document, serialize
 from ..xquery.errors import XQueryDynamicError
 from ..xquery.updates.apply import apply_script
-from .fulltext import InvertedIndex, count_phrase
+from .fulltext import DocumentFrequencyView, InvertedIndex, count_phrase
 
-__all__ = ["DocumentStore", "collection_prefixes", "normalize_collection"]
+__all__ = [
+    "DocumentStore",
+    "collection_prefixes",
+    "normalize_collection",
+    "validate_uri",
+]
 
 _MANIFEST = "manifest.json"
+
+
+def validate_uri(uri: str) -> None:
+    """Reject URIs that cannot be stored (or persisted) safely.
+
+    ``save``/``open`` map URIs straight onto filesystem paths under the
+    store directory, so a URI must be a clean relative POSIX path: no
+    empty/``.``/``..`` segments (no escaping the directory), no leading
+    slash, no backslashes, and not the reserved manifest name.
+    """
+    reason = None
+    if not uri:
+        reason = "empty"
+    elif uri.startswith("/"):
+        reason = "absolute path"
+    elif uri.endswith("/"):
+        reason = "trailing '/' names a collection, not a document"
+    elif "\\" in uri:
+        reason = "backslash"
+    elif uri == _MANIFEST:
+        reason = f"reserved store name {_MANIFEST!r}"
+    elif any(segment in ("", ".", "..") for segment in uri.split("/")):
+        reason = "empty, '.', or '..' path segment"
+    if reason is not None:
+        raise XQueryDynamicError(
+            f"document URI {uri!r} is not storable: {reason}", code="FODC0002"
+        )
 
 
 def normalize_collection(uri: str) -> str:
@@ -93,6 +125,9 @@ class DocumentStore:
         self._uri_by_doc: Dict[int, str] = {}
         #: collection prefix → generation of the last write under it.
         self._collection_gens: Dict[str, int] = {"": 0}
+        #: collection prefix → live member count, maintained per write so
+        #: statistics never rescan the corpus.
+        self._collection_counts: Dict[str, int] = {"": 0}
         #: document URI → generation of its last write (or delete).
         self._uri_gens: Dict[str, int] = {}
 
@@ -161,12 +196,22 @@ class DocumentStore:
         self._models.pop(uri, None)
         self._uri_by_doc.pop(id(document), None)
         self.index.remove(uri)
+        for prefix in collection_prefixes(uri):
+            self._collection_counts[prefix] = max(
+                0, self._collection_counts.get(prefix, 0) - 1
+            )
         self._bump(uri)
 
     def _install(self, uri: str, document: DocumentNode, text: str) -> None:
+        validate_uri(uri)
         previous = self._docs.get(uri)
         if previous is not None:
             self._uri_by_doc.pop(id(previous), None)
+        else:
+            for prefix in collection_prefixes(uri):
+                self._collection_counts[prefix] = (
+                    self._collection_counts.get(prefix, 0) + 1
+                )
         self._docs[uri] = document
         self._texts[uri] = text
         self._uri_by_doc[id(document)] = uri
@@ -277,17 +322,14 @@ class DocumentStore:
 
         Document frequencies come from the index even when ``use_index``
         is off — the estimate steers the plan display and cost model, not
-        the result.
+        the result.  Both ``collection_docs`` and ``doc_frequency`` are
+        *live views* over incrementally-maintained state, so refreshing a
+        catalog after a write is O(1), not O(corpus vocabulary).
         """
         return {
             "total_docs": len(self._docs),
-            "collection_docs": {
-                prefix: sum(1 for uri in self._docs if uri.startswith(prefix))
-                for prefix in self._collection_gens
-            },
-            "doc_frequency": {
-                token: len(entry) for token, entry in self.index._postings.items()
-            },
+            "collection_docs": self._collection_counts,
+            "doc_frequency": DocumentFrequencyView(self.index),
         }
 
     # -- sharding ----------------------------------------------------------
@@ -302,8 +344,7 @@ class DocumentStore:
         shard = DocumentStore(use_index=self.use_index)
         for uri in sorted(uris):
             shard.put_text(uri, self.text_of(uri))
-        for prefix in self._collection_gens:
-            shard._collection_gens.setdefault(prefix, 0)
+        shard.register_collections(self._collection_gens)
         return shard
 
     def texts(self) -> List[Tuple[str, str]]:
@@ -312,6 +353,17 @@ class DocumentStore:
 
     def known_collections(self) -> List[str]:
         return sorted(self._collection_gens)
+
+    def register_collections(self, prefixes: Iterable[str]) -> None:
+        """Make *prefixes* known (empty, generation 0) without a write.
+
+        The serving tier broadcasts this after a write that creates a new
+        collection, so every shard replica answers ``()`` for it instead
+        of FODC0002 — only the owner shard actually holds the document.
+        """
+        for prefix in prefixes:
+            self._collection_gens.setdefault(prefix, 0)
+            self._collection_counts.setdefault(prefix, 0)
 
     # -- persistence -------------------------------------------------------
 
@@ -364,8 +416,7 @@ class DocumentStore:
                     f"document {uri!r} is not available: {exc}", code="FODC0002"
                 ) from exc
             store.put_text(uri, text)
-        for prefix in manifest.get("collections", []):
-            store._collection_gens.setdefault(prefix, 0)
+        store.register_collections(manifest.get("collections", []))
         store.generation = max(store.generation, int(manifest.get("generation", 0)))
         return store
 

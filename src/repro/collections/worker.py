@@ -98,8 +98,7 @@ class CollectionWorker:
         self.store = DocumentStore(use_index=config.use_index)
         for uri, text in config.texts:
             self.store.put_text(uri, text)
-        for prefix in config.collections:
-            self.store._collection_gens.setdefault(prefix, 0)
+        self.store.register_collections(config.collections)
         self.engine = XQueryEngine(EngineConfig(backend=config.backend))
         self.runs = 0
         self.writes = 0
@@ -143,6 +142,15 @@ class CollectionWorker:
         self._statistics = self._fresh_statistics()
         return {"documents": len(self.store)}
 
+    def register(self, payload: Dict) -> Dict:
+        """Learn collection prefixes created by a write on another shard.
+
+        A non-owner replica holds no document of the new collection, but
+        must *know* it so a scattered read answers ``()``, not FODC0002.
+        """
+        self.store.register_collections(payload["collections"])
+        return {"collections": len(self.store.known_collections())}
+
     def stats(self) -> Dict[str, object]:
         return {
             "shard": self.shard,
@@ -178,6 +186,8 @@ def collection_worker_main(conn, config: CollectionWorkerConfig) -> None:
                 conn.send(("ok", req_id, worker.put(payload)))
             elif op == "delete":
                 conn.send(("ok", req_id, worker.delete(payload)))
+            elif op == "register":
+                conn.send(("ok", req_id, worker.register(payload)))
             elif op == "stats":
                 conn.send(("ok", req_id, worker.stats()))
             elif op == "ping":

@@ -199,3 +199,152 @@ def test_search_loadgen_smoke():
         assert report["requests"] > 0
         assert report["availability"] == 1.0
         assert search_parity_sweep(service, 99, count=8) == 0
+
+
+# -- new collections propagate tier-wide ---------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_write_creating_new_collection_is_visible_on_every_shard(mode):
+    """A write that *creates* a collection must register its prefix on all
+    replicas, not just the owner shard — otherwise every scattered read
+    over the new collection raises FODC0002 from the non-owner shards."""
+    with SearchService(make_store(), shards=2, mode=mode) as service:
+        service.put_text("brand/sub/new.xml", "<doc>alpha fresh</doc>")
+        for request in [
+            SearchRequest(kind="search", collection="brand/", phrase="alpha"),
+            SearchRequest(kind="collection", collection="brand/"),
+            SearchRequest(kind="kwic", collection="brand/sub/", phrase="fresh"),
+        ]:
+            served = service.run(request)
+            assert served.route.kind == "scatter"
+            assert "brand/sub/new.xml" in served.text
+            assert served.text == service.evaluate_fresh(request, use_index=False)
+
+
+# -- worker handle survives a timeout ------------------------------------------
+
+
+class _ScriptedConn:
+    """A pipe stand-in with a scripted reply queue."""
+
+    def __init__(self):
+        self.sent = []
+        self.replies = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def poll(self, timeout=None):
+        return bool(self.replies)
+
+    def recv(self):
+        return self.replies.pop(0)
+
+
+def _bare_handle():
+    import itertools
+    import threading
+
+    from repro.collections.service import _WorkerHandle
+
+    handle = _WorkerHandle.__new__(_WorkerHandle)
+    handle.shard = 0
+    handle._lock = threading.Lock()
+    handle._req_ids = itertools.count()
+    handle._poisoned = False
+    handle.conn = _ScriptedConn()
+    return handle
+
+
+def test_worker_handle_drains_late_reply_after_timeout():
+    handle = _bare_handle()
+    with pytest.raises(RuntimeError, match="deadline"):
+        handle.request("ping", {}, timeout=0.01)
+    # the worker recovers and its late answer to request 0 lands on the
+    # pipe; the next request drains it instead of wedging on a reply-id
+    # mismatch forever.
+    handle.conn.replies = [("ok", 0, {"late": True}), ("ok", 1, {"fresh": True})]
+    assert handle.request("ping", {}) == {"fresh": True}
+
+
+def test_worker_handle_poisons_on_protocol_violation():
+    handle = _bare_handle()
+    handle.conn.replies = [("ok", 99, {})]
+    with pytest.raises(RuntimeError, match="answered"):
+        handle.request("ping", {})
+    with pytest.raises(RuntimeError, match="broke protocol"):
+        handle.request("ping", {})
+
+
+# -- reads do not serialize on the service lock --------------------------------
+
+
+def test_reads_execute_outside_the_service_lock():
+    """While one read is deep in evaluation, the service lock must be
+    free: stats() (which takes it) completes instead of queueing behind
+    the scatter — the shared-nothing-readers property the load harness
+    measures."""
+    import threading
+
+    with SearchService(make_store(), shards=2, mode="thread") as service:
+        started, release = threading.Event(), threading.Event()
+        original = service._execute
+
+        def slow(request, shard_store, statistics=None):
+            started.set()
+            assert release.wait(5.0)
+            return original(request, shard_store, statistics)
+
+        service._execute = slow
+        reader = threading.Thread(target=service.run, args=(SEARCH,))
+        reader.start()
+        try:
+            assert started.wait(5.0)
+            snapshot = service.stats()  # needs the service lock
+            assert snapshot["metrics"]["requests"] == 1
+        finally:
+            release.set()
+            reader.join(5.0)
+        assert not reader.is_alive()
+        assert service.metrics["executed"] == 1
+
+
+def test_read_overlapping_a_write_skips_the_cache_insert():
+    """An evaluation that raced a write may have seen a half-replicated
+    state; its text is served but never cached."""
+    import threading
+
+    with SearchService(make_store(), shards=2, mode="thread") as service:
+        # a write uri owned by shard 1, so it does not need the replica
+        # lock the blocked reader holds (shard 0 scatters first).
+        write_uri = next(
+            f"notes/w{i}.xml" for i in range(64)
+            if doc_shard(f"notes/w{i}.xml", 2) == 1
+        )
+        started, release = threading.Event(), threading.Event()
+        original = service._execute
+        first = threading.Event()
+
+        def slow(request, shard_store, statistics=None):
+            if not first.is_set():
+                first.set()
+                started.set()
+                assert release.wait(5.0)
+            return original(request, shard_store, statistics)
+
+        service._execute = slow
+        reader = threading.Thread(target=service.run, args=(SEARCH,))
+        reader.start()
+        try:
+            assert started.wait(5.0)
+            service.put_text(write_uri, "<doc>unrelated</doc>")
+        finally:
+            release.set()
+            reader.join(5.0)
+        assert not reader.is_alive()
+        # the write touched notes/ only, so SEARCH's docs/ generation is
+        # unchanged — but the raced run must not have been cached.
+        second = service.run(SEARCH)
+        assert not second.cached
+        assert service.run(SEARCH).cached  # quiescent run caches again

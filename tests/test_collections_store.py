@@ -146,3 +146,81 @@ def test_search_indexed_equals_brute_force():
     brute = store.search("", "alpha beta")
     store.use_index = True
     assert indexed == brute == [("docs/two.xml", 2), ("docs/a.xml", 1)]
+
+
+# -- uri validation ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "uri",
+    [
+        "",
+        "/abs.xml",
+        "docs/",
+        "..",
+        "../escape.xml",
+        "docs/../escape.xml",
+        "docs//double.xml",
+        "docs/./dot.xml",
+        "docs\\win.xml",
+        "manifest.json",
+    ],
+)
+def test_unstorable_uri_is_rejected_at_put_time(uri):
+    store = make_store()
+    with pytest.raises(XQueryDynamicError) as caught:
+        store.put_text(uri, "<doc>evil</doc>")
+    assert caught.value.code == "FODC0002"
+    assert "not storable" in str(caught.value)
+    assert uri not in store
+
+
+def test_traversal_uri_cannot_escape_save_directory(tmp_path):
+    store = DocumentStore()
+    with pytest.raises(XQueryDynamicError):
+        store.put_text("../outside.xml", "<doc>escape</doc>")
+    store.put_text("docs/safe.xml", "<doc>fine</doc>")
+    target = tmp_path / "store"
+    store.save(str(target))
+    assert not (tmp_path / "outside.xml").exists()
+    # nested manifest-named documents are fine; only the top-level store
+    # name is reserved.
+    store.put_text("docs/manifest.json.xml", "<doc>ok</doc>")
+
+
+# -- incremental statistics ----------------------------------------------------
+
+
+def test_fulltext_stats_are_live_views_not_rebuilds():
+    store = make_store()
+    stats = store.fulltext_stats()
+    assert stats["doc_frequency"].get("alpha", 0) == 1
+    assert stats["collection_docs"]["docs/"] == 2
+    # a later write is visible through the *same* stats payload: the
+    # views are backed by incrementally-maintained state, not a snapshot
+    # materialized per write.
+    store.put_text("docs/new.xml", "<doc>alpha alpha</doc>")
+    assert stats["doc_frequency"].get("alpha", 0) == 2
+    assert stats["collection_docs"]["docs/"] == 3
+    store.remove("docs/a.xml")
+    assert stats["doc_frequency"].get("alpha", 0) == 1
+    assert stats["collection_docs"]["docs/"] == 2
+
+
+def test_collection_counts_match_recount_after_mutations():
+    store = make_store()
+    store.put_text("docs/deep/deeper/x.xml", "<doc>x</doc>")
+    store.put_text("docs/a.xml", "<doc>replaced, not added</doc>")
+    store.remove("notes/c.xml")
+    counts = store.fulltext_stats()["collection_docs"]
+    for prefix in store.known_collections():
+        expected = sum(1 for uri in store.uris() if uri.startswith(prefix))
+        assert counts[prefix] == expected, prefix
+
+
+def test_register_collections_makes_empty_collections_known():
+    store = make_store()
+    store.register_collections(["brand/", "brand/sub/"])
+    assert store.collection_uris("brand/") == []
+    assert store.collection_uris("brand/sub/") == []
+    assert store.fulltext_stats()["collection_docs"]["brand/"] == 0
